@@ -1,0 +1,115 @@
+// Shared plumbing for the figure-reproduction harnesses: one-time cost-model
+// calibration, paper-scale dataset properties extrapolated from real
+// scaled-down volumes, and the canonical testbed pipelines.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "cost/models.hpp"
+#include "cost/network_profile.hpp"
+#include "cost/pipeline_builder.hpp"
+#include "data/generators.hpp"
+#include "netsim/testbed.hpp"
+#include "pipeline/pipeline.hpp"
+#include "steering/wan_session.hpp"
+
+namespace ricsa::bench {
+
+/// Calibrate once per process on mid-size sample volumes (the paper's
+/// "testing datasets sampled from various applications").
+inline const cost::CostModels& models() {
+  static const cost::CostModels m = [] {
+    std::fprintf(stderr, "[bench] calibrating cost models...\n");
+    static const data::ScalarVolume jet = data::make_jet(48, 48, 48);
+    static const data::ScalarVolume rage = data::make_rage(48, 48, 48);
+    static const data::ScalarVolume vis = data::make_viswoman(48, 48, 48);
+    cost::CalibrationOptions opt;
+    opt.isovalue_samples = 5;
+    opt.raycast_size = 64;
+    return cost::calibrate({&jet, &rage, &vis}, opt);
+  }();
+  return m;
+}
+
+/// Paper-scale dataset properties: measure a real 30%-scale volume of the
+/// named dataset, then extrapolate blocks/dimensions to the full quoted
+/// byte size (16 / 64 / 108 MB).
+inline cost::DatasetProperties paper_properties(const std::string& name) {
+  const data::DatasetSpec spec = data::dataset_spec(name);
+  const data::ScalarVolume sample = data::make_dataset(name, 0.3);
+  const auto measured =
+      cost::dataset_properties(sample, spec.default_isovalue, 16);
+  return cost::scale_properties(measured, spec.bytes);
+}
+
+/// The Section 5.3 isosurface pipeline for one dataset at paper scale.
+inline pipeline::PipelineSpec paper_pipeline(const std::string& name) {
+  cost::VizRequest request;
+  request.technique = cost::VizRequest::Technique::kIsosurface;
+  request.isovalue = data::dataset_spec(name).default_isovalue;
+  request.image_width = 512;
+  request.image_height = 512;
+  return cost::build_pipeline(request, paper_properties(name), models());
+}
+
+/// Stable node ids of make_testbed() (creation order).
+struct Ids {
+  static constexpr int ornl = 0;
+  static constexpr int lsu = 1;
+  static constexpr int ut = 2;
+  static constexpr int ncstate = 3;
+  static constexpr int osu = 4;
+  static constexpr int gatech = 5;
+};
+
+struct LoopOptions {
+  std::optional<std::vector<int>> fixed_assignment;
+  int data_source = Ids::gatech;
+  bool packet_transport = true;
+  std::uint64_t seed = 0x41ce5a;
+  /// ParaView-style baseline knobs (Fig. 10): per-stage handshake cost,
+  /// message inflation and module slowdown relative to RICSA's modules.
+  double per_transfer_overhead_s = 0.0;
+  double message_inflation = 1.0;
+  double compute_inflation = 1.0;
+  /// Skip the LSU central manager (ParaView has no such node).
+  bool bypass_cm = false;
+};
+
+/// Run one WAN session for a dataset on a fresh testbed.
+inline steering::WanResult run_loop(const std::string& dataset,
+                                    const LoopOptions& options = {}) {
+  netsim::TestbedOptions topt;
+  topt.seed = options.seed;
+  netsim::Testbed tb = netsim::make_testbed(topt);
+  steering::WanSessionConfig config;
+  config.client = tb.ornl;
+  config.central_manager = options.bypass_cm ? tb.ornl : tb.lsu;
+  config.data_source = options.data_source;
+  config.profile = cost::NetworkProfile::from_network(*tb.net);
+  config.spec = paper_pipeline(dataset);
+  config.fixed_assignment = options.fixed_assignment;
+  config.packet_transport = options.packet_transport;
+  config.per_transfer_overhead_s = options.per_transfer_overhead_s;
+
+  if (options.message_inflation != 1.0 || options.compute_inflation != 1.0) {
+    // Rebuild the spec with inflated module costs / message sizes.
+    std::vector<pipeline::ModuleSpec> modules = config.spec.modules();
+    for (auto& m : modules) {
+      m.complexity *= options.compute_inflation;
+      if (m.fixed_output != 0) {
+        m.fixed_output = static_cast<std::size_t>(
+            static_cast<double>(m.fixed_output) * options.message_inflation);
+      }
+    }
+    config.spec = pipeline::PipelineSpec(
+        config.spec.name(),
+        static_cast<std::size_t>(static_cast<double>(config.spec.source_bytes()) *
+                                 options.message_inflation),
+        std::move(modules));
+  }
+  return steering::run_wan_session(*tb.net, config);
+}
+
+}  // namespace ricsa::bench

@@ -1,0 +1,108 @@
+// Cost-model validation (Section 4.4): predicted vs measured wall-clock
+// times of the real visualization modules, for each of the three techniques
+// the paper models (Eqs. 4-8), across datasets and parameters.
+//
+// The paper claims "with reasonable preprocessing overheads, our models
+// provide quick and accurate run-time estimates of processing times"; here
+// accuracy is quantified as the predicted/measured ratio. Calibration and
+// validation use different volumes (held-out datasets and isovalues).
+#include <cstdio>
+
+#include "cost/models.hpp"
+#include "cost/pipeline_builder.hpp"
+#include "data/generators.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+#include "viz/isosurface.hpp"
+#include "viz/raycast.hpp"
+#include "viz/streamline.hpp"
+
+using namespace ricsa;
+
+int main() {
+  // Calibrate on jet+rage; validate on viswoman + unseen isovalues.
+  std::fprintf(stderr, "[bench] calibrating...\n");
+  const data::ScalarVolume cal_jet = data::make_jet(48, 48, 48);
+  const data::ScalarVolume cal_rage = data::make_rage(48, 48, 48);
+  cost::CalibrationOptions opt;
+  opt.isovalue_samples = 6;
+  opt.host_power = 1.0;  // validate against THIS machine's wall clock
+  const cost::CostModels models = cost::calibrate({&cal_jet, &cal_rage}, opt);
+
+  std::printf("Cost-model validation: predicted vs measured module times "
+              "(this machine)\n\n");
+  std::printf("%-42s %12s %12s %8s\n", "experiment", "predicted", "measured",
+              "ratio");
+
+  int checked = 0, within2 = 0, within4 = 0;
+  const auto report = [&](const std::string& label, double predicted,
+                          double measured) {
+    const double ratio = measured > 0 ? predicted / measured : 0.0;
+    ++checked;
+    within2 += (ratio > 0.5 && ratio < 2.0);
+    within4 += (ratio > 0.25 && ratio < 4.0);
+    std::printf("%-42s %10.2f ms %10.2f ms %7.2fx\n", label.c_str(),
+                predicted * 1e3, measured * 1e3, ratio);
+  };
+
+  // --- Isosurface extraction (Eq. 4/5) on held-out volumes/isovalues ------
+  for (const auto& [name, scale] : std::vector<std::pair<std::string, double>>{
+           {"viswoman", 0.22}, {"rage", 0.28}, {"jet", 0.35}}) {
+    const data::ScalarVolume vol = data::make_dataset(name, scale, /*seed=*/99);
+    const auto [lo, hi] = vol.min_max();
+    for (const float frac : {0.35f, 0.6f}) {
+      const float iso = lo + (hi - lo) * frac;
+      const auto props = cost::dataset_properties(vol, iso, opt.block_size);
+      const double predicted = models.isosurface.predict_extraction_s(
+          props.active_blocks, props.cells_per_block);
+      util::Stopwatch timer;
+      viz::IsosurfaceOptions io;
+      io.block_size = opt.block_size;
+      const auto result = viz::extract_isosurface(vol, iso, io);
+      const double measured = timer.elapsed();
+      report(util::strprintf("isosurface %s iso=%.2f (%zu tris)", name.c_str(),
+                             iso, result.stats.triangles),
+             predicted, measured);
+    }
+  }
+
+  // --- Ray casting (Eq. 7) -------------------------------------------------
+  for (const int size : {64, 128}) {
+    const data::ScalarVolume vol = data::make_viswoman(56, 56, 56, 7);
+    viz::RayCastOptions rc_opt;
+    rc_opt.width = size;
+    rc_opt.height = size;
+    const auto geom = viz::estimate_raycast_counts(56, 56, 56, rc_opt);
+    const double predicted = models.raycast.predict_s(geom);
+    const auto [lo, hi] = vol.min_max();
+    const auto tf = viz::TransferFunction::preset(lo, hi);
+    util::Stopwatch timer;
+    viz::raycast(vol, tf, rc_opt);
+    report(util::strprintf("raycast viswoman %dx%d (%zu samples)", size, size,
+                           geom.samples),
+           predicted, timer.elapsed());
+  }
+
+  // --- Streamlines (Eq. 8) -------------------------------------------------
+  for (const int seeds_axis : {3, 5}) {
+    const data::VectorVolume field = data::make_tornado(48);
+    viz::StreamlineOptions sl;
+    sl.max_steps = 300;
+    const auto seeds = viz::grid_seeds(field, seeds_axis);
+    util::Stopwatch timer;
+    const auto set = viz::trace_streamlines(field, seeds, sl);
+    const double measured = timer.elapsed();
+    const double predicted = models.streamline.t_advection_s *
+                             static_cast<double>(set.advection_steps);
+    report(util::strprintf("streamline tornado %zu seeds (%zu steps)",
+                           seeds.size(), set.advection_steps),
+           predicted, measured);
+  }
+
+  std::printf("\n%d/%d predictions within 2x, %d/%d within 4x\n", within2,
+              checked, within4, checked);
+  const bool pass = within4 == checked && within2 >= checked * 2 / 3;
+  std::printf("[%s] cost models give usable run-time estimates on held-out "
+              "inputs\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// DP optimality & scaling (Section 4.5): the dynamic program of Eqs. 9/10
+// must (a) return exactly the exhaustive-search optimum on every random
+// instance, and (b) run in O(n * |E|) time — "which guarantees that our
+// system scales well as the network size increases".
+#include <cstdio>
+
+#include "core/mapper.hpp"
+#include "cost/network_profile.hpp"
+#include "util/prng.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace ricsa;
+
+namespace {
+
+struct Instance {
+  cost::NetworkProfile profile;
+  core::MappingProblem problem;
+  std::size_t edges = 0;
+};
+
+Instance random_instance(util::Xoshiro256& rng, int nodes, int modules,
+                         double edge_prob) {
+  Instance inst;
+  for (int v = 0; v < nodes; ++v) {
+    inst.profile.add_node("n" + std::to_string(v), rng.uniform(0.5, 8.0),
+                          rng.bernoulli(0.7));
+  }
+  for (int v = 0; v + 1 < nodes; ++v) {
+    inst.profile.set_link(v, v + 1, {rng.uniform(1e5, 1e7), rng.uniform(0, 0.05)});
+    ++inst.edges;
+  }
+  for (int a = 0; a < nodes; ++a) {
+    for (int b = 0; b < nodes; ++b) {
+      if (a != b && !inst.profile.has_link(a, b) && rng.bernoulli(edge_prob)) {
+        inst.profile.set_link(a, b, {rng.uniform(1e5, 1e7), rng.uniform(0, 0.05)});
+        ++inst.edges;
+      }
+    }
+  }
+  inst.problem.source = 0;
+  inst.problem.destination = nodes - 1;
+  inst.problem.unit_compute.push_back(0.0);
+  for (int m = 1; m < modules; ++m) {
+    inst.problem.unit_compute.push_back(rng.uniform(0.0, 20.0));
+    inst.problem.messages.push_back(static_cast<std::size_t>(rng.uniform(1e4, 5e7)));
+  }
+  inst.problem.allowed.assign(static_cast<std::size_t>(modules),
+                              std::vector<bool>(static_cast<std::size_t>(nodes), true));
+  for (int v = 0; v < nodes; ++v) {
+    inst.problem.allowed[0][static_cast<std::size_t>(v)] = (v == 0);
+    inst.problem.allowed[static_cast<std::size_t>(modules - 1)][static_cast<std::size_t>(v)] =
+        (v == nodes - 1);
+  }
+  return inst;
+}
+
+}  // namespace
+
+int main() {
+  // --- (a) Optimality vs exhaustive on random instances -------------------
+  util::Xoshiro256 rng(0xD9);
+  int agree = 0, feasible = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    const int nodes = static_cast<int>(rng.uniform_int(4, 8));
+    const int modules = static_cast<int>(rng.uniform_int(3, 6));
+    Instance inst = random_instance(rng, nodes, modules, 0.3);
+    const auto dp = core::DpMapper().solve(inst.profile, inst.problem);
+    const auto ex = core::ExhaustiveMapper().solve(inst.profile, inst.problem);
+    if (dp.feasible != ex.feasible) continue;
+    if (!dp.feasible || std::abs(dp.delay_s - ex.delay_s) <=
+                            1e-9 * std::max(1.0, ex.delay_s)) {
+      ++agree;
+    }
+    feasible += dp.feasible;
+  }
+  std::printf("DP vs exhaustive search on %d random instances: %d agree "
+              "(%d feasible)\n", trials, agree, feasible);
+  const bool optimal = agree == trials;
+  std::printf("[%s] dynamic program returns the global optimum on every "
+              "instance\n\n", optimal ? "PASS" : "FAIL");
+
+  // --- (b) Runtime scaling: time / (n * |E|) should be ~constant ----------
+  std::printf("%8s %8s %10s %14s %18s\n", "|V|", "modules", "|E|",
+              "solve time", "time / (n*|E|)");
+  double first_unit = 0.0, last_unit = 0.0;
+  for (const int nodes : {16, 32, 64, 128, 256}) {
+    for (const int modules : {5, 10}) {
+      util::Xoshiro256 gen(static_cast<std::uint64_t>(nodes * 131 + modules));
+      Instance inst = random_instance(gen, nodes, modules, 0.15);
+      // Warm + measure best of 3.
+      double best = 1e9;
+      for (int rep = 0; rep < 3; ++rep) {
+        util::Stopwatch timer;
+        const auto mapping = core::DpMapper().solve(inst.profile, inst.problem);
+        best = std::min(best, timer.elapsed());
+        if (!mapping.feasible) std::printf("  (infeasible?)");
+      }
+      const double unit =
+          best / (static_cast<double>(modules) * static_cast<double>(inst.edges));
+      if (first_unit == 0.0) first_unit = unit;
+      last_unit = unit;
+      std::printf("%8d %8d %10zu %11.3f ms %15.1f ns\n", nodes, modules,
+                  inst.edges, best * 1e3, unit * 1e9);
+    }
+  }
+  // O(n|E|) check: the per-(n*|E|) cost must not blow up with size (allow a
+  // generous 8x band for cache effects).
+  const bool linear = last_unit < 8.0 * first_unit;
+  std::printf("\n[%s] runtime grows linearly in n * |E| (paper's O(n x |E|) "
+              "guarantee)\n", linear ? "PASS" : "FAIL");
+  return (optimal && linear) ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// Fig. 10 reproduction: RICSA's optimal loop vs a ParaView-style
+// client/render-server ("-crs") configuration on the identical node
+// placement and datasets.
+//
+// Section 5.3.2: "our experiments involved running pvdataserver on the DS
+// node at GaTech, pvrenderserver ... on the cluster-based CS node at UT, and
+// pvclient at ORNL. Note that the CM node at LSU was not involved because
+// ParaView does not yet employ such additional nodes." The performance gap
+// the paper attributes to "higher processing and communication overhead
+// incurred by visualization and network transfer functions used in ParaView"
+// is modelled as: a per-stage connection/handshake cost, modest message
+// inflation (VTK wire structures), and a module-generality slowdown.
+//
+// Expected shape: RICSA <= ParaView-crs on every dataset, with a visible but
+// not catastrophic gap ("RICSA achieved comparable performances").
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace ricsa;
+using bench::Ids;
+
+int main() {
+  const std::vector<std::string> datasets = {"jet", "rage", "viswoman"};
+
+  std::printf("Fig. 10 — RICSA optimal loop vs ParaView -crs mode "
+              "(virtual seconds)\n\n");
+  std::printf("%-56s %10s %10s %14s\n", "", "Jet(16MB)", "Rage(64MB)",
+              "Viswoman(108MB)");
+
+  std::vector<double> ricsa_s, paraview_s;
+
+  std::printf("%-56s", "RICSA optimal loop: ORNL-LSU-GaTech-UT-ORNL");
+  for (const auto& dataset : datasets) {
+    const auto result = bench::run_loop(dataset, {});
+    ricsa_s.push_back(result.completed ? result.data_path_s : -1);
+    std::printf(" %10.2f", ricsa_s.back());
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+
+  std::printf("%-56s", "ParaView -crs mode: ORNL-UT-GaTech (client-render-server)");
+  for (const auto& dataset : datasets) {
+    bench::LoopOptions pv;
+    // Same placement the optimizer chose, pinned: data server at GaTech,
+    // render server at UT, client at ORNL.
+    pv.fixed_assignment = std::vector<int>{Ids::gatech, Ids::gatech, Ids::ut,
+                                           Ids::ut, Ids::ornl};
+    pv.bypass_cm = true;             // no CM node in ParaView
+    pv.per_transfer_overhead_s = 0.6;  // per-stage connection/handshake
+    pv.message_inflation = 1.08;     // VTK wire structures
+    pv.compute_inflation = 1.25;     // general-purpose module overhead
+    const auto result = bench::run_loop(dataset, pv);
+    paraview_s.push_back(result.completed ? result.data_path_s : -1);
+    std::printf(" %10.2f", paraview_s.back());
+    std::fflush(stdout);
+  }
+  std::printf("\n\nShape checks vs. the paper:\n");
+
+  bool ricsa_wins = true;
+  bool comparable = true;
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    if (ricsa_s[d] > paraview_s[d]) ricsa_wins = false;
+    if (paraview_s[d] > 2.0 * ricsa_s[d]) comparable = false;
+    std::printf("  %s: ParaView/RICSA = %.2fx\n", datasets[d].c_str(),
+                paraview_s[d] / ricsa_s[d]);
+  }
+  std::printf("  [%s] RICSA <= ParaView-crs on every dataset\n",
+              ricsa_wins ? "PASS" : "FAIL");
+  std::printf("  [%s] performances remain comparable (< 2x apart)\n",
+              comparable ? "PASS" : "FAIL");
+  return (ricsa_wins && comparable) ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+// Fig. 9 reproduction: measured end-to-end delay of the six visualization
+// loops on the six-site testbed, for Jet (16 MB), Rage (64 MB) and Visible
+// Woman (108 MB), with the isosurface pipeline.
+//
+//   Loop 1  ORNL-LSU-GaTech-UT-ORNL       (RICSA optimal, DP-chosen)
+//   Loop 2  ORNL-LSU-GaTech-NCState-ORNL
+//   Loop 3  ORNL-LSU-OSU-NCState-ORNL
+//   Loop 4  ORNL-LSU-OSU-UT-ORNL
+//   Loop 5  ORNL-GaTech-ORNL              (PC-PC client/server)
+//   Loop 6  ORNL-OSU-ORNL                 (PC-PC client/server)
+//
+// Module indices: 0 source, 1 filter, 2 isosurface, 3 render, 4 display.
+// PC-PC loops extract at the data-source PC (no graphics card) and render at
+// the ORNL client, exactly as Section 5.3.1 describes.
+//
+// Expected shape (paper): loop 1 minimal in every column; optimal-vs-PC-PC
+// speedup grows with dataset size, exceeding ~3x at ~100 MB; the cluster
+// loops' advantage over PC-PC is small for 16 MB.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace ricsa;
+using bench::Ids;
+
+namespace {
+
+struct Loop {
+  const char* label;
+  bench::LoopOptions options;
+};
+
+std::vector<Loop> make_loops() {
+  std::vector<Loop> loops;
+  loops.push_back({"Loop 1: ORNL-LSU-GaTech-UT-ORNL (RICSA optimal)", {}});
+
+  bench::LoopOptions l2;
+  l2.fixed_assignment = std::vector<int>{Ids::gatech, Ids::gatech, Ids::ncstate,
+                                         Ids::ncstate, Ids::ornl};
+  loops.push_back({"Loop 2: ORNL-LSU-GaTech-NCState-ORNL", l2});
+
+  bench::LoopOptions l3;
+  l3.data_source = Ids::osu;
+  l3.fixed_assignment =
+      std::vector<int>{Ids::osu, Ids::osu, Ids::ncstate, Ids::ncstate, Ids::ornl};
+  loops.push_back({"Loop 3: ORNL-LSU-OSU-NCState-ORNL", l3});
+
+  bench::LoopOptions l4;
+  l4.data_source = Ids::osu;
+  l4.fixed_assignment =
+      std::vector<int>{Ids::osu, Ids::osu, Ids::ut, Ids::ut, Ids::ornl};
+  loops.push_back({"Loop 4: ORNL-LSU-OSU-UT-ORNL", l4});
+
+  bench::LoopOptions l5;
+  l5.fixed_assignment = std::vector<int>{Ids::gatech, Ids::gatech, Ids::gatech,
+                                         Ids::ornl, Ids::ornl};
+  loops.push_back({"Loop 5: ORNL-GaTech-ORNL (PC-PC)", l5});
+
+  bench::LoopOptions l6;
+  l6.data_source = Ids::osu;
+  l6.fixed_assignment =
+      std::vector<int>{Ids::osu, Ids::osu, Ids::osu, Ids::ornl, Ids::ornl};
+  loops.push_back({"Loop 6: ORNL-OSU-ORNL (PC-PC)", l6});
+  return loops;
+}
+
+void shape(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> datasets = {"jet", "rage", "viswoman"};
+  const std::vector<Loop> loops = make_loops();
+
+  std::printf("Fig. 9 — measured end-to-end delay (virtual seconds) of six "
+              "visualization loops\n");
+  std::printf("isosurface pipeline; datasets: Jet 16 MB, Rage 64 MB, "
+              "VisWoman 108 MB\n\n");
+  std::printf("%-52s %10s %10s %14s\n", "", "Jet(16MB)", "Rage(64MB)",
+              "Viswoman(108MB)");
+
+  // delay[loop][dataset]
+  std::vector<std::vector<double>> delay(loops.size(),
+                                         std::vector<double>(datasets.size(), -1));
+  std::vector<int> optimal_path;
+  for (std::size_t l = 0; l < loops.size(); ++l) {
+    std::printf("%-52s", loops[l].label);
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
+      const auto result = bench::run_loop(datasets[d], loops[l].options);
+      delay[l][d] = result.completed ? result.data_path_s : -1.0;
+      if (l == 0 && d == datasets.size() - 1) {
+        optimal_path = result.vrt.path();
+      }
+      std::printf(" %10.2f", delay[l][d]);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nDP-selected data path for VisWoman: ");
+  const char* names[] = {"ORNL", "LSU", "UT", "NCState", "OSU", "GaTech"};
+  for (std::size_t i = 0; i < optimal_path.size(); ++i) {
+    std::printf("%s%s", i ? "-" : "", names[optimal_path[i]]);
+  }
+  std::printf("\n\nShape checks vs. the paper:\n");
+
+  bool loop1_min = true;
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    for (std::size_t l = 1; l < loops.size(); ++l) {
+      if (delay[l][d] > 0 && delay[0][d] > delay[l][d]) loop1_min = false;
+    }
+  }
+  shape(loop1_min, "loop 1 (RICSA optimal) is the minimum in every column");
+
+  const double speedup_vis = delay[4][2] / delay[0][2];
+  std::printf("  optimal vs PC-PC(GaTech) speedup at 108 MB: %.2fx\n",
+              speedup_vis);
+  shape(speedup_vis >= 3.0,
+        ">= 3x speedup over client/server at ~100 MB (paper: 'more than "
+        "three times')");
+
+  const double speedup_jet = delay[4][0] / delay[0][0];
+  std::printf("  optimal vs PC-PC(GaTech) speedup at 16 MB: %.2fx\n",
+              speedup_jet);
+  shape(speedup_jet < speedup_vis,
+        "speedup grows with dataset size");
+
+  // "the advantage of utilizing an intermediate MPI module is not very
+  // obvious for small datasets": cluster loop 2 vs PC-PC loop 5 gap at
+  // 16 MB is a small fraction of the gap at 108 MB.
+  const double gap_small = delay[4][0] - delay[1][0];
+  const double gap_large = delay[4][2] - delay[1][2];
+  std::printf("  PC-PC minus cluster-loop delay: %+.2f s @16MB, %+.2f s @108MB\n",
+              gap_small, gap_large);
+  shape(gap_small < 0.35 * gap_large,
+        "cluster advantage small for 16 MB, decisive for 108 MB");
+
+  return loop1_min ? 0 : 1;
+}

@@ -1,0 +1,166 @@
+// Micro-benchmarks (google-benchmark) for the hot computational kernels:
+// isosurface extraction, ray casting, streamline advection, the DP mapper,
+// software rasterization, PNG encoding and the message codec. These are the
+// raw throughput numbers behind the calibrated cost models.
+#include <benchmark/benchmark.h>
+
+#include "core/mapper.hpp"
+#include "cost/network_profile.hpp"
+#include "data/generators.hpp"
+#include "hydro/setups.hpp"
+#include "steering/message.hpp"
+#include "util/prng.hpp"
+#include "viz/image.hpp"
+#include "viz/isosurface.hpp"
+#include "viz/rasterizer.hpp"
+#include "viz/raycast.hpp"
+#include "viz/streamline.hpp"
+
+using namespace ricsa;
+
+namespace {
+
+void BM_IsosurfaceExtract(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const data::ScalarVolume vol = data::make_rage(n, n, n);
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    const auto result = viz::extract_isosurface(vol, 0.6f);
+    cells += result.stats.cells_scanned;
+    benchmark::DoNotOptimize(result.mesh.triangle_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.SetLabel("cells/s");
+}
+BENCHMARK(BM_IsosurfaceExtract)->Arg(24)->Arg(48)->Arg(72);
+
+void BM_RayCast(benchmark::State& state) {
+  const data::ScalarVolume vol = data::make_jet(48, 48, 48);
+  const auto tf = viz::TransferFunction::preset(0.0f, 1.3f);
+  viz::RayCastOptions opt;
+  opt.width = static_cast<int>(state.range(0));
+  opt.height = opt.width;
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    const auto result = viz::raycast(vol, tf, opt);
+    samples += result.samples;
+    benchmark::DoNotOptimize(result.image.pixels().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(samples));
+  state.SetLabel("samples/s");
+}
+BENCHMARK(BM_RayCast)->Arg(64)->Arg(128);
+
+void BM_Streamline(benchmark::State& state) {
+  const data::VectorVolume field = data::make_tornado(48);
+  const auto seeds = viz::grid_seeds(field, 4);
+  viz::StreamlineOptions opt;
+  opt.max_steps = 300;
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    const auto set = viz::trace_streamlines(field, seeds, opt);
+    steps += set.advection_steps;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+  state.SetLabel("advections/s");
+}
+BENCHMARK(BM_Streamline);
+
+void BM_RenderMesh(benchmark::State& state) {
+  const data::ScalarVolume vol = data::make_sphere(49, 18.0f);
+  const auto iso = viz::extract_isosurface(vol, 0.0f);
+  viz::RenderOptions opt;
+  opt.width = 256;
+  opt.height = 256;
+  std::size_t tris = 0;
+  for (auto _ : state) {
+    const auto result = viz::render_mesh(iso.mesh, opt);
+    tris += result.triangles_drawn;
+    benchmark::DoNotOptimize(result.image.pixels().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tris));
+  state.SetLabel("triangles/s");
+}
+BENCHMARK(BM_RenderMesh);
+
+void BM_DpSolve(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  util::Xoshiro256 rng(7);
+  cost::NetworkProfile profile;
+  for (int v = 0; v < nodes; ++v) {
+    profile.add_node("n" + std::to_string(v), rng.uniform(0.5, 8.0), true);
+  }
+  for (int a = 0; a < nodes; ++a) {
+    for (int b = 0; b < nodes; ++b) {
+      if (a != b && rng.bernoulli(0.25)) {
+        profile.set_link(a, b, {rng.uniform(1e5, 1e7), 0.01});
+      }
+    }
+  }
+  for (int v = 0; v + 1 < nodes; ++v) {
+    profile.set_link(v, v + 1, {1e6, 0.01});
+  }
+  core::MappingProblem problem;
+  problem.source = 0;
+  problem.destination = nodes - 1;
+  problem.unit_compute = {0.0, 5.0, 20.0, 3.0, 0.1};
+  problem.messages = {100000000, 100000000, 20000000, 1048576};
+  problem.allowed.assign(5, std::vector<bool>(static_cast<std::size_t>(nodes), true));
+  for (int v = 0; v < nodes; ++v) {
+    problem.allowed[0][static_cast<std::size_t>(v)] = (v == 0);
+    problem.allowed[4][static_cast<std::size_t>(v)] = (v == nodes - 1);
+  }
+  for (auto _ : state) {
+    const auto mapping = core::DpMapper().solve(profile, problem);
+    benchmark::DoNotOptimize(mapping.delay_s);
+  }
+}
+BENCHMARK(BM_DpSolve)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_HydroStep(benchmark::State& state) {
+  auto solver = hydro::make_bowshock({.n = static_cast<int>(state.range(0))});
+  for (auto _ : state) {
+    solver->step();
+    benchmark::DoNotOptimize(solver->time());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(0) *
+                          state.range(0));
+  state.SetLabel("cell-updates/s");
+}
+BENCHMARK(BM_HydroStep)->Arg(24)->Arg(48);
+
+void BM_PngEncode(benchmark::State& state) {
+  viz::Image img(256, 256);
+  util::Xoshiro256 rng(3);
+  for (int y = 0; y < 256; ++y) {
+    for (int x = 0; x < 256; ++x) {
+      img.at(x, y) = {static_cast<std::uint8_t>(rng() & 0xFF),
+                      static_cast<std::uint8_t>(rng() & 0xFF),
+                      static_cast<std::uint8_t>(rng() & 0xFF), 255};
+    }
+  }
+  for (auto _ : state) {
+    const auto png = img.encode_png();
+    benchmark::DoNotOptimize(png.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(img.bytes()));
+}
+BENCHMARK(BM_PngEncode);
+
+void BM_MessageRoundTrip(benchmark::State& state) {
+  steering::Message m = steering::make_viz_request(1, "isosurface", 0.5f, 512, 512);
+  m.payload.assign(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    const auto bytes = m.serialize();
+    const auto back = steering::Message::deserialize(bytes);
+    benchmark::DoNotOptimize(back.payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MessageRoundTrip)->Arg(1024)->Arg(1048576);
+
+}  // namespace
+
+BENCHMARK_MAIN();

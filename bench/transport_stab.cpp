@@ -1,0 +1,120 @@
+// Transport stabilization (Section 3): the Robbins-Monro control channel's
+// goodput must converge to the target g* and stay there with low jitter
+// under random losses, where a TCP-like AIMD channel saws between overshoot
+// and multiplicative backoff.
+//
+// Reproduces the claims RICSA imports from Rao et al. [26]: for each loss
+// rate we run both controllers on the same lossy link (with cross traffic),
+// print a goodput time series and the post-convergence statistics, and
+// check RMSA's coefficient of variation sits well below AIMD's.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "netsim/cross_traffic.hpp"
+#include "netsim/network.hpp"
+#include "transport/datagram_transport.hpp"
+#include "transport/rate_controller.hpp"
+#include "util/stats.hpp"
+
+using namespace ricsa;
+
+namespace {
+
+struct RunResult {
+  util::RunningStats post;  // goodput samples after convergence window
+  std::vector<double> trace;
+};
+
+RunResult run(bool use_rmsa, double loss, double target_Bps, bool cross) {
+  netsim::Simulator sim;
+  netsim::Network net(sim, 0xbeef + static_cast<unsigned>(loss * 1e4));
+  const auto a = net.add_node({.name = "A"});
+  const auto b = net.add_node({.name = "B"});
+  netsim::LinkConfig link;
+  link.bandwidth_Bps = 2e6;
+  link.prop_delay_s = 0.02;
+  link.random_loss = loss;
+  net.add_duplex(a, b, link);
+
+  std::unique_ptr<netsim::CrossTraffic> ct;
+  if (cross) {
+    netsim::CrossTrafficConfig cfg;
+    cfg.on_load = 0.25;
+    ct = std::make_unique<netsim::CrossTraffic>(sim, net.link(a, b), cfg, 99);
+    ct->start();
+  }
+
+  const int data_port = transport::allocate_port();
+  const int ack_port = transport::allocate_port();
+  transport::FlowConfig fc;
+  transport::TransportReceiver rx(net, b, data_port, a, ack_port, fc);
+  std::unique_ptr<transport::RateController> ctrl;
+  if (use_rmsa) {
+    transport::RmsaConfig rc;
+    rc.target_Bps = target_Bps;
+    ctrl = std::make_unique<transport::RmsaController>(rc);
+  } else {
+    transport::AimdConfig ac;
+    ac.increase_Bps = 1.5e5;
+    ctrl = std::make_unique<transport::AimdController>(ac);
+  }
+  transport::TransportSender tx(net, a, b, data_port, ack_port, fc,
+                                std::move(ctrl));
+  tx.start_stream();
+
+  RunResult out;
+  for (double t = 1.0; t <= 60.0; t += 0.25) {
+    sim.run_until(t);
+    const double g = rx.goodput(sim.now());
+    out.trace.push_back(g);
+    if (t >= 20.0) out.post.add(g);
+  }
+  tx.stop();
+  if (ct) ct->stop();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const double target = 6e5;  // g* = 600 KB/s control stream
+  std::printf("Transport stabilization (Section 3): goodput vs target g* = "
+              "%.0f KB/s on a 2 MB/s link\n\n", target / 1e3);
+
+  std::printf("%-10s %-8s | %12s %12s %8s | %12s %12s %8s\n", "loss", "cross",
+              "RMSA mean", "RMSA sd", "RMSA cv", "AIMD mean", "AIMD sd",
+              "AIMD cv");
+  bool all_pass = true;
+  for (const double loss : {0.001, 0.01, 0.05}) {
+    for (const bool cross : {false, true}) {
+      const RunResult rmsa = run(true, loss, target, cross);
+      const RunResult aimd = run(false, loss, target, cross);
+      const bool pass = rmsa.post.cv() < aimd.post.cv() &&
+                        std::abs(rmsa.post.mean() - target) < 0.2 * target;
+      all_pass &= pass;
+      std::printf("%-10.3f %-8s | %12.0f %12.0f %8.3f | %12.0f %12.0f %8.3f %s\n",
+                  loss, cross ? "yes" : "no", rmsa.post.mean(),
+                  rmsa.post.stddev(), rmsa.post.cv(), aimd.post.mean(),
+                  aimd.post.stddev(), aimd.post.cv(), pass ? "" : "  <-- FAIL");
+    }
+  }
+
+  // One illustrative convergence trace.
+  std::printf("\nGoodput trace (KB/s, every 2 s) at 1%% loss, no cross "
+              "traffic:\n  t:     ");
+  for (int i = 0; i < 24; ++i) std::printf("%6d", 1 + 2 * i);
+  const RunResult rmsa = run(true, 0.01, target, false);
+  const RunResult aimd = run(false, 0.01, target, false);
+  std::printf("\n  RMSA: ");
+  for (std::size_t i = 0; i < rmsa.trace.size() && i / 8 < 24; i += 8) {
+    std::printf("%6.0f", rmsa.trace[i] / 1e3);
+  }
+  std::printf("\n  AIMD: ");
+  for (std::size_t i = 0; i < aimd.trace.size() && i / 8 < 24; i += 8) {
+    std::printf("%6.0f", aimd.trace[i] / 1e3);
+  }
+  std::printf("\n\n[%s] RMSA stabilizes at g* with lower jitter than AIMD at "
+              "every loss rate\n", all_pass ? "PASS" : "FAIL");
+  return all_pass ? 0 : 1;
+}

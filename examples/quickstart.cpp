@@ -1,0 +1,68 @@
+// Quickstart: the whole RICSA stack in ~80 lines.
+//
+//  1. generate a dataset,
+//  2. extract + render an isosurface (the real visualization pipeline),
+//  3. calibrate cost models and ask the CM-side optimizer where each
+//     pipeline module should run on the six-site testbed,
+//  4. save the rendered frame as PNG.
+//
+// Run:  ./quickstart [output.png]
+#include <cstdio>
+
+#include "core/mapper.hpp"
+#include "cost/models.hpp"
+#include "cost/network_profile.hpp"
+#include "cost/pipeline_builder.hpp"
+#include "data/generators.hpp"
+#include "netsim/testbed.hpp"
+#include "steering/executor.hpp"
+
+using namespace ricsa;
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "quickstart.png";
+
+  // 1. A dataset: the synthetic stand-in for the paper's Rage volume.
+  std::printf("generating dataset...\n");
+  const data::ScalarVolume volume = data::make_rage(64, 64, 64);
+
+  // 2. Extract + render locally (what a CS node does).
+  cost::VizRequest request;
+  request.technique = cost::VizRequest::Technique::kIsosurface;
+  request.isovalue = 0.6f;
+  request.image_width = 512;
+  request.image_height = 512;
+  const auto result = steering::execute_pipeline(volume, request);
+  std::printf("isosurface: %zu triangles in %.1f ms, rendered in %.1f ms\n",
+              result.iso_stats->triangles, result.transform_s * 1e3,
+              result.render_s * 1e3);
+
+  // 3. Where should this pipeline run? Calibrate the Section 4.4 cost
+  //    models, build the pipeline spec, and solve the Eq. 9/10 DP over the
+  //    six-site testbed.
+  std::printf("calibrating cost models...\n");
+  cost::CalibrationOptions cal;
+  cal.isovalue_samples = 3;
+  const cost::CostModels models = cost::calibrate({&volume}, cal);
+
+  const netsim::Testbed tb = netsim::make_testbed();
+  const auto profile = cost::NetworkProfile::from_network(*tb.net);
+  const auto props = cost::dataset_properties(volume, request.isovalue);
+  // Pretend the dataset is the full 64 MB Rage output cached at GaTech.
+  const auto paper_scale = cost::scale_properties(props, 64 * 1000 * 1000);
+  const auto spec = cost::build_pipeline(request, paper_scale, models);
+  const auto problem = core::MappingProblem::from_pipeline(
+      spec, profile, tb.gatech, tb.ornl);
+  const auto mapping = core::DpMapper().solve(profile, problem);
+
+  std::printf("\noptimal visualization routing table:\n  %s\n",
+              mapping.to_vrt(1).to_string().c_str());
+  std::printf("  (nodes: 0=ORNL 1=LSU 2=UT 3=NCState 4=OSU 5=GaTech)\n");
+  std::printf("  predicted end-to-end delay: %.2f s\n", mapping.delay_s);
+
+  // 4. Save the frame a browser would receive.
+  result.image.write_png(out_path);
+  std::printf("\nwrote %s (%dx%d)\n", out_path, result.image.width(),
+              result.image.height());
+  return 0;
+}

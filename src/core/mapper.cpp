@@ -1,0 +1,203 @@
+#include "core/mapper.hpp"
+
+#include <stdexcept>
+
+namespace ricsa::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+MappingProblem MappingProblem::from_pipeline(
+    const pipeline::PipelineSpec& spec, const cost::NetworkProfile& profile,
+    int source, int destination) {
+  MappingProblem problem;
+  problem.source = source;
+  problem.destination = destination;
+  problem.unit_compute = spec.unit_compute_seconds();
+  problem.messages = spec.message_bytes();
+
+  const int nodes = profile.node_count();
+  problem.allowed.assign(spec.module_count(),
+                         std::vector<bool>(static_cast<std::size_t>(nodes), true));
+  for (std::size_t m = 0; m < spec.module_count(); ++m) {
+    const pipeline::ModuleSpec& mod = spec.modules()[m];
+    for (int v = 0; v < nodes; ++v) {
+      bool ok = true;
+      if (m == 0) ok = (v == source);                       // source pinned
+      if (m + 1 == spec.module_count()) ok = (v == destination);  // display
+      if (mod.requires_gpu && !profile.has_gpu(v)) ok = false;
+      problem.allowed[m][static_cast<std::size_t>(v)] = ok;
+    }
+  }
+  return problem;
+}
+
+double predict_delay(const cost::NetworkProfile& profile,
+                     const MappingProblem& problem,
+                     const std::vector<int>& node_of_module) {
+  if (node_of_module.size() != problem.module_count()) return kInf;
+  if (node_of_module.front() != problem.source ||
+      node_of_module.back() != problem.destination) {
+    return kInf;
+  }
+  double total = 0.0;
+  for (std::size_t m = 0; m < node_of_module.size(); ++m) {
+    const int v = node_of_module[m];
+    if (v < 0 || v >= profile.node_count()) return kInf;
+    if (!problem.allowed[m][static_cast<std::size_t>(v)]) return kInf;
+    total += problem.unit_compute[m] / profile.power(v);
+    if (m > 0) {
+      const int u = node_of_module[m - 1];
+      if (u != v) {
+        if (!profile.has_link(u, v)) return kInf;
+        total += profile.transfer_seconds(u, v, problem.messages[m - 1]);
+        // Opening a new group on a cluster node pays its data-distribution
+        // overhead once (Section 5.3.1).
+        total += profile.activation_overhead(v);
+      }
+    }
+  }
+  return total;
+}
+
+Mapping DpMapper::solve(const cost::NetworkProfile& profile,
+                        const MappingProblem& problem) const {
+  const int nodes = profile.node_count();
+  const std::size_t n_mod = problem.module_count();
+  if (n_mod == 0 || nodes == 0) return {};
+
+  // In-neighbor adjacency for the "cross one link" sub-case of Eq. 9.
+  std::vector<std::vector<int>> in_neighbors(static_cast<std::size_t>(nodes));
+  for (const auto& [edge, est] : profile.links()) {
+    in_neighbors[static_cast<std::size_t>(edge.second)].push_back(edge.first);
+  }
+
+  // T[m][v] and backpointers. T[0][v]: module 0 (the source) placed at v —
+  // only the source node is feasible and costs nothing (Eq. 10's base case
+  // is T[1] derived from here).
+  std::vector<std::vector<double>> T(
+      n_mod, std::vector<double>(static_cast<std::size_t>(nodes), kInf));
+  std::vector<std::vector<int>> prev(
+      n_mod, std::vector<int>(static_cast<std::size_t>(nodes), -1));
+  if (!problem.allowed[0][static_cast<std::size_t>(problem.source)]) return {};
+  T[0][static_cast<std::size_t>(problem.source)] = 0.0;
+
+  for (std::size_t m = 1; m < n_mod; ++m) {
+    const double msg = static_cast<double>(problem.messages[m - 1]);
+    (void)msg;
+    for (int v = 0; v < nodes; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (!problem.allowed[m][vi]) continue;  // feasibility check (Sec. 4.5)
+      const double compute = problem.unit_compute[m] / profile.power(v);
+
+      // Sub-case 1: inherit — module m joins module m-1's group on v.
+      double best = T[m - 1][vi];
+      int best_prev = T[m - 1][vi] < kInf ? v : -1;
+
+      // Sub-case 2: message m-1 crosses one incident link u -> v.
+      for (const int u : in_neighbors[vi]) {
+        const auto ui = static_cast<std::size_t>(u);
+        if (T[m - 1][ui] >= kInf) continue;
+        const double candidate =
+            T[m - 1][ui] +
+            profile.transfer_seconds(u, v, problem.messages[m - 1]) +
+            profile.activation_overhead(v);
+        if (candidate < best) {
+          best = candidate;
+          best_prev = u;
+        }
+      }
+
+      if (best_prev >= 0) {
+        T[m][vi] = best + compute;
+        prev[m][vi] = best_prev;
+      }
+    }
+  }
+
+  const auto dest = static_cast<std::size_t>(problem.destination);
+  Mapping out;
+  if (T[n_mod - 1][dest] >= kInf) return out;
+  out.feasible = true;
+  out.delay_s = T[n_mod - 1][dest];
+  out.node_of_module.assign(n_mod, -1);
+  int v = problem.destination;
+  for (std::size_t m = n_mod; m-- > 0;) {
+    out.node_of_module[m] = v;
+    if (m > 0) v = prev[m][static_cast<std::size_t>(v)];
+  }
+  return out;
+}
+
+namespace {
+
+void exhaustive_dfs(const cost::NetworkProfile& profile,
+                    const MappingProblem& problem,
+                    const std::vector<std::vector<int>>& out_neighbors,
+                    std::vector<int>& assignment, std::size_t m,
+                    double partial, Mapping& best, std::size_t& states,
+                    std::size_t max_states) {
+  if (++states > max_states) {
+    throw std::length_error("ExhaustiveMapper: state budget exceeded");
+  }
+  if (partial >= best.delay_s) return;  // branch and bound
+  const std::size_t n_mod = problem.module_count();
+  if (m == n_mod) {
+    if (assignment.back() != problem.destination) return;
+    best.delay_s = partial;
+    best.feasible = true;
+    best.node_of_module = assignment;
+    return;
+  }
+
+  const int here = assignment[m - 1];
+  // Option 1: stay on the current node.
+  {
+    const auto hi = static_cast<std::size_t>(here);
+    if (problem.allowed[m][hi]) {
+      assignment.push_back(here);
+      exhaustive_dfs(profile, problem, out_neighbors, assignment, m + 1,
+                     partial + problem.unit_compute[m] / profile.power(here),
+                     best, states, max_states);
+      assignment.pop_back();
+    }
+  }
+  // Option 2: hop across one outgoing link.
+  for (const int v : out_neighbors[static_cast<std::size_t>(here)]) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (!problem.allowed[m][vi]) continue;
+    const double hop =
+        profile.transfer_seconds(here, v, problem.messages[m - 1]) +
+        profile.activation_overhead(v);
+    assignment.push_back(v);
+    exhaustive_dfs(profile, problem, out_neighbors, assignment, m + 1,
+                   partial + hop + problem.unit_compute[m] / profile.power(v),
+                   best, states, max_states);
+    assignment.pop_back();
+  }
+}
+
+}  // namespace
+
+Mapping ExhaustiveMapper::solve(const cost::NetworkProfile& profile,
+                                const MappingProblem& problem,
+                                std::size_t max_states) const {
+  Mapping best;
+  if (problem.module_count() == 0) return best;
+  if (!problem.allowed[0][static_cast<std::size_t>(problem.source)]) return best;
+
+  std::vector<std::vector<int>> out_neighbors(
+      static_cast<std::size_t>(profile.node_count()));
+  for (const auto& [edge, est] : profile.links()) {
+    out_neighbors[static_cast<std::size_t>(edge.first)].push_back(edge.second);
+  }
+
+  std::vector<int> assignment = {problem.source};
+  std::size_t states = 0;
+  exhaustive_dfs(profile, problem, out_neighbors, assignment, 1, 0.0, best,
+                 states, max_states);
+  return best;
+}
+
+}  // namespace ricsa::core

@@ -1,0 +1,87 @@
+// Optimal visualization pipeline configuration — the paper's core
+// contribution (Section 4.5).
+//
+// Given a linear pipeline of n+1 modules and a transport network G = (V, E),
+// find the decomposition into groups and the one-to-one mapping onto a path
+// from the source node to the destination (client) node that minimizes the
+// end-to-end delay of Eq. 2:
+//
+//   T = sum_groups (1/p_node) sum_{j in group} c_j m_{j-1}
+//     + sum_path_links m(group) / b_link
+//
+// DpMapper implements the dynamic program of Eqs. 9/10: T^j(v_i) is the
+// minimal delay with the first j messages mapped to a path ending at v_i;
+// each step either inherits (module co-located with its predecessor) or
+// crosses one incident link. Complexity O(n * |E|) — the paper's guarantee
+// that the system "scales well as the network size increases". Practical
+// feasibility constraints (paper: "some nodes are only capable of executing
+// certain visualization modules") are imposed per (module, node).
+//
+// ExhaustiveMapper enumerates every stay-or-hop assignment and serves as the
+// optimality ground truth in tests and the Fig.-9-style loop comparisons.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "cost/network_profile.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/vrt.hpp"
+
+namespace ricsa::core {
+
+struct MappingProblem {
+  /// Per-module compute seconds on a unit-power node (c_j * m_{j-1});
+  /// index 0 is the source module (always 0).
+  std::vector<double> unit_compute;
+  /// Message sizes m_j: messages[j] is emitted by module j (j = 0..n-1).
+  std::vector<std::size_t> messages;
+  /// allowed[module][node]: feasibility mask.
+  std::vector<std::vector<bool>> allowed;
+  int source = 0;
+  int destination = 0;
+
+  std::size_t module_count() const { return unit_compute.size(); }
+
+  /// Standard construction: source pinned to `source`, display pinned to
+  /// `destination`, GPU-requiring modules restricted to GPU nodes.
+  static MappingProblem from_pipeline(const pipeline::PipelineSpec& spec,
+                                      const cost::NetworkProfile& profile,
+                                      int source, int destination);
+};
+
+struct Mapping {
+  std::vector<int> node_of_module;
+  double delay_s = std::numeric_limits<double>::infinity();
+  bool feasible = false;
+
+  pipeline::VisualizationRoutingTable to_vrt(std::uint32_t version = 0) const {
+    return pipeline::vrt_from_assignment(node_of_module, delay_s, version);
+  }
+};
+
+/// Eq. 2 evaluator: end-to-end delay of a concrete assignment (infinity when
+/// the assignment violates feasibility or uses a non-existent link).
+double predict_delay(const cost::NetworkProfile& profile,
+                     const MappingProblem& problem,
+                     const std::vector<int>& node_of_module);
+
+class DpMapper {
+ public:
+  /// Solve Eqs. 9/10. Returns an infeasible Mapping when no valid path
+  /// exists.
+  Mapping solve(const cost::NetworkProfile& profile,
+                const MappingProblem& problem) const;
+};
+
+class ExhaustiveMapper {
+ public:
+  /// Enumerates all assignments (exponential; small instances only). The
+  /// `max_states` guard throws std::length_error beyond ~10^7 states.
+  Mapping solve(const cost::NetworkProfile& profile,
+                const MappingProblem& problem,
+                std::size_t max_states = 10'000'000) const;
+};
+
+}  // namespace ricsa::core

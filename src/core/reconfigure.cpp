@@ -1,0 +1,43 @@
+#include "core/reconfigure.hpp"
+
+namespace ricsa::core {
+
+ReconfigureOutcome Reconfigurator::update(const cost::NetworkProfile& profile) {
+  ReconfigureOutcome outcome;
+  const Mapping fresh = mapper_.solve(profile, problem_);
+
+  if (!current_.feasible) {
+    // First solve (or we had nothing workable): adopt whatever we got.
+    current_ = fresh;
+    outcome.changed = fresh.feasible;
+    outcome.mapping = current_;
+    outcome.stale_delay_s = fresh.delay_s;
+    if (outcome.changed) {
+      outcome.vrt = current_.to_vrt(++version_);
+    }
+    return outcome;
+  }
+
+  // Re-price the standing assignment under the new conditions.
+  outcome.stale_delay_s =
+      predict_delay(profile, problem_, current_.node_of_module);
+
+  const bool old_broken = !(outcome.stale_delay_s <
+                            std::numeric_limits<double>::infinity());
+  const bool better_enough =
+      fresh.feasible &&
+      fresh.delay_s < outcome.stale_delay_s * (1.0 - min_improvement_);
+
+  if (fresh.feasible && (old_broken || better_enough) &&
+      fresh.node_of_module != current_.node_of_module) {
+    current_ = fresh;
+    outcome.changed = true;
+    outcome.vrt = current_.to_vrt(++version_);
+  } else {
+    outcome.vrt = current_.to_vrt(version_);
+  }
+  outcome.mapping = current_;
+  return outcome;
+}
+
+}  // namespace ricsa::core

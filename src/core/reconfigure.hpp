@@ -1,0 +1,48 @@
+// Adaptive reconfiguration (Section 5.3.2): "the initial configuration is
+// automatically computed using dynamic programming by the CM node and the
+// mapping scheme is adaptively re-configured during runtime in response to
+// drastic network or host condition changes."
+//
+// The Reconfigurator re-solves the DP against every fresh NetworkProfile and
+// reports whether the optimal assignment moved, bumping the VRT version so
+// downstream nodes can discard stale tables. A relative-improvement
+// threshold prevents thrashing on measurement noise.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mapper.hpp"
+
+namespace ricsa::core {
+
+struct ReconfigureOutcome {
+  /// True when a new VRT was issued.
+  bool changed = false;
+  Mapping mapping;
+  pipeline::VisualizationRoutingTable vrt;
+  /// Delay of keeping the previous assignment under the new conditions.
+  double stale_delay_s = 0.0;
+};
+
+class Reconfigurator {
+ public:
+  /// min_improvement: re-route only if the new optimum beats the re-evaluated
+  /// old assignment by this relative margin (0 = always take the optimum).
+  explicit Reconfigurator(MappingProblem problem, double min_improvement = 0.05)
+      : problem_(std::move(problem)), min_improvement_(min_improvement) {}
+
+  /// Solve against a fresh profile; issue a new VRT if warranted.
+  ReconfigureOutcome update(const cost::NetworkProfile& profile);
+
+  std::uint32_t version() const noexcept { return version_; }
+  const Mapping& current() const noexcept { return current_; }
+
+ private:
+  MappingProblem problem_;
+  double min_improvement_;
+  DpMapper mapper_;
+  Mapping current_;
+  std::uint32_t version_ = 0;
+};
+
+}  // namespace ricsa::core

@@ -1,0 +1,78 @@
+#include "cost/network_profile.hpp"
+
+#include <stdexcept>
+
+namespace ricsa::cost {
+
+const LinkEstimate& NetworkProfile::link(int from, int to) const {
+  const auto it = links_.find({from, to});
+  if (it == links_.end()) {
+    throw std::out_of_range("NetworkProfile::link: no such link");
+  }
+  return it->second;
+}
+
+double NetworkProfile::transfer_seconds(int from, int to,
+                                        std::size_t bytes) const {
+  const LinkEstimate& e = link(from, to);
+  if (e.epb_Bps <= 0) return 1e18;
+  return static_cast<double>(bytes) / e.epb_Bps + e.min_delay_s;
+}
+
+void NetworkProfile::add_node(std::string node_name, double node_power,
+                              bool node_gpu,
+                              double node_activation_overhead_s) {
+  names_.push_back(std::move(node_name));
+  power_.push_back(node_power);
+  gpu_.push_back(node_gpu);
+  activation_.push_back(node_activation_overhead_s);
+}
+
+void NetworkProfile::set_link(int from, int to, LinkEstimate estimate) {
+  links_[{from, to}] = estimate;
+}
+
+NetworkProfile NetworkProfile::from_network(const netsim::Network& net,
+                                            double efficiency) {
+  NetworkProfile profile;
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    const auto& info = net.node(static_cast<netsim::NodeId>(i));
+    profile.add_node(info.name, info.power, info.has_gpu,
+                     info.distribution_overhead_s);
+  }
+  for (const auto& [from, to] : net.edges()) {
+    const auto& cfg = net.link(from, to).config();
+    profile.set_link(from, to,
+                     {cfg.bandwidth_Bps * efficiency, cfg.prop_delay_s});
+  }
+  return profile;
+}
+
+NetworkProfile NetworkProfile::measure(netsim::Network& net,
+                                       const transport::EpbOptions& options) {
+  NetworkProfile profile;
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    const auto& info = net.node(static_cast<netsim::NodeId>(i));
+    profile.add_node(info.name, info.power, info.has_gpu,
+                     info.distribution_overhead_s);
+  }
+  // Probe links one at a time so measurements don't contend with each other
+  // (the paper's measurement daemons run periodically in quiet periods).
+  for (const auto& [from, to] : net.edges()) {
+    transport::EpbEstimator estimator(net, from, to, options);
+    bool done = false;
+    transport::EpbResult result;
+    estimator.run([&](const transport::EpbResult& r) {
+      result = r;
+      done = true;
+    });
+    net.simulator().run();
+    if (!done) {
+      throw std::runtime_error("NetworkProfile::measure: probe did not finish");
+    }
+    profile.set_link(from, to, {result.epb_Bps, result.min_delay_s});
+  }
+  return profile;
+}
+
+}  // namespace ricsa::cost

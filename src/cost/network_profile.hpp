@@ -1,0 +1,70 @@
+// Network resource profile consumed by the DP mapper: node powers and GPU
+// capability, plus per-link effective path bandwidth and minimum delay.
+//
+// Two ways to obtain one:
+//  * from_network() — read the simulator's ground-truth parameters (what an
+//    omniscient CM would know), derated by a transport-efficiency factor;
+//  * measure() — run the Section 4.3 active-measurement daemons (EPB probe
+//    trains + linear regression) over every overlay link inside the
+//    simulation, exactly as the paper's deployment would.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "transport/epb.hpp"
+
+namespace ricsa::cost {
+
+struct LinkEstimate {
+  double epb_Bps = 0.0;
+  double min_delay_s = 0.0;
+};
+
+class NetworkProfile {
+ public:
+  int node_count() const { return static_cast<int>(power_.size()); }
+  double power(int node) const { return power_.at(static_cast<std::size_t>(node)); }
+  bool has_gpu(int node) const { return gpu_.at(static_cast<std::size_t>(node)); }
+  /// Fixed cost of opening a new pipeline group on this node (cluster data
+  /// distribution overhead, Section 5.3.1); 0 for plain PCs.
+  double activation_overhead(int node) const {
+    return activation_.at(static_cast<std::size_t>(node));
+  }
+  const std::string& name(int node) const { return names_.at(static_cast<std::size_t>(node)); }
+
+  bool has_link(int from, int to) const { return links_.count({from, to}) > 0; }
+  const LinkEstimate& link(int from, int to) const;
+  const std::map<std::pair<int, int>, LinkEstimate>& links() const {
+    return links_;
+  }
+
+  /// Predicted transfer time of `bytes` over the overlay link (Eq. 3 model).
+  double transfer_seconds(int from, int to, std::size_t bytes) const;
+
+  void add_node(std::string node_name, double node_power, bool node_gpu,
+                double node_activation_overhead_s = 0.0);
+  void set_link(int from, int to, LinkEstimate estimate);
+  void set_power(int node, double p) { power_.at(static_cast<std::size_t>(node)) = p; }
+
+  /// Ground truth from simulator parameters. `efficiency` derates raw link
+  /// bandwidth into achievable transport goodput (headers, ACK turnaround).
+  static NetworkProfile from_network(const netsim::Network& net,
+                                     double efficiency = 0.85);
+
+  /// Active measurement: runs an EpbEstimator over every overlay link in
+  /// sequence inside the simulation (advances its virtual clock).
+  static NetworkProfile measure(netsim::Network& net,
+                                const transport::EpbOptions& options = {});
+
+ private:
+  std::vector<double> power_;
+  std::vector<bool> gpu_;
+  std::vector<double> activation_;
+  std::vector<std::string> names_;
+  std::map<std::pair<int, int>, LinkEstimate> links_;
+};
+
+}  // namespace ricsa::cost

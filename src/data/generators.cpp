@@ -1,0 +1,275 @@
+#include "data/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace ricsa::data {
+
+namespace {
+
+/// Hash-based lattice value noise in [0,1], trilinearly interpolated —
+/// deterministic in (coordinates, seed).
+float lattice(std::int64_t x, std::int64_t y, std::int64_t z,
+              std::uint64_t seed) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(x) * 0x9E3779B185EBCA87ULL;
+  h = (h << 31) | (h >> 33);
+  h ^= static_cast<std::uint64_t>(y) * 0xC2B2AE3D27D4EB4FULL;
+  h = (h << 27) | (h >> 37);
+  h ^= static_cast<std::uint64_t>(z) * 0x165667B19E3779F9ULL;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return static_cast<float>(h >> 11) * 0x1.0p-53f;
+}
+
+float value_noise(float x, float y, float z, std::uint64_t seed) {
+  const auto fx = std::floor(x), fy = std::floor(y), fz = std::floor(z);
+  const auto ix = static_cast<std::int64_t>(fx);
+  const auto iy = static_cast<std::int64_t>(fy);
+  const auto iz = static_cast<std::int64_t>(fz);
+  const float tx = x - static_cast<float>(fx);
+  const float ty = y - static_cast<float>(fy);
+  const float tz = z - static_cast<float>(fz);
+  const auto lerp = [](float a, float b, float t) { return a + (b - a) * t; };
+  const float c00 = lerp(lattice(ix, iy, iz, seed), lattice(ix + 1, iy, iz, seed), tx);
+  const float c10 = lerp(lattice(ix, iy + 1, iz, seed), lattice(ix + 1, iy + 1, iz, seed), tx);
+  const float c01 = lerp(lattice(ix, iy, iz + 1, seed), lattice(ix + 1, iy, iz + 1, seed), tx);
+  const float c11 = lerp(lattice(ix, iy + 1, iz + 1, seed), lattice(ix + 1, iy + 1, iz + 1, seed), tx);
+  return lerp(lerp(c00, c10, ty), lerp(c01, c11, ty), tz);
+}
+
+/// Two-octave fractal noise in [0,1].
+float turbulence(float x, float y, float z, std::uint64_t seed) {
+  return 0.67f * value_noise(x, y, z, seed) +
+         0.33f * value_noise(2.1f * x, 2.1f * y, 2.1f * z, seed ^ 0xABCD);
+}
+
+}  // namespace
+
+ScalarVolume make_jet(int nx, int ny, int nz, std::uint64_t seed) {
+  ScalarVolume v(nx, ny, nz, "jet_mixture");
+  const float cx = static_cast<float>(nx) / 2.0f;
+  const float cy = static_cast<float>(ny) / 2.0f;
+  for (int z = 0; z < nz; ++z) {
+    const float h = static_cast<float>(z) / static_cast<float>(nz);
+    // Plume widens with height; swirl displaces the core.
+    const float width = 0.08f + 0.25f * h;
+    const float swirl_angle = 6.0f * h;
+    const float ox = 0.12f * h * std::cos(swirl_angle);
+    const float oy = 0.12f * h * std::sin(swirl_angle);
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const float dx = (static_cast<float>(x) - cx) / static_cast<float>(nx) - ox;
+        const float dy = (static_cast<float>(y) - cy) / static_cast<float>(ny) - oy;
+        const float r2 = dx * dx + dy * dy;
+        const float core = std::exp(-r2 / (2.0f * width * width));
+        const float turb = turbulence(static_cast<float>(x) * 0.07f,
+                                      static_cast<float>(y) * 0.07f,
+                                      static_cast<float>(z) * 0.07f, seed);
+        v.at(x, y, z) = core * (0.75f + 0.5f * turb);
+      }
+    }
+  }
+  return v;
+}
+
+ScalarVolume make_rage(int nx, int ny, int nz, std::uint64_t seed) {
+  ScalarVolume v(nx, ny, nz, "rage_density");
+  const float cx = static_cast<float>(nx - 1) / 2.0f;
+  const float cy = static_cast<float>(ny - 1) / 2.0f;
+  const float cz = static_cast<float>(nz - 1) / 2.0f;
+  const float rmax = 0.5f * static_cast<float>(std::min({nx, ny, nz}));
+  const float shock_r = 0.62f * rmax;   // blast front position
+  const float shell_w = 0.06f * rmax;   // shock thickness
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const float dx = static_cast<float>(x) - cx;
+        const float dy = static_cast<float>(y) - cy;
+        const float dz = static_cast<float>(z) - cz;
+        const float r = std::sqrt(dx * dx + dy * dy + dz * dz);
+        // Hot rarefied interior, dense shell at the front, ambient outside.
+        const float interior = 0.15f * std::exp(-r / (0.4f * rmax));
+        const float dshell = (r - shock_r) / shell_w;
+        const float shell = 0.85f * std::exp(-0.5f * dshell * dshell);
+        const float ambient = 0.08f;
+        const float ripple =
+            0.08f * turbulence(static_cast<float>(x) * 0.11f,
+                               static_cast<float>(y) * 0.11f,
+                               static_cast<float>(z) * 0.11f, seed);
+        v.at(x, y, z) = interior + shell + ambient + ripple;
+      }
+    }
+  }
+  return v;
+}
+
+ScalarVolume make_viswoman(int nx, int ny, int nz, std::uint64_t seed) {
+  ScalarVolume v(nx, ny, nz, "ct_density");
+  const float cx = static_cast<float>(nx - 1) / 2.0f;
+  const float cy = static_cast<float>(ny - 1) / 2.0f;
+  for (int z = 0; z < nz; ++z) {
+    const float axial = static_cast<float>(z) / static_cast<float>(nz);
+    // Torso cross-section radius varies along the body axis.
+    const float body_r = (0.28f + 0.10f * std::sin(3.1415927f * axial)) *
+                         static_cast<float>(std::min(nx, ny));
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const float dx = static_cast<float>(x) - cx;
+        const float dy = (static_cast<float>(y) - cy) * 1.25f;  // elliptical
+        const float r = std::sqrt(dx * dx + dy * dy);
+        const float bump = 0.04f * static_cast<float>(std::min(nx, ny)) *
+                           turbulence(static_cast<float>(x) * 0.05f,
+                                      static_cast<float>(y) * 0.05f,
+                                      static_cast<float>(z) * 0.05f, seed);
+        const float rr = r + bump;
+        float value = 0.02f;                    // air
+        if (rr < body_r) value = 0.35f;         // skin / soft tissue
+        if (rr < 0.75f * body_r) value = 0.5f;  // muscle / organs
+        // "Spine" bone column and two "rib" lobes.
+        const float spine = std::sqrt(dx * dx + (dy + 0.35f * body_r) *
+                                                    (dy + 0.35f * body_r));
+        if (spine < 0.12f * body_r) value = 0.9f;
+        const float lung_l = std::sqrt((dx - 0.3f * body_r) * (dx - 0.3f * body_r) + dy * dy);
+        const float lung_r = std::sqrt((dx + 0.3f * body_r) * (dx + 0.3f * body_r) + dy * dy);
+        if (axial > 0.55f && axial < 0.85f &&
+            (lung_l < 0.22f * body_r || lung_r < 0.22f * body_r)) {
+          value = 0.12f;  // air-filled lungs
+        }
+        v.at(x, y, z) = value;
+      }
+    }
+  }
+  return v;
+}
+
+ScalarVolume make_sphere(int n, float radius) {
+  ScalarVolume v(n, n, n, "sphere_sdf");
+  const float c = static_cast<float>(n - 1) / 2.0f;
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const float dx = static_cast<float>(x) - c;
+        const float dy = static_cast<float>(y) - c;
+        const float dz = static_cast<float>(z) - c;
+        v.at(x, y, z) = radius - std::sqrt(dx * dx + dy * dy + dz * dz);
+      }
+    }
+  }
+  return v;
+}
+
+ScalarVolume make_torus(int n, float major_radius, float minor_radius) {
+  ScalarVolume v(n, n, n, "torus_sdf");
+  const float c = static_cast<float>(n - 1) / 2.0f;
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const float dx = static_cast<float>(x) - c;
+        const float dy = static_cast<float>(y) - c;
+        const float dz = static_cast<float>(z) - c;
+        const float q = std::sqrt(dx * dx + dy * dy) - major_radius;
+        v.at(x, y, z) = minor_radius - std::sqrt(q * q + dz * dz);
+      }
+    }
+  }
+  return v;
+}
+
+ScalarVolume make_ramp(int nx, int ny, int nz) {
+  ScalarVolume v(nx, ny, nz, "ramp");
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        v.at(x, y, z) = static_cast<float>(x);
+      }
+    }
+  }
+  return v;
+}
+
+VectorVolume make_tornado(int n, std::uint64_t seed) {
+  VectorVolume v(n, n, n);
+  const float c = static_cast<float>(n - 1) / 2.0f;
+  util::Xoshiro256 rng(seed);
+  const float wobble_phase = static_cast<float>(rng.uniform(0, 6.28));
+  for (int z = 0; z < n; ++z) {
+    const float h = static_cast<float>(z) / static_cast<float>(n);
+    const float axis_x = c + 0.12f * static_cast<float>(n) *
+                                 std::sin(4.0f * h + wobble_phase);
+    const float axis_y = c + 0.12f * static_cast<float>(n) *
+                                 std::cos(4.0f * h + wobble_phase);
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const float dx = static_cast<float>(x) - axis_x;
+        const float dy = static_cast<float>(y) - axis_y;
+        const float r = std::sqrt(dx * dx + dy * dy) + 1e-3f;
+        const float swirl = 1.0f / (1.0f + 0.05f * r);
+        // Tangential swirl + inward pull + updraft.
+        v.at(x, y, z) = Vec3{-dy * swirl / r - 0.15f * dx / r,
+                             dx * swirl / r - 0.15f * dy / r,
+                             0.35f + 0.1f * swirl};
+      }
+    }
+  }
+  return v;
+}
+
+VectorVolume make_uniform_flow(int n) {
+  VectorVolume v(n, n, n);
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        v.at(x, y, z) = Vec3{1.0f, 0.0f, 0.0f};
+      }
+    }
+  }
+  return v;
+}
+
+VectorVolume make_rotation(int n) {
+  VectorVolume v(n, n, n);
+  const float c = static_cast<float>(n - 1) / 2.0f;
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const float dx = static_cast<float>(x) - c;
+        const float dy = static_cast<float>(y) - c;
+        v.at(x, y, z) = Vec3{-dy, dx, 0.0f};
+      }
+    }
+  }
+  return v;
+}
+
+DatasetSpec dataset_spec(const std::string& name) {
+  // Linear dimensions chosen so nx*ny*nz*4 matches the paper's quoted sizes.
+  if (name == "jet") {
+    // Isovalue picks the dense plume core (a compact surface in mostly
+    // quiescent surroundings, like the combustion jet mixture fraction).
+    return {"jet", 160, 160, 160, 160u * 160u * 160u * 4u, 0.9f};
+  }
+  if (name == "rage") {
+    return {"rage", 252, 252, 252, 252u * 252u * 252u * 4u, 0.6f};
+  }
+  if (name == "viswoman") {
+    return {"viswoman", 300, 300, 300, 300u * 300u * 300u * 4u, 0.45f};
+  }
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+ScalarVolume make_dataset(const std::string& name, double scale,
+                          std::uint64_t seed) {
+  const DatasetSpec spec = dataset_spec(name);
+  const auto dim = [scale](int n) {
+    return std::max(8, static_cast<int>(std::lround(n * scale)));
+  };
+  if (name == "jet") return make_jet(dim(spec.nx), dim(spec.ny), dim(spec.nz), seed);
+  if (name == "rage") return make_rage(dim(spec.nx), dim(spec.ny), dim(spec.nz), seed);
+  return make_viswoman(dim(spec.nx), dim(spec.ny), dim(spec.nz), seed);
+}
+
+}  // namespace ricsa::data

@@ -1,0 +1,66 @@
+// Procedural dataset generators.
+//
+// The paper's experiments use three pre-generated datasets — Jet (16 MB),
+// Rage (64 MB) and Visible Woman (108 MB, downsampled) — none of which are
+// redistributable. These generators produce volumes of the same byte sizes
+// with qualitatively similar structure (DESIGN.md, substitution table):
+//   jet      — turbulent plume: Gaussian core widening with height, swirl,
+//              value-noise turbulence (combustion-jet-like isosurfaces);
+//   rage     — radiative blast wave: dense spherical shell over an ambient
+//              gradient (Rage is LANL's radiation hydrodynamics code);
+//   viswoman — nested anatomical shells: skin/tissue/bone density bands of
+//              an ellipsoidal "body" with limbs (CT-like value histogram).
+// Plus analytic fields (sphere, torus, ramp) whose isosurfaces are known in
+// closed form — used by correctness tests — and vector fields for
+// streamlines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/volume.hpp"
+
+namespace ricsa::data {
+
+ScalarVolume make_jet(int nx, int ny, int nz, std::uint64_t seed = 1);
+ScalarVolume make_rage(int nx, int ny, int nz, std::uint64_t seed = 2);
+ScalarVolume make_viswoman(int nx, int ny, int nz, std::uint64_t seed = 3);
+
+/// f = R - |p - c|: isosurface at 0 is a sphere of radius R (voxel units),
+/// centred in the volume. Positive inside.
+ScalarVolume make_sphere(int n, float radius);
+
+/// Torus with major radius R, minor radius r, axis z, centred; isosurface of
+/// value 0 is the torus surface. Positive inside.
+ScalarVolume make_torus(int n, float major_radius, float minor_radius);
+
+/// Linear ramp along x (value = x index): every isosurface is a plane.
+ScalarVolume make_ramp(int nx, int ny, int nz);
+
+/// Swirling "tornado" vector field (classic streamline test data).
+VectorVolume make_tornado(int n, std::uint64_t seed = 4);
+
+/// Uniform flow along +x with magnitude 1.
+VectorVolume make_uniform_flow(int n);
+
+/// Solid-body rotation about the z axis through the volume centre.
+VectorVolume make_rotation(int n);
+
+struct DatasetSpec {
+  std::string name;
+  int nx = 0, ny = 0, nz = 0;
+  /// Total float32 payload, bytes (matches the sizes quoted in Section 5.3).
+  std::size_t bytes = 0;
+  /// A "interesting" isovalue within the data range, for benchmarks.
+  float default_isovalue = 0.5f;
+};
+
+/// Paper-scale specs: jet = 16 MB, rage = 64 MB, viswoman = 108 MB.
+DatasetSpec dataset_spec(const std::string& name);
+
+/// Generate the named dataset at a fraction of its paper-scale linear
+/// resolution (scale = 1 reproduces the full byte size; tests use ~0.25).
+ScalarVolume make_dataset(const std::string& name, double scale = 1.0,
+                          std::uint64_t seed = 7);
+
+}  // namespace ricsa::data

@@ -1,0 +1,95 @@
+#include "data/octree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ricsa::data {
+
+BlockDecomposition::BlockDecomposition(const ScalarVolume& volume,
+                                       int block_size)
+    : block_size_(block_size),
+      nx_cells_(volume.nx() - 1),
+      ny_cells_(volume.ny() - 1),
+      nz_cells_(volume.nz() - 1) {
+  if (block_size <= 0) {
+    throw std::invalid_argument("BlockDecomposition: block_size must be > 0");
+  }
+  if (nx_cells_ <= 0 || ny_cells_ <= 0 || nz_cells_ <= 0) {
+    throw std::invalid_argument(
+        "BlockDecomposition: volume needs at least 2 voxels per axis");
+  }
+  for (int z = 0; z < nz_cells_; z += block_size) {
+    for (int y = 0; y < ny_cells_; y += block_size) {
+      for (int x = 0; x < nx_cells_; x += block_size) {
+        Block b;
+        b.x0 = x;
+        b.y0 = y;
+        b.z0 = z;
+        b.x1 = std::min(x + block_size, nx_cells_);
+        b.y1 = std::min(y + block_size, ny_cells_);
+        b.z1 = std::min(z + block_size, nz_cells_);
+        float lo = volume.at(b.x0, b.y0, b.z0);
+        float hi = lo;
+        for (int bz = b.z0; bz <= b.z1; ++bz) {
+          for (int by = b.y0; by <= b.y1; ++by) {
+            for (int bx = b.x0; bx <= b.x1; ++bx) {
+              const float v = volume.at(bx, by, bz);
+              lo = std::min(lo, v);
+              hi = std::max(hi, v);
+            }
+          }
+        }
+        b.min = lo;
+        b.max = hi;
+        blocks_.push_back(b);
+      }
+    }
+  }
+}
+
+std::size_t BlockDecomposition::active_blocks(float isovalue) const {
+  std::size_t n = 0;
+  for (const Block& b : blocks_) n += b.spans(isovalue);
+  return n;
+}
+
+std::vector<std::size_t> BlockDecomposition::octant_blocks(int octant) const {
+  if (octant < 0 || octant > 7) {
+    throw std::invalid_argument("octant must be in [0, 7]");
+  }
+  const int mx = nx_cells_ / 2, my = ny_cells_ / 2, mz = nz_cells_ / 2;
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    const int ox = b.x0 >= mx ? 1 : 0;
+    const int oy = b.y0 >= my ? 1 : 0;
+    const int oz = b.z0 >= mz ? 1 : 0;
+    if ((ox | (oy << 1) | (oz << 2)) == octant) out.push_back(i);
+  }
+  return out;
+}
+
+ScalarVolume BlockDecomposition::octant_volume(const ScalarVolume& volume,
+                                               int octant) {
+  if (octant < 0 || octant > 7) {
+    throw std::invalid_argument("octant must be in [0, 7]");
+  }
+  const int mx = volume.nx() / 2, my = volume.ny() / 2, mz = volume.nz() / 2;
+  const int x0 = (octant & 1) ? mx : 0;
+  const int y0 = (octant & 2) ? my : 0;
+  const int z0 = (octant & 4) ? mz : 0;
+  const int x1 = (octant & 1) ? volume.nx() : mx + 1;  // +1: share midplane
+  const int y1 = (octant & 2) ? volume.ny() : my + 1;
+  const int z1 = (octant & 4) ? volume.nz() : mz + 1;
+  ScalarVolume out(x1 - x0, y1 - y0, z1 - z0, volume.variable());
+  for (int z = z0; z < z1; ++z) {
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        out.at(x - x0, y - y0, z - z0) = volume.at(x, y, z);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ricsa::data

@@ -1,0 +1,60 @@
+// Block decomposition with per-block value ranges.
+//
+// Section 4.4.1: "to speed up the search process, one typically traverses an
+// octree to identify data blocks containing isosurfaces. In this case, the
+// extraction is performed at the block level." Blocks whose [min, max] range
+// excludes the isovalue are skipped entirely; n_blocks and S_block feed the
+// isosurface cost model (Eq. 4). The top-level octants also back the GUI's
+// "one of the eight octree subsets" selector (Section 5.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/volume.hpp"
+
+namespace ricsa::data {
+
+struct Block {
+  /// Cell-index bounds [x0, x1) etc.; cells span (x, x+1) voxel pairs.
+  int x0 = 0, y0 = 0, z0 = 0;
+  int x1 = 0, y1 = 0, z1 = 0;
+  float min = 0, max = 0;
+
+  std::int64_t cells() const noexcept {
+    return static_cast<std::int64_t>(x1 - x0) * (y1 - y0) * (z1 - z0);
+  }
+  bool spans(float isovalue) const noexcept {
+    return min <= isovalue && isovalue <= max;
+  }
+};
+
+class BlockDecomposition {
+ public:
+  /// Partition the volume's cell grid into blocks of at most block_size^3
+  /// cells and compute each block's value range (over the block's voxel
+  /// corners, so `spans` is conservative for cells on block borders).
+  BlockDecomposition(const ScalarVolume& volume, int block_size);
+
+  const std::vector<Block>& blocks() const noexcept { return blocks_; }
+  int block_size() const noexcept { return block_size_; }
+
+  /// Number of blocks whose value range spans the isovalue (the n_blocks of
+  /// Eq. 4 for that isovalue).
+  std::size_t active_blocks(float isovalue) const;
+
+  /// Indices of blocks belonging to top-level octant o (0..7; bit 0 = upper
+  /// half in x, bit 1 = y, bit 2 = z). Blocks straddling the midplane are
+  /// assigned by their lower corner.
+  std::vector<std::size_t> octant_blocks(int octant) const;
+
+  /// Extract the sub-volume covered by octant o (voxel-aligned copy).
+  static ScalarVolume octant_volume(const ScalarVolume& volume, int octant);
+
+ private:
+  int block_size_;
+  int nx_cells_, ny_cells_, nz_cells_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace ricsa::data

@@ -1,0 +1,67 @@
+#include "data/rdf_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace ricsa::data {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x52444631;  // "RDF1"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> rdf_serialize(const ScalarVolume& volume) {
+  util::ByteWriter w(volume.bytes() + 64);
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.i32(volume.nx());
+  w.i32(volume.ny());
+  w.i32(volume.nz());
+  w.str(volume.variable());
+  for (const float v : volume.raw()) w.f32(v);
+  return w.take();
+}
+
+ScalarVolume rdf_deserialize(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  try {
+    if (r.u32() != kMagic) throw std::runtime_error("rdf: bad magic");
+    if (r.u32() != kVersion) throw std::runtime_error("rdf: bad version");
+    const int nx = r.i32();
+    const int ny = r.i32();
+    const int nz = r.i32();
+    if (nx <= 0 || ny <= 0 || nz <= 0 || static_cast<std::int64_t>(nx) * ny * nz > (1LL << 32)) {
+      throw std::runtime_error("rdf: implausible dimensions");
+    }
+    const std::string variable = r.str();
+    ScalarVolume volume(nx, ny, nz, variable);
+    for (float& v : volume.raw()) v = r.f32();
+    return volume;
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error("rdf: truncated file");
+  }
+}
+
+void rdf_write(const std::string& path, const ScalarVolume& volume) {
+  const auto bytes = rdf_serialize(volume);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("rdf: cannot open for write: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("rdf: write failed: " + path);
+}
+
+ScalarVolume rdf_read(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("rdf: cannot open for read: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw std::runtime_error("rdf: read failed: " + path);
+  return rdf_deserialize(bytes);
+}
+
+}  // namespace ricsa::data

@@ -1,0 +1,25 @@
+// RDF ("RICSA data format") — a minimal binary container standing in for the
+// CDF/HDF/NetCDF files the paper's data sources serve (Section 4.1). One
+// scalar variable per file: magic, version, dims, variable name, float32
+// payload (little-endian). The DS node reads/writes these when caching
+// simulation timesteps (Section 2: "periodically cached on a local storage
+// device, which serves as a data source").
+#pragma once
+
+#include <string>
+
+#include "data/volume.hpp"
+
+namespace ricsa::data {
+
+/// Serialize to an in-memory byte buffer (the exact on-disk format).
+std::vector<std::uint8_t> rdf_serialize(const ScalarVolume& volume);
+
+/// Parse; throws std::runtime_error on bad magic/version/truncation.
+ScalarVolume rdf_deserialize(const std::vector<std::uint8_t>& bytes);
+
+/// File variants.
+void rdf_write(const std::string& path, const ScalarVolume& volume);
+ScalarVolume rdf_read(const std::string& path);
+
+}  // namespace ricsa::data

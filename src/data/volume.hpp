@@ -1,0 +1,114 @@
+// Regular-grid scalar and vector fields — the "raw data" of the paper's
+// visualization pipeline (Section 4.1): multivariate simulation output
+// organized in CDF/HDF/NetCDF-like structures, here a dense float32 grid.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ricsa::data {
+
+struct Vec3 {
+  float x = 0, y = 0, z = 0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  float dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  float norm() const;
+  Vec3 normalized() const;
+};
+
+/// Dense 3D scalar field, x-fastest layout.
+class ScalarVolume {
+ public:
+  ScalarVolume() = default;
+  ScalarVolume(int nx, int ny, int nz, std::string variable = "value");
+
+  int nx() const noexcept { return nx_; }
+  int ny() const noexcept { return ny_; }
+  int nz() const noexcept { return nz_; }
+  std::size_t voxels() const noexcept { return data_.size(); }
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(float); }
+  const std::string& variable() const noexcept { return variable_; }
+  void set_variable(std::string name) { variable_ = std::move(name); }
+
+  float& at(int x, int y, int z) { return data_[index(x, y, z)]; }
+  float at(int x, int y, int z) const { return data_[index(x, y, z)]; }
+
+  /// Trilinear sample at continuous coordinates (voxel units, clamped).
+  float sample(float x, float y, float z) const;
+
+  /// Central-difference gradient at continuous coordinates (voxel units).
+  Vec3 gradient(float x, float y, float z) const;
+
+  std::pair<float, float> min_max() const;
+
+  const std::vector<float>& raw() const noexcept { return data_; }
+  std::vector<float>& raw() noexcept { return data_; }
+
+  bool same_shape(const ScalarVolume& o) const noexcept {
+    return nx_ == o.nx_ && ny_ == o.ny_ && nz_ == o.nz_;
+  }
+
+  std::size_t index(int x, int y, int z) const {
+    if (x < 0 || y < 0 || z < 0 || x >= nx_ || y >= ny_ || z >= nz_) {
+      throw std::out_of_range("ScalarVolume::index out of range");
+    }
+    return static_cast<std::size_t>(x) +
+           static_cast<std::size_t>(nx_) *
+               (static_cast<std::size_t>(y) +
+                static_cast<std::size_t>(ny_) * static_cast<std::size_t>(z));
+  }
+
+ private:
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::string variable_ = "value";
+  std::vector<float> data_;
+};
+
+/// Dense 3D vector field (for streamline advection).
+class VectorVolume {
+ public:
+  VectorVolume() = default;
+  VectorVolume(int nx, int ny, int nz);
+
+  int nx() const noexcept { return nx_; }
+  int ny() const noexcept { return ny_; }
+  int nz() const noexcept { return nz_; }
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(Vec3); }
+
+  Vec3& at(int x, int y, int z) { return data_[index(x, y, z)]; }
+  const Vec3& at(int x, int y, int z) const { return data_[index(x, y, z)]; }
+
+  /// Trilinear sample at continuous coordinates (voxel units, clamped).
+  Vec3 sample(float x, float y, float z) const;
+
+  bool inside(float x, float y, float z) const noexcept {
+    return x >= 0 && y >= 0 && z >= 0 && x <= static_cast<float>(nx_ - 1) &&
+           y <= static_cast<float>(ny_ - 1) && z <= static_cast<float>(nz_ - 1);
+  }
+
+ private:
+  std::size_t index(int x, int y, int z) const {
+    if (x < 0 || y < 0 || z < 0 || x >= nx_ || y >= ny_ || z >= nz_) {
+      throw std::out_of_range("VectorVolume::index out of range");
+    }
+    return static_cast<std::size_t>(x) +
+           static_cast<std::size_t>(nx_) *
+               (static_cast<std::size_t>(y) +
+                static_cast<std::size_t>(ny_) * static_cast<std::size_t>(z));
+  }
+
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<Vec3> data_;
+};
+
+}  // namespace ricsa::data

@@ -1,0 +1,157 @@
+#include "hydro/riemann_exact.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ricsa::hydro {
+
+namespace {
+
+/// Toro's pressure function f_K(p) and its derivative for one side.
+void pressure_function(double p, const PrimitiveState& s, double gamma,
+                       double& f, double& df) {
+  const double a = std::sqrt(gamma * s.p / s.rho);
+  if (p > s.p) {
+    // Shock branch.
+    const double ak = 2.0 / ((gamma + 1.0) * s.rho);
+    const double bk = (gamma - 1.0) / (gamma + 1.0) * s.p;
+    const double root = std::sqrt(ak / (p + bk));
+    f = (p - s.p) * root;
+    df = root * (1.0 - 0.5 * (p - s.p) / (p + bk));
+  } else {
+    // Rarefaction branch.
+    const double pr = p / s.p;
+    f = 2.0 * a / (gamma - 1.0) *
+        (std::pow(pr, (gamma - 1.0) / (2.0 * gamma)) - 1.0);
+    df = 1.0 / (s.rho * a) * std::pow(pr, -(gamma + 1.0) / (2.0 * gamma));
+  }
+}
+
+}  // namespace
+
+RiemannSolution solve_riemann(const PrimitiveState& left,
+                              const PrimitiveState& right, double gamma) {
+  const double aL = std::sqrt(gamma * left.p / left.rho);
+  const double aR = std::sqrt(gamma * right.p / right.rho);
+  // Vacuum check (Toro eq. 4.40).
+  if (2.0 * (aL + aR) / (gamma - 1.0) <= right.u - left.u) {
+    throw std::runtime_error("riemann: vacuum generated");
+  }
+
+  // Initial guess: two-rarefaction approximation, floored.
+  const double z = (gamma - 1.0) / (2.0 * gamma);
+  double p = std::pow(
+      (aL + aR - 0.5 * (gamma - 1.0) * (right.u - left.u)) /
+          (aL / std::pow(left.p, z) + aR / std::pow(right.p, z)),
+      1.0 / z);
+  p = std::max(p, 1e-10);
+
+  RiemannSolution out;
+  for (int iter = 0; iter < 100; ++iter) {
+    double fL, dfL, fR, dfR;
+    pressure_function(p, left, gamma, fL, dfL);
+    pressure_function(p, right, gamma, fR, dfR);
+    const double f = fL + fR + (right.u - left.u);
+    const double delta = f / (dfL + dfR);
+    const double p_new = std::max(p - delta, 1e-12);
+    out.iterations = iter + 1;
+    if (std::abs(p_new - p) / (0.5 * (p_new + p)) < 1e-12) {
+      p = p_new;
+      break;
+    }
+    p = p_new;
+  }
+  out.p_star = p;
+  double fL, dfL, fR, dfR;
+  pressure_function(p, left, gamma, fL, dfL);
+  pressure_function(p, right, gamma, fR, dfR);
+  out.u_star = 0.5 * (left.u + right.u) + 0.5 * (fR - fL);
+  return out;
+}
+
+PrimitiveState sample_riemann(const PrimitiveState& left,
+                              const PrimitiveState& right, double gamma,
+                              const RiemannSolution& star, double s) {
+  const double g = gamma;
+  const double pm = star.p_star;
+  const double um = star.u_star;
+
+  if (s <= um) {
+    // Left of the contact.
+    const PrimitiveState& K = left;
+    const double aK = std::sqrt(g * K.p / K.rho);
+    if (pm > K.p) {
+      // Left shock.
+      const double sL =
+          K.u - aK * std::sqrt((g + 1.0) / (2.0 * g) * pm / K.p +
+                               (g - 1.0) / (2.0 * g));
+      if (s <= sL) return K;
+      const double rho = K.rho *
+                         ((pm / K.p + (g - 1.0) / (g + 1.0)) /
+                          ((g - 1.0) / (g + 1.0) * pm / K.p + 1.0));
+      return {rho, um, pm};
+    }
+    // Left rarefaction.
+    const double sH = K.u - aK;
+    if (s <= sH) return K;
+    const double am = aK * std::pow(pm / K.p, (g - 1.0) / (2.0 * g));
+    const double sT = um - am;
+    if (s >= sT) {
+      const double rho = K.rho * std::pow(pm / K.p, 1.0 / g);
+      return {rho, um, pm};
+    }
+    // Inside the fan.
+    const double u = 2.0 / (g + 1.0) * (aK + (g - 1.0) / 2.0 * K.u + s);
+    const double a = 2.0 / (g + 1.0) * (aK + (g - 1.0) / 2.0 * (K.u - s));
+    const double rho = K.rho * std::pow(a / aK, 2.0 / (g - 1.0));
+    const double p = K.p * std::pow(a / aK, 2.0 * g / (g - 1.0));
+    return {rho, u, p};
+  }
+
+  // Right of the contact (mirror).
+  const PrimitiveState& K = right;
+  const double aK = std::sqrt(g * K.p / K.rho);
+  if (pm > K.p) {
+    const double sR =
+        K.u + aK * std::sqrt((g + 1.0) / (2.0 * g) * pm / K.p +
+                             (g - 1.0) / (2.0 * g));
+    if (s >= sR) return K;
+    const double rho = K.rho *
+                       ((pm / K.p + (g - 1.0) / (g + 1.0)) /
+                        ((g - 1.0) / (g + 1.0) * pm / K.p + 1.0));
+    return {rho, um, pm};
+  }
+  const double sH = K.u + aK;
+  if (s >= sH) return K;
+  const double am = aK * std::pow(pm / K.p, (g - 1.0) / (2.0 * g));
+  const double sT = um + am;
+  if (s <= sT) {
+    const double rho = K.rho * std::pow(pm / K.p, 1.0 / g);
+    return {rho, um, pm};
+  }
+  const double u = 2.0 / (g + 1.0) * (-aK + (g - 1.0) / 2.0 * K.u + s);
+  const double a = 2.0 / (g + 1.0) * (aK - (g - 1.0) / 2.0 * (K.u - s));
+  const double rho = K.rho * std::pow(a / aK, 2.0 / (g - 1.0));
+  const double p = K.p * std::pow(a / aK, 2.0 * g / (g - 1.0));
+  return {rho, u, p};
+}
+
+PrimitiveState sod_left() { return {1.0, 0.0, 1.0}; }
+PrimitiveState sod_right() { return {0.125, 0.0, 0.1}; }
+
+void sod_exact_profile(double t, double x0, int n, double gamma,
+                       double* rho_out, double* u_out, double* p_out) {
+  const PrimitiveState L = sod_left();
+  const PrimitiveState R = sod_right();
+  const RiemannSolution star = solve_riemann(L, R, gamma);
+  for (int i = 0; i < n; ++i) {
+    const double x = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+    const double s = t > 0 ? (x - x0) / t : (x < x0 ? -1e30 : 1e30);
+    const PrimitiveState state = sample_riemann(L, R, gamma, star, s);
+    if (rho_out) rho_out[i] = state.rho;
+    if (u_out) u_out[i] = state.u;
+    if (p_out) p_out[i] = state.p;
+  }
+}
+
+}  // namespace ricsa::hydro

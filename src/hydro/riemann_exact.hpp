@@ -1,0 +1,42 @@
+// Exact Riemann solver for the 1D Euler equations (Toro's iterative scheme).
+//
+// Provides the closed-form reference solution for the Sod shock tube — the
+// simulation the paper runs on its cluster (Section 5.1) — against which the
+// finite-volume solver is validated.
+#pragma once
+
+namespace ricsa::hydro {
+
+struct PrimitiveState {
+  double rho = 1.0;
+  double u = 0.0;
+  double p = 1.0;
+};
+
+struct RiemannSolution {
+  /// Pressure and velocity in the star region between the waves.
+  double p_star = 0.0;
+  double u_star = 0.0;
+  int iterations = 0;
+};
+
+/// Solve for the star-region state. Throws std::runtime_error if vacuum is
+/// generated (pressure positivity violated).
+RiemannSolution solve_riemann(const PrimitiveState& left,
+                              const PrimitiveState& right, double gamma);
+
+/// Sample the self-similar solution at speed s = x/t.
+PrimitiveState sample_riemann(const PrimitiveState& left,
+                              const PrimitiveState& right, double gamma,
+                              const RiemannSolution& star, double s);
+
+/// Convenience: Sod's classic initial data (1, 0, 1) / (0.125, 0, 0.1).
+PrimitiveState sod_left();
+PrimitiveState sod_right();
+
+/// Density profile of the Sod problem at time t on x in [0, 1] with the
+/// diaphragm at x0 (n samples).
+void sod_exact_profile(double t, double x0, int n, double gamma,
+                       double* rho_out, double* u_out, double* p_out);
+
+}  // namespace ricsa::hydro

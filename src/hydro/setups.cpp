@@ -1,0 +1,117 @@
+#include "hydro/setups.hpp"
+
+#include <cmath>
+
+#include "hydro/riemann_exact.hpp"
+
+namespace ricsa::hydro {
+
+std::unique_ptr<EulerSolver3D> make_sod(const SodOptions& options) {
+  EulerConfig config;
+  config.gamma = options.gamma;
+  config.dx = 1.0 / options.nx;
+  config.boundaries = {Boundary::kOutflow, Boundary::kOutflow,
+                       Boundary::kOutflow, Boundary::kOutflow,
+                       Boundary::kOutflow, Boundary::kOutflow};
+  auto solver = std::make_unique<EulerSolver3D>(options.nx, options.ny,
+                                                options.nz, config);
+  const PrimitiveState L = sod_left();
+  const PrimitiveState R = sod_right();
+  for (int k = 0; k < options.nz; ++k) {
+    for (int j = 0; j < options.ny; ++j) {
+      for (int i = 0; i < options.nx; ++i) {
+        const double x = (i + 0.5) / options.nx;
+        const PrimitiveState& s = x < options.diaphragm ? L : R;
+        solver->set_primitive(i, j, k, {s.rho, s.u, 0.0, 0.0, s.p});
+      }
+    }
+  }
+  return solver;
+}
+
+namespace {
+void apply_wind_source(EulerSolver3D& solver, const BowshockOptions& opt) {
+  const int n = solver.nx();
+  const double cx = 0.55 * n, cy = 0.5 * n, cz = 0.5 * n;
+  const double r = opt.source_radius_frac * n;
+  const int lo_x = std::max(0, static_cast<int>(cx - r - 1));
+  const int hi_x = std::min(n - 1, static_cast<int>(cx + r + 1));
+  for (int k = 0; k < solver.nz(); ++k) {
+    for (int j = 0; j < solver.ny(); ++j) {
+      for (int i = lo_x; i <= hi_x; ++i) {
+        const double dx = i - cx, dy = j - cy, dz = k - cz;
+        if (dx * dx + dy * dy + dz * dz <= r * r) {
+          solver.set_primitive(i, j, k, {opt.source_density, 0.0, 0.0, 0.0,
+                                         opt.source_pressure});
+        }
+      }
+    }
+  }
+}
+}  // namespace
+
+std::unique_ptr<EulerSolver3D> make_bowshock(const BowshockOptions& options) {
+  EulerConfig config;
+  config.gamma = options.gamma;
+  config.dx = 1.0 / options.n;
+  // Ambient: rho = 1, p = 1/gamma so the sound speed is exactly 1 and the
+  // inflow speed equals the Mach number.
+  const double p_ambient = 1.0 / options.gamma;
+  config.inflow = {1.0, options.mach, 0.0, 0.0, p_ambient};
+  config.boundaries = {Boundary::kInflow, Boundary::kOutflow,
+                       Boundary::kOutflow, Boundary::kOutflow,
+                       Boundary::kOutflow, Boundary::kOutflow};
+  auto solver =
+      std::make_unique<EulerSolver3D>(options.n, options.n, options.n, config);
+  for (int k = 0; k < options.n; ++k) {
+    for (int j = 0; j < options.n; ++j) {
+      for (int i = 0; i < options.n; ++i) {
+        solver->set_primitive(i, j, k,
+                              {1.0, options.mach, 0.0, 0.0, p_ambient});
+      }
+    }
+  }
+  apply_wind_source(*solver, options);
+  solver->set_post_step(
+      [options](EulerSolver3D& s) { apply_wind_source(s, options); });
+  return solver;
+}
+
+std::unique_ptr<EulerSolver3D> make_sedov(const SedovOptions& options) {
+  EulerConfig config;
+  config.gamma = options.gamma;
+  config.dx = 1.0 / options.n;
+  auto solver =
+      std::make_unique<EulerSolver3D>(options.n, options.n, options.n, config);
+  const double p_ambient = 1e-3;
+  for (int k = 0; k < options.n; ++k) {
+    for (int j = 0; j < options.n; ++j) {
+      for (int i = 0; i < options.n; ++i) {
+        solver->set_primitive(i, j, k, {1.0, 0, 0, 0, p_ambient});
+      }
+    }
+  }
+  // Deposit the blast energy as pressure in a small central ball.
+  const int c = options.n / 2;
+  const int r = options.deposit_radius;
+  int cells = 0;
+  for (int k = -r; k <= r; ++k)
+    for (int j = -r; j <= r; ++j)
+      for (int i = -r; i <= r; ++i)
+        if (i * i + j * j + k * k <= r * r) ++cells;
+  const double volume = cells * config.dx * config.dx * config.dx;
+  const double p_blast =
+      (options.gamma - 1.0) * options.blast_energy / volume;
+  for (int k = -r; k <= r; ++k) {
+    for (int j = -r; j <= r; ++j) {
+      for (int i = -r; i <= r; ++i) {
+        if (i * i + j * j + k * k <= r * r) {
+          solver->set_primitive(c + i, c + j, c + k, {1.0, 0, 0, 0, p_blast});
+        }
+      }
+    }
+  }
+  return solver;
+}
+
+}  // namespace ricsa::hydro

@@ -1,0 +1,54 @@
+// Problem setups for the steerable simulations of Section 5:
+//  * Sod shock tube — "a classical hydrodynamics problem ... running on a
+//    Linux cluster" (Section 5.1), validated against the exact Riemann
+//    solution;
+//  * stellar wind bowshock — the pressure animation shown in Fig. 6;
+//  * Sedov point blast — a third steerable workload for the examples.
+#pragma once
+
+#include <memory>
+
+#include "hydro/euler.hpp"
+
+namespace ricsa::hydro {
+
+struct SodOptions {
+  int nx = 200;
+  int ny = 1;
+  int nz = 1;
+  /// Diaphragm position as a fraction of the x extent.
+  double diaphragm = 0.5;
+  double gamma = 1.4;
+};
+
+/// 1D (or thin-3D) Sod tube on x in [0, 1]; dx = 1/nx.
+std::unique_ptr<EulerSolver3D> make_sod(const SodOptions& options = {});
+
+struct BowshockOptions {
+  int n = 48;
+  /// Inflow Mach number of the ambient wind.
+  double mach = 2.5;
+  /// Dense obstacle ("stellar wind source") radius in cells and density.
+  double source_radius_frac = 0.12;
+  double source_density = 10.0;
+  double source_pressure = 2.5;
+  double gamma = 1.4;
+};
+
+/// Supersonic flow past a continuously replenished dense sphere: a bow shock
+/// forms upstream of the obstacle. The source region is maintained by a
+/// post-step hook, so steering source parameters mid-run works naturally.
+std::unique_ptr<EulerSolver3D> make_bowshock(const BowshockOptions& options = {});
+
+struct SedovOptions {
+  int n = 48;
+  double blast_energy = 100.0;
+  /// Radius (cells) over which the blast energy is deposited.
+  int deposit_radius = 2;
+  double gamma = 1.4;
+};
+
+/// Point explosion into a uniform cold medium.
+std::unique_ptr<EulerSolver3D> make_sedov(const SedovOptions& options = {});
+
+}  // namespace ricsa::hydro

@@ -1,0 +1,132 @@
+#include "hydro/steerable.hpp"
+
+#include <stdexcept>
+
+namespace ricsa::hydro {
+
+HydroSimulation::HydroSimulation(Kind kind, int resolution) : kind_(kind) {
+  switch (kind) {
+    case Kind::kSod: {
+      SodOptions opt;
+      if (resolution > 0) opt.nx = resolution;
+      // Thin-3D tube rather than a strict 1D pencil: snapshots stay
+      // visualizable by the volume pipeline (block decomposition needs at
+      // least one cell per axis).
+      opt.ny = 4;
+      opt.nz = 4;
+      solver_ = make_sod(opt);
+      break;
+    }
+    case Kind::kBowshock: {
+      if (resolution > 0) bowshock_.n = resolution;
+      solver_ = make_bowshock(bowshock_);
+      break;
+    }
+    case Kind::kSedov: {
+      SedovOptions opt;
+      if (resolution > 0) opt.n = resolution;
+      solver_ = make_sedov(opt);
+      break;
+    }
+  }
+}
+
+std::string HydroSimulation::name() const {
+  switch (kind_) {
+    case Kind::kSod: return "sod_shock_tube";
+    case Kind::kBowshock: return "stellar_wind_bowshock";
+    case Kind::kSedov: return "sedov_blast";
+  }
+  return "?";
+}
+
+void HydroSimulation::advance(int cycles) {
+  for (int i = 0; i < cycles; ++i) solver_->step();
+}
+
+std::vector<std::string> HydroSimulation::variables() const {
+  return {"density", "pressure", "velocity", "energy"};
+}
+
+data::ScalarVolume HydroSimulation::snapshot(const std::string& variable) const {
+  if (variable == "density") return solver_->snapshot(Field::kDensity);
+  if (variable == "pressure") return solver_->snapshot(Field::kPressure);
+  if (variable == "velocity") return solver_->snapshot(Field::kVelocityMagnitude);
+  if (variable == "energy") return solver_->snapshot(Field::kEnergy);
+  throw std::invalid_argument("HydroSimulation: unknown variable " + variable);
+}
+
+std::map<std::string, double> HydroSimulation::parameters() const {
+  std::map<std::string, double> out{{"gamma", solver_->config().gamma},
+                                    {"cfl", solver_->config().cfl}};
+  if (kind_ == Kind::kBowshock) {
+    out["mach"] = bowshock_.mach;
+    out["source_density"] = bowshock_.source_density;
+    out["source_pressure"] = bowshock_.source_pressure;
+  }
+  return out;
+}
+
+void HydroSimulation::rebuild_bowshock_hook() {
+  // Refresh the inflow state and the source-maintenance hook with the
+  // current (possibly steered) options.
+  solver_->config().inflow = {1.0, bowshock_.mach, 0.0, 0.0,
+                              1.0 / bowshock_.gamma};
+  const BowshockOptions opt = bowshock_;
+  solver_->set_post_step([opt](EulerSolver3D& s) {
+    const int n = s.nx();
+    const double cx = 0.55 * n, cy = 0.5 * n, cz = 0.5 * n;
+    const double r = opt.source_radius_frac * n;
+    for (int k = 0; k < s.nz(); ++k) {
+      for (int j = 0; j < s.ny(); ++j) {
+        for (int i = 0; i < s.nx(); ++i) {
+          const double dx = i - cx, dy = j - cy, dz = k - cz;
+          if (dx * dx + dy * dy + dz * dz <= r * r) {
+            s.set_primitive(i, j, k, {opt.source_density, 0.0, 0.0, 0.0,
+                                      opt.source_pressure});
+          }
+        }
+      }
+    }
+  });
+}
+
+bool HydroSimulation::set_parameter(const std::string& name, double value) {
+  if (name == "gamma") {
+    if (value <= 1.0 || value > 3.0) return false;
+    solver_->config().gamma = value;
+    if (kind_ == Kind::kBowshock) {
+      bowshock_.gamma = value;
+      rebuild_bowshock_hook();
+    }
+    return true;
+  }
+  if (name == "cfl") {
+    if (value <= 0.0 || value > 0.9) return false;
+    solver_->config().cfl = value;
+    return true;
+  }
+  if (kind_ == Kind::kBowshock) {
+    if (name == "mach") {
+      if (value <= 0.0 || value > 20.0) return false;
+      bowshock_.mach = value;
+      rebuild_bowshock_hook();
+      return true;
+    }
+    if (name == "source_density") {
+      if (value <= 0.0) return false;
+      bowshock_.source_density = value;
+      rebuild_bowshock_hook();
+      return true;
+    }
+    if (name == "source_pressure") {
+      if (value <= 0.0) return false;
+      bowshock_.source_pressure = value;
+      rebuild_bowshock_hook();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ricsa::hydro

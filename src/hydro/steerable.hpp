@@ -1,0 +1,73 @@
+// The steerable-simulation abstraction the RICSA framework talks to.
+//
+// Section 5.2: "RICSA is designed as a universal framework to support various
+// simulation programs possibly written in different programming languages. ...
+// API function calls are inserted at certain points in the simulation code".
+// Steerable is the C++ face of that contract: anything that can advance,
+// snapshot a named variable, and accept parameter updates can be monitored
+// and steered. HydroSimulation adapts the Euler solver setups; the steering
+// library's SimulationServer drives any Steerable through the six RICSA_*
+// calls of Fig. 7.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/volume.hpp"
+#include "hydro/euler.hpp"
+#include "hydro/setups.hpp"
+
+namespace ricsa::hydro {
+
+class Steerable {
+ public:
+  virtual ~Steerable() = default;
+
+  virtual std::string name() const = 0;
+  virtual int cycle() const = 0;
+  virtual double time() const = 0;
+
+  /// Advance the computation by `cycles` steps.
+  virtual void advance(int cycles) = 0;
+
+  /// Monitorable variables (e.g. "density", "pressure").
+  virtual std::vector<std::string> variables() const = 0;
+  virtual data::ScalarVolume snapshot(const std::string& variable) const = 0;
+
+  /// Steerable parameters with current values.
+  virtual std::map<std::string, double> parameters() const = 0;
+  /// Returns false for unknown names or rejected values.
+  virtual bool set_parameter(const std::string& name, double value) = 0;
+};
+
+/// Adapts an Euler-solver problem setup into a Steerable. Steerable knobs:
+/// "gamma", "cfl", plus per-setup extras (bowshock: "mach", "source_density",
+/// "source_pressure"; sedov: none beyond the common two).
+class HydroSimulation final : public Steerable {
+ public:
+  enum class Kind { kSod, kBowshock, kSedov };
+
+  explicit HydroSimulation(Kind kind, int resolution = 0);
+
+  std::string name() const override;
+  int cycle() const override { return solver_->cycle(); }
+  double time() const override { return solver_->time(); }
+  void advance(int cycles) override;
+  std::vector<std::string> variables() const override;
+  data::ScalarVolume snapshot(const std::string& variable) const override;
+  std::map<std::string, double> parameters() const override;
+  bool set_parameter(const std::string& name, double value) override;
+
+  EulerSolver3D& solver() noexcept { return *solver_; }
+
+ private:
+  void rebuild_bowshock_hook();
+
+  Kind kind_;
+  std::unique_ptr<EulerSolver3D> solver_;
+  BowshockOptions bowshock_;
+};
+
+}  // namespace ricsa::hydro

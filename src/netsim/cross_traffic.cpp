@@ -1,0 +1,47 @@
+#include "netsim/cross_traffic.hpp"
+
+namespace ricsa::netsim {
+
+CrossTraffic::CrossTraffic(Simulator& sim, Link& link,
+                           CrossTrafficConfig config, std::uint64_t seed)
+    : sim_(sim), link_(link), config_(config), rng_(seed) {}
+
+void CrossTraffic::start() {
+  if (running_) return;
+  running_ = true;
+  state_until_ = sim_.now() + rng_.exponential(1.0 / config_.mean_on_s);
+  schedule_next();
+}
+
+void CrossTraffic::schedule_next() {
+  if (!running_) return;
+
+  // Advance the ON/OFF chain past `now`.
+  while (state_until_ <= sim_.now()) {
+    on_state_ = !on_state_;
+    const double dwell = on_state_ ? config_.mean_on_s : config_.mean_off_s;
+    state_until_ += rng_.exponential(1.0 / dwell);
+  }
+
+  if (!on_state_) {
+    // Sleep until the OFF period ends, then resume.
+    sim_.at(state_until_, [this] { schedule_next(); });
+    return;
+  }
+
+  // Poisson arrivals at rate on_load * bandwidth / packet_bytes.
+  const double rate = config_.on_load * link_.config().bandwidth_Bps /
+                      static_cast<double>(config_.packet_bytes);
+  const double gap = rate > 0 ? rng_.exponential(rate) : 1.0;
+  sim_.after(gap, [this] {
+    if (!running_) return;
+    Packet p;
+    p.flow = 0;  // cross traffic
+    p.wire_bytes = config_.packet_bytes;
+    ++injected_;
+    link_.send(std::move(p), [](const Packet&) { /* sinks silently */ });
+    schedule_next();
+  });
+}
+
+}  // namespace ricsa::netsim

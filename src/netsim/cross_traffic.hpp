@@ -1,0 +1,52 @@
+// Cross-traffic injector: an on/off Markov-modulated Poisson source that
+// shares a link with the measured flows.
+//
+// The paper's transport stabilization (Section 3) and EPB estimation
+// (Section 4.3) are motivated by "complex traffic distribution over wide-area
+// networks"; this process supplies that competing traffic so congestive loss
+// and delay variation are endogenous rather than hard-coded.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/link.hpp"
+#include "netsim/simulator.hpp"
+#include "util/prng.hpp"
+
+namespace ricsa::netsim {
+
+struct CrossTrafficConfig {
+  /// Mean offered load while in the ON state, as a fraction of the link
+  /// bandwidth (e.g. 0.3 = 30% of capacity).
+  double on_load = 0.3;
+  /// Mean dwell times of the ON/OFF states, seconds.
+  double mean_on_s = 2.0;
+  double mean_off_s = 2.0;
+  /// Size of each injected burst packet, bytes.
+  std::size_t packet_bytes = 1500;
+};
+
+class CrossTraffic {
+ public:
+  CrossTraffic(Simulator& sim, Link& link, CrossTrafficConfig config,
+               std::uint64_t seed);
+
+  /// Begin injecting (schedules itself forever; call stop() to cease).
+  void start();
+  void stop() noexcept { running_ = false; }
+  std::uint64_t injected_packets() const noexcept { return injected_; }
+
+ private:
+  void schedule_next();
+
+  Simulator& sim_;
+  Link& link_;
+  CrossTrafficConfig config_;
+  util::Xoshiro256 rng_;
+  bool running_ = false;
+  bool on_state_ = true;
+  SimTime state_until_ = 0.0;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace ricsa::netsim

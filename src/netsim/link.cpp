@@ -1,0 +1,59 @@
+#include "netsim/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ricsa::netsim {
+
+Link::Link(Simulator& sim, LinkConfig config, std::uint64_t seed)
+    : sim_(sim), config_(config), rng_(seed) {}
+
+bool Link::in_bad_state_at(SimTime t) {
+  if (!config_.burst_model) return false;
+  while (state_until_ <= t) {
+    // Advance the two-state Markov chain lazily up to time t.
+    const double dwell = bad_state_
+                             ? rng_.exponential(1.0 / config_.mean_bad_s)
+                             : rng_.exponential(1.0 / config_.mean_good_s);
+    state_until_ += dwell;
+    bad_state_ = !bad_state_;
+  }
+  return bad_state_;
+}
+
+double Link::loss_probability(SimTime t) {
+  return in_bad_state_at(t) ? config_.burst_loss : config_.random_loss;
+}
+
+void Link::send(Packet packet, DeliverFn deliver) {
+  const std::size_t size = std::max<std::size_t>(packet.wire_bytes, 1);
+  if (queued_bytes_ + size > config_.queue_capacity_bytes) {
+    ++stats_.dropped_queue;
+    return;
+  }
+  queued_bytes_ += size;
+
+  const SimTime start = std::max(sim_.now(), busy_until_);
+  const SimTime tx_done = start + static_cast<double>(size) / config_.bandwidth_Bps;
+  busy_until_ = tx_done;
+
+  // The queue drains when serialization of this packet completes.
+  sim_.at(tx_done, [this, size] {
+    queued_bytes_ -= std::min(queued_bytes_, size);
+  });
+
+  const double p_loss = loss_probability(tx_done);
+  if (p_loss > 0.0 && rng_.bernoulli(p_loss)) {
+    ++stats_.dropped_random;
+    return;
+  }
+
+  const SimTime arrive = tx_done + config_.prop_delay_s;
+  ++stats_.delivered;
+  stats_.bytes_delivered += size;
+  sim_.at(arrive, [deliver = std::move(deliver), packet = std::move(packet)] {
+    deliver(packet);
+  });
+}
+
+}  // namespace ricsa::netsim

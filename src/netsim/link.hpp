@@ -1,0 +1,83 @@
+// Directed overlay link with a serializing transmitter, a FIFO byte queue,
+// and configurable random loss.
+//
+// A "link" here models one virtual hop of the paper's overlay network of
+// transport daemons (Section 4.3) — possibly many physical hops underneath —
+// characterized by an effective bandwidth, a minimum delay d_{i,j}, and loss.
+// Congestive loss emerges naturally: packets arriving while the queue holds
+// queue_capacity_bytes are dropped, which is what the Robbins-Monro transport
+// reacts to.
+#pragma once
+
+#include <functional>
+
+#include "netsim/packet.hpp"
+#include "netsim/simulator.hpp"
+#include "util/prng.hpp"
+
+namespace ricsa::netsim {
+
+struct LinkConfig {
+  /// Serialization rate in bytes per (virtual) second.
+  double bandwidth_Bps = 1e7;
+  /// Minimum link delay (propagation + fixed per-hop processing), seconds.
+  double prop_delay_s = 0.01;
+  /// FIFO queue capacity; arrivals beyond it are tail-dropped.
+  std::size_t queue_capacity_bytes = 512 * 1024;
+  /// Independent per-packet random loss probability (non-congestive).
+  double random_loss = 0.0;
+  /// Gilbert-Elliott burst-loss model: when enabled the link alternates
+  /// between a good state (loss = random_loss) and a bad state
+  /// (loss = burst_loss) with exponential dwell times.
+  bool burst_model = false;
+  double burst_loss = 0.2;
+  double mean_good_s = 1.0;
+  double mean_bad_s = 0.05;
+};
+
+struct LinkStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_queue = 0;
+  std::uint64_t dropped_random = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(const Packet&)>;
+
+  Link(Simulator& sim, LinkConfig config, std::uint64_t seed);
+
+  /// Offer a packet to the transmitter. Tail-drops if the queue is full.
+  /// Surviving packets are delivered via deliver after serialization +
+  /// propagation.
+  void send(Packet packet, DeliverFn deliver);
+
+  const LinkConfig& config() const noexcept { return config_; }
+  const LinkStats& stats() const noexcept { return stats_; }
+  std::size_t queued_bytes() const noexcept { return queued_bytes_; }
+
+  /// Live reconfiguration (used by the adaptive-reconfiguration ablation:
+  /// degrade a link mid-run and watch the CM recompute the VRT).
+  void set_bandwidth(double bandwidth_Bps) noexcept {
+    config_.bandwidth_Bps = bandwidth_Bps;
+  }
+  void set_random_loss(double p) noexcept { config_.random_loss = p; }
+
+ private:
+  bool in_bad_state_at(SimTime t);
+  double loss_probability(SimTime t);
+
+  Simulator& sim_;
+  LinkConfig config_;
+  util::Xoshiro256 rng_;
+  LinkStats stats_;
+  /// Time at which the transmitter finishes its current backlog.
+  SimTime busy_until_ = 0.0;
+  std::size_t queued_bytes_ = 0;
+  /// Gilbert-Elliott state machine, advanced lazily.
+  bool bad_state_ = false;
+  SimTime state_until_ = 0.0;
+};
+
+}  // namespace ricsa::netsim

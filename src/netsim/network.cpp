@@ -1,0 +1,101 @@
+#include "netsim/network.hpp"
+
+#include <stdexcept>
+
+namespace ricsa::netsim {
+
+Network::Network(Simulator& sim, std::uint64_t seed)
+    : sim_(sim), seed_stream_(seed) {}
+
+NodeId Network::add_node(NodeInfo info) {
+  info.id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(info));
+  return nodes_.back().id;
+}
+
+Link& Network::add_link(NodeId from, NodeId to, LinkConfig config) {
+  auto link = std::make_unique<Link>(sim_, config, seed_stream_());
+  Link& ref = *link;
+  links_[{from, to}] = std::move(link);
+  return ref;
+}
+
+void Network::add_duplex(NodeId a, NodeId b, LinkConfig config) {
+  add_link(a, b, config);
+  add_link(b, a, config);
+}
+
+bool Network::has_link(NodeId from, NodeId to) const {
+  return links_.count({from, to}) > 0;
+}
+
+Link& Network::link(NodeId from, NodeId to) {
+  const auto it = links_.find({from, to});
+  if (it == links_.end()) throw std::out_of_range("Network::link: no such link");
+  return *it->second;
+}
+
+const Link& Network::link(NodeId from, NodeId to) const {
+  const auto it = links_.find({from, to});
+  if (it == links_.end()) throw std::out_of_range("Network::link: no such link");
+  return *it->second;
+}
+
+const NodeInfo& Network::node(NodeId id) const {
+  return nodes_.at(static_cast<std::size_t>(id));
+}
+
+NodeId Network::find_node(const std::string& name) const {
+  for (const NodeInfo& n : nodes_) {
+    if (n.name == name) return n.id;
+  }
+  throw std::out_of_range("Network::find_node: unknown node " + name);
+}
+
+std::vector<NodeId> Network::neighbors_in(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const auto& [key, link] : links_) {
+    if (key.second == id) out.push_back(key.first);
+  }
+  return out;
+}
+
+std::vector<NodeId> Network::neighbors_out(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const auto& [key, link] : links_) {
+    if (key.first == id) out.push_back(key.second);
+  }
+  return out;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Network::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(links_.size());
+  for (const auto& [key, link] : links_) out.push_back(key);
+  return out;
+}
+
+void Network::listen(NodeId node, int port, Handler handler) {
+  handlers_[{node, port}] = std::move(handler);
+}
+
+void Network::unlisten(NodeId node, int port) {
+  handlers_.erase({node, port});
+}
+
+void Network::send(Packet packet) {
+  Link& l = link(packet.src, packet.dst);
+  l.send(std::move(packet), [this](const Packet& p) {
+    const auto it = handlers_.find({p.dst, p.port});
+    if (it == handlers_.end()) {
+      ++undeliverable_;
+      return;
+    }
+    // Copy before invoking: a handler may unlisten (erase) itself while
+    // running, which would otherwise destroy the closure mid-call.
+    const Handler handler = it->second;
+    handler(p);
+  });
+}
+
+}  // namespace ricsa::netsim

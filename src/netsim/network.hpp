@@ -1,0 +1,84 @@
+// Overlay network: nodes with normalized compute power, directed links,
+// per-node/port packet handlers.
+//
+// This is the transport graph G = (V, E) of Section 4.2. Node capabilities
+// (graphics card, cluster parallelism) feed the DP mapper's feasibility
+// checks; link parameters feed the cost models.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/link.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/simulator.hpp"
+
+namespace ricsa::netsim {
+
+struct NodeInfo {
+  NodeId id = kInvalidNode;
+  std::string name;
+  /// Normalized computing power p_i (Section 4.2, footnote 1). A PC host is
+  /// 1.0; a cluster node aggregates to several times that.
+  double power = 1.0;
+  /// Whether the node has rendering hardware (the paper's GaTech/OSU hosts
+  /// had no graphics card, so Render could not be placed there).
+  bool has_gpu = false;
+  /// Cluster width for data-parallel visualization modules (1 = plain PC).
+  int parallel_workers = 1;
+  /// Fixed per-activation overhead of distributing work across the cluster
+  /// (the paper: "overhead incurred by data distributions and communications
+  /// among cluster nodes"), seconds per task.
+  double distribution_overhead_s = 0.0;
+};
+
+class Network {
+ public:
+  explicit Network(Simulator& sim, std::uint64_t seed = 0x5eed);
+
+  NodeId add_node(NodeInfo info);
+  /// Adds a directed link; returns a stable handle for reconfiguration.
+  Link& add_link(NodeId from, NodeId to, LinkConfig config);
+  /// Adds both directions with the same config.
+  void add_duplex(NodeId a, NodeId b, LinkConfig config);
+
+  bool has_link(NodeId from, NodeId to) const;
+  Link& link(NodeId from, NodeId to);
+  const Link& link(NodeId from, NodeId to) const;
+
+  const NodeInfo& node(NodeId id) const;
+  NodeId find_node(const std::string& name) const;
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t link_count() const noexcept { return links_.size(); }
+  std::vector<NodeId> neighbors_in(NodeId id) const;
+  std::vector<NodeId> neighbors_out(NodeId id) const;
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  /// Register/replace the handler for (node, port). Incoming packets with no
+  /// handler are counted and dropped.
+  using Handler = std::function<void(const Packet&)>;
+  void listen(NodeId node, int port, Handler handler);
+  void unlisten(NodeId node, int port);
+
+  /// Send over the direct overlay link from packet.src to packet.dst.
+  /// Throws std::out_of_range if no such link exists (overlay routing is the
+  /// application's job, matching the paper's hop-by-hop VRT delivery).
+  void send(Packet packet);
+
+  Simulator& simulator() noexcept { return sim_; }
+  std::uint64_t undeliverable() const noexcept { return undeliverable_; }
+
+ private:
+  Simulator& sim_;
+  util::Xoshiro256 seed_stream_;
+  std::vector<NodeInfo> nodes_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
+  std::map<std::pair<NodeId, int>, Handler> handlers_;
+  std::uint64_t undeliverable_ = 0;
+};
+
+}  // namespace ricsa::netsim

@@ -1,0 +1,28 @@
+// Packet record exchanged between simulated nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ricsa::netsim {
+
+using NodeId = int;
+inline constexpr NodeId kInvalidNode = -1;
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  /// Destination demux port (a transport connection or an actor mailbox).
+  int port = 0;
+  /// Transport-level sequence number (datagram index within a flow).
+  std::uint64_t seq = 0;
+  /// Flow identifier; cross-traffic uses flow 0.
+  std::uint64_t flow = 0;
+  /// Bytes on the wire (header + payload); what the link serializes.
+  std::size_t wire_bytes = 0;
+  /// Optional structured payload (steering messages carry real bytes;
+  /// bulk-data datagrams usually carry none and are accounted by wire_bytes).
+  std::vector<std::uint8_t> payload;
+};
+
+}  // namespace ricsa::netsim

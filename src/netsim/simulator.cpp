@@ -1,0 +1,39 @@
+#include "netsim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ricsa::netsim {
+
+void Simulator::at(SimTime t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::after(SimTime delay, std::function<void()> fn) {
+  at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast on the handler
+  // only (time/seq stay untouched until pop).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (t > now_) now_ = t;
+}
+
+}  // namespace ricsa::netsim

@@ -1,0 +1,61 @@
+// Virtual-time discrete-event simulator.
+//
+// All WAN experiments (Figs. 9 and 10, transport stabilization) run in
+// virtual time so results are deterministic and machine-independent: a
+// "second" here is a simulated second, not a wall-clock one. Events with
+// equal timestamps execute in scheduling order (FIFO tie-break by sequence
+// number), which makes runs exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ricsa::netsim {
+
+/// Simulated seconds.
+using SimTime = double;
+
+class Simulator {
+ public:
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule fn at absolute virtual time t (must be >= now()).
+  void at(SimTime t, std::function<void()> fn);
+
+  /// Schedule fn after a relative delay (clamped at >= 0).
+  void after(SimTime delay, std::function<void()> fn);
+
+  /// Execute the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Run until the event queue drains.
+  void run();
+
+  /// Run events with timestamp <= t, then set now() = t.
+  void run_until(SimTime t);
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ricsa::netsim

@@ -1,0 +1,66 @@
+#include "netsim/testbed.hpp"
+
+namespace ricsa::netsim {
+
+namespace {
+constexpr double kMB = 1e6;  // bytes
+}
+
+Testbed make_testbed(const TestbedOptions& options) {
+  Testbed tb;
+  tb.sim = std::make_unique<Simulator>();
+  tb.net = std::make_unique<Network>(*tb.sim, options.seed);
+
+  // --- Hosts -------------------------------------------------------------
+  // Normalized compute power: PC = 1.0 (footnote 1 of the paper). The two
+  // data-source PCs are slightly dated hardware. Clusters aggregate to
+  // several PCs' worth after parallel efficiency, and additionally carry a
+  // distribution overhead charged once per parallel task.
+  tb.ornl = tb.net->add_node({.name = "ORNL", .power = 1.0, .has_gpu = true,
+                              .parallel_workers = 1});
+  tb.lsu = tb.net->add_node({.name = "LSU", .power = 1.0, .has_gpu = false,
+                             .parallel_workers = 1});
+  tb.ut = tb.net->add_node({.name = "UT", .power = 5.0, .has_gpu = true,
+                            .parallel_workers = 8,
+                            .distribution_overhead_s = 0.9});
+  tb.ncstate = tb.net->add_node({.name = "NCState", .power = 3.5,
+                                 .has_gpu = true, .parallel_workers = 4,
+                                 .distribution_overhead_s = 0.7});
+  tb.osu = tb.net->add_node({.name = "OSU", .power = 0.8, .has_gpu = false,
+                             .parallel_workers = 1});
+  tb.gatech = tb.net->add_node({.name = "GaTech", .power = 0.8,
+                                .has_gpu = false, .parallel_workers = 1});
+
+  const auto link = [&](double mbps, double delay_s) {
+    LinkConfig c;
+    c.bandwidth_Bps = mbps * kMB * options.bandwidth_scale;
+    c.prop_delay_s = delay_s;
+    c.random_loss = options.random_loss;
+    return c;
+  };
+
+  // --- Links (duplex, effective path bandwidths in MB/s) ------------------
+  // Control plane (client -> CM -> data sources): thin but low-jitter paths.
+  tb.net->add_duplex(tb.ornl, tb.lsu, link(4.0, 0.012));
+  tb.net->add_duplex(tb.lsu, tb.gatech, link(3.0, 0.015));
+  tb.net->add_duplex(tb.lsu, tb.osu, link(3.0, 0.014));
+
+  // Data plane: DS -> CS cluster hops.
+  tb.net->add_duplex(tb.gatech, tb.ut, link(9.0, 0.008));
+  tb.net->add_duplex(tb.gatech, tb.ncstate, link(5.0, 0.010));
+  tb.net->add_duplex(tb.osu, tb.ut, link(4.5, 0.012));
+  tb.net->add_duplex(tb.osu, tb.ncstate, link(4.0, 0.009));
+
+  // CS -> client. UT and ORNL are geographically adjacent (Knoxville /
+  // Oak Ridge): the fattest, shortest link in the deployment.
+  tb.net->add_duplex(tb.ut, tb.ornl, link(10.0, 0.004));
+  tb.net->add_duplex(tb.ncstate, tb.ornl, link(5.0, 0.009));
+
+  // Direct DS -> client paths used by the PC-PC client/server baselines.
+  tb.net->add_duplex(tb.gatech, tb.ornl, link(2.5, 0.011));
+  tb.net->add_duplex(tb.osu, tb.ornl, link(2.0, 0.013));
+
+  return tb;
+}
+
+}  // namespace ricsa::netsim

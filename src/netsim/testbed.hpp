@@ -1,0 +1,47 @@
+// The six-site experimental deployment of Section 5.3 (Fig. 8), rebuilt as a
+// simulated topology:
+//
+//   ORNL    — Ajax client + front end (PC, graphics card)
+//   LSU     — central management (PC)
+//   UT      — computing service, 8-node cluster (close to ORNL: fast link)
+//   NCState — computing service, cluster (smaller)
+//   OSU     — data source (PC, no graphics card)
+//   GaTech  — data source (PC, no graphics card)
+//
+// Link parameters are calibrated so the measured Fig. 9 *shape* reproduces:
+// GaTech-UT-ORNL is the premium data path; direct PC-PC paths to ORNL are
+// comparatively thin; cluster nodes have several times PC compute power but
+// pay a per-task distribution overhead.
+#pragma once
+
+#include <memory>
+
+#include "netsim/cross_traffic.hpp"
+#include "netsim/network.hpp"
+#include "netsim/simulator.hpp"
+
+namespace ricsa::netsim {
+
+struct Testbed {
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<Network> net;
+  NodeId ornl = kInvalidNode;
+  NodeId lsu = kInvalidNode;
+  NodeId ut = kInvalidNode;
+  NodeId ncstate = kInvalidNode;
+  NodeId osu = kInvalidNode;
+  NodeId gatech = kInvalidNode;
+};
+
+struct TestbedOptions {
+  std::uint64_t seed = 0x41ce5a;
+  /// Uniform random (non-congestive) loss on every link.
+  double random_loss = 5e-4;
+  /// Scale factor applied to all bandwidths (1.0 = nominal).
+  double bandwidth_scale = 1.0;
+};
+
+/// Build the six-node topology with calibrated link/host parameters.
+Testbed make_testbed(const TestbedOptions& options = {});
+
+}  // namespace ricsa::netsim

@@ -1,0 +1,104 @@
+#include "pipeline/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace ricsa::pipeline {
+
+const char* to_string(ModuleKind kind) {
+  switch (kind) {
+    case ModuleKind::kSource: return "source";
+    case ModuleKind::kFilter: return "filter";
+    case ModuleKind::kIsosurface: return "isosurface";
+    case ModuleKind::kRayCast: return "raycast";
+    case ModuleKind::kStreamline: return "streamline";
+    case ModuleKind::kRender: return "render";
+    case ModuleKind::kDisplay: return "display";
+  }
+  return "?";
+}
+
+PipelineSpec::PipelineSpec(std::string name, std::size_t source_bytes,
+                           std::vector<ModuleSpec> modules)
+    : name_(std::move(name)), source_bytes_(source_bytes),
+      modules_(std::move(modules)) {
+  if (modules_.size() < 2) {
+    throw std::invalid_argument(
+        "PipelineSpec: need at least source and display modules");
+  }
+  if (modules_.front().kind != ModuleKind::kSource) {
+    throw std::invalid_argument("PipelineSpec: first module must be kSource");
+  }
+  if (modules_.back().kind != ModuleKind::kDisplay) {
+    throw std::invalid_argument("PipelineSpec: last module must be kDisplay");
+  }
+}
+
+std::vector<std::size_t> PipelineSpec::message_bytes() const {
+  // m_j for j = 1..n (n = modules-1): msgs[0] is the source's output; each
+  // intermediate module transforms the previous message; the display module
+  // consumes the last one and outputs nothing.
+  std::vector<std::size_t> msgs;
+  msgs.reserve(modules_.size() - 1);
+  std::size_t current = source_bytes_;
+  msgs.push_back(current);
+  for (std::size_t j = 1; j + 1 < modules_.size(); ++j) {
+    const ModuleSpec& m = modules_[j];
+    current = m.fixed_output != 0
+                  ? m.fixed_output
+                  : static_cast<std::size_t>(static_cast<double>(current) *
+                                             m.size_factor);
+    msgs.push_back(current);
+  }
+  return msgs;
+}
+
+std::vector<double> PipelineSpec::unit_compute_seconds() const {
+  const std::vector<std::size_t> msgs = message_bytes();
+  std::vector<double> out(modules_.size(), 0.0);
+  for (std::size_t j = 1; j < modules_.size(); ++j) {
+    // Module j consumes message m_{j} (0-indexed msgs[j-1]).
+    out[j] = modules_[j].complexity * static_cast<double>(msgs[j - 1]);
+  }
+  return out;
+}
+
+PipelineSpec make_isosurface_pipeline(std::size_t raw_bytes, double filter_keep,
+                                      std::size_t geometry_bytes,
+                                      std::size_t framebuffer_bytes) {
+  std::vector<ModuleSpec> modules;
+  modules.push_back({ModuleKind::kSource, "source", 0.0, 1.0, 0, false});
+  modules.push_back({ModuleKind::kFilter, "filter", 2e-9, filter_keep, 0, false});
+  modules.push_back({ModuleKind::kIsosurface, "isosurface", 2e-8, 0.0,
+                     geometry_bytes, false});
+  modules.push_back({ModuleKind::kRender, "render", 1e-8, 0.0,
+                     framebuffer_bytes, true});
+  modules.push_back({ModuleKind::kDisplay, "display", 1e-9, 1.0, 0, false});
+  return PipelineSpec("isosurface", raw_bytes, std::move(modules));
+}
+
+PipelineSpec make_raycast_pipeline(std::size_t raw_bytes, double filter_keep,
+                                   std::size_t framebuffer_bytes) {
+  std::vector<ModuleSpec> modules;
+  modules.push_back({ModuleKind::kSource, "source", 0.0, 1.0, 0, false});
+  modules.push_back({ModuleKind::kFilter, "filter", 2e-9, filter_keep, 0, false});
+  modules.push_back({ModuleKind::kRayCast, "raycast", 5e-8, 0.0,
+                     framebuffer_bytes, false});
+  modules.push_back({ModuleKind::kDisplay, "display", 1e-9, 1.0, 0, false});
+  return PipelineSpec("raycast", raw_bytes, std::move(modules));
+}
+
+PipelineSpec make_streamline_pipeline(std::size_t raw_bytes, double filter_keep,
+                                      std::size_t polyline_bytes,
+                                      std::size_t framebuffer_bytes) {
+  std::vector<ModuleSpec> modules;
+  modules.push_back({ModuleKind::kSource, "source", 0.0, 1.0, 0, false});
+  modules.push_back({ModuleKind::kFilter, "filter", 2e-9, filter_keep, 0, false});
+  modules.push_back({ModuleKind::kStreamline, "streamline", 1e-8, 0.0,
+                     polyline_bytes, false});
+  modules.push_back({ModuleKind::kRender, "render", 1e-8, 0.0,
+                     framebuffer_bytes, true});
+  modules.push_back({ModuleKind::kDisplay, "display", 1e-9, 1.0, 0, false});
+  return PipelineSpec("streamline", raw_bytes, std::move(modules));
+}
+
+}  // namespace ricsa::pipeline

@@ -1,0 +1,88 @@
+// The visualization pipeline abstraction of Section 4.1/4.2: a linear chain
+// of modules M1..M_{n+1} where M1 is the data source, each later module Mj
+// performs work of complexity c_j on its input of size m_{j-1} and emits
+// m_j bytes downstream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ricsa::pipeline {
+
+enum class ModuleKind {
+  kSource,      // M1: reads the cached dataset
+  kFilter,      // preprocessing / subsetting
+  kIsosurface,  // transformation: volume -> triangles
+  kRayCast,     // transformation: volume -> image (alternative branch)
+  kStreamline,  // transformation: vector volume -> polylines
+  kRender,      // geometry -> framebuffer
+  kDisplay,     // client-side presentation (always at the client node)
+};
+
+const char* to_string(ModuleKind kind);
+
+struct ModuleSpec {
+  ModuleKind kind = ModuleKind::kSource;
+  std::string name;
+  /// Computation cost coefficient c_j: seconds per input byte on a node of
+  /// normalized power 1 (calibrated by the cost models). Source modules
+  /// have c = 0.
+  double complexity = 0.0;
+  /// Output bytes = size_factor * input bytes, unless fixed_output != 0.
+  double size_factor = 1.0;
+  std::size_t fixed_output = 0;
+  /// Feasibility constraint: module needs rendering hardware (Section 4.5:
+  /// "some nodes are only capable of executing certain visualization
+  /// modules").
+  bool requires_gpu = false;
+};
+
+class PipelineSpec {
+ public:
+  PipelineSpec() = default;
+  PipelineSpec(std::string name, std::size_t source_bytes,
+               std::vector<ModuleSpec> modules);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<ModuleSpec>& modules() const noexcept { return modules_; }
+  std::size_t module_count() const noexcept { return modules_.size(); }
+  /// Bytes emitted by the source module (m_1).
+  std::size_t source_bytes() const noexcept { return source_bytes_; }
+
+  /// Message sizes m_j for j = 1..n (output of module j-1, 0-indexed:
+  /// message_bytes()[0] is the source's output). Size n = module_count()-1.
+  std::vector<std::size_t> message_bytes() const;
+
+  /// Per-module compute time on a unit-power node: c_j * m_{j-1} seconds
+  /// (index 0, the source, is 0).
+  std::vector<double> unit_compute_seconds() const;
+
+ private:
+  std::string name_;
+  std::size_t source_bytes_ = 0;
+  std::vector<ModuleSpec> modules_;
+};
+
+/// The paper's main pipeline (Fig. 3): source -> filter -> isosurface
+/// extraction -> rendering -> display. Coefficients are placeholders to be
+/// overwritten by calibrated cost models; factors control message shrinkage
+/// (filtering keeps `filter_keep`, extraction emits geometry_bytes, render
+/// emits a fixed framebuffer).
+PipelineSpec make_isosurface_pipeline(std::size_t raw_bytes,
+                                      double filter_keep,
+                                      std::size_t geometry_bytes,
+                                      std::size_t framebuffer_bytes);
+
+/// Volume-rendering variant: source -> filter -> raycast -> display (the
+/// ray caster already produces pixels).
+PipelineSpec make_raycast_pipeline(std::size_t raw_bytes, double filter_keep,
+                                   std::size_t framebuffer_bytes);
+
+/// Streamline variant: source -> filter -> streamline -> render -> display.
+PipelineSpec make_streamline_pipeline(std::size_t raw_bytes,
+                                      double filter_keep,
+                                      std::size_t polyline_bytes,
+                                      std::size_t framebuffer_bytes);
+
+}  // namespace ricsa::pipeline

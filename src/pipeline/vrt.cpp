@@ -1,0 +1,104 @@
+#include "pipeline/vrt.hpp"
+
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+#include "util/strings.hpp"
+
+namespace ricsa::pipeline {
+
+std::vector<int> VisualizationRoutingTable::node_of_module() const {
+  std::vector<int> out;
+  for (const VrtGroup& g : groups) {
+    for (int m = g.first_module; m <= g.last_module; ++m) out.push_back(g.node);
+  }
+  return out;
+}
+
+std::vector<int> VisualizationRoutingTable::path() const {
+  std::vector<int> out;
+  for (const VrtGroup& g : groups) {
+    if (out.empty() || out.back() != g.node) out.push_back(g.node);
+  }
+  return out;
+}
+
+bool VisualizationRoutingTable::valid() const {
+  if (groups.empty()) return false;
+  int next_module = 0;
+  for (const VrtGroup& g : groups) {
+    if (g.first_module != next_module || g.last_module < g.first_module ||
+        g.node < 0) {
+      return false;
+    }
+    next_module = g.last_module + 1;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> VisualizationRoutingTable::serialize() const {
+  util::ByteWriter w;
+  w.u32(0x56525431);  // "VRT1"
+  w.u32(version);
+  w.f64(predicted_delay_s);
+  w.u32(static_cast<std::uint32_t>(groups.size()));
+  for (const VrtGroup& g : groups) {
+    w.i32(g.node);
+    w.i32(g.first_module);
+    w.i32(g.last_module);
+  }
+  return w.take();
+}
+
+VisualizationRoutingTable VisualizationRoutingTable::deserialize(
+    const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  try {
+    if (r.u32() != 0x56525431) throw std::runtime_error("vrt: bad magic");
+    VisualizationRoutingTable out;
+    out.version = r.u32();
+    out.predicted_delay_s = r.f64();
+    const std::uint32_t count = r.u32();
+    if (count > 1024) throw std::runtime_error("vrt: implausible group count");
+    for (std::uint32_t i = 0; i < count; ++i) {
+      VrtGroup g;
+      g.node = r.i32();
+      g.first_module = r.i32();
+      g.last_module = r.i32();
+      out.groups.push_back(g);
+    }
+    return out;
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error("vrt: truncated");
+  }
+}
+
+std::string VisualizationRoutingTable::to_string() const {
+  std::string out = util::strprintf("VRT v%u (predicted %.3f s): ", version,
+                                    predicted_delay_s);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (i) out += " -> ";
+    out += util::strprintf("node%d[M%d..M%d]", groups[i].node,
+                           groups[i].first_module, groups[i].last_module);
+  }
+  return out;
+}
+
+VisualizationRoutingTable vrt_from_assignment(
+    const std::vector<int>& node_of_module, double predicted_delay_s,
+    std::uint32_t version) {
+  VisualizationRoutingTable out;
+  out.predicted_delay_s = predicted_delay_s;
+  out.version = version;
+  for (std::size_t m = 0; m < node_of_module.size(); ++m) {
+    if (!out.groups.empty() && out.groups.back().node == node_of_module[m]) {
+      out.groups.back().last_module = static_cast<int>(m);
+    } else {
+      out.groups.push_back({node_of_module[m], static_cast<int>(m),
+                            static_cast<int>(m)});
+    }
+  }
+  return out;
+}
+
+}  // namespace ricsa::pipeline

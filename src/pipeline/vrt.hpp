@@ -1,0 +1,57 @@
+// Visualization routing table (VRT).
+//
+// Section 2: "The computation for pipeline partitioning and network mapping
+// results in a visualization routing table (VRT), which is delivered
+// sequentially over the loop to establish the network routing path." Each
+// entry assigns one contiguous group of pipeline modules to one node of the
+// chosen transport path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ricsa::pipeline {
+
+struct VrtGroup {
+  /// Node hosting this group (netsim::NodeId, kept as int to avoid a
+  /// dependency on the simulator from pure pipeline code).
+  int node = -1;
+  /// Inclusive module index range [first_module, last_module].
+  int first_module = 0;
+  int last_module = 0;
+};
+
+struct VisualizationRoutingTable {
+  std::vector<VrtGroup> groups;
+  /// End-to-end delay predicted by the optimizer for this mapping, seconds.
+  double predicted_delay_s = 0.0;
+  /// Monotonically increasing version so stale tables are discarded when the
+  /// CM re-configures mid-run.
+  std::uint32_t version = 0;
+
+  /// Node assignment per module (flattening the groups).
+  std::vector<int> node_of_module() const;
+  /// Path of distinct nodes from source to destination.
+  std::vector<int> path() const;
+  bool valid() const;
+
+  std::vector<std::uint8_t> serialize() const;
+  static VisualizationRoutingTable deserialize(
+      const std::vector<std::uint8_t>& bytes);
+
+  std::string to_string() const;
+
+  bool operator==(const VisualizationRoutingTable& o) const {
+    return version == o.version && predicted_delay_s == o.predicted_delay_s &&
+           node_of_module() == o.node_of_module();
+  }
+};
+
+/// Build a VRT from a per-module node assignment (consecutive equal nodes
+/// collapse into one group).
+VisualizationRoutingTable vrt_from_assignment(const std::vector<int>& node_of_module,
+                                              double predicted_delay_s,
+                                              std::uint32_t version = 0);
+
+}  // namespace ricsa::pipeline

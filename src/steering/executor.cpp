@@ -1,0 +1,118 @@
+#include "steering/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/octree.hpp"
+#include "util/stopwatch.hpp"
+#include "viz/filters.hpp"
+#include "viz/rasterizer.hpp"
+#include "viz/raycast.hpp"
+#include "viz/streamline.hpp"
+
+namespace ricsa::steering {
+
+ExecuteResult execute_pipeline(const data::ScalarVolume& snapshot,
+                               const cost::VizRequest& request,
+                               const ExecuteOptions& options) {
+  ExecuteResult result;
+  util::Stopwatch timer;
+
+  // --- Filter stage ------------------------------------------------------
+  data::ScalarVolume working = snapshot;
+  if (options.octant >= 0) {
+    working = data::BlockDecomposition::octant_volume(working, options.octant);
+  }
+  if (options.downsample > 1) {
+    working = viz::downsample(working, options.downsample);
+  }
+  result.filter_s = timer.elapsed();
+
+  // --- Transform + render stages ----------------------------------------
+  switch (request.technique) {
+    case cost::VizRequest::Technique::kIsosurface: {
+      timer.restart();
+      viz::IsosurfaceOptions iso_opt;
+      iso_opt.pool = options.pool;
+      const auto iso = viz::extract_isosurface(working, request.isovalue,
+                                               iso_opt);
+      result.transform_s = timer.elapsed();
+      result.iso_stats = iso.stats;
+      result.geometry_bytes = iso.mesh.bytes();
+
+      timer.restart();
+      viz::RenderOptions render_opt;
+      render_opt.width = request.image_width;
+      render_opt.height = request.image_height;
+      render_opt.azimuth = options.azimuth;
+      render_opt.elevation = options.elevation;
+      render_opt.distance = 2.6f / std::max(options.zoom, 0.05f);
+      render_opt.pool = options.pool;
+      result.image = viz::render_mesh(iso.mesh, render_opt).image;
+      result.render_s = timer.elapsed();
+      break;
+    }
+    case cost::VizRequest::Technique::kRayCast: {
+      timer.restart();
+      const auto [lo, hi] = working.min_max();
+      const auto tf = viz::TransferFunction::preset(lo, hi);
+      viz::RayCastOptions opt;
+      opt.width = request.image_width;
+      opt.height = request.image_height;
+      opt.azimuth = options.azimuth;
+      opt.elevation = options.elevation;
+      opt.pool = options.pool;
+      result.image = viz::raycast(working, tf, opt).image;
+      result.transform_s = timer.elapsed();
+      result.geometry_bytes = result.image.bytes();
+      break;
+    }
+    case cost::VizRequest::Technique::kStreamline: {
+      timer.restart();
+      // Streamlines through the scalar field's gradient.
+      const int n = std::min({working.nx(), working.ny(), working.nz()});
+      data::VectorVolume field(n, n, n);
+      for (int z = 0; z < n; ++z) {
+        for (int y = 0; y < n; ++y) {
+          for (int x = 0; x < n; ++x) {
+            field.at(x, y, z) = working.gradient(static_cast<float>(x),
+                                                 static_cast<float>(y),
+                                                 static_cast<float>(z));
+          }
+        }
+      }
+      const int seeds_per_axis = std::max(
+          2, static_cast<int>(std::lround(std::cbrt(request.seeds))));
+      viz::StreamlineOptions sl_opt;
+      sl_opt.max_steps = request.steps_per_seed;
+      const auto set = viz::trace_streamlines(
+          field, viz::grid_seeds(field, seeds_per_axis), sl_opt);
+      result.transform_s = timer.elapsed();
+      result.geometry_bytes = set.bytes();
+
+      // Render polylines as thin triangle ribbons.
+      timer.restart();
+      viz::TriangleMesh mesh;
+      for (const auto& line : set.lines) {
+        for (std::size_t i = 1; i < line.size(); ++i) {
+          const data::Vec3& a = line[i - 1];
+          const data::Vec3& b = line[i];
+          const data::Vec3 off{0.12f, 0.12f, 0.0f};
+          mesh.add_triangle(a, b, a + off);
+        }
+      }
+      viz::RenderOptions render_opt;
+      render_opt.width = request.image_width;
+      render_opt.height = request.image_height;
+      render_opt.azimuth = options.azimuth;
+      render_opt.elevation = options.elevation;
+      render_opt.base_color = {90, 200, 255, 255};
+      result.image = viz::render_mesh(mesh, render_opt).image;
+      result.render_s = timer.elapsed();
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ricsa::steering

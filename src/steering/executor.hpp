@@ -1,0 +1,47 @@
+// In-process execution of the visualization pipeline on real data: the
+// functional counterpart of the WAN timing model. The web dashboard, the
+// live steering server and the examples all funnel a volume snapshot through
+// this to obtain the frame a browser displays.
+#pragma once
+
+#include <optional>
+
+#include "cost/pipeline_builder.hpp"
+#include "data/volume.hpp"
+#include "util/thread_pool.hpp"
+#include "viz/image.hpp"
+#include "viz/isosurface.hpp"
+#include "viz/mesh.hpp"
+
+namespace ricsa::steering {
+
+struct ExecuteOptions {
+  /// Downsample factor applied by the filter stage (1 = keep full data).
+  int downsample = 1;
+  /// Octree subset (-1 = whole dataset; 0..7 selects an octant, the GUI's
+  /// "one of the eight octree subsets").
+  int octant = -1;
+  /// View parameters (zoom factor and rotation, Section 5.1's GUI knobs).
+  float azimuth = 0.7f;
+  float elevation = 0.35f;
+  float zoom = 1.0f;
+  util::ThreadPool* pool = nullptr;
+};
+
+struct ExecuteResult {
+  viz::Image image;
+  /// Stage timings (seconds) for monitoring display.
+  double filter_s = 0.0;
+  double transform_s = 0.0;
+  double render_s = 0.0;
+  /// Extraction statistics when the technique was isosurface.
+  std::optional<viz::IsosurfaceStats> iso_stats;
+  std::size_t geometry_bytes = 0;
+};
+
+/// Run filter -> transform -> render for the request on the given snapshot.
+ExecuteResult execute_pipeline(const data::ScalarVolume& snapshot,
+                               const cost::VizRequest& request,
+                               const ExecuteOptions& options = {});
+
+}  // namespace ricsa::steering

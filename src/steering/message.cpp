@@ -1,0 +1,110 @@
+#include "steering/message.hpp"
+
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace ricsa::steering {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x52494353;  // "RICS"
+}
+
+const char* to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kSimulationRequest: return "simulation_request";
+    case MessageType::kSimulationAck: return "simulation_ack";
+    case MessageType::kVizRequest: return "viz_request";
+    case MessageType::kSteeringParams: return "steering_params";
+    case MessageType::kVrtInstall: return "vrt_install";
+    case MessageType::kDataChunk: return "data_chunk";
+    case MessageType::kGeometry: return "geometry";
+    case MessageType::kImageResult: return "image_result";
+    case MessageType::kStatus: return "status";
+    case MessageType::kError: return "error";
+    case MessageType::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> Message::serialize() const {
+  util::ByteWriter w(payload.size() + 128);
+  w.u32(kMagic);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(session);
+  w.u32(sequence);
+  w.str(header.dump());
+  w.blob(payload);
+  return w.take();
+}
+
+Message Message::deserialize(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  try {
+    if (r.u32() != kMagic) throw std::runtime_error("message: bad magic");
+    Message out;
+    const std::uint8_t type_raw = r.u8();
+    if (type_raw < 1 || type_raw > 11) {
+      throw std::runtime_error("message: unknown type");
+    }
+    out.type = static_cast<MessageType>(type_raw);
+    out.session = r.u32();
+    out.sequence = r.u32();
+    const std::string header_json = r.str();
+    out.header = header_json.empty() ? util::Json()
+                                     : util::Json::parse(header_json);
+    out.payload = r.blob();
+    if (!r.done()) throw std::runtime_error("message: trailing bytes");
+    return out;
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error("message: truncated");
+  }
+}
+
+std::size_t Message::wire_bytes() const {
+  return 13 + header.dump().size() + 8 + payload.size();
+}
+
+Message make_simulation_request(std::uint32_t session,
+                                const std::string& simulator,
+                                const std::string& variable) {
+  Message m;
+  m.type = MessageType::kSimulationRequest;
+  m.session = session;
+  m.header["simulator"] = simulator;
+  m.header["variable"] = variable;
+  return m;
+}
+
+Message make_viz_request(std::uint32_t session, const std::string& technique,
+                         float isovalue, int width, int height) {
+  Message m;
+  m.type = MessageType::kVizRequest;
+  m.session = session;
+  m.header["technique"] = technique;
+  m.header["isovalue"] = static_cast<double>(isovalue);
+  m.header["width"] = width;
+  m.header["height"] = height;
+  return m;
+}
+
+Message make_steering_params(std::uint32_t session,
+                             const std::map<std::string, double>& params) {
+  Message m;
+  m.type = MessageType::kSteeringParams;
+  m.session = session;
+  util::JsonObject obj;
+  for (const auto& [key, value] : params) obj[key] = util::Json(value);
+  m.header["params"] = util::Json(obj);
+  return m;
+}
+
+Message make_status(std::uint32_t session, const std::string& text) {
+  Message m;
+  m.type = MessageType::kStatus;
+  m.session = session;
+  m.header["text"] = text;
+  return m;
+}
+
+}  // namespace ricsa::steering

@@ -1,0 +1,60 @@
+// Steering message protocol.
+//
+// Every interaction in the visualization loop (Section 2) is one of these
+// messages: the client's simulation/visualization request, the CM's VRT
+// installation, steering parameter updates on the control channel, data
+// chunks on the data channel, and image results flowing back to the front
+// end. Wire format: length-prefixed binary via util::ByteWriter with a JSON
+// header for extensible key/value metadata.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ricsa::steering {
+
+enum class MessageType : std::uint8_t {
+  kSimulationRequest = 1,  // client -> FE -> CM: start/attach to a simulation
+  kSimulationAck = 2,      // CM -> client: accepted, session id assigned
+  kVizRequest = 3,         // client -> FE -> CM: visualization parameters
+  kSteeringParams = 4,     // client -> ... -> simulator: new parameters
+  kVrtInstall = 5,         // CM -> loop nodes: visualization routing table
+  kDataChunk = 6,          // DS -> CS: raw/filtered dataset
+  kGeometry = 7,           // CS -> CS/client: extracted geometry
+  kImageResult = 8,        // CS -> FE: rendered frame
+  kStatus = 9,             // any -> FE: progress/monitoring info
+  kError = 10,
+  kShutdown = 11,
+};
+
+const char* to_string(MessageType type);
+
+struct Message {
+  MessageType type = MessageType::kStatus;
+  std::uint32_t session = 0;
+  std::uint32_t sequence = 0;
+  /// Structured metadata (variable names, parameters, stats...).
+  util::Json header;
+  /// Bulk payload (serialized volume / mesh / VRT / image).
+  std::vector<std::uint8_t> payload;
+
+  std::vector<std::uint8_t> serialize() const;
+  static Message deserialize(const std::vector<std::uint8_t>& bytes);
+
+  /// Approximate wire size (what the control channel carries).
+  std::size_t wire_bytes() const;
+};
+
+/// Convenience constructors.
+Message make_simulation_request(std::uint32_t session, const std::string& simulator,
+                                const std::string& variable);
+Message make_viz_request(std::uint32_t session, const std::string& technique,
+                         float isovalue, int width, int height);
+Message make_steering_params(std::uint32_t session,
+                             const std::map<std::string, double>& params);
+Message make_status(std::uint32_t session, const std::string& text);
+
+}  // namespace ricsa::steering

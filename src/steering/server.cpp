@@ -1,0 +1,137 @@
+#include "steering/server.hpp"
+
+namespace ricsa::steering {
+
+SimulationServer::SimulationServer(hydro::Steerable& simulation)
+    : simulation_(simulation) {}
+
+void SimulationServer::post(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    mailbox_.push_back(std::move(message));
+    ever_connected_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::optional<SimulationServer::Frame> SimulationServer::take_frame() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<Frame> out;
+  out.swap(frame_);
+  return out;
+}
+
+std::uint64_t SimulationServer::frames_pushed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_;
+}
+
+void SimulationServer::wait_accept_connection() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return ever_connected_; });
+}
+
+int SimulationServer::receive_handle_message() {
+  std::deque<Message> drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drained.swap(mailbox_);
+  }
+  int result = 0;
+  for (const Message& m : drained) {
+    switch (m.type) {
+      case MessageType::kShutdown: {
+        std::lock_guard<std::mutex> lock(mutex_);
+        running_ = false;
+        return -1;
+      }
+      case MessageType::kSteeringParams: {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (m.header.at("params").is_object()) {
+          for (const auto& [key, value] : m.header.at("params").as_object()) {
+            pending_params_[key] = value.as_number();
+          }
+        }
+        result = 1;
+        break;
+      }
+      case MessageType::kVizRequest: {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (m.header.at("variable").is_string()) {
+          variable_ = m.header.at("variable").as_string();
+        }
+        break;
+      }
+      case MessageType::kSimulationRequest: {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (m.header.at("variable").is_string()) {
+          variable_ = m.header.at("variable").as_string();
+        }
+        break;
+      }
+      default:
+        break;  // monitoring-only messages carry no simulation-side action
+    }
+  }
+  return result;
+}
+
+void SimulationServer::push_data_to_viz_node() {
+  std::string variable;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    variable = variable_;
+  }
+  Frame frame;
+  frame.cycle = simulation_.cycle();
+  frame.sim_time = simulation_.time();
+  frame.variable = variable;
+  frame.snapshot = simulation_.snapshot(variable);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    frame_ = std::move(frame);
+    ++frames_;
+  }
+  cv_.notify_all();
+}
+
+int SimulationServer::update_simulation_parameters() {
+  std::map<std::string, double> params;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    params.swap(pending_params_);
+  }
+  int accepted = 0;
+  for (const auto& [name, value] : params) {
+    if (simulation_.set_parameter(name, value)) ++accepted;
+  }
+  return accepted;
+}
+
+bool SimulationServer::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+const std::string& SimulationServer::monitored_variable() const {
+  return variable_;
+}
+
+SimulationServer* RICSA_StartupSimulationServer(hydro::Steerable* simulation) {
+  return new SimulationServer(*simulation);
+}
+void RICSA_WaitAcceptConnection(SimulationServer* server) {
+  server->wait_accept_connection();
+}
+int RICSA_ReceiveHandleMessage(SimulationServer* server) {
+  return server->receive_handle_message();
+}
+void RICSA_PushDataToVizNode(SimulationServer* server) {
+  server->push_data_to_viz_node();
+}
+void RICSA_UpdateSimulationParameters(SimulationServer* server) {
+  server->update_simulation_parameters();
+}
+void RICSA_ShutdownSimulationServer(SimulationServer* server) { delete server; }
+
+}  // namespace ricsa::steering

@@ -1,0 +1,91 @@
+// The simulation-side steering server and the six RICSA_* API calls of
+// Fig. 7.
+//
+// "We achieved this goal by developing several generic C++ visualization/
+// network API functions and packaging them in a shared library. These API
+// function calls are inserted at certain points in the simulation code ...
+// to set up socket communications, transfer datasets, or intercept steering
+// commands from the client." (Section 5.2)
+//
+// SimulationServer is the object behind those calls: a thread-safe mailbox
+// of steering messages feeding any hydro::Steerable, plus a frame slot the
+// visualization side drains. The C-style functions mirror the paper's
+// pseudo-code verbatim so a VH1-like main loop reads identically.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "data/volume.hpp"
+#include "hydro/steerable.hpp"
+#include "steering/message.hpp"
+
+namespace ricsa::steering {
+
+class SimulationServer {
+ public:
+  explicit SimulationServer(hydro::Steerable& simulation);
+
+  // ---- client side (any thread) ----------------------------------------
+  /// Queue a message for the simulation (steering params, viz request,
+  /// shutdown).
+  void post(Message message);
+
+  struct Frame {
+    int cycle = 0;
+    double sim_time = 0.0;
+    std::string variable;
+    data::ScalarVolume snapshot;
+  };
+  /// Take the most recent pushed frame, if any (consumes it).
+  std::optional<Frame> take_frame();
+  std::uint64_t frames_pushed() const;
+
+  // ---- simulation side (the Fig. 7 calls) -------------------------------
+  /// Blocks until at least one message has ever been posted (the paper's
+  /// WaitAcceptConnection: the simulation idles until a client attaches).
+  void wait_accept_connection();
+
+  /// Drain the mailbox. Returns -1 after a shutdown message, 1 if new
+  /// simulation parameters are pending, 0 otherwise. Non-parameter messages
+  /// (viz requests) are applied immediately.
+  int receive_handle_message();
+
+  /// Snapshot the monitored variable into the frame slot.
+  void push_data_to_viz_node();
+
+  /// Apply pending steering parameters to the simulation. Returns how many
+  /// parameters were accepted.
+  int update_simulation_parameters();
+
+  bool running() const;
+  const std::string& monitored_variable() const;
+
+ private:
+  hydro::Steerable& simulation_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> mailbox_;
+  bool ever_connected_ = false;
+  bool running_ = true;
+  std::map<std::string, double> pending_params_;
+  std::string variable_ = "density";
+  std::optional<Frame> frame_;
+  std::uint64_t frames_ = 0;
+};
+
+// ---- Fig. 7 C-style facade ----------------------------------------------
+SimulationServer* RICSA_StartupSimulationServer(hydro::Steerable* simulation);
+void RICSA_WaitAcceptConnection(SimulationServer* server);
+/// -1 shutdown, 1 new simulation parameters pending, 0 nothing.
+int RICSA_ReceiveHandleMessage(SimulationServer* server);
+void RICSA_PushDataToVizNode(SimulationServer* server);
+void RICSA_UpdateSimulationParameters(SimulationServer* server);
+void RICSA_ShutdownSimulationServer(SimulationServer* server);
+
+}  // namespace ricsa::steering

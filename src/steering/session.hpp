@@ -1,0 +1,85 @@
+// High-level monitoring & steering session: the functional composition of
+// the whole system for in-process use (examples, web dashboard, tests).
+//
+// Owns a steerable simulation behind a SimulationServer (the Fig. 7 loop),
+// the calibrated cost models, the six-site testbed profile, and the CM-side
+// DP mapper. Every frame: drain steering messages -> advance the simulation
+// -> snapshot -> recompute the VRT for the current dataset (the paper
+// recomputes "a new visualization routing table ... for each subsequent
+// interactive operation", footnote 3) -> run the real visualization pipeline
+// -> return the image plus monitoring metadata.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/mapper.hpp"
+#include "cost/models.hpp"
+#include "cost/network_profile.hpp"
+#include "hydro/steerable.hpp"
+#include "netsim/testbed.hpp"
+#include "pipeline/vrt.hpp"
+#include "steering/executor.hpp"
+#include "steering/server.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ricsa::steering {
+
+struct SessionConfig {
+  hydro::HydroSimulation::Kind simulation =
+      hydro::HydroSimulation::Kind::kBowshock;
+  int resolution = 40;
+  cost::VizRequest viz;
+  /// Simulation cycles advanced per produced frame.
+  int cycles_per_frame = 2;
+  std::size_t threads = 2;
+};
+
+class SteeringSession {
+ public:
+  explicit SteeringSession(SessionConfig config);
+
+  struct FrameResult {
+    viz::Image image;
+    int cycle = 0;
+    double sim_time = 0.0;
+    std::string variable;
+    ExecuteResult exec;
+    pipeline::VisualizationRoutingTable vrt;
+  };
+
+  /// Produce the next monitoring frame (advances the simulation).
+  FrameResult next_frame();
+
+  /// Post a steering parameter (takes effect on the next frame). Returns
+  /// false only for malformed names the protocol rejects outright.
+  void steer(const std::string& name, double value);
+  std::map<std::string, double> parameters() const;
+
+  void set_variable(const std::string& variable);
+  const std::string& variable() const { return server_.monitored_variable(); }
+
+  cost::VizRequest& viz_request() noexcept { return config_.viz; }
+  ExecuteOptions& view() noexcept { return view_; }
+  hydro::Steerable& simulation() noexcept { return sim_; }
+  const cost::NetworkProfile& profile() const noexcept { return profile_; }
+  const pipeline::VisualizationRoutingTable& vrt() const noexcept { return vrt_; }
+  const cost::CostModels& models() const noexcept { return models_; }
+
+ private:
+  SessionConfig config_;
+  hydro::HydroSimulation sim_;
+  SimulationServer server_;
+  util::ThreadPool pool_;
+  netsim::Testbed testbed_;
+  cost::NetworkProfile profile_;
+  cost::CostModels models_;
+  core::DpMapper mapper_;
+  pipeline::VisualizationRoutingTable vrt_;
+  std::uint32_t vrt_version_ = 0;
+  ExecuteOptions view_;
+  std::uint32_t message_seq_ = 0;
+};
+
+}  // namespace ricsa::steering

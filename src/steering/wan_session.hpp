@@ -1,0 +1,82 @@
+// One full RICSA monitoring round trip over the simulated WAN, in virtual
+// time — the measurement engine behind the Fig. 9 / Fig. 10 reproductions.
+//
+// Actors (the paper's five virtual component nodes) run as message handlers
+// on their testbed hosts:
+//   client/front end -> CM: simulation + visualization request (control);
+//   CM: solves the DP (or accepts a fixed assignment for baseline loops),
+//       issues the VRT to the data source hop-by-hop (control);
+//   DS -> CS -> ... -> client: the data phase executes each VRT group —
+//       compute time = group's unit-compute / node power (+ cluster
+//       distribution overhead), transfers ride real packet-level transport
+//       flows with Robbins-Monro rate control (or analytic m/EPB + d0).
+//
+// The returned record separates control-plane latency from the data-path
+// delay (the quantity Fig. 9 plots).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mapper.hpp"
+#include "cost/network_profile.hpp"
+#include "netsim/network.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/vrt.hpp"
+
+namespace ricsa::steering {
+
+struct WanSessionConfig {
+  netsim::NodeId client = 0;
+  netsim::NodeId central_manager = 0;
+  netsim::NodeId data_source = 0;
+  pipeline::PipelineSpec spec;
+  /// What the CM believes about the network (drives the DP and the
+  /// transport targets).
+  cost::NetworkProfile profile;
+  /// When set, the CM skips the DP and installs this module->node
+  /// assignment (used to price the non-optimal comparison loops).
+  std::optional<std::vector<int>> fixed_assignment;
+  /// Transport realism: true = packet-level reliable flows (Robbins-Monro
+  /// rate control, losses, retransmissions); false = analytic m/EPB + d0.
+  bool packet_transport = true;
+  /// Datagram payload for the data flows. Large payloads keep event counts
+  /// tractable for 100 MB transfers without changing the control dynamics.
+  std::size_t datagram_payload = 64 * 1024;
+  /// Fraction of the link's profiled EPB the data flow targets.
+  double target_share = 0.9;
+  /// CM processing time to compute the VRT (the DP itself is microseconds;
+  /// this covers request parsing and table distribution bookkeeping).
+  double cm_compute_s = 0.005;
+  /// Fixed per-transfer protocol overhead added before each inter-group
+  /// data transfer (0 for RICSA's lightweight message protocol; the
+  /// ParaView-style baseline of Fig. 10 pays a connection/handshake cost
+  /// per stage).
+  double per_transfer_overhead_s = 0.0;
+};
+
+struct StageRecord {
+  std::string label;
+  int node = -1;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct WanResult {
+  bool completed = false;
+  /// Control plane: request departure -> VRT installed at the data source.
+  double control_s = 0.0;
+  /// Data path: data-source start -> image displayed at the client. This is
+  /// the end-to-end delay of Eq. 2 that Fig. 9 reports.
+  double data_path_s = 0.0;
+  double total_s = 0.0;
+  std::vector<int> assignment;
+  pipeline::VisualizationRoutingTable vrt;
+  std::vector<StageRecord> timeline;
+};
+
+/// Run the session to completion (advances the network's simulator clock).
+WanResult run_wan_session(netsim::Network& net, const WanSessionConfig& config);
+
+}  // namespace ricsa::steering

@@ -1,0 +1,299 @@
+#include "transport/datagram_transport.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/bytes.hpp"
+
+namespace ricsa::transport {
+
+int allocate_port() {
+  static std::atomic<int> next{1000};
+  return next++;
+}
+
+// ------------------------------------------------------------- Receiver ----
+
+TransportReceiver::TransportReceiver(netsim::Network& net, netsim::NodeId node,
+                                     int data_port, netsim::NodeId peer,
+                                     int ack_port, FlowConfig config)
+    : net_(net), node_(node), data_port_(data_port), peer_(peer),
+      ack_port_(ack_port), config_(config),
+      liveness_(std::make_shared<bool>(true)) {
+  net_.listen(node_, data_port_,
+              [this](const netsim::Packet& p) { on_datagram(p); });
+}
+
+TransportReceiver::~TransportReceiver() {
+  *liveness_ = false;
+  alive_ = false;
+  net_.unlisten(node_, data_port_);
+}
+
+void TransportReceiver::expect(std::uint64_t total_datagrams,
+                               std::function<void(netsim::SimTime)> on_complete) {
+  total_ = total_datagrams;
+  on_complete_ = std::move(on_complete);
+  completed_ = false;
+  if (total_ == 0 && on_complete_) {
+    completed_ = true;
+    auto alive = liveness_;
+    net_.simulator().after(0, [this, alive] {
+      if (*alive && on_complete_) on_complete_(net_.simulator().now());
+    });
+  }
+}
+
+void TransportReceiver::on_datagram(const netsim::Packet& p) {
+  ++stats_.datagrams_received;
+  const std::uint64_t seq = p.seq;
+  if (seq < cum_ack_ || ooo_.count(seq)) {
+    ++stats_.duplicates;
+  } else {
+    meter_.record(net_.simulator().now(), config_.datagram_payload);
+    if (seq == cum_ack_) {
+      ++cum_ack_;
+      while (!ooo_.empty() && *ooo_.begin() == cum_ack_) {
+        ooo_.erase(ooo_.begin());
+        ++cum_ack_;
+      }
+    } else {
+      ooo_.insert(seq);
+    }
+  }
+
+  if (!completed_ && cum_ack_ >= total_) {
+    completed_ = true;
+    send_ack();  // final cumulative ACK lets the sender finish
+    if (on_complete_) on_complete_(net_.simulator().now());
+    return;
+  }
+  schedule_ack_timer();
+}
+
+void TransportReceiver::schedule_ack_timer() {
+  if (ack_timer_armed_) return;
+  ack_timer_armed_ = true;
+  auto alive = liveness_;
+  net_.simulator().after(config_.ack_interval_s, [this, alive] {
+    if (!*alive) return;
+    ack_timer_armed_ = false;
+    send_ack();
+  });
+}
+
+void TransportReceiver::send_ack() {
+  ++stats_.acks_sent;
+  last_ack_time_ = net_.simulator().now();
+
+  util::ByteWriter w;
+  w.u64(cum_ack_);
+  w.f64(meter_.rate(net_.simulator().now()));
+
+  // Collect the holes between cum_ack_ and the highest out-of-order seq.
+  std::vector<std::uint64_t> nacks;
+  std::uint64_t expect_seq = cum_ack_;
+  for (const std::uint64_t got : ooo_) {
+    for (std::uint64_t missing = expect_seq;
+         missing < got && nacks.size() < config_.max_nacks_per_ack; ++missing) {
+      nacks.push_back(missing);
+    }
+    expect_seq = got + 1;
+    if (nacks.size() >= config_.max_nacks_per_ack) break;
+  }
+  w.u32(static_cast<std::uint32_t>(nacks.size()));
+  for (const std::uint64_t n : nacks) w.u64(n);
+
+  netsim::Packet ack;
+  ack.src = node_;
+  ack.dst = peer_;
+  ack.port = ack_port_;
+  ack.wire_bytes = config_.ack_wire_bytes + 8 * nacks.size();
+  ack.payload = w.take();
+  net_.send(std::move(ack));
+}
+
+// --------------------------------------------------------------- Sender ----
+
+TransportSender::TransportSender(netsim::Network& net, netsim::NodeId src,
+                                 netsim::NodeId dst, int data_port,
+                                 int ack_port, FlowConfig config,
+                                 std::unique_ptr<RateController> controller)
+    : net_(net), src_(src), dst_(dst), data_port_(data_port),
+      ack_port_(ack_port), config_(config), controller_(std::move(controller)),
+      liveness_(std::make_shared<bool>(true)) {
+  net_.listen(src_, ack_port_, [this](const netsim::Packet& p) { on_ack(p); });
+}
+
+TransportSender::~TransportSender() {
+  *liveness_ = false;
+  net_.unlisten(src_, ack_port_);
+}
+
+std::uint64_t TransportSender::datagram_count(std::size_t bytes) const {
+  if (bytes == 0) return 1;
+  return (bytes + config_.datagram_payload - 1) / config_.datagram_payload;
+}
+
+void TransportSender::send_message(std::size_t bytes,
+                                   std::function<void(netsim::SimTime)> on_complete) {
+  total_ = datagram_count(bytes);
+  next_seq_ = 0;
+  cum_ack_seen_ = 0;
+  unacked_.clear();
+  retx_queue_.clear();
+  retx_pending_.clear();
+  on_complete_ = std::move(on_complete);
+  running_ = true;
+  last_progress_ = net_.simulator().now();
+  burst();
+}
+
+void TransportSender::start_stream() {
+  total_ = UINT64_MAX;
+  next_seq_ = 0;
+  cum_ack_seen_ = 0;
+  unacked_.clear();
+  retx_queue_.clear();
+  retx_pending_.clear();
+  running_ = true;
+  last_progress_ = net_.simulator().now();
+  burst();
+}
+
+void TransportSender::stop() { running_ = false; }
+
+void TransportSender::send_datagram(std::uint64_t seq) {
+  ++stats_.datagrams_sent;
+  netsim::Packet p;
+  p.src = src_;
+  p.dst = dst_;
+  p.port = data_port_;
+  p.seq = seq;
+  p.flow = static_cast<std::uint64_t>(data_port_);
+  p.wire_bytes = config_.datagram_payload + config_.header_bytes;
+  net_.send(std::move(p));
+}
+
+void TransportSender::burst() {
+  burst_scheduled_ = false;
+  if (!running_) return;
+
+  std::vector<std::uint64_t> batch;
+  batch.reserve(static_cast<std::size_t>(config_.window));
+  // Retransmissions first (they gate the receiver's cumulative progress).
+  while (batch.size() < static_cast<std::size_t>(config_.window) &&
+         !retx_queue_.empty()) {
+    const std::uint64_t seq = retx_queue_.front();
+    retx_queue_.pop_front();
+    retx_pending_.erase(seq);
+    if (!unacked_.count(seq)) continue;  // acked since being queued
+    batch.push_back(seq);
+    ++stats_.retransmissions;
+  }
+  while (batch.size() < static_cast<std::size_t>(config_.window) &&
+         next_seq_ < total_) {
+    unacked_.insert(next_seq_);
+    batch.push_back(next_seq_++);
+  }
+
+  if (batch.empty()) {
+    // Nothing to send right now; wait for ACK/RTO to wake us up.
+    arm_rto();
+    return;
+  }
+
+  for (const std::uint64_t seq : batch) send_datagram(seq);
+  ++stats_.bursts;
+
+  // Next burst after Tc (window serialization at the first-hop rate) + Ts.
+  const double link_bw = net_.link(src_, dst_).config().bandwidth_Bps;
+  const double wire = static_cast<double>(
+      batch.size() * (config_.datagram_payload + config_.header_bytes));
+  const double tc = wire / link_bw;
+  const double ts = controller_->sleep_time();
+  burst_scheduled_ = true;
+  auto alive = liveness_;
+  net_.simulator().after(tc + ts, [this, alive] {
+    if (*alive) burst();
+  });
+  arm_rto();
+}
+
+void TransportSender::arm_rto() {
+  if (rto_armed_ || !running_) return;
+  rto_armed_ = true;
+  auto alive = liveness_;
+  net_.simulator().after(config_.rto_s, [this, alive] {
+    if (!*alive) return;
+    rto_armed_ = false;
+    if (!running_) return;
+    const netsim::SimTime now = net_.simulator().now();
+    if (!unacked_.empty() && now - last_progress_ >= config_.rto_s) {
+      for (const std::uint64_t seq : unacked_) {
+        if (retx_pending_.insert(seq).second) retx_queue_.push_back(seq);
+      }
+      last_progress_ = now;  // back off: one full requeue per quiet RTO
+    }
+    if (!burst_scheduled_) {
+      burst();
+    } else {
+      arm_rto();
+    }
+  });
+}
+
+void TransportSender::on_ack(const netsim::Packet& p) {
+  ++stats_.acks_received;
+  util::ByteReader r(p.payload);
+  const std::uint64_t cum = r.u64();
+  const double goodput = r.f64();
+  const std::uint32_t nack_count = r.u32();
+  bool new_nacks = false;
+  for (std::uint32_t i = 0; i < nack_count; ++i) {
+    const std::uint64_t seq = r.u64();
+    if (unacked_.count(seq) && retx_pending_.insert(seq).second) {
+      retx_queue_.push_back(seq);
+      new_nacks = true;
+    }
+  }
+
+  if (cum > cum_ack_seen_) {
+    cum_ack_seen_ = cum;
+    last_progress_ = net_.simulator().now();
+    unacked_.erase(unacked_.begin(), unacked_.lower_bound(cum));
+  }
+
+  RateFeedback fb;
+  fb.goodput_Bps = goodput;
+  fb.loss_detected = nack_count > 0;
+  controller_->update(fb);
+
+  if (total_ != UINT64_MAX && cum >= total_ && running_) {
+    running_ = false;
+    if (on_complete_) on_complete_(net_.simulator().now());
+    return;
+  }
+  if (new_nacks && !burst_scheduled_ && running_) burst();
+}
+
+// ----------------------------------------------------------------- Flow ----
+
+Flow make_message_flow(netsim::Network& net, netsim::NodeId src,
+                       netsim::NodeId dst, std::size_t bytes,
+                       std::unique_ptr<RateController> controller,
+                       std::function<void(netsim::SimTime)> on_complete,
+                       FlowConfig config) {
+  const int data_port = allocate_port();
+  const int ack_port = allocate_port();
+  Flow flow;
+  flow.receiver = std::make_unique<TransportReceiver>(net, dst, data_port, src,
+                                                      ack_port, config);
+  flow.sender = std::make_unique<TransportSender>(
+      net, src, dst, data_port, ack_port, config, std::move(controller));
+  flow.receiver->expect(flow.sender->datagram_count(bytes));
+  flow.sender->send_message(bytes, std::move(on_complete));
+  return flow;
+}
+
+}  // namespace ricsa::transport

@@ -1,0 +1,172 @@
+// Window-based reliable datagram transport over the simulated network,
+// mirroring Fig. 2 of the paper: the sender emits a congestion window of UDP
+// datagrams, sleeps Ts(t) (set by a pluggable rate controller), and reacts to
+// ACK/NACK feedback; the receiver reorders, acknowledges cumulatively, NACKs
+// holes, and reports its measured goodput back to the sender.
+//
+// Two modes:
+//  * message mode — reliably transfer exactly N bytes, then report the
+//    completion time (used for visualization data transfers and EPB probes);
+//  * stream mode — send indefinitely at the controller's rate (used for the
+//    control-channel stabilization experiments).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "netsim/network.hpp"
+#include "transport/goodput_meter.hpp"
+#include "transport/rate_controller.hpp"
+
+namespace ricsa::transport {
+
+/// Process-wide port allocator for simulated flows.
+int allocate_port();
+
+struct FlowConfig {
+  std::size_t datagram_payload = 1400;
+  std::size_t header_bytes = 40;
+  int window = 32;
+  /// Receiver ACK cadence: an ACK is emitted at least this often while data
+  /// arrives, and immediately on detecting a (new) hole.
+  double ack_interval_s = 0.02;
+  /// Sender retransmission timeout: if no ACK progress for this long, all
+  /// unacknowledged datagrams are requeued.
+  double rto_s = 0.3;
+  /// Cap on explicit NACKs carried per ACK packet.
+  std::size_t max_nacks_per_ack = 64;
+  std::size_t ack_wire_bytes = 60;
+};
+
+struct SenderStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t bursts = 0;
+};
+
+struct ReceiverStats {
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t acks_sent = 0;
+};
+
+class TransportReceiver {
+ public:
+  /// Listens on (node, data_port); ACKs go to (peer, ack_port).
+  TransportReceiver(netsim::Network& net, netsim::NodeId node, int data_port,
+                    netsim::NodeId peer, int ack_port, FlowConfig config);
+  ~TransportReceiver();
+  TransportReceiver(const TransportReceiver&) = delete;
+  TransportReceiver& operator=(const TransportReceiver&) = delete;
+
+  /// Message mode: invoke on_complete when datagrams [0, total) have all
+  /// arrived. Stream mode: leave total at the default (unbounded).
+  void expect(std::uint64_t total_datagrams,
+              std::function<void(netsim::SimTime)> on_complete = {});
+
+  /// Receiver-side goodput (new bytes only), bytes/second.
+  double goodput(netsim::SimTime now) { return meter_.rate(now); }
+  const ReceiverStats& stats() const noexcept { return stats_; }
+  std::uint64_t cumulative_ack() const noexcept { return cum_ack_; }
+
+ private:
+  void on_datagram(const netsim::Packet& p);
+  void send_ack();
+  void schedule_ack_timer();
+
+  netsim::Network& net_;
+  netsim::NodeId node_;
+  int data_port_;
+  netsim::NodeId peer_;
+  int ack_port_;
+  FlowConfig config_;
+  GoodputMeter meter_;
+  ReceiverStats stats_;
+
+  std::uint64_t total_ = UINT64_MAX;
+  std::function<void(netsim::SimTime)> on_complete_;
+  bool completed_ = false;
+
+  /// First not-yet-received sequence number (cumulative ACK point).
+  std::uint64_t cum_ack_ = 0;
+  /// Out-of-order datagrams above cum_ack_.
+  std::set<std::uint64_t> ooo_;
+  netsim::SimTime last_ack_time_ = -1.0;
+  bool ack_timer_armed_ = false;
+  bool alive_ = true;
+  std::shared_ptr<bool> liveness_;
+};
+
+class TransportSender {
+ public:
+  TransportSender(netsim::Network& net, netsim::NodeId src, netsim::NodeId dst,
+                  int data_port, int ack_port, FlowConfig config,
+                  std::unique_ptr<RateController> controller);
+  ~TransportSender();
+  TransportSender(const TransportSender&) = delete;
+  TransportSender& operator=(const TransportSender&) = delete;
+
+  /// Message mode: reliably transfer `bytes`; on_complete(now) fires when the
+  /// receiver has acknowledged everything.
+  void send_message(std::size_t bytes,
+                    std::function<void(netsim::SimTime)> on_complete);
+
+  /// Stream mode: send until stop().
+  void start_stream();
+
+  void stop();
+
+  const SenderStats& stats() const noexcept { return stats_; }
+  RateController& controller() noexcept { return *controller_; }
+  double sleep_time() const { return controller_->sleep_time(); }
+  /// Datagrams needed for a message of `bytes` under this config.
+  std::uint64_t datagram_count(std::size_t bytes) const;
+
+ private:
+  void on_ack(const netsim::Packet& p);
+  void burst();
+  void arm_rto();
+  void send_datagram(std::uint64_t seq);
+
+  netsim::Network& net_;
+  netsim::NodeId src_;
+  netsim::NodeId dst_;
+  int data_port_;
+  int ack_port_;
+  FlowConfig config_;
+  std::unique_ptr<RateController> controller_;
+  SenderStats stats_;
+
+  bool running_ = false;
+  bool burst_scheduled_ = false;
+  std::uint64_t total_ = 0;  // datagrams in current message; UINT64_MAX = stream
+  std::uint64_t next_seq_ = 0;
+  std::set<std::uint64_t> unacked_;
+  std::deque<std::uint64_t> retx_queue_;
+  std::set<std::uint64_t> retx_pending_;  // membership mirror of retx_queue_
+  std::uint64_t cum_ack_seen_ = 0;
+  netsim::SimTime last_progress_ = 0.0;
+  bool rto_armed_ = false;
+  std::function<void(netsim::SimTime)> on_complete_;
+  std::shared_ptr<bool> liveness_;
+};
+
+/// Convenience: one-shot reliable transfer of `bytes` from src to dst over the
+/// direct overlay link, driving completion through the given controller.
+/// Returns the receiver/sender pair (kept alive until completion).
+struct Flow {
+  std::unique_ptr<TransportReceiver> receiver;
+  std::unique_ptr<TransportSender> sender;
+};
+
+Flow make_message_flow(netsim::Network& net, netsim::NodeId src,
+                       netsim::NodeId dst, std::size_t bytes,
+                       std::unique_ptr<RateController> controller,
+                       std::function<void(netsim::SimTime)> on_complete,
+                       FlowConfig config = {});
+
+}  // namespace ricsa::transport

@@ -1,0 +1,69 @@
+#include "transport/epb.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace ricsa::transport {
+
+EpbResult fit_epb(const std::vector<std::pair<std::size_t, double>>& samples) {
+  EpbResult out;
+  out.samples = samples;
+  out.probes = static_cast<int>(samples.size());
+  util::LinearRegression reg;
+  for (const auto& [size, delay] : samples) {
+    reg.add(static_cast<double>(size), delay);
+  }
+  const util::LinearFit fit = reg.fit();
+  out.r_squared = fit.r_squared;
+  out.epb_Bps = fit.slope > 0 ? 1.0 / fit.slope : 0.0;
+  out.min_delay_s = std::max(0.0, fit.intercept);
+  return out;
+}
+
+EpbEstimator::EpbEstimator(netsim::Network& net, netsim::NodeId src,
+                           netsim::NodeId dst, EpbOptions options)
+    : net_(net), src_(src), dst_(dst), options_(std::move(options)) {
+  if (!options_.make_controller) {
+    options_.make_controller = [] {
+      // Probe channel starts warm (as a long-lived measurement daemon's
+      // connection would be) so small probes aren't dominated by ramp-up.
+      AimdConfig cfg;
+      cfg.initial_rate_Bps = 2e6;
+      cfg.increase_Bps = 5e5;
+      return std::make_unique<AimdController>(cfg);
+    };
+  }
+}
+
+void EpbEstimator::run(std::function<void(const EpbResult&)> done) {
+  done_ = std::move(done);
+  samples_.clear();
+  size_index_ = 0;
+  repeat_index_ = 0;
+  next_probe();
+}
+
+void EpbEstimator::next_probe() {
+  if (size_index_ >= options_.probe_sizes.size()) {
+    if (done_) done_(fit_epb(samples_));
+    return;
+  }
+  const std::size_t bytes = options_.probe_sizes[size_index_];
+  probe_start_ = net_.simulator().now();
+  active_flow_ = make_message_flow(
+      net_, src_, dst_, bytes, options_.make_controller(),
+      [this, bytes](netsim::SimTime completed_at) {
+        samples_.emplace_back(bytes, completed_at - probe_start_);
+        if (++repeat_index_ >= options_.repeats) {
+          repeat_index_ = 0;
+          ++size_index_;
+        }
+        // Tear down the finished flow before starting the next one; deleting
+        // it from within its own completion callback is unsafe, so defer.
+        net_.simulator().after(1e-6, [this] { next_probe(); });
+      },
+      options_.flow);
+}
+
+}  // namespace ricsa::transport

@@ -1,0 +1,74 @@
+// Effective path bandwidth (EPB) estimation, Section 4.3 (Eq. 3).
+//
+// "The active measurement technique generates a set of test messages of
+// various sizes, sends them to a destination node through a transport channel
+// such as a TCP flow, and measures the end-to-end delays, on which we apply a
+// linear regression to estimate the EPB": d(P, r) ~= r / EPB(P) + d0.
+//
+// The regression slope is 1/EPB; the intercept estimates the minimum path
+// delay (propagation + fixed processing). These two numbers are exactly what
+// the DP mapper's transport-time terms consume.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "transport/datagram_transport.hpp"
+
+namespace ricsa::transport {
+
+struct EpbResult {
+  /// Estimated effective path bandwidth, bytes/second (1 / slope).
+  double epb_Bps = 0.0;
+  /// Estimated fixed path delay d0, seconds (regression intercept, >= 0).
+  double min_delay_s = 0.0;
+  double r_squared = 0.0;
+  int probes = 0;
+  /// Raw (size, delay) samples for inspection.
+  std::vector<std::pair<std::size_t, double>> samples;
+};
+
+struct EpbOptions {
+  /// Probe message sizes. Defaults span 64 KB .. 4 MB.
+  std::vector<std::size_t> probe_sizes = {64 * 1024,  256 * 1024, 512 * 1024,
+                                          1024 * 1024, 2 * 1024 * 1024,
+                                          4 * 1024 * 1024};
+  /// Repetitions per size (delays are averaged).
+  int repeats = 2;
+  FlowConfig flow;
+  /// Controller factory for the probe flows; defaults to an AIMD ("TCP
+  /// flow") channel as in the paper.
+  std::function<std::unique_ptr<RateController>()> make_controller;
+};
+
+/// Asynchronously measures EPB from src to dst inside the simulation; calls
+/// done(result) when all probes complete. The caller must keep the returned
+/// object alive until then.
+class EpbEstimator {
+ public:
+  EpbEstimator(netsim::Network& net, netsim::NodeId src, netsim::NodeId dst,
+               EpbOptions options = {});
+
+  void run(std::function<void(const EpbResult&)> done);
+
+ private:
+  void next_probe();
+
+  netsim::Network& net_;
+  netsim::NodeId src_;
+  netsim::NodeId dst_;
+  EpbOptions options_;
+  std::function<void(const EpbResult&)> done_;
+  std::vector<std::pair<std::size_t, double>> samples_;
+  std::size_t size_index_ = 0;
+  int repeat_index_ = 0;
+  netsim::SimTime probe_start_ = 0.0;
+  Flow active_flow_;
+};
+
+/// Pure computation: fit Eq. 3 to (bytes, seconds) samples.
+EpbResult fit_epb(const std::vector<std::pair<std::size_t, double>>& samples);
+
+}  // namespace ricsa::transport

@@ -1,0 +1,25 @@
+#include "transport/goodput_meter.hpp"
+
+namespace ricsa::transport {
+
+void GoodputMeter::record(netsim::SimTime now, std::size_t bytes) {
+  events_.emplace_back(now, bytes);
+  window_bytes_ += bytes;
+  total_ += bytes;
+  evict(now);
+}
+
+double GoodputMeter::rate(netsim::SimTime now) {
+  evict(now);
+  return static_cast<double>(window_bytes_) / window_s_;
+}
+
+void GoodputMeter::evict(netsim::SimTime now) {
+  const netsim::SimTime horizon = now - window_s_;
+  while (!events_.empty() && events_.front().first < horizon) {
+    window_bytes_ -= events_.front().second;
+    events_.pop_front();
+  }
+}
+
+}  // namespace ricsa::transport

@@ -1,0 +1,38 @@
+// Sliding-window goodput measurement.
+//
+// "The goodput rate ... is the data receiving rate at the receiver ignoring
+// the duplicates" (Section 3). The receiver feeds every *new* payload byte
+// into this meter; the current rate is reported back to the sender in ACKs
+// and drives the Robbins-Monro update.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "netsim/simulator.hpp"
+
+namespace ricsa::transport {
+
+class GoodputMeter {
+ public:
+  /// window_s: averaging horizon. Short windows track transients (and jitter);
+  /// the paper's stabilization target is judged over ~100 ms - 1 s scales.
+  explicit GoodputMeter(double window_s = 0.5) : window_s_(window_s) {}
+
+  void record(netsim::SimTime now, std::size_t bytes);
+
+  /// Bytes per second over the trailing window ending at `now`.
+  double rate(netsim::SimTime now);
+
+  std::uint64_t total_bytes() const noexcept { return total_; }
+
+ private:
+  void evict(netsim::SimTime now);
+
+  double window_s_;
+  std::deque<std::pair<netsim::SimTime, std::size_t>> events_;
+  std::size_t window_bytes_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ricsa::transport

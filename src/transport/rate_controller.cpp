@@ -1,0 +1,57 @@
+#include "transport/rate_controller.hpp"
+
+#include <cmath>
+
+namespace ricsa::transport {
+
+RmsaController::RmsaController(RmsaConfig config)
+    : config_(config), sleep_s_(config.initial_sleep_s) {}
+
+double RmsaController::update(const RateFeedback& feedback) {
+  // Eq. 1:  Ts(t_{n+1}) = 1 / ( 1/Ts(t_n) - a_n * (g(t_n) - g*) )
+  // with a_n = a / (Wc * n^alpha). 1/Ts is the burst frequency; dividing the
+  // byte-rate error by the window payload (Wc * datagram_bytes) converts it
+  // into a burst-frequency correction.
+  const double window_payload = static_cast<double>(config_.window) *
+                                static_cast<double>(config_.datagram_bytes);
+  double gain = config_.gain_a /
+                (window_payload * std::pow(static_cast<double>(n_), config_.alpha));
+  if (config_.gain_floor > 0.0) {
+    gain = std::max(gain, config_.gain_floor / window_payload);
+  }
+  ++n_;
+
+  const double error = feedback.goodput_Bps - config_.target_Bps;
+  const double inv_sleep = 1.0 / sleep_s_ - gain * error;
+  if (inv_sleep <= 1.0 / config_.max_sleep_s) {
+    sleep_s_ = config_.max_sleep_s;  // rate driven to (or below) the floor
+  } else {
+    sleep_s_ = std::clamp(1.0 / inv_sleep, config_.min_sleep_s,
+                          config_.max_sleep_s);
+  }
+  return sleep_s_;
+}
+
+AimdController::AimdController(AimdConfig config)
+    : config_(config), rate_Bps_(config.initial_rate_Bps) {}
+
+double AimdController::sleep_from_rate(double rate_Bps) const {
+  // Rate = window_payload / Ts  =>  Ts = window_payload / rate. (Tc is paid
+  // on top by the sender; AIMD's coarse dynamics dominate regardless.)
+  const double window_payload = static_cast<double>(config_.window) *
+                                static_cast<double>(config_.datagram_bytes);
+  const double sleep = window_payload / rate_Bps;
+  return std::clamp(sleep, config_.min_sleep_s, config_.max_sleep_s);
+}
+
+double AimdController::update(const RateFeedback& feedback) {
+  if (feedback.loss_detected) {
+    rate_Bps_ *= config_.decrease_factor;
+  } else {
+    rate_Bps_ += config_.increase_Bps;
+  }
+  rate_Bps_ = std::clamp(rate_Bps_, config_.min_rate_Bps, config_.max_rate_Bps);
+  return sleep_from_rate(rate_Bps_);
+}
+
+}  // namespace ricsa::transport

@@ -1,0 +1,108 @@
+// Source-rate controllers for the window-based UDP transport of Section 3.
+//
+// The sender emits a congestion window of Wc datagrams, sleeps Ts, repeats;
+// its source rate is r_S = Wc / (Ts + Tc). Controllers observe the goodput
+// reported by the receiver and produce the next sleep time.
+//
+//  * RmsaController — the paper's Robbins-Monro stochastic approximation
+//    (Eq. 1): converges to the target goodput g* under random losses, with
+//    monotonically decaying gain a / (Wc * n^alpha).
+//  * AimdController — a TCP-Reno-like additive-increase/multiplicative-
+//    decrease baseline used to demonstrate the jitter the paper is avoiding.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+namespace ricsa::transport {
+
+struct RateFeedback {
+  /// Receiver-measured goodput, bytes/second.
+  double goodput_Bps = 0.0;
+  /// True when the receiver reported missing datagrams in this interval.
+  bool loss_detected = false;
+};
+
+class RateController {
+ public:
+  virtual ~RateController() = default;
+  /// Consume one feedback sample, return the next sleep time Ts (seconds).
+  virtual double update(const RateFeedback& feedback) = 0;
+  virtual double sleep_time() const = 0;
+  virtual std::string name() const = 0;
+};
+
+struct RmsaConfig {
+  /// Target goodput g*, bytes/second.
+  double target_Bps = 5e5;
+  /// Dimensionless gain numerator `a` of Eq. 1. With the Wc*n^alpha
+  /// denominator, a = 1 corrects the full rate error in one step at n = 1.
+  double gain_a = 1.0;
+  /// Robbins-Monro decay exponent alpha in (0.5, 1].
+  double alpha = 0.8;
+  /// Window size Wc in datagrams and payload bytes per datagram; both enter
+  /// the gain normalization (goodput is measured in bytes/s, Eq. 1's g in
+  /// datagrams/s — the Wc * datagram_bytes factor converts).
+  int window = 32;
+  std::size_t datagram_bytes = 1400;
+  double initial_sleep_s = 0.05;
+  double min_sleep_s = 1e-4;
+  double max_sleep_s = 2.0;
+  /// Optional lower bound on the decaying gain; 0 reproduces the paper's
+  /// pure Robbins-Monro schedule. A small floor lets the controller keep
+  /// tracking non-stationary conditions (ablation knob).
+  double gain_floor = 0.0;
+};
+
+class RmsaController final : public RateController {
+ public:
+  explicit RmsaController(RmsaConfig config);
+
+  double update(const RateFeedback& feedback) override;
+  double sleep_time() const override { return sleep_s_; }
+  std::string name() const override { return "rmsa"; }
+
+  int steps() const noexcept { return n_; }
+  double target() const noexcept { return config_.target_Bps; }
+  /// Change g* mid-flight (steering a control channel to a new rate).
+  void set_target(double target_Bps) noexcept { config_.target_Bps = target_Bps; }
+
+ private:
+  RmsaConfig config_;
+  double sleep_s_;
+  int n_ = 1;
+};
+
+struct AimdConfig {
+  /// Additive increase of the send rate per feedback epoch, bytes/second.
+  double increase_Bps = 1e5;
+  /// Multiplicative decrease factor applied on loss.
+  double decrease_factor = 0.5;
+  int window = 32;
+  std::size_t datagram_bytes = 1400;
+  double initial_rate_Bps = 2e5;
+  double min_rate_Bps = 1e4;
+  double max_rate_Bps = 1e9;
+  double min_sleep_s = 1e-4;
+  double max_sleep_s = 2.0;
+};
+
+class AimdController final : public RateController {
+ public:
+  explicit AimdController(AimdConfig config);
+
+  double update(const RateFeedback& feedback) override;
+  double sleep_time() const override { return sleep_from_rate(rate_Bps_); }
+  std::string name() const override { return "aimd"; }
+
+  double rate() const noexcept { return rate_Bps_; }
+
+ private:
+  double sleep_from_rate(double rate_Bps) const;
+
+  AimdConfig config_;
+  double rate_Bps_;
+};
+
+}  // namespace ricsa::transport

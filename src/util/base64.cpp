@@ -1,0 +1,84 @@
+#include "util/base64.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace ricsa::util {
+
+namespace {
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> build_reverse() {
+  std::array<std::int8_t, 256> rev{};
+  rev.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    rev[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return rev;
+}
+const std::array<std::int8_t, 256> kReverse = build_reverse();
+}  // namespace
+
+std::string base64_encode(std::span<const std::uint8_t> input) {
+  std::string out;
+  out.reserve((input.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= input.size(); i += 3) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(input[i]) << 16) |
+                            (static_cast<std::uint32_t>(input[i + 1]) << 8) |
+                            input[i + 2];
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back(kAlphabet[n & 63]);
+  }
+  const std::size_t rem = input.size() - i;
+  if (rem == 1) {
+    const std::uint32_t n = static_cast<std::uint32_t>(input[i]) << 16;
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out += "==";
+  } else if (rem == 2) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(input[i]) << 16) |
+                            (static_cast<std::uint32_t>(input[i + 1]) << 8);
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> base64_decode(std::string_view input) {
+  if (input.size() % 4 != 0) {
+    throw std::invalid_argument("base64: length not a multiple of 4");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() / 4 * 3);
+  for (std::size_t i = 0; i < input.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t n = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = input[i + j];
+      if (c == '=') {
+        if (i + 4 != input.size() || j < 2) {
+          throw std::invalid_argument("base64: bad padding position");
+        }
+        ++pad;
+        n <<= 6;
+        continue;
+      }
+      if (pad > 0) throw std::invalid_argument("base64: data after padding");
+      const std::int8_t v = kReverse[static_cast<unsigned char>(c)];
+      if (v < 0) throw std::invalid_argument("base64: invalid character");
+      n = (n << 6) | static_cast<std::uint32_t>(v);
+    }
+    out.push_back(static_cast<std::uint8_t>(n >> 16));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>(n >> 8));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(n));
+  }
+  return out;
+}
+
+}  // namespace ricsa::util

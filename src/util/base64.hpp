@@ -1,0 +1,19 @@
+// Base64 codec (RFC 4648). The Ajax front end inlines small preview images
+// into JSON poll responses as data URIs; larger frames are fetched as binary.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ricsa::util {
+
+std::string base64_encode(std::span<const std::uint8_t> input);
+
+/// Decodes; throws std::invalid_argument on non-alphabet characters or bad
+/// padding.
+std::vector<std::uint8_t> base64_decode(std::string_view input);
+
+}  // namespace ricsa::util

@@ -1,0 +1,79 @@
+// Portable binary (de)serialization used by the steering message protocol,
+// the visualization routing table, and the RDF dataset container.
+//
+// Wire format: little-endian fixed-width integers, IEEE-754 doubles,
+// length-prefixed strings/blobs. Readers perform bounds checks and throw
+// std::out_of_range on truncated input (a remote peer must never be able to
+// crash a node with a short message).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ricsa::util {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void f32(float v);
+  /// Length-prefixed (u32) byte blob.
+  void blob(std::span<const std::uint8_t> bytes);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+  /// Raw bytes, no length prefix.
+  void raw(std::span<const std::uint8_t> bytes);
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  float f32();
+  std::vector<std::uint8_t> blob();
+  std::string str();
+  /// Read exactly n raw bytes.
+  std::vector<std::uint8_t> raw(std::size_t n);
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return pos_ == data_.size(); }
+  std::size_t position() const noexcept { return pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (remaining() < n) {
+      throw std::out_of_range("ByteReader: truncated input");
+    }
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ricsa::util

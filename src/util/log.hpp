@@ -1,0 +1,50 @@
+// Minimal leveled logger. Thread-safe, writes to stderr by default.
+// Verbosity is global and settable at runtime (examples expose a -v flag).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ricsa::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Core sink: formats "[level] [component] message" with a monotonic
+/// timestamp and writes atomically to stderr.
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_trace(std::string_view c) { return {LogLevel::kTrace, c}; }
+inline detail::LogLine log_debug(std::string_view c) { return {LogLevel::kDebug, c}; }
+inline detail::LogLine log_info(std::string_view c) { return {LogLevel::kInfo, c}; }
+inline detail::LogLine log_warn(std::string_view c) { return {LogLevel::kWarn, c}; }
+inline detail::LogLine log_error(std::string_view c) { return {LogLevel::kError, c}; }
+
+}  // namespace ricsa::util

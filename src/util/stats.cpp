@@ -1,0 +1,132 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ricsa::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::cv() const noexcept {
+  const double m = mean();
+  return m != 0.0 ? stddev() / std::abs(m) : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  if (buckets == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: need hi > lo and buckets > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    ++counts_[std::min(idx, counts_.size() - 1)];
+  }
+}
+
+double Histogram::bucket_low(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_low(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+void LinearRegression::add(double x, double y) noexcept {
+  ++n_;
+  sx_ += x;
+  sy_ += y;
+  sxx_ += x * x;
+  sxy_ += x * y;
+  syy_ += y * y;
+}
+
+LinearFit LinearRegression::fit() const noexcept {
+  LinearFit out;
+  out.n = n_;
+  if (n_ < 2) return out;
+  const double n = static_cast<double>(n_);
+  const double den = n * sxx_ - sx_ * sx_;
+  if (den == 0.0) return out;  // all x identical
+  out.slope = (n * sxy_ - sx_ * sy_) / den;
+  out.intercept = (sy_ - out.slope * sx_) / n;
+  const double sst = syy_ - sy_ * sy_ / n;
+  if (sst > 0.0) {
+    const double ssr = out.slope * (sxy_ - sx_ * sy_ / n);
+    out.r_squared = std::clamp(ssr / sst, 0.0, 1.0);
+  } else {
+    out.r_squared = 1.0;  // y constant and perfectly predicted
+  }
+  return out;
+}
+
+double exact_quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) throw std::invalid_argument("exact_quantile: empty");
+  std::sort(samples.begin(), samples.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  if (i + 1 >= samples.size()) return samples.back();
+  return samples[i] * (1.0 - frac) + samples[i + 1] * frac;
+}
+
+}  // namespace ricsa::util

@@ -1,0 +1,92 @@
+// Streaming statistics, histograms and ordinary least squares regression.
+//
+// Used for: goodput jitter measurement (Section 3), effective-path-bandwidth
+// estimation via linear regression on probe delays (Eq. 3), and cost-model
+// calibration (Section 4.4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ricsa::util {
+
+/// Welford single-pass mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+  /// Coefficient of variation (stddev / |mean|); 0 when mean is 0.
+  double cv() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+  double bucket_low(std::size_t i) const noexcept;
+  /// Approximate quantile in [0,1] by linear interpolation within buckets.
+  double quantile(double q) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Result of an ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+};
+
+/// Streaming OLS accumulator.
+class LinearRegression {
+ public:
+  void add(double x, double y) noexcept;
+  void reset() noexcept { *this = LinearRegression{}; }
+  std::size_t count() const noexcept { return n_; }
+  /// Fit over all accumulated points. Requires >= 2 distinct x values;
+  /// returns a zero fit otherwise.
+  LinearFit fit() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double sx_ = 0.0, sy_ = 0.0, sxx_ = 0.0, sxy_ = 0.0, syy_ = 0.0;
+};
+
+/// Exact quantile of a sample (copies + sorts; for small result sets).
+double exact_quantile(std::vector<double> samples, double q);
+
+}  // namespace ricsa::util

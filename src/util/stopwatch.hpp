@@ -1,0 +1,23 @@
+// Wall-clock stopwatch for cost-model calibration measurements (Section 4.4):
+// the calibration harness times the real visualization code with this.
+#pragma once
+
+#include <chrono>
+
+namespace ricsa::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void restart() { start_ = clock::now(); }
+  /// Elapsed seconds since construction or last restart().
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ricsa::util

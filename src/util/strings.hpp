@@ -1,0 +1,24 @@
+// Small string helpers shared by the HTTP server, CLI parsing and report
+// printers. Nothing clever: split/trim/case-insensitive compare/formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ricsa::util {
+
+std::vector<std::string> split(std::string_view text, char delim);
+std::string_view trim(std::string_view text);
+std::string to_lower(std::string_view text);
+bool iequals(std::string_view a, std::string_view b);
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// "12.3 MB", "980 KB" etc. (binary-ish, decimal multiples as the paper uses).
+std::string format_bytes(double bytes);
+/// "1.23 s", "45.6 ms" depending on magnitude.
+std::string format_seconds(double seconds);
+/// printf-style formatting into std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ricsa::util

@@ -1,0 +1,47 @@
+// Fixed-size worker pool with a blocking task queue and a parallel_for
+// helper. This is the substrate for the "MPI-based visualization modules on
+// the cluster CS nodes" of the paper: data-parallel marching cubes and
+// scanline-parallel ray casting run their block/row ranges through it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ricsa::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves when it completes.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Statically partition [begin, end) into ~size() contiguous chunks and run
+  /// body(chunk_begin, chunk_end) on the pool; blocks until all finish.
+  /// Exceptions from chunks are rethrown (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace ricsa::util

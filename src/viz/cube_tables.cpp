@@ -1,0 +1,275 @@
+#include "viz/cube_tables.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "data/volume.hpp"
+
+namespace ricsa::viz {
+
+namespace {
+
+using data::Vec3;
+
+Vec3 corner_pos(int c) {
+  return Vec3{static_cast<float>(c & 1), static_cast<float>((c >> 1) & 1),
+              static_cast<float>((c >> 2) & 1)};
+}
+
+/// Kuhn decomposition: six tetrahedra sharing the 0-7 diagonal; the middle
+/// two vertices walk the edge cycle 1-3-2-6-4-5. All have positive
+/// orientation (checked in the builder).
+constexpr std::array<std::array<int, 4>, 6> kTets = {{
+    {0, 1, 3, 7},
+    {0, 3, 2, 7},
+    {0, 2, 6, 7},
+    {0, 6, 4, 7},
+    {0, 4, 5, 7},
+    {0, 5, 1, 7},
+}};
+
+struct Builder {
+  CubeTables tables;
+  std::map<std::pair<int, int>, int> segment_index;
+
+  int segment(int a, int b) {
+    if (a > b) std::swap(a, b);
+    const auto it = segment_index.find({a, b});
+    assert(it != segment_index.end());
+    return it->second;
+  }
+
+  void collect_segments() {
+    std::set<std::pair<int, int>> segs;
+    for (const auto& tet : kTets) {
+      for (int i = 0; i < 4; ++i) {
+        for (int j = i + 1; j < 4; ++j) {
+          int a = tet[static_cast<std::size_t>(i)];
+          int b = tet[static_cast<std::size_t>(j)];
+          if (a > b) std::swap(a, b);
+          segs.insert({a, b});
+        }
+      }
+    }
+    assert(segs.size() == 19);
+    int idx = 0;
+    for (const auto& s : segs) {
+      tables.segments[static_cast<std::size_t>(idx)] = s;
+      segment_index[s] = idx;
+      ++idx;
+    }
+  }
+
+  /// Emit one oriented triangle given three cut segments (as corner pairs)
+  /// and a direction the normal must roughly follow (from inside region to
+  /// outside region). Midpoints stand in for the interpolated vertices; the
+  /// topology (and hence winding) is independent of the interpolation
+  /// parameter.
+  void emit(std::vector<std::array<int, 3>>& out,
+            std::array<std::pair<int, int>, 3> cut, const Vec3& out_dir) {
+    const auto mid = [](const std::pair<int, int>& seg) {
+      return (corner_pos(seg.first) + corner_pos(seg.second)) * 0.5f;
+    };
+    const Vec3 a = mid(cut[0]), b = mid(cut[1]), c = mid(cut[2]);
+    const Vec3 n = (b - a).cross(c - a);
+    std::array<int, 3> tri = {segment(cut[0].first, cut[0].second),
+                              segment(cut[1].first, cut[1].second),
+                              segment(cut[2].first, cut[2].second)};
+    if (n.dot(out_dir) < 0) std::swap(tri[1], tri[2]);
+    out.push_back(tri);
+  }
+
+  /// Triangulate the isosurface inside one tetrahedron for a given inside
+  /// mask over its four vertices.
+  void tet_triangles(const std::array<int, 4>& tet, int inside_mask,
+                     std::vector<std::array<int, 3>>& out) {
+    if (inside_mask == 0 || inside_mask == 15) return;
+
+    std::array<bool, 4> in{};
+    for (int i = 0; i < 4; ++i) in[static_cast<std::size_t>(i)] = (inside_mask >> i) & 1;
+
+    // Centroids of the inside / outside vertex sets define the outward
+    // direction (inside = high value; normals point towards low value).
+    Vec3 in_c{}, out_c{};
+    int n_in = 0, n_out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const Vec3 p = corner_pos(tet[static_cast<std::size_t>(i)]);
+      if (in[static_cast<std::size_t>(i)]) {
+        in_c = in_c + p;
+        ++n_in;
+      } else {
+        out_c = out_c + p;
+        ++n_out;
+      }
+    }
+    in_c = in_c * (1.0f / static_cast<float>(n_in));
+    out_c = out_c * (1.0f / static_cast<float>(n_out));
+    const Vec3 out_dir = out_c - in_c;
+
+    // Cut segments: tet edges with one endpoint inside, one outside.
+    std::vector<std::pair<int, int>> cuts;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        if (in[static_cast<std::size_t>(i)] != in[static_cast<std::size_t>(j)]) {
+          cuts.emplace_back(tet[static_cast<std::size_t>(i)],
+                            tet[static_cast<std::size_t>(j)]);
+        }
+      }
+    }
+
+    if (cuts.size() == 3) {
+      emit(out, {cuts[0], cuts[1], cuts[2]}, out_dir);
+      return;
+    }
+    assert(cuts.size() == 4);
+    // Quad case: order the four cut edges into a cycle. Two cut segments are
+    // adjacent on the quad when they share a tet vertex.
+    const auto shares_vertex = [](const std::pair<int, int>& a,
+                                  const std::pair<int, int>& b) {
+      return a.first == b.first || a.first == b.second || a.second == b.first ||
+             a.second == b.second;
+    };
+    std::array<std::pair<int, int>, 4> cycle;
+    cycle[0] = cuts[0];
+    std::vector<std::pair<int, int>> rest = {cuts[1], cuts[2], cuts[3]};
+    for (int k = 1; k < 4; ++k) {
+      bool found = false;
+      for (std::size_t r = 0; r < rest.size(); ++r) {
+        if (shares_vertex(cycle[static_cast<std::size_t>(k - 1)], rest[r])) {
+          // Also require it NOT to close the cycle prematurely (for k<3 it
+          // must differ from cycle[0]'s pairing only at the last step).
+          if (k == 3 || !shares_vertex(cycle[0], rest[r]) ||
+              rest.size() == 1) {
+            cycle[static_cast<std::size_t>(k)] = rest[r];
+            rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(r));
+            found = true;
+            break;
+          }
+        }
+      }
+      if (!found) {
+        // Fall back: take any vertex-sharing segment.
+        for (std::size_t r = 0; r < rest.size(); ++r) {
+          if (shares_vertex(cycle[static_cast<std::size_t>(k - 1)], rest[r])) {
+            cycle[static_cast<std::size_t>(k)] = rest[r];
+            rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(r));
+            found = true;
+            break;
+          }
+        }
+      }
+      assert(found);
+    }
+    emit(out, {cycle[0], cycle[1], cycle[2]}, out_dir);
+    emit(out, {cycle[0], cycle[2], cycle[3]}, out_dir);
+  }
+
+  void build_triangle_table() {
+    for (int config = 0; config < 256; ++config) {
+      auto& tris = tables.triangles[static_cast<std::size_t>(config)];
+      for (const auto& tet : kTets) {
+        int mask = 0;
+        for (int i = 0; i < 4; ++i) {
+          if ((config >> tet[static_cast<std::size_t>(i)]) & 1) mask |= 1 << i;
+        }
+        tet_triangles(tet, mask, tris);
+      }
+    }
+  }
+
+  // --- MC equivalence classes under rotations + complement ---------------
+
+  static std::array<int, 8> compose(const std::array<int, 8>& f,
+                                    const std::array<int, 8>& g) {
+    // (f . g)(i) = f(g(i))
+    std::array<int, 8> h{};
+    for (int i = 0; i < 8; ++i) h[static_cast<std::size_t>(i)] = f[static_cast<std::size_t>(g[static_cast<std::size_t>(i)])];
+    return h;
+  }
+
+  static std::vector<std::array<int, 8>> rotation_group() {
+    // Generators: 90-degree rotations about z and x, expressed as corner
+    // permutations perm[i] = image of corner i.
+    const auto perm_from_map = [](auto&& point_map) {
+      std::array<int, 8> perm{};
+      for (int c = 0; c < 8; ++c) {
+        const int x = c & 1, y = (c >> 1) & 1, z = (c >> 2) & 1;
+        const auto [nx, ny, nz] = point_map(x, y, z);
+        perm[static_cast<std::size_t>(c)] = nx | (ny << 1) | (nz << 2);
+      }
+      return perm;
+    };
+    const auto rz = perm_from_map([](int x, int y, int z) {
+      return std::array<int, 3>{1 - y, x, z};
+    });
+    const auto rx = perm_from_map([](int x, int y, int z) {
+      return std::array<int, 3>{x, 1 - z, y};
+    });
+    std::array<int, 8> identity{};
+    for (int i = 0; i < 8; ++i) identity[static_cast<std::size_t>(i)] = i;
+
+    std::set<std::array<int, 8>> group = {identity};
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      std::vector<std::array<int, 8>> current(group.begin(), group.end());
+      for (const auto& g : current) {
+        for (const auto& gen : {rz, rx}) {
+          if (group.insert(compose(gen, g)).second) grew = true;
+        }
+      }
+    }
+    return {group.begin(), group.end()};
+  }
+
+  static int apply_perm(const std::array<int, 8>& perm, int config) {
+    int out = 0;
+    for (int i = 0; i < 8; ++i) {
+      if ((config >> i) & 1) out |= 1 << perm[static_cast<std::size_t>(i)];
+    }
+    return out;
+  }
+
+  void build_class_map() {
+    const auto rotations = rotation_group();
+    assert(rotations.size() == 24);
+    tables.mc_class.fill(-1);
+    int next_class = 0;
+    for (int config = 0; config < 256; ++config) {
+      if (tables.mc_class[static_cast<std::size_t>(config)] != -1) continue;
+      // Orbit of `config` under rotations and complementation.
+      std::set<int> orbit;
+      std::vector<int> frontier = {config};
+      while (!frontier.empty()) {
+        const int c = frontier.back();
+        frontier.pop_back();
+        if (!orbit.insert(c).second) continue;
+        frontier.push_back((~c) & 0xFF);
+        for (const auto& rot : rotations) frontier.push_back(apply_perm(rot, c));
+      }
+      for (const int c : orbit) tables.mc_class[static_cast<std::size_t>(c)] = next_class;
+      tables.class_representative.push_back(config);
+      ++next_class;
+    }
+    tables.class_count = next_class;
+  }
+
+  CubeTables build() {
+    collect_segments();
+    build_triangle_table();
+    build_class_map();
+    return std::move(tables);
+  }
+};
+
+}  // namespace
+
+const CubeTables& cube_tables() {
+  static const CubeTables tables = Builder{}.build();
+  return tables;
+}
+
+}  // namespace ricsa::viz

@@ -1,0 +1,49 @@
+// Per-cube isosurface triangulation tables + the 15-class case map of
+// classic marching cubes.
+//
+// Rather than transcribing the historical 256x16 triangle table (a
+// transcription-error hazard with no behavioural payoff), the tables are
+// *generated* at first use from the Kuhn 6-tetrahedra decomposition of the
+// cube around the 0-7 body diagonal. That decomposition is
+// translation-consistent: the face diagonals it induces on opposite cube
+// faces coincide between neighbouring cubes, so the extracted surface is
+// watertight across cube boundaries (verified by the mesh closure tests).
+//
+// Independently, the classic Lorensen-Cline equivalence classes — 256 corner
+// configurations collapsing to 15 cases under cube symmetry + value
+// complement (Section 4.4.1 builds its cost model on exactly these 15
+// cases) — are computed from the rotation group and exposed as `mc_class`.
+//
+// Cube corner numbering: bit 0 = +x, bit 1 = +y, bit 2 = +z, i.e. corner i
+// sits at ((i&1), (i>>1)&1, (i>>2)&1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ricsa::viz {
+
+struct CubeTables {
+  /// The 19 interpolation segments: 12 cube edges, 6 face diagonals, and the
+  /// 0-7 body diagonal, as (corner, corner) pairs.
+  std::array<std::pair<int, int>, 19> segments;
+
+  /// For each of the 256 corner sign configurations (bit i set = corner i is
+  /// inside, i.e. value > isovalue): triangles as triples of segment indices,
+  /// wound so normals point from inside (high value) to outside (low value).
+  std::array<std::vector<std::array<int, 3>>, 256> triangles;
+
+  /// Marching-cubes equivalence class of each configuration (0 = empty/full),
+  /// computed under the 24 cube rotations + complementation.
+  std::array<int, 256> mc_class;
+  int class_count = 0;
+
+  /// Representative configuration of each class.
+  std::vector<int> class_representative;
+};
+
+/// Lazily-built process-wide tables.
+const CubeTables& cube_tables();
+
+}  // namespace ricsa::viz

@@ -1,0 +1,118 @@
+#include "viz/filters.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ricsa::viz {
+
+using data::ScalarVolume;
+
+ScalarVolume downsample(const ScalarVolume& v, int factor) {
+  if (factor <= 0) throw std::invalid_argument("downsample: factor must be > 0");
+  const int nx = std::max(1, v.nx() / factor);
+  const int ny = std::max(1, v.ny() / factor);
+  const int nz = std::max(1, v.nz() / factor);
+  ScalarVolume out(nx, ny, nz, v.variable());
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        double sum = 0;
+        int count = 0;
+        for (int dz = 0; dz < factor; ++dz) {
+          for (int dy = 0; dy < factor; ++dy) {
+            for (int dx = 0; dx < factor; ++dx) {
+              const int sx = x * factor + dx;
+              const int sy = y * factor + dy;
+              const int sz = z * factor + dz;
+              if (sx < v.nx() && sy < v.ny() && sz < v.nz()) {
+                sum += v.at(sx, sy, sz);
+                ++count;
+              }
+            }
+          }
+        }
+        out.at(x, y, z) = static_cast<float>(sum / std::max(count, 1));
+      }
+    }
+  }
+  return out;
+}
+
+ScalarVolume crop(const ScalarVolume& v, int x0, int y0, int z0, int x1,
+                  int y1, int z1) {
+  if (x0 < 0 || y0 < 0 || z0 < 0 || x1 > v.nx() || y1 > v.ny() ||
+      z1 > v.nz() || x0 >= x1 || y0 >= y1 || z0 >= z1) {
+    throw std::invalid_argument("crop: bad bounds");
+  }
+  ScalarVolume out(x1 - x0, y1 - y0, z1 - z0, v.variable());
+  for (int z = z0; z < z1; ++z) {
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        out.at(x - x0, y - y0, z - z0) = v.at(x, y, z);
+      }
+    }
+  }
+  return out;
+}
+
+ScalarVolume normalize(const ScalarVolume& v) {
+  const auto [lo, hi] = v.min_max();
+  ScalarVolume out(v.nx(), v.ny(), v.nz(), v.variable());
+  const float span = hi - lo;
+  if (span <= 0) return out;  // constant -> all zeros
+  const float inv = 1.0f / span;
+  for (std::size_t i = 0; i < v.raw().size(); ++i) {
+    out.raw()[i] = (v.raw()[i] - lo) * inv;
+  }
+  return out;
+}
+
+ScalarVolume smooth(const ScalarVolume& v) {
+  ScalarVolume tmp = v;
+  ScalarVolume out = v;
+  // X pass.
+  for (int z = 0; z < v.nz(); ++z) {
+    for (int y = 0; y < v.ny(); ++y) {
+      for (int x = 0; x < v.nx(); ++x) {
+        const float l = v.at(std::max(0, x - 1), y, z);
+        const float c = v.at(x, y, z);
+        const float r = v.at(std::min(v.nx() - 1, x + 1), y, z);
+        tmp.at(x, y, z) = 0.25f * l + 0.5f * c + 0.25f * r;
+      }
+    }
+  }
+  // Y pass.
+  ScalarVolume tmp2 = tmp;
+  for (int z = 0; z < v.nz(); ++z) {
+    for (int y = 0; y < v.ny(); ++y) {
+      for (int x = 0; x < v.nx(); ++x) {
+        const float l = tmp.at(x, std::max(0, y - 1), z);
+        const float c = tmp.at(x, y, z);
+        const float r = tmp.at(x, std::min(v.ny() - 1, y + 1), z);
+        tmp2.at(x, y, z) = 0.25f * l + 0.5f * c + 0.25f * r;
+      }
+    }
+  }
+  // Z pass.
+  for (int z = 0; z < v.nz(); ++z) {
+    for (int y = 0; y < v.ny(); ++y) {
+      for (int x = 0; x < v.nx(); ++x) {
+        const float l = tmp2.at(x, y, std::max(0, z - 1));
+        const float c = tmp2.at(x, y, z);
+        const float r = tmp2.at(x, y, std::min(v.nz() - 1, z + 1));
+        out.at(x, y, z) = 0.25f * l + 0.5f * c + 0.25f * r;
+      }
+    }
+  }
+  return out;
+}
+
+ScalarVolume band_pass(const ScalarVolume& v, float lo, float hi) {
+  ScalarVolume out = v;
+  for (float& value : out.raw()) {
+    if (value < lo || value > hi) value = 0.0f;
+  }
+  return out;
+}
+
+}  // namespace ricsa::viz

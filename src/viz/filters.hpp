@@ -1,0 +1,31 @@
+// Dataset filtering / preprocessing — the first module of the visualization
+// pipeline (Section 4.1): "extracts the information of interest from the raw
+// data and performs necessary preprocessing to improve processing efficiency
+// and save communication resources".
+#pragma once
+
+#include "data/volume.hpp"
+
+namespace ricsa::viz {
+
+/// Box-average downsample by an integer factor along every axis (the paper's
+/// Visible Woman was "downsampled from its original size by 8 times").
+data::ScalarVolume downsample(const data::ScalarVolume& volume, int factor);
+
+/// Voxel-aligned crop [x0, x1) x [y0, y1) x [z0, z1).
+data::ScalarVolume crop(const data::ScalarVolume& volume, int x0, int y0,
+                        int z0, int x1, int y1, int z1);
+
+/// Affinely rescale values so min -> 0 and max -> 1 (constant fields map
+/// to 0).
+data::ScalarVolume normalize(const data::ScalarVolume& volume);
+
+/// Separable 3-tap binomial smoothing ([1 2 1]/4 along each axis).
+data::ScalarVolume smooth(const data::ScalarVolume& volume);
+
+/// Zero all values outside [lo, hi] (band-pass filter for a variable of
+/// interest).
+data::ScalarVolume band_pass(const data::ScalarVolume& volume, float lo,
+                             float hi);
+
+}  // namespace ricsa::viz

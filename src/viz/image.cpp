@@ -1,0 +1,188 @@
+#include "viz/image.hpp"
+
+#include <array>
+#include <fstream>
+#include <stdexcept>
+
+namespace ricsa::viz {
+
+Image::Image(int width, int height, Rgba fill)
+    : width_(width), height_(height),
+      pixels_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+              fill) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Image: dimensions must be positive");
+  }
+}
+
+Rgba& Image::at(int x, int y) {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) {
+    throw std::out_of_range("Image::at");
+  }
+  return pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+}
+
+const Rgba& Image::at(int x, int y) const {
+  return const_cast<Image*>(this)->at(x, y);
+}
+
+void Image::write_ppm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("Image: cannot open " + path);
+  out << "P6\n" << width_ << " " << height_ << "\n255\n";
+  for (const Rgba& p : pixels_) {
+    out.put(static_cast<char>(p.r));
+    out.put(static_cast<char>(p.g));
+    out.put(static_cast<char>(p.b));
+  }
+  if (!out) throw std::runtime_error("Image: write failed " + path);
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n,
+                    std::uint32_t seed) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t adler32(const std::uint8_t* data, std::size_t n) {
+  std::uint32_t a = 1, b = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    a = (a + data[i]) % 65521;
+    b = (b + a) % 65521;
+  }
+  return (b << 16) | a;
+}
+
+namespace {
+void push_be32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void push_chunk(std::vector<std::uint8_t>& out, const char type[5],
+                const std::vector<std::uint8_t>& payload) {
+  push_be32(out, static_cast<std::uint32_t>(payload.size()));
+  std::vector<std::uint8_t> body;
+  body.reserve(4 + payload.size());
+  for (int i = 0; i < 4; ++i) body.push_back(static_cast<std::uint8_t>(type[i]));
+  body.insert(body.end(), payload.begin(), payload.end());
+  out.insert(out.end(), body.begin(), body.end());
+  push_be32(out, crc32(body.data(), body.size()));
+}
+}  // namespace
+
+std::vector<std::uint8_t> Image::encode_png() const {
+  // Raw scanlines, each prefixed with filter type 0 (None).
+  std::vector<std::uint8_t> raw;
+  raw.reserve(static_cast<std::size_t>(height_) *
+              (1 + 4 * static_cast<std::size_t>(width_)));
+  for (int y = 0; y < height_; ++y) {
+    raw.push_back(0);
+    for (int x = 0; x < width_; ++x) {
+      const Rgba& p = at(x, y);
+      raw.push_back(p.r);
+      raw.push_back(p.g);
+      raw.push_back(p.b);
+      raw.push_back(p.a);
+    }
+  }
+
+  // zlib stream: header + stored (BTYPE=00) deflate blocks + adler32.
+  std::vector<std::uint8_t> z;
+  z.push_back(0x78);
+  z.push_back(0x01);
+  std::size_t off = 0;
+  while (off < raw.size() || raw.empty()) {
+    const std::size_t len = std::min<std::size_t>(raw.size() - off, 65535);
+    const bool final = off + len >= raw.size();
+    z.push_back(final ? 1 : 0);
+    z.push_back(static_cast<std::uint8_t>(len & 0xFF));
+    z.push_back(static_cast<std::uint8_t>(len >> 8));
+    z.push_back(static_cast<std::uint8_t>(~len & 0xFF));
+    z.push_back(static_cast<std::uint8_t>((~len >> 8) & 0xFF));
+    z.insert(z.end(), raw.begin() + static_cast<std::ptrdiff_t>(off),
+             raw.begin() + static_cast<std::ptrdiff_t>(off + len));
+    off += len;
+    if (raw.empty()) break;
+  }
+  push_be32(z, adler32(raw.data(), raw.size()));
+
+  std::vector<std::uint8_t> png = {0x89, 'P', 'N', 'G', 0x0D, 0x0A, 0x1A, 0x0A};
+  std::vector<std::uint8_t> ihdr;
+  push_be32(ihdr, static_cast<std::uint32_t>(width_));
+  push_be32(ihdr, static_cast<std::uint32_t>(height_));
+  ihdr.push_back(8);   // bit depth
+  ihdr.push_back(6);   // color type RGBA
+  ihdr.push_back(0);   // compression
+  ihdr.push_back(0);   // filter
+  ihdr.push_back(0);   // interlace
+  push_chunk(png, "IHDR", ihdr);
+  push_chunk(png, "IDAT", z);
+  push_chunk(png, "IEND", {});
+  return png;
+}
+
+void Image::write_png(const std::string& path) const {
+  const auto bytes = encode_png();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("Image: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("Image: write failed " + path);
+}
+
+std::vector<std::uint8_t> rle_encode(const Image& image) {
+  std::vector<std::uint8_t> out;
+  const auto& px = image.pixels();
+  std::size_t i = 0;
+  while (i < px.size()) {
+    std::size_t run = 1;
+    while (i + run < px.size() && run < 255 && px[i + run] == px[i]) ++run;
+    out.push_back(static_cast<std::uint8_t>(run));
+    out.push_back(px[i].r);
+    out.push_back(px[i].g);
+    out.push_back(px[i].b);
+    out.push_back(px[i].a);
+    i += run;
+  }
+  return out;
+}
+
+Image rle_decode(const std::vector<std::uint8_t>& data, int width, int height) {
+  if (data.size() % 5 != 0) throw std::runtime_error("rle: bad length");
+  Image img(width, height);
+  std::size_t pixel = 0;
+  const std::size_t total =
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  for (std::size_t i = 0; i < data.size(); i += 5) {
+    const std::size_t run = data[i];
+    const Rgba c{data[i + 1], data[i + 2], data[i + 3], data[i + 4]};
+    for (std::size_t k = 0; k < run; ++k) {
+      if (pixel >= total) throw std::runtime_error("rle: pixel overflow");
+      img.at(static_cast<int>(pixel % static_cast<std::size_t>(width)),
+             static_cast<int>(pixel / static_cast<std::size_t>(width))) = c;
+      ++pixel;
+    }
+  }
+  if (pixel != total) throw std::runtime_error("rle: pixel underflow");
+  return img;
+}
+
+}  // namespace ricsa::viz

@@ -1,0 +1,58 @@
+// RGBA8 image with PPM/PNG writers and an RLE codec.
+//
+// The Ajax front end "save[s] the received images as fixed-size files that
+// are to be delivered to the browser through the object exchange mechanism
+// of XMLHttpRequest" (Section 2). PNG encoding here is fully self-contained
+// (stored-mode deflate, no zlib dependency); RLE gives the cheap
+// framebuffer compression used when shipping images down the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ricsa::viz {
+
+struct Rgba {
+  std::uint8_t r = 0, g = 0, b = 0, a = 255;
+  bool operator==(const Rgba&) const = default;
+};
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, Rgba fill = {0, 0, 0, 255});
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  std::size_t bytes() const noexcept { return pixels_.size() * 4; }
+
+  Rgba& at(int x, int y);
+  const Rgba& at(int x, int y) const;
+
+  const std::vector<Rgba>& pixels() const noexcept { return pixels_; }
+
+  /// Binary PPM (P6, alpha dropped).
+  void write_ppm(const std::string& path) const;
+
+  /// Complete PNG byte stream (RGBA, stored-mode deflate).
+  std::vector<std::uint8_t> encode_png() const;
+  void write_png(const std::string& path) const;
+
+ private:
+  int width_ = 0, height_ = 0;
+  std::vector<Rgba> pixels_;
+};
+
+/// Run-length encode RGBA pixels: stream of (count u8, rgba) runs.
+std::vector<std::uint8_t> rle_encode(const Image& image);
+/// Decode back; throws std::runtime_error on malformed input or mismatched
+/// pixel count.
+Image rle_decode(const std::vector<std::uint8_t>& data, int width, int height);
+
+/// CRC-32 (IEEE) and Adler-32 — exposed for tests.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n,
+                    std::uint32_t seed = 0);
+std::uint32_t adler32(const std::uint8_t* data, std::size_t n);
+
+}  // namespace ricsa::viz

@@ -1,0 +1,116 @@
+#include "viz/mesh.hpp"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+namespace ricsa::viz {
+
+void TriangleMesh::add_triangle(const Vec3& a, const Vec3& b, const Vec3& c) {
+  const auto base = static_cast<std::uint32_t>(positions_.size());
+  positions_.push_back(a);
+  positions_.push_back(b);
+  positions_.push_back(c);
+  const Vec3 n = (b - a).cross(c - a).normalized();
+  normals_.push_back(n);
+  normals_.push_back(n);
+  normals_.push_back(n);
+  indices_.push_back(base);
+  indices_.push_back(base + 1);
+  indices_.push_back(base + 2);
+}
+
+void TriangleMesh::append(const TriangleMesh& other) {
+  const auto base = static_cast<std::uint32_t>(positions_.size());
+  positions_.insert(positions_.end(), other.positions_.begin(),
+                    other.positions_.end());
+  normals_.insert(normals_.end(), other.normals_.begin(), other.normals_.end());
+  indices_.reserve(indices_.size() + other.indices_.size());
+  for (const std::uint32_t i : other.indices_) indices_.push_back(base + i);
+}
+
+TriangleMesh TriangleMesh::welded(float eps) const {
+  TriangleMesh out;
+  std::map<std::tuple<long, long, long>, std::uint32_t> grid;
+  const float inv = 1.0f / eps;
+  std::vector<std::uint32_t> remap(positions_.size());
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    const Vec3& p = positions_[i];
+    const auto key = std::make_tuple(std::lround(p.x * inv),
+                                     std::lround(p.y * inv),
+                                     std::lround(p.z * inv));
+    const auto it = grid.find(key);
+    if (it != grid.end()) {
+      remap[i] = it->second;
+    } else {
+      const auto id = static_cast<std::uint32_t>(out.positions_.size());
+      grid.emplace(key, id);
+      out.positions_.push_back(p);
+      out.normals_.push_back(Vec3{});
+      remap[i] = id;
+    }
+  }
+  for (std::size_t t = 0; t + 2 < indices_.size(); t += 3) {
+    const std::uint32_t a = remap[indices_[t]];
+    const std::uint32_t b = remap[indices_[t + 1]];
+    const std::uint32_t c = remap[indices_[t + 2]];
+    if (a == b || b == c || a == c) continue;  // degenerate after welding
+    out.indices_.push_back(a);
+    out.indices_.push_back(b);
+    out.indices_.push_back(c);
+    // Accumulate area-weighted face normals for smooth shading.
+    const Vec3 n = (out.positions_[b] - out.positions_[a])
+                       .cross(out.positions_[c] - out.positions_[a]);
+    out.normals_[a] = out.normals_[a] + n;
+    out.normals_[b] = out.normals_[b] + n;
+    out.normals_[c] = out.normals_[c] + n;
+  }
+  for (Vec3& n : out.normals_) n = n.normalized();
+  return out;
+}
+
+double TriangleMesh::surface_area() const {
+  double area = 0.0;
+  for (std::size_t t = 0; t + 2 < indices_.size(); t += 3) {
+    const Vec3& a = positions_[indices_[t]];
+    const Vec3& b = positions_[indices_[t + 1]];
+    const Vec3& c = positions_[indices_[t + 2]];
+    area += 0.5 * static_cast<double>((b - a).cross(c - a).norm());
+  }
+  return area;
+}
+
+std::pair<Vec3, Vec3> TriangleMesh::bounds() const {
+  if (positions_.empty()) return {Vec3{}, Vec3{}};
+  Vec3 lo = positions_.front();
+  Vec3 hi = positions_.front();
+  for (const Vec3& p : positions_) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  return {lo, hi};
+}
+
+bool TriangleMesh::is_closed() const {
+  const TriangleMesh w = welded();
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> edge_count;
+  for (std::size_t t = 0; t + 2 < w.indices_.size(); t += 3) {
+    for (int e = 0; e < 3; ++e) {
+      std::uint32_t a = w.indices_[t + static_cast<std::size_t>(e)];
+      std::uint32_t b = w.indices_[t + static_cast<std::size_t>((e + 1) % 3)];
+      if (a > b) std::swap(a, b);
+      ++edge_count[{a, b}];
+    }
+  }
+  if (edge_count.empty()) return false;
+  for (const auto& [edge, count] : edge_count) {
+    if (count != 2) return false;
+  }
+  return true;
+}
+
+}  // namespace ricsa::viz

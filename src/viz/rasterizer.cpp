@@ -1,0 +1,221 @@
+#include "viz/rasterizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ricsa::viz {
+
+Mat4 Mat4::identity() {
+  Mat4 r;
+  for (int i = 0; i < 4; ++i) r.m[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0f;
+  return r;
+}
+
+Mat4 Mat4::translation(const Vec3& t) {
+  Mat4 r = identity();
+  r.m[3][0] = t.x;
+  r.m[3][1] = t.y;
+  r.m[3][2] = t.z;
+  return r;
+}
+
+Mat4 Mat4::scale(float s) {
+  Mat4 r = identity();
+  r.m[0][0] = r.m[1][1] = r.m[2][2] = s;
+  return r;
+}
+
+Mat4 Mat4::rotation_z(float a) {
+  Mat4 r = identity();
+  r.m[0][0] = std::cos(a);
+  r.m[0][1] = std::sin(a);
+  r.m[1][0] = -std::sin(a);
+  r.m[1][1] = std::cos(a);
+  return r;
+}
+
+Mat4 Mat4::rotation_y(float a) {
+  Mat4 r = identity();
+  r.m[0][0] = std::cos(a);
+  r.m[0][2] = -std::sin(a);
+  r.m[2][0] = std::sin(a);
+  r.m[2][2] = std::cos(a);
+  return r;
+}
+
+Mat4 Mat4::rotation_x(float a) {
+  Mat4 r = identity();
+  r.m[1][1] = std::cos(a);
+  r.m[1][2] = std::sin(a);
+  r.m[2][1] = -std::sin(a);
+  r.m[2][2] = std::cos(a);
+  return r;
+}
+
+Mat4 Mat4::look_at(const Vec3& eye, const Vec3& target, const Vec3& up) {
+  const Vec3 f = (target - eye).normalized();
+  const Vec3 s = f.cross(up).normalized();
+  const Vec3 u = s.cross(f);
+  Mat4 r = identity();
+  r.m[0][0] = s.x;  r.m[1][0] = s.y;  r.m[2][0] = s.z;
+  r.m[0][1] = u.x;  r.m[1][1] = u.y;  r.m[2][1] = u.z;
+  r.m[0][2] = -f.x; r.m[1][2] = -f.y; r.m[2][2] = -f.z;
+  r.m[3][0] = -s.dot(eye);
+  r.m[3][1] = -u.dot(eye);
+  r.m[3][2] = f.dot(eye);
+  return r;
+}
+
+Mat4 Mat4::perspective(float fov_y, float aspect, float near_z, float far_z) {
+  const float f = 1.0f / std::tan(fov_y / 2.0f);
+  Mat4 r;
+  r.m[0][0] = f / aspect;
+  r.m[1][1] = f;
+  r.m[2][2] = (far_z + near_z) / (near_z - far_z);
+  r.m[2][3] = -1.0f;
+  r.m[3][2] = 2.0f * far_z * near_z / (near_z - far_z);
+  return r;
+}
+
+Mat4 Mat4::orthographic(float half_w, float half_h, float near_z, float far_z) {
+  Mat4 r = identity();
+  r.m[0][0] = 1.0f / half_w;
+  r.m[1][1] = 1.0f / half_h;
+  r.m[2][2] = -2.0f / (far_z - near_z);
+  r.m[3][2] = -(far_z + near_z) / (far_z - near_z);
+  return r;
+}
+
+Mat4 Mat4::operator*(const Mat4& o) const {
+  Mat4 r;
+  for (int c = 0; c < 4; ++c) {
+    for (int row = 0; row < 4; ++row) {
+      float sum = 0;
+      for (int k = 0; k < 4; ++k) {
+        sum += m[static_cast<std::size_t>(k)][static_cast<std::size_t>(row)] *
+               o.m[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)];
+      }
+      r.m[static_cast<std::size_t>(c)][static_cast<std::size_t>(row)] = sum;
+    }
+  }
+  return r;
+}
+
+Vec3 Mat4::transform(const Vec3& p, float* out_w) const {
+  const float x = m[0][0] * p.x + m[1][0] * p.y + m[2][0] * p.z + m[3][0];
+  const float y = m[0][1] * p.x + m[1][1] * p.y + m[2][1] * p.z + m[3][1];
+  const float z = m[0][2] * p.x + m[1][2] * p.y + m[2][2] * p.z + m[3][2];
+  const float w = m[0][3] * p.x + m[1][3] * p.y + m[2][3] * p.z + m[3][3];
+  if (out_w) *out_w = w;
+  const float inv = (w != 0.0f) ? 1.0f / w : 1.0f;
+  return Vec3{x * inv, y * inv, z * inv};
+}
+
+Vec3 Mat4::rotate(const Vec3& d) const {
+  return Vec3{m[0][0] * d.x + m[1][0] * d.y + m[2][0] * d.z,
+              m[0][1] * d.x + m[1][1] * d.y + m[2][1] * d.z,
+              m[0][2] * d.x + m[1][2] * d.y + m[2][2] * d.z};
+}
+
+RenderResult render_mesh(const TriangleMesh& mesh, const RenderOptions& opt) {
+  RenderResult result;
+  result.image = Image(opt.width, opt.height, opt.background);
+  if (mesh.triangle_count() == 0) return result;
+
+  const auto [lo, hi] = mesh.bounds();
+  const Vec3 center = (lo + hi) * 0.5f;
+  const float radius = std::max(1e-3f, ((hi - lo) * 0.5f).norm());
+
+  const Vec3 eye =
+      center + Vec3{std::cos(opt.elevation) * std::cos(opt.azimuth),
+                    std::cos(opt.elevation) * std::sin(opt.azimuth),
+                    std::sin(opt.elevation)} *
+                   (radius * opt.distance);
+  const Mat4 view = Mat4::look_at(eye, center, Vec3{0, 0, 1});
+  const Mat4 proj = Mat4::perspective(
+      opt.fov_y, static_cast<float>(opt.width) / static_cast<float>(opt.height),
+      0.1f * radius, 10.0f * radius);
+  const Mat4 mvp = proj * view;
+  const Vec3 light = opt.light_dir.normalized();
+
+  std::vector<float> zbuf(static_cast<std::size_t>(opt.width) *
+                              static_cast<std::size_t>(opt.height),
+                          std::numeric_limits<float>::max());
+
+  // Pre-shade vertices (Gouraud): Lambert with two-sided normals + ambient.
+  const std::size_t nv = mesh.vertex_count();
+  std::vector<Vec3> screen(nv);
+  std::vector<float> shade(nv);
+  std::vector<bool> valid(nv);
+  for (std::size_t i = 0; i < nv; ++i) {
+    float w = 1;
+    const Vec3 ndc = mvp.transform(mesh.positions()[i], &w);
+    valid[i] = w > 0;  // behind-camera vertices are culled with the triangle
+    screen[i] = Vec3{(ndc.x * 0.5f + 0.5f) * static_cast<float>(opt.width),
+                     (0.5f - ndc.y * 0.5f) * static_cast<float>(opt.height),
+                     ndc.z};
+    const float lambert = std::abs(mesh.normals()[i].dot(light));
+    shade[i] = 0.25f + 0.75f * std::clamp(lambert, 0.0f, 1.0f);
+  }
+
+  std::size_t drawn = 0, shaded = 0;
+  const auto& idx = mesh.indices();
+  for (std::size_t t = 0; t + 2 < idx.size(); t += 3) {
+    const std::uint32_t ia = idx[t], ib = idx[t + 1], ic = idx[t + 2];
+    if (!valid[ia] || !valid[ib] || !valid[ic]) continue;
+    const Vec3& a = screen[ia];
+    const Vec3& b = screen[ib];
+    const Vec3& c = screen[ic];
+
+    const float min_x = std::min({a.x, b.x, c.x});
+    const float max_x = std::max({a.x, b.x, c.x});
+    const float min_y = std::min({a.y, b.y, c.y});
+    const float max_y = std::max({a.y, b.y, c.y});
+    if (max_x < 0 || max_y < 0 || min_x >= static_cast<float>(opt.width) ||
+        min_y >= static_cast<float>(opt.height)) {
+      continue;
+    }
+    const float area =
+        (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+    if (std::abs(area) < 1e-9f) continue;
+    ++drawn;
+
+    const int x0 = std::max(0, static_cast<int>(std::floor(min_x)));
+    const int x1 = std::min(opt.width - 1, static_cast<int>(std::ceil(max_x)));
+    const int y0 = std::max(0, static_cast<int>(std::floor(min_y)));
+    const int y1 = std::min(opt.height - 1, static_cast<int>(std::ceil(max_y)));
+    const float inv_area = 1.0f / area;
+
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        const float px = static_cast<float>(x) + 0.5f;
+        const float py = static_cast<float>(y) + 0.5f;
+        const float w0 = ((b.x - px) * (c.y - py) - (b.y - py) * (c.x - px)) * inv_area;
+        const float w1 = ((c.x - px) * (a.y - py) - (c.y - py) * (a.x - px)) * inv_area;
+        const float w2 = 1.0f - w0 - w1;
+        if (w0 < 0 || w1 < 0 || w2 < 0) continue;
+        const float z = w0 * a.z + w1 * b.z + w2 * c.z;
+        float& zref = zbuf[static_cast<std::size_t>(y) *
+                               static_cast<std::size_t>(opt.width) +
+                           static_cast<std::size_t>(x)];
+        if (z >= zref) continue;
+        zref = z;
+        const float s = w0 * shade[ia] + w1 * shade[ib] + w2 * shade[ic];
+        const auto to8 = [s](std::uint8_t base) {
+          return static_cast<std::uint8_t>(
+              std::clamp(s * static_cast<float>(base), 0.0f, 255.0f));
+        };
+        result.image.at(x, y) = Rgba{to8(opt.base_color.r),
+                                     to8(opt.base_color.g),
+                                     to8(opt.base_color.b), 255};
+        ++shaded;
+      }
+    }
+  }
+  result.triangles_drawn = drawn;
+  result.pixels_shaded = shaded;
+  return result;
+}
+
+}  // namespace ricsa::viz

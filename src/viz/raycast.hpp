@@ -1,0 +1,75 @@
+// Orthographic volume ray casting (Section 4.4.2).
+//
+// Cost model inputs are reported alongside the image: the number of rays
+// actually intersecting the volume and the number of samples taken, matching
+// Eq. 7's n_rays * n_samples accounting. Early ray termination is optional
+// and off by default, as the paper's model deliberately excludes it ("we
+// simplify our estimation by not considering early ray termination").
+#pragma once
+
+#include <vector>
+
+#include "data/volume.hpp"
+#include "util/thread_pool.hpp"
+#include "viz/image.hpp"
+
+namespace ricsa::viz {
+
+/// Piecewise-linear RGBA transfer function over scalar values.
+class TransferFunction {
+ public:
+  struct Stop {
+    float value;
+    float r, g, b, a;
+  };
+
+  /// Stops must be sorted by value; at least one required.
+  explicit TransferFunction(std::vector<Stop> stops);
+
+  /// Interpolated RGBA at a scalar value (clamped to the stop range).
+  Stop sample(float value) const;
+
+  /// Grey-blue preset covering [lo, hi] with soft opacity ramp.
+  static TransferFunction preset(float lo, float hi);
+
+ private:
+  std::vector<Stop> stops_;
+};
+
+struct RayCastOptions {
+  int width = 256;
+  int height = 256;
+  /// Viewing direction as azimuth/elevation (radians) around the volume.
+  float azimuth = 0.6f;
+  float elevation = 0.4f;
+  /// Sampling step along the ray, voxel units.
+  float step = 1.0f;
+  bool early_termination = false;
+  float opacity_cutoff = 0.98f;
+  Rgba background{12, 12, 24, 255};
+  util::ThreadPool* pool = nullptr;
+};
+
+struct RayCastResult {
+  Image image;
+  /// Rays whose footprint intersected the volume AABB.
+  std::size_t rays = 0;
+  /// Total scalar samples taken (Eq. 7's n_rays * n_samples).
+  std::size_t samples = 0;
+};
+
+RayCastResult raycast(const data::ScalarVolume& volume,
+                      const TransferFunction& tf,
+                      const RayCastOptions& options = {});
+
+/// Analytic ray/sample counts for a volume of the given dimensions under
+/// `options`, without touching any voxel data: the n_rays and n_samples
+/// inputs of the Eq. 7 cost model (exact for early_termination == false).
+struct RayGeometry {
+  std::size_t rays = 0;
+  std::size_t samples = 0;
+};
+RayGeometry estimate_raycast_counts(int nx, int ny, int nz,
+                                    const RayCastOptions& options);
+
+}  // namespace ricsa::viz

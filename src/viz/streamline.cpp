@@ -1,0 +1,59 @@
+#include "viz/streamline.hpp"
+
+namespace ricsa::viz {
+
+using data::Vec3;
+
+StreamlineSet trace_streamlines(const data::VectorVolume& field,
+                                const std::vector<Vec3>& seeds,
+                                const StreamlineOptions& options) {
+  StreamlineSet out;
+  out.lines.reserve(seeds.size());
+
+  for (const Vec3& seed : seeds) {
+    std::vector<Vec3> line;
+    line.push_back(seed);
+    Vec3 p = seed;
+    for (int step = 0; step < options.max_steps; ++step) {
+      if (!field.inside(p.x, p.y, p.z)) break;
+      // Classic RK4 advection.
+      const float h = options.step;
+      const Vec3 k1 = field.sample(p.x, p.y, p.z);
+      if (k1.norm() < options.min_speed) break;
+      const Vec3 p2 = p + k1 * (h * 0.5f);
+      const Vec3 k2 = field.sample(p2.x, p2.y, p2.z);
+      const Vec3 p3 = p + k2 * (h * 0.5f);
+      const Vec3 k3 = field.sample(p3.x, p3.y, p3.z);
+      const Vec3 p4 = p + k3 * h;
+      const Vec3 k4 = field.sample(p4.x, p4.y, p4.z);
+      p = p + (k1 + k2 * 2.0f + k3 * 2.0f + k4) * (h / 6.0f);
+      ++out.advection_steps;
+      if (!field.inside(p.x, p.y, p.z)) break;
+      line.push_back(p);
+    }
+    out.lines.push_back(std::move(line));
+  }
+  return out;
+}
+
+std::vector<Vec3> grid_seeds(const data::VectorVolume& field, int n) {
+  std::vector<Vec3> seeds;
+  seeds.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n) *
+                static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        seeds.push_back(Vec3{
+            (static_cast<float>(i) + 0.5f) * static_cast<float>(field.nx() - 1) /
+                static_cast<float>(n),
+            (static_cast<float>(j) + 0.5f) * static_cast<float>(field.ny() - 1) /
+                static_cast<float>(n),
+            (static_cast<float>(k) + 0.5f) * static_cast<float>(field.nz() - 1) /
+                static_cast<float>(n)});
+      }
+    }
+  }
+  return seeds;
+}
+
+}  // namespace ricsa::viz

@@ -1,0 +1,44 @@
+// Streamline generation by RK4 advection through a vector field
+// (Section 4.4.3: cost = n_seeds * n_steps * T_advection).
+#pragma once
+
+#include <vector>
+
+#include "data/volume.hpp"
+
+namespace ricsa::viz {
+
+struct StreamlineOptions {
+  /// Integration step in voxel units.
+  float step = 0.5f;
+  /// Maximum advection steps per seed.
+  int max_steps = 1000;
+  /// Stop when the local velocity magnitude falls below this.
+  float min_speed = 1e-6f;
+};
+
+struct StreamlineSet {
+  /// One polyline per seed (first point = the seed itself).
+  std::vector<std::vector<data::Vec3>> lines;
+  /// Total advection (RK4) evaluations actually performed — the n_steps
+  /// count of Eq. 8.
+  std::size_t advection_steps = 0;
+
+  std::size_t total_points() const {
+    std::size_t n = 0;
+    for (const auto& line : lines) n += line.size();
+    return n;
+  }
+  /// Wire size when shipped as geometry (3 floats per point).
+  std::size_t bytes() const { return total_points() * 3 * sizeof(float); }
+};
+
+/// Trace one streamline from each seed (seeds in voxel coordinates).
+StreamlineSet trace_streamlines(const data::VectorVolume& field,
+                                const std::vector<data::Vec3>& seeds,
+                                const StreamlineOptions& options = {});
+
+/// Convenience: regular grid of n^3 seeds across the field interior.
+std::vector<data::Vec3> grid_seeds(const data::VectorVolume& field, int n);
+
+}  // namespace ricsa::viz

@@ -1,0 +1,274 @@
+#include "web/frontend.hpp"
+
+#include <chrono>
+
+#include "util/base64.hpp"
+#include "util/strings.hpp"
+
+namespace ricsa::web {
+
+namespace {
+
+/// The embedded dashboard: plain XHR long-polling, no frameworks. Only the
+/// image and status elements update when a poll returns — the partial-update
+/// behaviour the paper highlights about Ajax UIs.
+constexpr const char* kDashboardHtml = R"HTML(<!doctype html>
+<html><head><meta charset="utf-8"><title>RICSA monitor</title>
+<style>
+ body{font-family:sans-serif;background:#101018;color:#dde;margin:20px}
+ #frame{border:1px solid #446;image-rendering:pixelated;width:384px;height:384px}
+ .row{margin:6px 0} label{display:inline-block;width:120px}
+ input{width:80px} button{margin-left:4px}
+ #status{white-space:pre;font-family:monospace;font-size:12px;color:#9fb}
+</style></head><body>
+<h2>RICSA &mdash; computational monitoring &amp; steering</h2>
+<div style="display:flex;gap:24px">
+ <div><img id="frame" alt="waiting for first frame"/></div>
+ <div>
+  <div class="row"><label>variable</label>
+   <select id="variable"><option>density</option><option>pressure</option>
+   <option>velocity</option><option>energy</option></select></div>
+  <div class="row"><label>isovalue</label><input id="isovalue" value="0.5"/></div>
+  <div class="row"><label>azimuth</label><input id="azimuth" value="0.7"/></div>
+  <div class="row"><label>zoom</label><input id="zoom" value="1.0"/></div>
+  <div class="row"><label>octant</label><input id="octant" value="-1"/></div>
+  <div class="row"><button onclick="postView()">apply view</button></div>
+  <hr/>
+  <div class="row"><label>parameter</label><input id="pname" value="gamma"/></div>
+  <div class="row"><label>value</label><input id="pvalue" value="1.4"/></div>
+  <div class="row"><button onclick="steer()">steer</button></div>
+ </div>
+</div>
+<div id="status">connecting...</div>
+<script>
+let since = 0;
+function poll(){
+  const xhr = new XMLHttpRequest();
+  xhr.open('GET', '/api/poll?since=' + since, true);
+  xhr.onload = function(){
+    try {
+      const r = JSON.parse(xhr.responseText);
+      if (r.seq > since) {
+        since = r.seq;
+        if (r.image_b64) document.getElementById('frame').src =
+            'data:image/png;base64,' + r.image_b64;
+        document.getElementById('status').textContent =
+            JSON.stringify(r.state, null, 1);
+      }
+    } catch(e) {}
+    poll();
+  };
+  xhr.onerror = function(){ setTimeout(poll, 1000); };
+  xhr.send();
+}
+function steer(){
+  const body = {};
+  body[document.getElementById('pname').value] =
+      parseFloat(document.getElementById('pvalue').value);
+  const xhr = new XMLHttpRequest();
+  xhr.open('POST', '/api/steer', true);
+  xhr.send(JSON.stringify(body));
+}
+function postView(){
+  const body = {
+    variable: document.getElementById('variable').value,
+    isovalue: parseFloat(document.getElementById('isovalue').value),
+    azimuth: parseFloat(document.getElementById('azimuth').value),
+    zoom: parseFloat(document.getElementById('zoom').value),
+    octant: parseInt(document.getElementById('octant').value)
+  };
+  const xhr = new XMLHttpRequest();
+  xhr.open('POST', '/api/view', true);
+  xhr.send(JSON.stringify(body));
+}
+poll();
+</script></body></html>)HTML";
+
+}  // namespace
+
+AjaxFrontEnd::AjaxFrontEnd(FrontEndConfig config)
+    : config_(config), session_(config.session) {
+  register_routes();
+}
+
+AjaxFrontEnd::~AjaxFrontEnd() { stop(); }
+
+int AjaxFrontEnd::start() {
+  const int port = server_.start(config_.port);
+  running_ = true;
+  loop_thread_ = std::thread([this] { frame_loop(); });
+  return port;
+}
+
+void AjaxFrontEnd::stop() {
+  if (!running_.exchange(false)) return;
+  state_cv_.notify_all();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  server_.stop();
+}
+
+std::uint64_t AjaxFrontEnd::frame_seq() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return seq_;
+}
+
+void AjaxFrontEnd::register_routes() {
+  server_.route("GET", "/", [this](const HttpRequest& r) { return handle_index(r); });
+  server_.route("GET", "/api/state", [this](const HttpRequest& r) { return handle_state(r); });
+  server_.route("GET", "/api/poll", [this](const HttpRequest& r) { return handle_poll(r); });
+  server_.route("GET", "/api/image", [this](const HttpRequest& r) { return handle_image(r); });
+  server_.route("POST", "/api/steer", [this](const HttpRequest& r) { return handle_steer(r); });
+  server_.route("POST", "/api/view", [this](const HttpRequest& r) { return handle_view(r); });
+}
+
+void AjaxFrontEnd::frame_loop() {
+  while (running_.load()) {
+    // Apply client-posted view/viz changes on the session's thread.
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      while (!pending_view_.empty()) {
+        const util::Json op = pending_view_.front();
+        pending_view_.pop_front();
+        if (op.contains("variable")) {
+          session_.set_variable(op.at("variable").as_string());
+        }
+        if (op.contains("isovalue")) {
+          session_.viz_request().isovalue =
+              static_cast<float>(op.at("isovalue").as_number(0.5));
+        }
+        if (op.contains("azimuth")) {
+          session_.view().azimuth =
+              static_cast<float>(op.at("azimuth").as_number(0.7));
+        }
+        if (op.contains("elevation")) {
+          session_.view().elevation =
+              static_cast<float>(op.at("elevation").as_number(0.35));
+        }
+        if (op.contains("zoom")) {
+          session_.view().zoom =
+              static_cast<float>(op.at("zoom").as_number(1.0));
+        }
+        if (op.contains("octant")) {
+          session_.view().octant =
+              static_cast<int>(op.at("octant").as_int(-1));
+        }
+        if (op.contains("technique")) {
+          const std::string t = op.at("technique").as_string();
+          auto& technique = session_.viz_request().technique;
+          if (t == "isosurface") technique = cost::VizRequest::Technique::kIsosurface;
+          if (t == "raycast") technique = cost::VizRequest::Technique::kRayCast;
+          if (t == "streamline") technique = cost::VizRequest::Technique::kStreamline;
+        }
+      }
+    }
+
+    const auto frame = session_.next_frame();
+
+    util::Json state;
+    state["cycle"] = frame.cycle;
+    state["sim_time"] = frame.sim_time;
+    state["variable"] = frame.variable;
+    state["vrt"] = frame.vrt.to_string();
+    state["predicted_delay_s"] = frame.vrt.predicted_delay_s;
+    state["filter_s"] = frame.exec.filter_s;
+    state["transform_s"] = frame.exec.transform_s;
+    state["render_s"] = frame.exec.render_s;
+    state["geometry_bytes"] = static_cast<double>(frame.exec.geometry_bytes);
+    util::JsonObject params;
+    for (const auto& [key, value] : session_.parameters()) {
+      params[key] = util::Json(value);
+    }
+    state["parameters"] = util::Json(params);
+
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++seq_;
+      latest_state_ = std::move(state);
+      latest_png_ = frame.image.encode_png();
+    }
+    state_cv_.notify_all();
+
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(config_.frame_interval_s));
+  }
+}
+
+util::Json AjaxFrontEnd::state_locked() const {
+  util::Json out;
+  out["seq"] = static_cast<double>(seq_);
+  out["state"] = latest_state_;
+  return out;
+}
+
+HttpResponse AjaxFrontEnd::handle_index(const HttpRequest&) {
+  return HttpResponse::html(kDashboardHtml);
+}
+
+HttpResponse AjaxFrontEnd::handle_state(const HttpRequest&) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return HttpResponse::json(state_locked().dump());
+}
+
+HttpResponse AjaxFrontEnd::handle_poll(const HttpRequest& request) {
+  const auto since =
+      static_cast<std::uint64_t>(std::stoull(request.query_param("since", "0")));
+  const double timeout = std::min(
+      config_.poll_timeout_s,
+      std::stod(request.query_param("timeout", "15")));
+
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  state_cv_.wait_for(lock, std::chrono::duration<double>(timeout), [&] {
+    return seq_ > since || !running_.load();
+  });
+
+  util::Json out = state_locked();
+  if (seq_ > since && !latest_png_.empty()) {
+    // The partial update: image + state ride one XHR response.
+    out["image_b64"] = util::base64_encode(latest_png_);
+  } else {
+    out["timeout"] = true;
+  }
+  return HttpResponse::json(out.dump());
+}
+
+HttpResponse AjaxFrontEnd::handle_image(const HttpRequest&) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (latest_png_.empty()) return HttpResponse::not_found();
+  return HttpResponse::binary(latest_png_, "image/png");
+}
+
+HttpResponse AjaxFrontEnd::handle_steer(const HttpRequest& request) {
+  util::Json body;
+  try {
+    body = util::Json::parse(request.body);
+  } catch (const std::exception& e) {
+    return HttpResponse::bad_request(e.what());
+  }
+  if (!body.is_object()) return HttpResponse::bad_request("expected object");
+  util::JsonArray applied;
+  for (const auto& [name, value] : body.as_object()) {
+    if (!value.is_number()) continue;
+    session_.steer(name, value.as_number());  // thread-safe mailbox post
+    applied.push_back(util::Json(name));
+    ++steers_;
+  }
+  util::Json out;
+  out["posted"] = util::Json(applied);
+  return HttpResponse::json(out.dump());
+}
+
+HttpResponse AjaxFrontEnd::handle_view(const HttpRequest& request) {
+  util::Json body;
+  try {
+    body = util::Json::parse(request.body);
+  } catch (const std::exception& e) {
+    return HttpResponse::bad_request(e.what());
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_view_.push_back(std::move(body));
+  }
+  return HttpResponse::json("{\"ok\":true}");
+}
+
+}  // namespace ricsa::web

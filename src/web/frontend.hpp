@@ -1,0 +1,83 @@
+// The Ajax front end (Sections 2 & 5.1): bridges the steering session to any
+// number of web browsers.
+//
+// "Using Ajax, only user interface elements that contain new information are
+// updated with data received from a server such as next update of a
+// monitored computation. Such a non-interrupted data-driven model replaces
+// the traditional click-wait-refresh page-driven model."
+//
+// Implementation: a background monitor loop produces frames from the
+// SteeringSession; browsers long-poll /api/poll?since=N and receive only the
+// delta (new frame sequence + state + PNG image) the moment it exists —
+// the XMLHttpRequest object-exchange of the paper. Steering commands arrive
+// as JSON POSTs and are applied on the next simulation cycle. Any number of
+// clients can watch/steer concurrently (each keeps its own cursor).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "steering/session.hpp"
+#include "util/json.hpp"
+#include "web/http.hpp"
+
+namespace ricsa::web {
+
+struct FrontEndConfig {
+  steering::SessionConfig session;
+  /// Pacing of the background monitor loop (seconds between frames).
+  double frame_interval_s = 0.2;
+  /// TCP port (0 = ephemeral).
+  int port = 0;
+  /// Long-poll timeout ceiling.
+  double poll_timeout_s = 15.0;
+};
+
+class AjaxFrontEnd {
+ public:
+  explicit AjaxFrontEnd(FrontEndConfig config);
+  ~AjaxFrontEnd();
+
+  /// Start the monitor loop and HTTP server; returns the bound port.
+  int start();
+  void stop();
+
+  int port() const noexcept { return server_.port(); }
+  std::uint64_t frame_seq() const;
+  std::uint64_t steer_count() const noexcept { return steers_.load(); }
+
+ private:
+  void register_routes();
+  void frame_loop();
+  util::Json state_locked() const;  // requires state_mutex_
+
+  HttpResponse handle_index(const HttpRequest& request);
+  HttpResponse handle_state(const HttpRequest& request);
+  HttpResponse handle_poll(const HttpRequest& request);
+  HttpResponse handle_image(const HttpRequest& request);
+  HttpResponse handle_steer(const HttpRequest& request);
+  HttpResponse handle_view(const HttpRequest& request);
+
+  FrontEndConfig config_;
+  steering::SteeringSession session_;
+  HttpServer server_;
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> steers_{0};
+
+  mutable std::mutex state_mutex_;
+  mutable std::condition_variable state_cv_;
+  std::uint64_t seq_ = 0;
+  util::Json latest_state_;
+  std::vector<std::uint8_t> latest_png_;
+
+  /// View/viz changes posted by clients, applied by the loop thread.
+  std::mutex pending_mutex_;
+  std::deque<util::Json> pending_view_;
+};
+
+}  // namespace ricsa::web

@@ -1,0 +1,373 @@
+#include "web/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace ricsa::web {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+/// Read until the full header block is present; then read the body per
+/// Content-Length. Returns false on EOF / malformed input.
+bool read_request(int fd, HttpRequest& out) {
+  std::string buffer;
+  char chunk[4096];
+  std::size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+    if (buffer.size() > 1 << 20) return false;  // header bomb
+  }
+
+  const std::string head = buffer.substr(0, header_end);
+  std::string rest = buffer.substr(header_end + 4);
+
+  std::istringstream lines(head);
+  std::string line;
+  if (!std::getline(lines, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  {
+    std::istringstream first(line);
+    std::string target, version;
+    if (!(first >> out.method >> target >> version)) return false;
+    const auto q = target.find('?');
+    if (q == std::string::npos) {
+      out.path = target;
+    } else {
+      out.path = target.substr(0, q);
+      out.query = target.substr(q + 1);
+    }
+  }
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string key = util::to_lower(util::trim(line.substr(0, colon)));
+    out.headers[key] = std::string(util::trim(line.substr(colon + 1)));
+  }
+
+  std::size_t content_length = 0;
+  const auto it = out.headers.find("content-length");
+  if (it != out.headers.end()) {
+    content_length = static_cast<std::size_t>(std::stoul(it->second));
+    if (content_length > (64u << 20)) return false;
+  }
+  while (rest.size() < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    rest.append(chunk, static_cast<std::size_t>(n));
+  }
+  out.body = rest.substr(0, content_length);
+  return true;
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string url_decode(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      const auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(text[i + 1]), lo = hex(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(text[i] == '+' ? ' ' : text[i]);
+  }
+  return out;
+}
+
+std::string HttpRequest::query_param(const std::string& key,
+                                     const std::string& fallback) const {
+  for (const std::string& pair : util::split(query, '&')) {
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    if (pair.substr(0, eq) == key) return url_decode(pair.substr(eq + 1));
+  }
+  return fallback;
+}
+
+HttpResponse HttpResponse::text(std::string body, int status) {
+  HttpResponse r;
+  r.status = status;
+  r.headers["Content-Type"] = "text/plain; charset=utf-8";
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::json(std::string body, int status) {
+  HttpResponse r;
+  r.status = status;
+  r.headers["Content-Type"] = "application/json";
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::html(std::string body) {
+  HttpResponse r;
+  r.headers["Content-Type"] = "text/html; charset=utf-8";
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::binary(std::vector<std::uint8_t> bytes,
+                                  std::string content_type) {
+  HttpResponse r;
+  r.headers["Content-Type"] = std::move(content_type);
+  r.body.assign(bytes.begin(), bytes.end());
+  return r;
+}
+
+HttpResponse HttpResponse::not_found() { return text("not found", 404); }
+HttpResponse HttpResponse::bad_request(const std::string& why) {
+  return text("bad request: " + why, 400);
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::route(const std::string& method, const std::string& path,
+                       Handler handler, bool prefix) {
+  std::lock_guard<std::mutex> lock(routes_mutex_);
+  if (prefix) {
+    prefix_.emplace_back(method, path, std::move(handler));
+  } else {
+    exact_[{method, path}] = std::move(handler);
+  }
+}
+
+int HttpServer::start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("http: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("http: bind() failed");
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("http: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  running_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return port_;
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) return;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval tv{30, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  while (running_.load()) {
+    HttpRequest request;
+    if (!read_request(fd, request)) break;
+    HttpResponse response = dispatch(request);
+    ++served_;
+
+    const bool keep_alive =
+        !util::iequals(request.headers.count("connection")
+                           ? request.headers.at("connection")
+                           : "keep-alive",
+                       "close");
+    std::string head = util::strprintf(
+        "HTTP/1.1 %d %s\r\nContent-Length: %zu\r\nConnection: %s\r\n",
+        response.status, status_text(response.status), response.body.size(),
+        keep_alive ? "keep-alive" : "close");
+    for (const auto& [key, value] : response.headers) {
+      head += key + ": " + value + "\r\n";
+    }
+    head += "\r\n";
+    if (!write_all(fd, head.data(), head.size())) break;
+    if (!write_all(fd, response.body.data(), response.body.size())) break;
+    if (!keep_alive) break;
+  }
+  ::close(fd);
+}
+
+HttpResponse HttpServer::dispatch(const HttpRequest& request) {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(routes_mutex_);
+    const auto it = exact_.find({request.method, request.path});
+    if (it != exact_.end()) {
+      handler = it->second;
+    } else {
+      for (const auto& [method, prefix, h] : prefix_) {
+        if (method == request.method &&
+            util::starts_with(request.path, prefix)) {
+          handler = h;
+          break;
+        }
+      }
+    }
+  }
+  if (!handler) return HttpResponse::not_found();
+  try {
+    return handler(request);
+  } catch (const std::exception& e) {
+    return HttpResponse::text(std::string("internal error: ") + e.what(), 500);
+  }
+}
+
+namespace {
+HttpClientResponse http_exchange(int port, const std::string& request_text,
+                                 double timeout_s) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("http client: socket() failed");
+  timeval tv{static_cast<time_t>(timeout_s),
+             static_cast<suseconds_t>((timeout_s - static_cast<time_t>(timeout_s)) * 1e6)};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw std::runtime_error("http client: connect() failed");
+  }
+  if (!write_all(fd, request_text.data(), request_text.size())) {
+    ::close(fd);
+    throw std::runtime_error("http client: send failed");
+  }
+
+  std::string buffer;
+  char chunk[8192];
+  std::size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      ::close(fd);
+      throw std::runtime_error("http client: no response");
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+  }
+
+  HttpClientResponse out;
+  {
+    std::istringstream lines(buffer.substr(0, header_end));
+    std::string line;
+    std::getline(lines, line);
+    std::istringstream status_line(line);
+    std::string version;
+    status_line >> version >> out.status;
+    while (std::getline(lines, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      out.headers[util::to_lower(util::trim(line.substr(0, colon)))] =
+          std::string(util::trim(line.substr(colon + 1)));
+    }
+  }
+  std::string body = buffer.substr(header_end + 4);
+  std::size_t content_length = 0;
+  if (out.headers.count("content-length")) {
+    content_length = std::stoul(out.headers.at("content-length"));
+  }
+  while (body.size() < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    body.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  out.body = body.substr(0, std::min(body.size(), content_length));
+  return out;
+}
+}  // namespace
+
+HttpClientResponse http_get(int port, const std::string& path_and_query,
+                            double timeout_s) {
+  const std::string req = "GET " + path_and_query +
+                          " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  return http_exchange(port, req, timeout_s);
+}
+
+HttpClientResponse http_post(int port, const std::string& path,
+                             const std::string& body,
+                             const std::string& content_type,
+                             double timeout_s) {
+  const std::string req = util::strprintf(
+      "POST %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n"
+      "Content-Type: %s\r\nContent-Length: %zu\r\n\r\n",
+      path.c_str(), content_type.c_str(), body.size()) + body;
+  return http_exchange(port, req, timeout_s);
+}
+
+}  // namespace ricsa::web

@@ -1,0 +1,102 @@
+// Minimal HTTP/1.1 server and client over loopback TCP.
+//
+// The paper's front end serves the GWT-built Ajax application and answers
+// XMLHttpRequest calls (Section 5.1); this is the equivalent embedded web
+// server: blocking accept loop + thread-per-connection with keep-alive,
+// enough of HTTP/1.1 for browsers and for the in-process AjaxClientEmulator
+// used in tests. No TLS, loopback-oriented.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ricsa::web {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;        // without the query string
+  std::string query;       // raw query string (after '?')
+  std::map<std::string, std::string> headers;  // lower-cased keys
+  std::string body;
+
+  /// Value of a query parameter (URL-decoded), or fallback.
+  std::string query_param(const std::string& key,
+                          const std::string& fallback = "") const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  static HttpResponse text(std::string body, int status = 200);
+  static HttpResponse json(std::string body, int status = 200);
+  static HttpResponse html(std::string body);
+  static HttpResponse binary(std::vector<std::uint8_t> bytes,
+                             std::string content_type);
+  static HttpResponse not_found();
+  static HttpResponse bad_request(const std::string& why);
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Route an exact path for a method ("GET", "POST"). Longest-prefix
+  /// fallback routes can be added with `prefix = true`.
+  void route(const std::string& method, const std::string& path,
+             Handler handler, bool prefix = false);
+
+  /// Bind loopback:port (0 = ephemeral) and start serving. Returns the
+  /// bound port. Throws std::runtime_error on failure.
+  int start(int port = 0);
+  void stop();
+  int port() const noexcept { return port_; }
+  bool running() const noexcept { return running_.load(); }
+  std::uint64_t requests_served() const noexcept { return served_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  HttpResponse dispatch(const HttpRequest& request);
+
+  std::map<std::pair<std::string, std::string>, Handler> exact_;
+  std::vector<std::tuple<std::string, std::string, Handler>> prefix_;
+  std::mutex routes_mutex_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+/// Tiny blocking HTTP/1.1 client for tests and the client emulator.
+struct HttpClientResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+HttpClientResponse http_get(int port, const std::string& path_and_query,
+                            double timeout_s = 10.0);
+HttpClientResponse http_post(int port, const std::string& path,
+                             const std::string& body,
+                             const std::string& content_type = "application/json",
+                             double timeout_s = 10.0);
+
+std::string url_decode(const std::string& text);
+
+}  // namespace ricsa::web

@@ -1,0 +1,289 @@
+// Core optimizer tests: the Eq. 9/10 dynamic program against hand-computed
+// optima, exhaustive-search ground truth on random instances (parameterized
+// property sweep), feasibility constraints, Eq. 2 delay prediction, and
+// adaptive reconfiguration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mapper.hpp"
+#include "core/reconfigure.hpp"
+#include "cost/network_profile.hpp"
+#include "netsim/testbed.hpp"
+#include "util/prng.hpp"
+
+namespace core = ricsa::core;
+namespace c = ricsa::cost;
+namespace ns = ricsa::netsim;
+
+namespace {
+
+/// Three-node line: A --1MB/s--> B(fast) --1MB/s--> C, plus a thin direct
+/// A --0.1MB/s--> C shortcut. Hand-checkable.
+c::NetworkProfile line_profile() {
+  c::NetworkProfile p;
+  p.add_node("A", 1.0, false);
+  p.add_node("B", 4.0, true);
+  p.add_node("C", 1.0, true);
+  p.set_link(0, 1, {1e6, 0.0});
+  p.set_link(1, 2, {1e6, 0.0});
+  p.set_link(0, 2, {1e5, 0.0});
+  return p;
+}
+
+/// source -> work(8 s at unit power) -> display; m0 = 8 MB, m1 = 1 MB.
+core::MappingProblem line_problem() {
+  core::MappingProblem problem;
+  problem.unit_compute = {0.0, 8.0, 0.0};
+  problem.messages = {8000000, 1000000};
+  problem.allowed = {
+      {true, false, false},  // source pinned at A
+      {true, true, true},    // work anywhere
+      {false, false, true},  // display pinned at C
+  };
+  problem.source = 0;
+  problem.destination = 2;
+  return problem;
+}
+
+}  // namespace
+
+TEST(DpMapper, HandComputedOptimum) {
+  // work at A: 8 + 1e6/1e5 = 18 s; at B: 8 + 2 + 1 = 11 s; at C: 80 + 8 = 88.
+  const auto profile = line_profile();
+  const auto problem = line_problem();
+  const auto mapping = core::DpMapper().solve(profile, problem);
+  ASSERT_TRUE(mapping.feasible);
+  EXPECT_NEAR(mapping.delay_s, 11.0, 1e-9);
+  EXPECT_EQ(mapping.node_of_module, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DpMapper, AssignmentDelayMatchesPrediction) {
+  const auto profile = line_profile();
+  const auto problem = line_problem();
+  const auto mapping = core::DpMapper().solve(profile, problem);
+  EXPECT_NEAR(core::predict_delay(profile, problem, mapping.node_of_module),
+              mapping.delay_s, 1e-12);
+}
+
+TEST(DpMapper, PrefersLocalComputeWhenLinksAreThin) {
+  auto profile = line_profile();
+  // Make both B-routes useless: thin A->B.
+  profile.set_link(0, 1, {1e4, 0.0});
+  const auto problem = line_problem();
+  const auto mapping = core::DpMapper().solve(profile, problem);
+  ASSERT_TRUE(mapping.feasible);
+  // Now work at A then ship 1 MB over the shortcut: 8 + 10 = 18 s.
+  EXPECT_NEAR(mapping.delay_s, 18.0, 1e-9);
+  EXPECT_EQ(mapping.node_of_module, (std::vector<int>{0, 0, 2}));
+}
+
+TEST(DpMapper, GpuConstraintForcesPlacement) {
+  auto problem = line_problem();
+  // Require the work module to sit on a GPU node (B or C only).
+  problem.allowed[1] = {false, true, true};
+  const auto mapping = core::DpMapper().solve(line_profile(), problem);
+  ASSERT_TRUE(mapping.feasible);
+  EXPECT_NE(mapping.node_of_module[1], 0);
+  EXPECT_NEAR(mapping.delay_s, 11.0, 1e-9);  // B still optimal
+}
+
+TEST(DpMapper, InfeasibleWhenNoRouteExists) {
+  c::NetworkProfile p;
+  p.add_node("A", 1.0, false);
+  p.add_node("B", 1.0, false);  // no edges at all
+  core::MappingProblem problem;
+  problem.unit_compute = {0.0, 1.0};
+  problem.messages = {1000};
+  problem.allowed = {{true, false}, {false, true}};
+  problem.source = 0;
+  problem.destination = 1;
+  const auto mapping = core::DpMapper().solve(p, problem);
+  EXPECT_FALSE(mapping.feasible);
+  EXPECT_TRUE(std::isinf(mapping.delay_s));
+}
+
+TEST(DpMapper, ClientServerReductionQ2) {
+  // Only the direct link exists: the system reduces to the simplest
+  // client/server setup (paper: "When the number of groups q = 2").
+  c::NetworkProfile p;
+  p.add_node("S", 1.0, false);
+  p.add_node("C", 2.0, true);
+  p.set_link(0, 1, {1e6, 0.01});
+  core::MappingProblem problem;
+  problem.unit_compute = {0.0, 4.0, 0.0};
+  problem.messages = {2000000, 100};
+  problem.allowed = {{true, false}, {true, true}, {false, true}};
+  problem.source = 0;
+  problem.destination = 1;
+  const auto mapping = core::DpMapper().solve(p, problem);
+  ASSERT_TRUE(mapping.feasible);
+  // Work at S: 4 + (100/1e6 + 0.01) ~ 4.01; work at C: 2 + 0.01 + 2 = 4.01?
+  // transfer m0 first: 2 s + 0.01 + compute 4/2 = 2 -> 4.01. Tie-ish; both
+  // valid. Just verify the DP's arithmetic agrees with the evaluator.
+  EXPECT_NEAR(core::predict_delay(p, problem, mapping.node_of_module),
+              mapping.delay_s, 1e-12);
+  const auto vrt = mapping.to_vrt(1);
+  EXPECT_EQ(vrt.path().size(), 2u);
+}
+
+TEST(DpMapper, RevisitingNodesAllowed) {
+  // Send data out to a fast worker and back: path C -> B -> C revisits C.
+  c::NetworkProfile p;
+  p.add_node("C", 1.0, true);
+  p.add_node("B", 100.0, true);
+  p.set_link(0, 1, {1e7, 0.0});
+  p.set_link(1, 0, {1e7, 0.0});
+  core::MappingProblem problem;
+  problem.unit_compute = {0.0, 50.0, 0.0};
+  problem.messages = {10000000, 10000000};
+  problem.allowed = {{true, false}, {true, true}, {true, false}};
+  problem.source = 0;
+  problem.destination = 0;
+  const auto mapping = core::DpMapper().solve(p, problem);
+  ASSERT_TRUE(mapping.feasible);
+  // Local: 50 s. Round trip: 1 + 0.5 + 1 = 2.5 s.
+  EXPECT_NEAR(mapping.delay_s, 2.5, 1e-9);
+  EXPECT_EQ(mapping.node_of_module, (std::vector<int>{0, 1, 0}));
+}
+
+// --------------------------------------------- DP == exhaustive property ----
+
+class DpVsExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpVsExhaustive, AgreeOnRandomInstances) {
+  ricsa::util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const int nodes = static_cast<int>(rng.uniform_int(4, 7));
+  const int modules = static_cast<int>(rng.uniform_int(3, 6));
+
+  c::NetworkProfile profile;
+  for (int v = 0; v < nodes; ++v) {
+    profile.add_node("n" + std::to_string(v), rng.uniform(0.5, 8.0),
+                     rng.bernoulli(0.6));
+  }
+  // Random sparse digraph, guaranteed chain 0 -> 1 -> ... so a path exists.
+  for (int v = 0; v + 1 < nodes; ++v) {
+    profile.set_link(v, v + 1, {rng.uniform(1e5, 1e7), rng.uniform(0, 0.05)});
+  }
+  for (int a = 0; a < nodes; ++a) {
+    for (int b = 0; b < nodes; ++b) {
+      if (a != b && rng.bernoulli(0.35) && !profile.has_link(a, b)) {
+        profile.set_link(a, b, {rng.uniform(1e5, 1e7), rng.uniform(0, 0.05)});
+      }
+    }
+  }
+
+  core::MappingProblem problem;
+  problem.source = 0;
+  problem.destination = nodes - 1;
+  problem.unit_compute.push_back(0.0);
+  problem.messages.clear();
+  for (int m = 1; m < modules; ++m) {
+    problem.unit_compute.push_back(rng.uniform(0.0, 20.0));
+    problem.messages.push_back(
+        static_cast<std::size_t>(rng.uniform(1e4, 5e7)));
+  }
+  problem.messages.pop_back();  // messages = modules - 1
+  problem.messages.push_back(static_cast<std::size_t>(rng.uniform(1e4, 1e6)));
+  problem.messages.resize(static_cast<std::size_t>(modules - 1));
+  problem.allowed.assign(static_cast<std::size_t>(modules),
+                         std::vector<bool>(static_cast<std::size_t>(nodes)));
+  for (int m = 0; m < modules; ++m) {
+    for (int v = 0; v < nodes; ++v) {
+      bool ok = rng.bernoulli(0.8);
+      if (m == 0) ok = (v == problem.source);
+      if (m == modules - 1) ok = (v == problem.destination);
+      problem.allowed[static_cast<std::size_t>(m)][static_cast<std::size_t>(v)] = ok;
+    }
+  }
+  // Keep intermediate modules feasible somewhere.
+  for (int m = 1; m + 1 < modules; ++m) {
+    problem.allowed[static_cast<std::size_t>(m)][static_cast<std::size_t>(
+        problem.destination)] = true;
+  }
+
+  const auto dp = core::DpMapper().solve(profile, problem);
+  const auto ex = core::ExhaustiveMapper().solve(profile, problem);
+  ASSERT_EQ(dp.feasible, ex.feasible) << "seed " << GetParam();
+  if (dp.feasible) {
+    EXPECT_NEAR(dp.delay_s, ex.delay_s, 1e-9 * std::max(1.0, ex.delay_s))
+        << "seed " << GetParam();
+    EXPECT_NEAR(core::predict_delay(profile, problem, dp.node_of_module),
+                dp.delay_s, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, DpVsExhaustive,
+                         ::testing::Range(1, 25));
+
+// ----------------------------------------------------------- Testbed DP ----
+
+TEST(DpMapper, TestbedPicksGaTechUtOrnlForLargeData) {
+  // The headline result: on the six-site testbed with a heavy isosurface
+  // pipeline from GaTech, the optimal data path is GaTech -> UT -> ORNL.
+  const ns::Testbed tb = ns::make_testbed();
+  const auto profile = c::NetworkProfile::from_network(*tb.net);
+
+  core::MappingProblem problem;
+  problem.source = tb.gatech;
+  problem.destination = tb.ornl;
+  // source -> filter -> extract -> render -> display, 108 MB raw.
+  problem.unit_compute = {0.0, 1.0, 60.0, 20.0, 0.05};
+  problem.messages = {108000000, 108000000, 20000000, 1048576};
+  const int nodes = profile.node_count();
+  problem.allowed.assign(5, std::vector<bool>(static_cast<std::size_t>(nodes), true));
+  for (int v = 0; v < nodes; ++v) {
+    problem.allowed[0][static_cast<std::size_t>(v)] = (v == tb.gatech);
+    problem.allowed[4][static_cast<std::size_t>(v)] = (v == tb.ornl);
+    problem.allowed[3][static_cast<std::size_t>(v)] = profile.has_gpu(v);
+  }
+
+  const auto mapping = core::DpMapper().solve(profile, problem);
+  ASSERT_TRUE(mapping.feasible);
+  const auto path = mapping.to_vrt().path();
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), tb.gatech);
+  EXPECT_EQ(path.back(), tb.ornl);
+  // The cluster hop through UT must appear (it owns the heavy modules).
+  bool via_ut = false;
+  for (const int node : path) via_ut |= (node == tb.ut);
+  EXPECT_TRUE(via_ut) << mapping.to_vrt().to_string();
+}
+
+// -------------------------------------------------------- Reconfigurator ----
+
+TEST(Reconfigurator, AdoptsInitialMapping) {
+  core::Reconfigurator reconf(line_problem());
+  const auto outcome = reconf.update(line_profile());
+  EXPECT_TRUE(outcome.changed);
+  EXPECT_EQ(reconf.version(), 1u);
+  EXPECT_TRUE(outcome.mapping.feasible);
+}
+
+TEST(Reconfigurator, ReroutesWhenPreferredLinkDegrades) {
+  core::Reconfigurator reconf(line_problem());
+  auto profile = line_profile();
+  reconf.update(profile);
+  const auto before = reconf.current().node_of_module;
+  EXPECT_EQ(before[1], 1);  // via B
+
+  // Collapse the A->B link to dial-up: B route now terrible.
+  profile.set_link(0, 1, {1e3, 0.0});
+  const auto outcome = reconf.update(profile);
+  EXPECT_TRUE(outcome.changed);
+  EXPECT_NE(reconf.current().node_of_module[1], 1);
+  EXPECT_EQ(reconf.version(), 2u);
+  // The stale assignment would have been much slower.
+  EXPECT_GT(outcome.stale_delay_s, reconf.current().delay_s);
+}
+
+TEST(Reconfigurator, IgnoresNoiseBelowThreshold) {
+  core::Reconfigurator reconf(line_problem(), 0.05);
+  auto profile = line_profile();
+  reconf.update(profile);
+  // 1% wobble on a non-critical link: no re-route, version stable.
+  profile.set_link(0, 2, {1.01e5, 0.0});
+  const auto outcome = reconf.update(profile);
+  EXPECT_FALSE(outcome.changed);
+  EXPECT_EQ(reconf.version(), 1u);
+}

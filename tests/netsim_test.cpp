@@ -1,0 +1,382 @@
+// Unit tests for the discrete-event WAN simulator: event ordering, link
+// serialization/queueing/loss mechanics, topology bookkeeping, cross traffic
+// and the six-site testbed.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/cross_traffic.hpp"
+#include "netsim/network.hpp"
+#include "netsim/simulator.hpp"
+#include "netsim/testbed.hpp"
+
+namespace ns = ricsa::netsim;
+
+// ----------------------------------------------------------- Simulator ----
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  ns::Simulator sim;
+  std::vector<int> order;
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, FifoTieBreakAtEqualTimes) {
+  ns::Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  ns::Simulator sim;
+  double fired_at = -1;
+  sim.at(1.0, [&] {
+    sim.after(0.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(Simulator, RunUntilAdvancesClock) {
+  ns::Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(5.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  ns::Simulator sim;
+  sim.at(1.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(0.5, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, NegativeDelayClamped) {
+  ns::Simulator sim;
+  double t = -1;
+  sim.after(-5.0, [&] { t = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+// ----------------------------------------------------------------- Link ----
+
+namespace {
+ns::LinkConfig basic_link(double bw = 1e6, double delay = 0.01) {
+  ns::LinkConfig c;
+  c.bandwidth_Bps = bw;
+  c.prop_delay_s = delay;
+  c.random_loss = 0.0;
+  return c;
+}
+}  // namespace
+
+TEST(Link, SerializationPlusPropagationDelay) {
+  ns::Simulator sim;
+  ns::Link link(sim, basic_link(1e6, 0.05), 1);
+  double arrive = -1;
+  ns::Packet p;
+  p.wire_bytes = 100000;  // 0.1 s at 1 MB/s
+  link.send(p, [&](const ns::Packet&) { arrive = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(arrive, 0.1 + 0.05, 1e-9);
+}
+
+TEST(Link, BackToBackPacketsQueueBehindEachOther) {
+  ns::Simulator sim;
+  ns::Link link(sim, basic_link(1e6, 0.0), 1);
+  std::vector<double> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    ns::Packet p;
+    p.wire_bytes = 100000;
+    link.send(p, [&](const ns::Packet&) { arrivals.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_NEAR(arrivals[0], 0.1, 1e-9);
+  EXPECT_NEAR(arrivals[1], 0.2, 1e-9);
+  EXPECT_NEAR(arrivals[2], 0.3, 1e-9);
+}
+
+TEST(Link, QueueOverflowDrops) {
+  ns::Simulator sim;
+  ns::LinkConfig cfg = basic_link(1e3, 0.0);  // slow: queue builds up
+  cfg.queue_capacity_bytes = 2500;
+  ns::Link link(sim, cfg, 1);
+  int delivered = 0;
+  for (int i = 0; i < 5; ++i) {
+    ns::Packet p;
+    p.wire_bytes = 1000;
+    link.send(p, [&](const ns::Packet&) { ++delivered; });
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 2);  // capacity 2500 admits two 1000-byte packets
+  EXPECT_EQ(link.stats().dropped_queue, 3u);
+  EXPECT_EQ(link.queued_bytes(), 0u);  // fully drained afterwards
+}
+
+TEST(Link, RandomLossRate) {
+  ns::Simulator sim;
+  ns::LinkConfig cfg = basic_link(1e9, 0.0);
+  cfg.random_loss = 0.25;
+  cfg.queue_capacity_bytes = 1u << 30;
+  ns::Link link(sim, cfg, 99);
+  int delivered = 0;
+  const int total = 20000;
+  for (int i = 0; i < total; ++i) {
+    ns::Packet p;
+    p.wire_bytes = 100;
+    link.send(p, [&](const ns::Packet&) { ++delivered; });
+  }
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(delivered) / total, 0.75, 0.02);
+  EXPECT_EQ(link.stats().dropped_random + static_cast<std::uint64_t>(delivered),
+            static_cast<std::uint64_t>(total));
+}
+
+TEST(Link, BurstLossModelLosesMoreThanUniform) {
+  ns::Simulator sim;
+  ns::LinkConfig cfg = basic_link(1e9, 0.0);
+  cfg.random_loss = 0.001;
+  cfg.burst_model = true;
+  cfg.burst_loss = 0.5;
+  cfg.mean_good_s = 0.01;
+  cfg.mean_bad_s = 0.01;  // half the time in bad state
+  cfg.queue_capacity_bytes = 1u << 30;
+  ns::Link link(sim, cfg, 7);
+  int delivered = 0;
+  const int total = 20000;
+  for (int i = 0; i < total; ++i) {
+    ns::Packet p;
+    p.wire_bytes = 1000;
+    link.send(p, [&](const ns::Packet&) { ++delivered; });
+    sim.run();  // space packets out in time so the chain advances
+  }
+  const double loss = 1.0 - static_cast<double>(delivered) / total;
+  EXPECT_GT(loss, 0.05);
+  EXPECT_LT(loss, 0.45);
+}
+
+TEST(Link, DeterministicAcrossRunsWithSameSeed) {
+  const auto run = [](std::uint64_t seed) {
+    ns::Simulator sim;
+    ns::LinkConfig cfg = basic_link(1e6, 0.01);
+    cfg.random_loss = 0.1;
+    ns::Link link(sim, cfg, seed);
+    int delivered = 0;
+    for (int i = 0; i < 500; ++i) {
+      ns::Packet p;
+      p.wire_bytes = 500;
+      link.send(p, [&](const ns::Packet&) { ++delivered; });
+    }
+    sim.run();
+    return delivered;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));  // overwhelmingly likely
+}
+
+TEST(Link, LiveReconfiguration) {
+  ns::Simulator sim;
+  ns::Link link(sim, basic_link(1e6, 0.0), 1);
+  link.set_bandwidth(2e6);
+  double arrive = -1;
+  ns::Packet p;
+  p.wire_bytes = 200000;
+  link.send(p, [&](const ns::Packet&) { arrive = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(arrive, 0.1, 1e-9);
+}
+
+// -------------------------------------------------------------- Network ----
+
+TEST(Network, TopologyBookkeeping) {
+  ns::Simulator sim;
+  ns::Network net(sim);
+  const auto a = net.add_node({.name = "A", .power = 1.0});
+  const auto b = net.add_node({.name = "B", .power = 2.0});
+  const auto c = net.add_node({.name = "C", .power = 3.0});
+  net.add_duplex(a, b, basic_link());
+  net.add_link(b, c, basic_link());
+
+  EXPECT_EQ(net.node_count(), 3u);
+  EXPECT_EQ(net.link_count(), 3u);
+  EXPECT_TRUE(net.has_link(a, b));
+  EXPECT_TRUE(net.has_link(b, a));
+  EXPECT_TRUE(net.has_link(b, c));
+  EXPECT_FALSE(net.has_link(c, b));
+  EXPECT_EQ(net.find_node("B"), b);
+  EXPECT_THROW(net.find_node("Z"), std::out_of_range);
+  EXPECT_EQ(net.node(b).power, 2.0);
+
+  const auto into_c = net.neighbors_in(c);
+  ASSERT_EQ(into_c.size(), 1u);
+  EXPECT_EQ(into_c[0], b);
+  const auto out_b = net.neighbors_out(b);
+  EXPECT_EQ(out_b.size(), 2u);
+}
+
+TEST(Network, DeliversToRegisteredHandler) {
+  ns::Simulator sim;
+  ns::Network net(sim);
+  const auto a = net.add_node({.name = "A"});
+  const auto b = net.add_node({.name = "B"});
+  net.add_link(a, b, basic_link(1e6, 0.01));
+
+  int got_port_1 = 0, got_port_2 = 0;
+  net.listen(b, 1, [&](const ns::Packet&) { ++got_port_1; });
+  net.listen(b, 2, [&](const ns::Packet&) { ++got_port_2; });
+
+  ns::Packet p;
+  p.src = a;
+  p.dst = b;
+  p.port = 1;
+  p.wire_bytes = 100;
+  net.send(p);
+  p.port = 2;
+  net.send(p);
+  p.port = 9;  // no handler
+  net.send(p);
+  sim.run();
+
+  EXPECT_EQ(got_port_1, 1);
+  EXPECT_EQ(got_port_2, 1);
+  EXPECT_EQ(net.undeliverable(), 1u);
+}
+
+TEST(Network, SendWithoutLinkThrows) {
+  ns::Simulator sim;
+  ns::Network net(sim);
+  const auto a = net.add_node({.name = "A"});
+  const auto b = net.add_node({.name = "B"});
+  ns::Packet p;
+  p.src = a;
+  p.dst = b;
+  EXPECT_THROW(net.send(p), std::out_of_range);
+}
+
+TEST(Network, UnlistenStopsDelivery) {
+  ns::Simulator sim;
+  ns::Network net(sim);
+  const auto a = net.add_node({.name = "A"});
+  const auto b = net.add_node({.name = "B"});
+  net.add_link(a, b, basic_link());
+  int got = 0;
+  net.listen(b, 1, [&](const ns::Packet&) { ++got; });
+  net.unlisten(b, 1);
+  ns::Packet p;
+  p.src = a;
+  p.dst = b;
+  p.port = 1;
+  p.wire_bytes = 10;
+  net.send(p);
+  sim.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net.undeliverable(), 1u);
+}
+
+// -------------------------------------------------------- CrossTraffic ----
+
+TEST(CrossTraffic, ConsumesLinkCapacity) {
+  ns::Simulator sim;
+  ns::Link link(sim, basic_link(1e6, 0.0), 3);
+  ns::CrossTrafficConfig cfg;
+  cfg.on_load = 0.5;
+  cfg.mean_on_s = 100.0;  // effectively always on
+  cfg.mean_off_s = 0.001;
+  ns::CrossTraffic ct(sim, link, cfg, 17);
+  ct.start();
+  sim.run_until(10.0);
+  ct.stop();
+  // ~0.5 * 1e6 B/s * 10 s / 1500 B = ~3333 packets.
+  EXPECT_GT(ct.injected_packets(), 2000u);
+  EXPECT_LT(ct.injected_packets(), 5000u);
+}
+
+TEST(CrossTraffic, OffStateInjectsLittle) {
+  ns::Simulator sim;
+  ns::Link link(sim, basic_link(1e6, 0.0), 3);
+  ns::CrossTrafficConfig cfg;
+  cfg.on_load = 0.5;
+  cfg.mean_on_s = 1e-4;
+  cfg.mean_off_s = 1000.0;  // almost always off
+  ns::CrossTraffic ct(sim, link, cfg, 23);
+  ct.start();
+  sim.run_until(10.0);
+  ct.stop();
+  EXPECT_LT(ct.injected_packets(), 200u);
+}
+
+// ------------------------------------------------------------- Testbed ----
+
+TEST(Testbed, SixSitesWithExpectedRoles) {
+  ns::Testbed tb = ns::make_testbed();
+  EXPECT_EQ(tb.net->node_count(), 6u);
+  EXPECT_TRUE(tb.net->node(tb.ornl).has_gpu);
+  EXPECT_FALSE(tb.net->node(tb.gatech).has_gpu);
+  EXPECT_FALSE(tb.net->node(tb.osu).has_gpu);
+  EXPECT_GT(tb.net->node(tb.ut).power, tb.net->node(tb.ornl).power);
+  EXPECT_GT(tb.net->node(tb.ut).parallel_workers, 1);
+  EXPECT_EQ(tb.net->find_node("NCState"), tb.ncstate);
+}
+
+TEST(Testbed, PaperTopologyLinksExist) {
+  ns::Testbed tb = ns::make_testbed();
+  // Control path of the optimal loop: ORNL -> LSU -> GaTech.
+  EXPECT_TRUE(tb.net->has_link(tb.ornl, tb.lsu));
+  EXPECT_TRUE(tb.net->has_link(tb.lsu, tb.gatech));
+  // Data path of the optimal loop: GaTech -> UT -> ORNL.
+  EXPECT_TRUE(tb.net->has_link(tb.gatech, tb.ut));
+  EXPECT_TRUE(tb.net->has_link(tb.ut, tb.ornl));
+  // PC-PC loops.
+  EXPECT_TRUE(tb.net->has_link(tb.gatech, tb.ornl));
+  EXPECT_TRUE(tb.net->has_link(tb.osu, tb.ornl));
+  // No direct LSU-UT overlay link (CM talks to DS, not CS).
+  EXPECT_FALSE(tb.net->has_link(tb.lsu, tb.ut));
+}
+
+TEST(Testbed, UtOrnlIsFastestPathIntoClient) {
+  ns::Testbed tb = ns::make_testbed();
+  const double ut_bw = tb.net->link(tb.ut, tb.ornl).config().bandwidth_Bps;
+  for (const auto n : {tb.ncstate, tb.gatech, tb.osu, tb.lsu}) {
+    EXPECT_GT(ut_bw, tb.net->link(n, tb.ornl).config().bandwidth_Bps);
+  }
+}
+
+TEST(Testbed, EndToEndPacketAcrossOptimalLoopHop) {
+  ns::Testbed tb = ns::make_testbed();
+  int delivered = 0;
+  tb.net->listen(tb.ut, 5, [&](const ns::Packet&) { ++delivered; });
+  ns::Packet p;
+  p.src = tb.gatech;
+  p.dst = tb.ut;
+  p.port = 5;
+  p.wire_bytes = 1500;
+  tb.net->send(p);
+  tb.sim->run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Testbed, BandwidthScaleOption) {
+  ns::TestbedOptions opt;
+  opt.bandwidth_scale = 2.0;
+  ns::Testbed fast = ns::make_testbed(opt);
+  ns::Testbed nominal = ns::make_testbed();
+  EXPECT_DOUBLE_EQ(
+      fast.net->link(fast.ut, fast.ornl).config().bandwidth_Bps,
+      2.0 * nominal.net->link(nominal.ut, nominal.ornl).config().bandwidth_Bps);
+}

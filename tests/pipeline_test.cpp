@@ -1,0 +1,111 @@
+// Pipeline spec and visualization routing table tests.
+#include <gtest/gtest.h>
+
+#include "pipeline/pipeline.hpp"
+#include "pipeline/vrt.hpp"
+
+namespace p = ricsa::pipeline;
+
+TEST(PipelineSpec, MessageSizesFollowFactorsAndFixedOutputs) {
+  const auto spec = p::make_isosurface_pipeline(
+      /*raw_bytes=*/1000000, /*filter_keep=*/0.5, /*geometry_bytes=*/200000,
+      /*framebuffer_bytes=*/4096);
+  // Modules: source, filter, isosurface, render, display -> 4 messages.
+  const auto msgs = spec.message_bytes();
+  ASSERT_EQ(msgs.size(), 4u);
+  EXPECT_EQ(msgs[0], 1000000u);  // source output (raw)
+  EXPECT_EQ(msgs[1], 500000u);   // after filter (keep 0.5)
+  EXPECT_EQ(msgs[2], 200000u);   // geometry (fixed)
+  EXPECT_EQ(msgs[3], 4096u);     // framebuffer (fixed)
+}
+
+TEST(PipelineSpec, UnitComputeProportionalToInput) {
+  const auto spec = p::make_isosurface_pipeline(1000000, 0.5, 200000, 4096);
+  const auto compute = spec.unit_compute_seconds();
+  ASSERT_EQ(compute.size(), 5u);
+  EXPECT_DOUBLE_EQ(compute[0], 0.0);  // source does no work
+  // filter complexity (2e-9 s/B) * raw input.
+  EXPECT_NEAR(compute[1], 2e-9 * 1e6, 1e-12);
+  // isosurface works on the filtered 0.5 MB.
+  EXPECT_NEAR(compute[2], 2e-8 * 5e5, 1e-12);
+  // render works on the geometry.
+  EXPECT_NEAR(compute[3], 1e-8 * 2e5, 1e-12);
+}
+
+TEST(PipelineSpec, ValidationRejectsBadShapes) {
+  std::vector<p::ModuleSpec> too_few = {
+      {p::ModuleKind::kSource, "s", 0, 1, 0, false}};
+  EXPECT_THROW(p::PipelineSpec("x", 10, too_few), std::invalid_argument);
+
+  std::vector<p::ModuleSpec> no_source = {
+      {p::ModuleKind::kFilter, "f", 0, 1, 0, false},
+      {p::ModuleKind::kDisplay, "d", 0, 1, 0, false}};
+  EXPECT_THROW(p::PipelineSpec("x", 10, no_source), std::invalid_argument);
+
+  std::vector<p::ModuleSpec> no_display = {
+      {p::ModuleKind::kSource, "s", 0, 1, 0, false},
+      {p::ModuleKind::kFilter, "f", 0, 1, 0, false}};
+  EXPECT_THROW(p::PipelineSpec("x", 10, no_display), std::invalid_argument);
+}
+
+TEST(PipelineSpec, VariantsHaveExpectedModuleKinds) {
+  const auto ray = p::make_raycast_pipeline(1000, 1.0, 256);
+  EXPECT_EQ(ray.modules()[2].kind, p::ModuleKind::kRayCast);
+  EXPECT_EQ(ray.module_count(), 4u);
+  const auto stream = p::make_streamline_pipeline(1000, 1.0, 500, 256);
+  EXPECT_EQ(stream.modules()[2].kind, p::ModuleKind::kStreamline);
+  EXPECT_TRUE(stream.modules()[3].requires_gpu);  // render wants a GPU
+  EXPECT_STREQ(p::to_string(p::ModuleKind::kIsosurface), "isosurface");
+}
+
+// ------------------------------------------------------------------ VRT ----
+
+TEST(Vrt, FromAssignmentGroupsConsecutiveModules) {
+  const auto vrt = p::vrt_from_assignment({0, 0, 2, 2, 5}, 1.25, 3);
+  ASSERT_EQ(vrt.groups.size(), 3u);
+  EXPECT_EQ(vrt.groups[0].node, 0);
+  EXPECT_EQ(vrt.groups[0].first_module, 0);
+  EXPECT_EQ(vrt.groups[0].last_module, 1);
+  EXPECT_EQ(vrt.groups[1].node, 2);
+  EXPECT_EQ(vrt.groups[2].node, 5);
+  EXPECT_EQ(vrt.version, 3u);
+  EXPECT_TRUE(vrt.valid());
+  EXPECT_EQ(vrt.node_of_module(), (std::vector<int>{0, 0, 2, 2, 5}));
+  EXPECT_EQ(vrt.path(), (std::vector<int>{0, 2, 5}));
+}
+
+TEST(Vrt, SerializeRoundTrip) {
+  const auto vrt = p::vrt_from_assignment({1, 3, 3, 4}, 0.75, 9);
+  const auto bytes = vrt.serialize();
+  const auto back = p::VisualizationRoutingTable::deserialize(bytes);
+  EXPECT_EQ(back, vrt);
+  EXPECT_EQ(back.version, 9u);
+  EXPECT_DOUBLE_EQ(back.predicted_delay_s, 0.75);
+}
+
+TEST(Vrt, DeserializeRejectsGarbage) {
+  EXPECT_THROW(p::VisualizationRoutingTable::deserialize({1, 2, 3}),
+               std::runtime_error);
+  auto bytes = p::vrt_from_assignment({0, 1}, 0.5).serialize();
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(p::VisualizationRoutingTable::deserialize(bytes),
+               std::runtime_error);
+}
+
+TEST(Vrt, ValidityChecks) {
+  p::VisualizationRoutingTable empty;
+  EXPECT_FALSE(empty.valid());
+  p::VisualizationRoutingTable gap;
+  gap.groups = {{0, 0, 1}, {1, 3, 4}};  // module 2 missing
+  EXPECT_FALSE(gap.valid());
+  p::VisualizationRoutingTable bad_node;
+  bad_node.groups = {{-2, 0, 1}};
+  EXPECT_FALSE(bad_node.valid());
+}
+
+TEST(Vrt, ToStringMentionsNodesAndDelay) {
+  const auto vrt = p::vrt_from_assignment({0, 7}, 2.5, 1);
+  const std::string s = vrt.to_string();
+  EXPECT_NE(s.find("node7"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+}

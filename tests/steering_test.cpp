@@ -1,0 +1,325 @@
+// Steering framework tests: message protocol round-trips, the Fig. 7
+// SimulationServer loop, the in-process pipeline executor, the high-level
+// session, and the WAN session actors over the testbed.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cost/pipeline_builder.hpp"
+#include "data/generators.hpp"
+#include "hydro/steerable.hpp"
+#include "netsim/testbed.hpp"
+#include "steering/executor.hpp"
+#include "steering/message.hpp"
+#include "steering/server.hpp"
+#include "steering/session.hpp"
+#include "steering/wan_session.hpp"
+
+namespace st = ricsa::steering;
+namespace c = ricsa::cost;
+namespace d = ricsa::data;
+namespace h = ricsa::hydro;
+namespace ns = ricsa::netsim;
+
+// -------------------------------------------------------------- Message ----
+
+TEST(Message, SerializeRoundTrip) {
+  st::Message m = st::make_viz_request(7, "isosurface", 0.5f, 512, 256);
+  m.sequence = 42;
+  m.payload = {1, 2, 3, 4, 5};
+  const auto bytes = m.serialize();
+  const st::Message back = st::Message::deserialize(bytes);
+  EXPECT_EQ(back.type, st::MessageType::kVizRequest);
+  EXPECT_EQ(back.session, 7u);
+  EXPECT_EQ(back.sequence, 42u);
+  EXPECT_EQ(back.header.at("technique").as_string(), "isosurface");
+  EXPECT_NEAR(back.header.at("isovalue").as_number(), 0.5, 1e-6);
+  EXPECT_EQ(back.payload, m.payload);
+}
+
+TEST(Message, DeserializeRejectsGarbage) {
+  EXPECT_THROW(st::Message::deserialize({}), std::runtime_error);
+  EXPECT_THROW(st::Message::deserialize({1, 2, 3, 4, 5, 6, 7}),
+               std::runtime_error);
+  auto bytes = st::make_status(1, "ok").serialize();
+  bytes[4] = 99;  // invalid type
+  EXPECT_THROW(st::Message::deserialize(bytes), std::runtime_error);
+}
+
+TEST(Message, ConstructorsPopulateHeaders) {
+  const auto sim = st::make_simulation_request(1, "sod_shock_tube", "pressure");
+  EXPECT_EQ(sim.header.at("simulator").as_string(), "sod_shock_tube");
+  const auto steer = st::make_steering_params(1, {{"gamma", 1.67}});
+  EXPECT_NEAR(steer.header.at("params").at("gamma").as_number(), 1.67, 1e-9);
+  EXPECT_GT(steer.wire_bytes(), 20u);
+  EXPECT_STREQ(st::to_string(st::MessageType::kVrtInstall), "vrt_install");
+}
+
+// ----------------------------------------------------- SimulationServer ----
+
+TEST(SimulationServer, Fig7LoopHandlesSteeringAndFrames) {
+  h::HydroSimulation sim(h::HydroSimulation::Kind::kSod, 48);
+  st::SimulationServer server(sim);
+
+  // Client attaches and steers gamma.
+  server.post(st::make_simulation_request(1, "sod", "pressure"));
+  server.post(st::make_steering_params(1, {{"gamma", 1.6}}));
+  server.wait_accept_connection();  // returns immediately: already connected
+
+  // Fig. 7 main loop body.
+  const int received = server.receive_handle_message();
+  EXPECT_EQ(received, 1);  // new simulation parameters pending
+  EXPECT_EQ(server.update_simulation_parameters(), 1);
+  EXPECT_NEAR(sim.parameters().at("gamma"), 1.6, 1e-12);
+
+  sim.advance(2);
+  server.push_data_to_viz_node();
+  const auto frame = server.take_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->cycle, 2);
+  EXPECT_EQ(frame->variable, "pressure");
+  EXPECT_EQ(frame->snapshot.nx(), 48);
+  // Frame is consumed.
+  EXPECT_FALSE(server.take_frame().has_value());
+  EXPECT_EQ(server.frames_pushed(), 1u);
+}
+
+TEST(SimulationServer, ShutdownStopsLoop) {
+  h::HydroSimulation sim(h::HydroSimulation::Kind::kSod, 16);
+  st::SimulationServer server(sim);
+  st::Message bye;
+  bye.type = st::MessageType::kShutdown;
+  server.post(bye);
+  EXPECT_EQ(server.receive_handle_message(), -1);
+  EXPECT_FALSE(server.running());
+}
+
+TEST(SimulationServer, RejectedParametersDontCount) {
+  h::HydroSimulation sim(h::HydroSimulation::Kind::kSod, 16);
+  st::SimulationServer server(sim);
+  server.post(st::make_steering_params(1, {{"gamma", -1.0}, {"cfl", 0.2}}));
+  EXPECT_EQ(server.receive_handle_message(), 1);
+  EXPECT_EQ(server.update_simulation_parameters(), 1);  // only cfl accepted
+}
+
+TEST(SimulationServer, CStyleApiMirrorsFig7) {
+  h::HydroSimulation sim(h::HydroSimulation::Kind::kSod, 16);
+  st::SimulationServer* server = st::RICSA_StartupSimulationServer(&sim);
+  server->post(st::make_simulation_request(1, "sod", "density"));
+  st::RICSA_WaitAcceptConnection(server);
+  EXPECT_EQ(st::RICSA_ReceiveHandleMessage(server), 0);
+  st::RICSA_PushDataToVizNode(server);
+  EXPECT_EQ(server->frames_pushed(), 1u);
+  st::RICSA_UpdateSimulationParameters(server);
+  st::RICSA_ShutdownSimulationServer(server);
+}
+
+TEST(SimulationServer, WaitBlocksUntilClientConnects) {
+  h::HydroSimulation sim(h::HydroSimulation::Kind::kSod, 16);
+  st::SimulationServer server(sim);
+  std::thread client([&server] {
+    server.post(st::make_simulation_request(1, "sod", "density"));
+  });
+  server.wait_accept_connection();  // must not deadlock
+  client.join();
+  SUCCEED();
+}
+
+// -------------------------------------------------------------- Executor ----
+
+TEST(Executor, IsosurfaceProducesImageAndStats) {
+  const d::ScalarVolume vol = d::make_rage(32, 32, 32);
+  c::VizRequest req;
+  req.technique = c::VizRequest::Technique::kIsosurface;
+  req.isovalue = 0.6f;
+  req.image_width = 64;
+  req.image_height = 64;
+  const auto result = st::execute_pipeline(vol, req);
+  EXPECT_EQ(result.image.width(), 64);
+  ASSERT_TRUE(result.iso_stats.has_value());
+  EXPECT_GT(result.iso_stats->triangles, 0u);
+  EXPECT_GT(result.geometry_bytes, 0u);
+  EXPECT_GT(result.transform_s, 0.0);
+}
+
+TEST(Executor, OctantSelectionShrinksWork) {
+  const d::ScalarVolume vol = d::make_rage(32, 32, 32);
+  c::VizRequest req;
+  req.isovalue = 0.6f;
+  req.image_width = 32;
+  req.image_height = 32;
+  const auto whole = st::execute_pipeline(vol, req);
+  st::ExecuteOptions opt;
+  opt.octant = 0;
+  const auto oct = st::execute_pipeline(vol, req, opt);
+  ASSERT_TRUE(whole.iso_stats && oct.iso_stats);
+  EXPECT_LT(oct.iso_stats->cells_scanned, whole.iso_stats->cells_scanned);
+}
+
+TEST(Executor, DownsampleFilterShrinksWork) {
+  const d::ScalarVolume vol = d::make_jet(32, 32, 32);
+  c::VizRequest req;
+  req.isovalue = 0.5f;
+  req.image_width = 32;
+  req.image_height = 32;
+  st::ExecuteOptions opt;
+  opt.downsample = 2;
+  const auto down = st::execute_pipeline(vol, req, opt);
+  const auto full = st::execute_pipeline(vol, req);
+  ASSERT_TRUE(down.iso_stats && full.iso_stats);
+  EXPECT_LT(down.iso_stats->cells_scanned, full.iso_stats->cells_scanned);
+}
+
+TEST(Executor, RayCastAndStreamlineTechniques) {
+  const d::ScalarVolume vol = d::make_jet(24, 24, 24);
+  c::VizRequest ray;
+  ray.technique = c::VizRequest::Technique::kRayCast;
+  ray.image_width = 32;
+  ray.image_height = 32;
+  const auto r = st::execute_pipeline(vol, ray);
+  EXPECT_EQ(r.image.width(), 32);
+  EXPECT_FALSE(r.iso_stats.has_value());
+
+  c::VizRequest stream;
+  stream.technique = c::VizRequest::Technique::kStreamline;
+  stream.seeds = 27;
+  stream.steps_per_seed = 50;
+  stream.image_width = 32;
+  stream.image_height = 32;
+  const auto s = st::execute_pipeline(vol, stream);
+  EXPECT_GT(s.geometry_bytes, 0u);
+}
+
+// --------------------------------------------------------------- Session ----
+
+TEST(Session, FramesAdvanceAndCarryVrt) {
+  st::SessionConfig config;
+  config.simulation = h::HydroSimulation::Kind::kSod;
+  config.resolution = 48;
+  config.viz.image_width = 48;
+  config.viz.image_height = 48;
+  config.viz.isovalue = 0.5f;
+  st::SteeringSession session(config);
+
+  const auto f1 = session.next_frame();
+  const auto f2 = session.next_frame();
+  EXPECT_GT(f2.cycle, f1.cycle);
+  EXPECT_GT(f2.sim_time, f1.sim_time);
+  EXPECT_EQ(f1.image.width(), 48);
+  EXPECT_TRUE(f1.vrt.valid());
+  // VRT routes from GaTech (the DS) to ORNL (the client).
+  EXPECT_EQ(f1.vrt.path().front(), 5);  // GaTech id in the testbed
+  EXPECT_EQ(f1.vrt.path().back(), 0);   // ORNL
+}
+
+TEST(Session, SteeringTakesEffectNextFrame) {
+  st::SessionConfig config;
+  config.simulation = h::HydroSimulation::Kind::kSod;
+  config.resolution = 32;
+  config.viz.image_width = 32;
+  config.viz.image_height = 32;
+  st::SteeringSession session(config);
+  session.next_frame();
+  session.steer("gamma", 1.7);
+  session.next_frame();
+  EXPECT_NEAR(session.parameters().at("gamma"), 1.7, 1e-12);
+}
+
+TEST(Session, VariableSwitching) {
+  st::SessionConfig config;
+  config.simulation = h::HydroSimulation::Kind::kSod;
+  config.resolution = 32;
+  config.viz.image_width = 32;
+  config.viz.image_height = 32;
+  st::SteeringSession session(config);
+  session.set_variable("pressure");
+  const auto frame = session.next_frame();
+  EXPECT_EQ(frame.variable, "pressure");
+}
+
+// ------------------------------------------------------------ WanSession ----
+
+namespace {
+st::WanSessionConfig testbed_session(const ns::Testbed& tb,
+                                     std::size_t raw_bytes) {
+  st::WanSessionConfig config;
+  config.client = tb.ornl;
+  config.central_manager = tb.lsu;
+  config.data_source = tb.gatech;
+  config.profile = c::NetworkProfile::from_network(*tb.net);
+  config.spec = ricsa::pipeline::make_isosurface_pipeline(
+      raw_bytes, 1.0, raw_bytes / 5, 1 << 20);
+  return config;
+}
+}  // namespace
+
+TEST(WanSession, CompletesAndSeparatesPhases) {
+  ns::Testbed tb = ns::make_testbed();
+  const auto config = testbed_session(tb, 16 * 1000 * 1000);
+  const auto result = st::run_wan_session(*tb.net, config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.control_s, 0.0);
+  EXPECT_GT(result.data_path_s, 1.0);  // 16 MB can't cross a ~10 MB/s WAN faster
+  EXPECT_NEAR(result.total_s, result.control_s + result.data_path_s, 1e-9);
+  EXPECT_FALSE(result.timeline.empty());
+  EXPECT_TRUE(result.vrt.valid());
+}
+
+TEST(WanSession, OptimalBeatsPcPcBaseline) {
+  // DP-chosen loop vs the ORNL-GaTech-ORNL client/server baseline on a
+  // 64 MB dataset: the optimal loop must win (Fig. 9's headline).
+  ns::Testbed tb1 = ns::make_testbed();
+  const auto optimal_cfg = testbed_session(tb1, 64 * 1000 * 1000);
+  const auto optimal = st::run_wan_session(*tb1.net, optimal_cfg);
+  ASSERT_TRUE(optimal.completed);
+
+  ns::Testbed tb2 = ns::make_testbed();
+  auto pcpc_cfg = testbed_session(tb2, 64 * 1000 * 1000);
+  // source, filter, extract at GaTech; render, display at ORNL (the paper's
+  // PC-PC split: no graphics card at GaTech).
+  pcpc_cfg.fixed_assignment = std::vector<int>{tb2.gatech, tb2.gatech,
+                                               tb2.gatech, tb2.ornl, tb2.ornl};
+  const auto pcpc = st::run_wan_session(*tb2.net, pcpc_cfg);
+  ASSERT_TRUE(pcpc.completed);
+
+  EXPECT_LT(optimal.data_path_s, pcpc.data_path_s);
+}
+
+TEST(WanSession, AnalyticTransportMatchesPredictionClosely) {
+  ns::Testbed tb = ns::make_testbed();
+  auto config = testbed_session(tb, 8 * 1000 * 1000);
+  config.packet_transport = false;
+  const auto result = st::run_wan_session(*tb.net, config);
+  ASSERT_TRUE(result.completed);
+  // Analytic mode reproduces the Eq. 2 prediction up to the distribution
+  // overhead term (which Eq. 2 does not carry).
+  EXPECT_NEAR(result.data_path_s, result.vrt.predicted_delay_s, 2.0);
+}
+
+TEST(WanSession, PacketTransportSlowerThanAnalytic) {
+  // Packet-level transport pays header overhead, pacing and loss recovery;
+  // it must come in slower than the idealized analytic transfer but within
+  // a sane factor.
+  ns::Testbed tb1 = ns::make_testbed();
+  auto cfg1 = testbed_session(tb1, 16 * 1000 * 1000);
+  cfg1.packet_transport = false;
+  const auto analytic = st::run_wan_session(*tb1.net, cfg1);
+
+  ns::Testbed tb2 = ns::make_testbed();
+  auto cfg2 = testbed_session(tb2, 16 * 1000 * 1000);
+  const auto packet = st::run_wan_session(*tb2.net, cfg2);
+
+  ASSERT_TRUE(analytic.completed && packet.completed);
+  EXPECT_GT(packet.data_path_s, analytic.data_path_s * 0.8);
+  EXPECT_LT(packet.data_path_s, analytic.data_path_s * 3.0);
+}
+
+TEST(WanSession, InfeasibleFixedAssignmentFailsCleanly) {
+  ns::Testbed tb = ns::make_testbed();
+  auto config = testbed_session(tb, 1000000);
+  // LSU has no link to UT: this assignment is unroutable.
+  config.fixed_assignment = std::vector<int>{tb.gatech, tb.lsu, tb.ut, tb.ut,
+                                             tb.ornl};
+  const auto result = st::run_wan_session(*tb.net, config);
+  EXPECT_FALSE(result.completed);
+}

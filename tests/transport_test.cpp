@@ -1,0 +1,399 @@
+// Transport layer tests: rate controllers (Robbins-Monro Eq. 1, AIMD),
+// goodput metering, reliable message delivery under loss, stream
+// stabilization, and EPB estimation (Eq. 3).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "netsim/cross_traffic.hpp"
+#include "netsim/network.hpp"
+#include "netsim/simulator.hpp"
+#include "transport/datagram_transport.hpp"
+#include "transport/epb.hpp"
+#include "transport/goodput_meter.hpp"
+#include "transport/rate_controller.hpp"
+#include "util/stats.hpp"
+
+namespace ns = ricsa::netsim;
+namespace tp = ricsa::transport;
+
+// --------------------------------------------------------- GoodputMeter ----
+
+TEST(GoodputMeter, WindowedRate) {
+  tp::GoodputMeter meter(1.0);
+  meter.record(0.0, 1000);
+  meter.record(0.5, 1000);
+  EXPECT_DOUBLE_EQ(meter.rate(0.5), 2000.0);
+  // At t=1.2 the first event (t=0) has left the 1 s window.
+  EXPECT_DOUBLE_EQ(meter.rate(1.2), 1000.0);
+  EXPECT_DOUBLE_EQ(meter.rate(5.0), 0.0);
+  EXPECT_EQ(meter.total_bytes(), 2000u);
+}
+
+// ------------------------------------------------------- RmsaController ----
+
+TEST(Rmsa, IncreasesRateWhenBelowTarget) {
+  tp::RmsaConfig cfg;
+  cfg.target_Bps = 1e6;
+  cfg.initial_sleep_s = 0.1;
+  tp::RmsaController ctrl(cfg);
+  const double before = ctrl.sleep_time();
+  ctrl.update({.goodput_Bps = 1e5, .loss_detected = false});
+  EXPECT_LT(ctrl.sleep_time(), before);  // goodput below target -> sleep less
+}
+
+TEST(Rmsa, DecreasesRateWhenAboveTarget) {
+  tp::RmsaConfig cfg;
+  cfg.target_Bps = 1e5;
+  cfg.initial_sleep_s = 0.01;
+  tp::RmsaController ctrl(cfg);
+  const double before = ctrl.sleep_time();
+  ctrl.update({.goodput_Bps = 1e6, .loss_detected = false});
+  EXPECT_GT(ctrl.sleep_time(), before);
+}
+
+TEST(Rmsa, FixedPointAtTarget) {
+  tp::RmsaConfig cfg;
+  cfg.target_Bps = 5e5;
+  cfg.initial_sleep_s = 0.05;
+  tp::RmsaController ctrl(cfg);
+  const double before = ctrl.sleep_time();
+  ctrl.update({.goodput_Bps = 5e5, .loss_detected = false});
+  EXPECT_DOUBLE_EQ(ctrl.sleep_time(), before);  // zero error -> no move
+}
+
+TEST(Rmsa, GainDecaysOverSteps) {
+  // Same error applied twice: the second correction must be smaller
+  // (Robbins-Monro a_n = a / n^alpha is strictly decreasing).
+  tp::RmsaConfig cfg;
+  cfg.target_Bps = 1e6;
+  cfg.initial_sleep_s = 0.1;
+  cfg.alpha = 1.0;
+  tp::RmsaController ctrl(cfg);
+  const double s0 = ctrl.sleep_time();
+  ctrl.update({.goodput_Bps = 0.9e6});
+  const double s1 = ctrl.sleep_time();
+  ctrl.update({.goodput_Bps = 0.9e6});
+  const double s2 = ctrl.sleep_time();
+  const double delta1 = 1.0 / s1 - 1.0 / s0;
+  const double delta2 = 1.0 / s2 - 1.0 / s1;
+  EXPECT_GT(delta1, 0.0);
+  EXPECT_GT(delta2, 0.0);
+  EXPECT_LT(delta2, delta1);
+}
+
+TEST(Rmsa, SleepStaysWithinBounds) {
+  tp::RmsaConfig cfg;
+  cfg.target_Bps = 1e6;
+  cfg.min_sleep_s = 1e-3;
+  cfg.max_sleep_s = 0.5;
+  tp::RmsaController ctrl(cfg);
+  for (int i = 0; i < 50; ++i) ctrl.update({.goodput_Bps = 0.0});
+  EXPECT_GE(ctrl.sleep_time(), cfg.min_sleep_s);
+  for (int i = 0; i < 50; ++i) ctrl.update({.goodput_Bps = 1e9});
+  EXPECT_LE(ctrl.sleep_time(), cfg.max_sleep_s);
+}
+
+TEST(Rmsa, ConvergesInClosedLoopModel) {
+  // Analytic closed loop: goodput responds instantly as
+  // g = min(window_payload / Ts, capacity) * (1 - loss).
+  tp::RmsaConfig cfg;
+  cfg.target_Bps = 4e5;
+  cfg.initial_sleep_s = 0.5;
+  tp::RmsaController ctrl(cfg);
+  const double payload = 32.0 * 1400.0;
+  const double capacity = 1e6;
+  const double loss = 0.02;
+  double g = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const double source = payload / ctrl.sleep_time();
+    g = std::min(source, capacity) * (1.0 - loss);
+    ctrl.update({.goodput_Bps = g, .loss_detected = false});
+  }
+  EXPECT_NEAR(g, 4e5, 4e4);  // within 10% of g*
+}
+
+TEST(Rmsa, TargetRetargetingTracks) {
+  tp::RmsaConfig cfg;
+  cfg.target_Bps = 2e5;
+  cfg.gain_floor = 0.05;  // keep enough gain to track the change
+  tp::RmsaController ctrl(cfg);
+  const double payload = 32.0 * 1400.0;
+  double g = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    g = payload / ctrl.sleep_time();
+    ctrl.update({.goodput_Bps = g});
+  }
+  EXPECT_NEAR(g, 2e5, 2e4);
+  ctrl.set_target(6e5);
+  for (int i = 0; i < 400; ++i) {
+    g = payload / ctrl.sleep_time();
+    ctrl.update({.goodput_Bps = g});
+  }
+  EXPECT_NEAR(g, 6e5, 6e4);
+}
+
+// ------------------------------------------------------- AimdController ----
+
+TEST(Aimd, SawtoothDynamics) {
+  tp::AimdConfig cfg;
+  cfg.initial_rate_Bps = 4e5;
+  tp::AimdController ctrl(cfg);
+  ctrl.update({.goodput_Bps = 4e5, .loss_detected = false});
+  EXPECT_DOUBLE_EQ(ctrl.rate(), 5e5);  // +1e5 additive increase
+  ctrl.update({.goodput_Bps = 5e5, .loss_detected = true});
+  EXPECT_DOUBLE_EQ(ctrl.rate(), 2.5e5);  // halved on loss
+}
+
+TEST(Aimd, RateBounds) {
+  tp::AimdConfig cfg;
+  cfg.min_rate_Bps = 1e5;
+  cfg.max_rate_Bps = 1e6;
+  tp::AimdController ctrl(cfg);
+  for (int i = 0; i < 100; ++i) ctrl.update({.loss_detected = true});
+  EXPECT_DOUBLE_EQ(ctrl.rate(), 1e5);
+  for (int i = 0; i < 100; ++i) ctrl.update({.loss_detected = false});
+  EXPECT_DOUBLE_EQ(ctrl.rate(), 1e6);
+}
+
+// ------------------------------------------------- Reliable message mode ----
+
+namespace {
+struct TwoNodeNet {
+  ns::Simulator sim;
+  ns::Network net{sim, 77};
+  ns::NodeId a, b;
+  TwoNodeNet(double bw = 1e6, double delay = 0.01, double loss = 0.0,
+             std::size_t queue = 512 * 1024) {
+    a = net.add_node({.name = "A"});
+    b = net.add_node({.name = "B"});
+    ns::LinkConfig cfg;
+    cfg.bandwidth_Bps = bw;
+    cfg.prop_delay_s = delay;
+    cfg.random_loss = loss;
+    cfg.queue_capacity_bytes = queue;
+    net.add_duplex(a, b, cfg);
+  }
+};
+
+std::unique_ptr<tp::RateController> fast_rmsa(double target) {
+  tp::RmsaConfig cfg;
+  cfg.target_Bps = target;
+  cfg.initial_sleep_s = 0.01;
+  return std::make_unique<tp::RmsaController>(cfg);
+}
+}  // namespace
+
+TEST(MessageMode, LosslessDeliveryCompletes) {
+  TwoNodeNet w(2e6, 0.01);
+  double completed_at = -1;
+  auto flow = tp::make_message_flow(w.net, w.a, w.b, 500 * 1000,
+                                    fast_rmsa(2e6),
+                                    [&](ns::SimTime t) { completed_at = t; });
+  w.sim.run();
+  ASSERT_GT(completed_at, 0.0);
+  // 500 KB over a 2 MB/s link: at least 0.25 s, with pacing overhead < 4 s.
+  EXPECT_GE(completed_at, 0.25);
+  EXPECT_LT(completed_at, 4.0);
+  EXPECT_EQ(flow.sender->stats().retransmissions, 0u);
+}
+
+TEST(MessageMode, ZeroByteMessageStillCompletes) {
+  TwoNodeNet w;
+  bool done = false;
+  auto flow = tp::make_message_flow(w.net, w.a, w.b, 0, fast_rmsa(1e6),
+                                    [&](ns::SimTime) { done = true; });
+  w.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(MessageMode, DeliversDespiteHeavyLoss) {
+  TwoNodeNet w(2e6, 0.005, /*loss=*/0.10);
+  double completed_at = -1;
+  auto flow = tp::make_message_flow(w.net, w.a, w.b, 200 * 1000,
+                                    fast_rmsa(1.5e6),
+                                    [&](ns::SimTime t) { completed_at = t; });
+  w.sim.run();
+  ASSERT_GT(completed_at, 0.0) << "transfer must complete under 10% loss";
+  EXPECT_GT(flow.sender->stats().retransmissions, 0u);
+  EXPECT_EQ(flow.receiver->cumulative_ack(),
+            flow.sender->datagram_count(200 * 1000));
+}
+
+TEST(MessageMode, ReceiverCountsDuplicates) {
+  // With loss and retransmission, some datagrams arrive twice; the receiver
+  // must not double-count them in goodput ("ignoring the duplicates").
+  TwoNodeNet w(2e6, 0.005, 0.15);
+  double completed_at = -1;
+  auto flow = tp::make_message_flow(w.net, w.a, w.b, 100 * 1000,
+                                    fast_rmsa(1.5e6),
+                                    [&](ns::SimTime t) { completed_at = t; });
+  w.sim.run();
+  ASSERT_GT(completed_at, 0.0);
+  const auto expected = flow.sender->datagram_count(100 * 1000);
+  // Unique payload bytes metered == datagrams * payload exactly.
+  EXPECT_EQ(flow.receiver->stats().datagrams_received -
+                flow.receiver->stats().duplicates,
+            expected);
+}
+
+TEST(MessageMode, CompletionTimeScalesWithSize) {
+  const auto transfer_time = [](std::size_t bytes) {
+    TwoNodeNet w(4e6, 0.01);
+    double completed_at = -1;
+    auto flow = tp::make_message_flow(w.net, w.a, w.b, bytes, fast_rmsa(4e6),
+                                      [&](ns::SimTime t) { completed_at = t; });
+    w.sim.run();
+    return completed_at;
+  };
+  const double t1 = transfer_time(250 * 1000);
+  const double t2 = transfer_time(1000 * 1000);
+  EXPECT_GT(t2, 2.0 * t1);  // 4x data should take >2x time
+}
+
+// ----------------------------------------------------------- Stream mode ----
+
+TEST(StreamMode, RmsaStabilizesAtTargetGoodput) {
+  TwoNodeNet w(2e6, 0.01, /*loss=*/0.01);
+  const double target = 6e5;
+  const int data_port = tp::allocate_port();
+  const int ack_port = tp::allocate_port();
+  tp::FlowConfig fc;
+  tp::TransportReceiver rx(w.net, w.b, data_port, w.a, ack_port, fc);
+  tp::RmsaConfig rc;
+  rc.target_Bps = target;
+  rc.initial_sleep_s = 0.2;  // start well below target rate
+  tp::TransportSender tx(w.net, w.a, w.b, data_port, ack_port, fc,
+                         std::make_unique<tp::RmsaController>(rc));
+  tx.start_stream();
+
+  // Sample goodput every 100 ms between t=20s and t=40s (post-convergence).
+  ricsa::util::RunningStats post;
+  for (double t = 20.0; t <= 40.0; t += 0.1) {
+    w.sim.run_until(t);
+    post.add(rx.goodput(w.sim.now()));
+  }
+  tx.stop();
+  EXPECT_NEAR(post.mean(), target, 0.15 * target);
+  EXPECT_LT(post.cv(), 0.2);  // low jitter post-convergence
+}
+
+TEST(StreamMode, RmsaLowerJitterThanAimd) {
+  const auto run_cv = [](bool use_rmsa) {
+    TwoNodeNet w(1.5e6, 0.02, 0.005, 128 * 1024);
+    const int data_port = tp::allocate_port();
+    const int ack_port = tp::allocate_port();
+    tp::FlowConfig fc;
+    tp::TransportReceiver rx(w.net, w.b, data_port, w.a, ack_port, fc);
+    std::unique_ptr<tp::RateController> ctrl;
+    if (use_rmsa) {
+      tp::RmsaConfig rc;
+      rc.target_Bps = 6e5;
+      ctrl = std::make_unique<tp::RmsaController>(rc);
+    } else {
+      tp::AimdConfig ac;
+      ac.increase_Bps = 2e5;  // aggressive probing -> classic sawtooth
+      ctrl = std::make_unique<tp::AimdController>(ac);
+    }
+    tp::TransportSender tx(w.net, w.a, w.b, data_port, ack_port, fc,
+                           std::move(ctrl));
+    tx.start_stream();
+    ricsa::util::RunningStats post;
+    for (double t = 15.0; t <= 45.0; t += 0.1) {
+      w.sim.run_until(t);
+      post.add(rx.goodput(w.sim.now()));
+    }
+    tx.stop();
+    return post.cv();
+  };
+  const double cv_rmsa = run_cv(true);
+  const double cv_aimd = run_cv(false);
+  EXPECT_LT(cv_rmsa, cv_aimd)
+      << "stochastic-approximation channel must be smoother than AIMD";
+  EXPECT_LT(cv_rmsa, 0.25);
+}
+
+TEST(StreamMode, SurvivesCrossTraffic) {
+  TwoNodeNet w(2e6, 0.01, 0.001, 256 * 1024);
+  ns::CrossTrafficConfig ct_cfg;
+  ct_cfg.on_load = 0.3;
+  ns::CrossTraffic ct(w.sim, w.net.link(w.a, w.b), ct_cfg, 555);
+  ct.start();
+
+  const int data_port = tp::allocate_port();
+  const int ack_port = tp::allocate_port();
+  tp::FlowConfig fc;
+  tp::TransportReceiver rx(w.net, w.b, data_port, w.a, ack_port, fc);
+  tp::RmsaConfig rc;
+  rc.target_Bps = 5e5;
+  tp::TransportSender tx(w.net, w.a, w.b, data_port, ack_port, fc,
+                         std::make_unique<tp::RmsaController>(rc));
+  tx.start_stream();
+
+  ricsa::util::RunningStats post;
+  for (double t = 20.0; t <= 40.0; t += 0.2) {
+    w.sim.run_until(t);
+    post.add(rx.goodput(w.sim.now()));
+  }
+  tx.stop();
+  ct.stop();
+  EXPECT_NEAR(post.mean(), 5e5, 1e5);
+}
+
+// ------------------------------------------------------------------ EPB ----
+
+TEST(Epb, PureFitRecoversSlopeAndIntercept) {
+  std::vector<std::pair<std::size_t, double>> samples;
+  const double epb = 2e6, d0 = 0.04;
+  for (std::size_t r : {100000u, 300000u, 700000u, 1500000u}) {
+    samples.emplace_back(r, static_cast<double>(r) / epb + d0);
+  }
+  const tp::EpbResult fit = tp::fit_epb(samples);
+  EXPECT_NEAR(fit.epb_Bps, epb, 1e-3 * epb);
+  EXPECT_NEAR(fit.min_delay_s, d0, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(Epb, EmptyAndDegenerateSamples) {
+  EXPECT_EQ(tp::fit_epb({}).epb_Bps, 0.0);
+  EXPECT_EQ(tp::fit_epb({{100, 0.1}}).epb_Bps, 0.0);
+}
+
+TEST(Epb, ActiveMeasurementApproximatesLinkBandwidth) {
+  // Probes ride an AIMD flow over a clean 4 MB/s link; the estimate should
+  // land in the right ballpark (pacing overhead biases it low).
+  TwoNodeNet w(4e6, 0.02);
+  tp::EpbOptions opt;
+  opt.repeats = 1;
+  tp::EpbEstimator est(w.net, w.a, w.b, opt);
+  tp::EpbResult result;
+  bool done = false;
+  est.run([&](const tp::EpbResult& r) {
+    result = r;
+    done = true;
+  });
+  w.sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_GT(result.epb_Bps, 0.8e6);
+  EXPECT_LT(result.epb_Bps, 4.5e6);
+  EXPECT_GT(result.r_squared, 0.9) << "delay must be near-linear in size";
+}
+
+TEST(Epb, RankOrdersLinksByBandwidth) {
+  const auto measure = [](double bw) {
+    TwoNodeNet w(bw, 0.02);
+    tp::EpbOptions opt;
+    opt.repeats = 1;
+    tp::EpbEstimator est(w.net, w.a, w.b, opt);
+    double epb = 0;
+    bool done = false;
+    est.run([&](const tp::EpbResult& r) {
+      epb = r.epb_Bps;
+      done = true;
+    });
+    w.sim.run();
+    EXPECT_TRUE(done);
+    return epb;
+  };
+  EXPECT_GT(measure(8e6), measure(2e6));
+}
