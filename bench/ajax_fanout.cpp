@@ -1,0 +1,282 @@
+// Fan-out load harness for the Ajax long-poll hub.
+//
+// Drives N in-process HTTP clients (N up to 512 and beyond) against one
+// AjaxFrontEnd, every client long-polling /api/poll?since=N&delta=1 over a
+// persistent keep-alive connection — the browser behaviour of Section 5.1 at
+// a scale no browser farm provides. Reports, as JSON per client count:
+// publish-to-delivery latency percentiles (how stale is a frame by the time
+// the slowest-served client holds it), poll round-trip percentiles, frame
+// throughput, gap and timeout counts. The scaling claim of the paper
+// ("any number of clients") is measured here, not asserted.
+//
+// Usage: ajax_fanout [--clients 64,256,512] [--duration-s 4]
+//                    [--slow-fraction 0.1] [--frame-interval-s 0.05]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/strings.hpp"
+#include "web/frontend.hpp"
+#include "web/http.hpp"
+
+namespace {
+
+using ricsa::util::Json;
+
+double now_unix_ms() {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::system_clock::now().time_since_epoch())
+                 .count()) /
+         1000.0;
+}
+
+struct ClientResult {
+  std::vector<double> delivery_ms;  // publish stamp -> response received
+  std::vector<double> rtt_ms;       // poll request -> response
+  std::uint64_t frames = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t gaps = 0;          // seq advanced by more than one
+  std::uint64_t timeouts = 0;
+  std::uint64_t errors = 0;
+  int reconnects = 0;
+};
+
+double percentile(std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+/// One emulated browser: long-poll loop with a private cursor. A "slow"
+/// client sleeps between polls, the mix the hub must not let starve.
+void client_loop(int port, double duration_s, double inter_poll_delay_s,
+                 std::atomic<bool>& go, ClientResult& out) {
+  ricsa::web::HttpClient http(port);
+  // Join at the live head: replaying the retention window would count old
+  // frames (with old publish stamps) as slow deliveries.
+  std::uint64_t since = 0;
+  try {
+    const auto state = http.get("/api/state", 10.0);
+    since = static_cast<std::uint64_t>(
+        Json::parse(state.body).at("seq").as_number());
+  } catch (const std::exception&) {
+  }
+  while (!go.load()) std::this_thread::yield();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(duration_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const double t0 = now_unix_ms();
+    ricsa::web::HttpClient::Response r;
+    try {
+      r = http.get("/api/poll?since=" + std::to_string(since) +
+                       "&delta=1&timeout=2",
+                   10.0);
+    } catch (const std::exception&) {
+      ++out.errors;
+      continue;
+    }
+    const double t1 = now_unix_ms();
+    ++out.polls;
+    if (r.status != 200) {
+      ++out.errors;
+      continue;
+    }
+    Json body;
+    try {
+      body = Json::parse(r.body);
+    } catch (const std::exception&) {
+      ++out.errors;
+      continue;
+    }
+    if (body.contains("timeout")) {
+      ++out.timeouts;
+      continue;
+    }
+    const auto seq = static_cast<std::uint64_t>(body.at("seq").as_number());
+    if (seq <= since) continue;
+    if (since != 0 && seq != since + 1) ++out.gaps;
+    since = seq;
+    ++out.frames;
+    out.rtt_ms.push_back(t1 - t0);
+    if (body.at("state").contains("published_ms")) {
+      out.delivery_ms.push_back(t1 -
+                                body.at("state").at("published_ms").as_number());
+    }
+    if (inter_poll_delay_s > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(inter_poll_delay_s));
+    }
+  }
+  out.reconnects = http.reconnects();
+}
+
+Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
+               double duration_s, double slow_fraction) {
+  const std::uint64_t seq_before = frontend.frame_seq();
+  const auto stats_before = frontend.hub().stats();
+
+  std::vector<ClientResult> results(static_cast<std::size_t>(n_clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_clients));
+  std::atomic<bool> go{false};
+  const int n_slow = static_cast<int>(slow_fraction * n_clients);
+  for (int i = 0; i < n_clients; ++i) {
+    // Slow consumers sleep ~3 frame intervals between polls.
+    const double delay = i < n_slow ? 0.15 : 0.0;
+    threads.emplace_back(client_loop, port, duration_s, delay, std::ref(go),
+                         std::ref(results[static_cast<std::size_t>(i)]));
+  }
+  const double t0 = now_unix_ms();
+  go.store(true);
+  for (auto& t : threads) t.join();
+  const double elapsed_s = (now_unix_ms() - t0) / 1000.0;
+
+  ClientResult total;
+  std::vector<double> fast_delivery_ms;  // prompt pollers only: the hub's
+                                         // own fan-out latency, not the
+                                         // client-chosen replay pace
+  std::uint64_t min_frames = results.empty() ? 0 : results.front().frames;
+  for (int i = 0; i < n_clients; ++i) {
+    const ClientResult& r = results[static_cast<std::size_t>(i)];
+    total.delivery_ms.insert(total.delivery_ms.end(), r.delivery_ms.begin(),
+                             r.delivery_ms.end());
+    if (i >= n_slow) {
+      fast_delivery_ms.insert(fast_delivery_ms.end(), r.delivery_ms.begin(),
+                              r.delivery_ms.end());
+    }
+    total.rtt_ms.insert(total.rtt_ms.end(), r.rtt_ms.begin(), r.rtt_ms.end());
+    total.frames += r.frames;
+    total.polls += r.polls;
+    total.gaps += r.gaps;
+    total.timeouts += r.timeouts;
+    total.errors += r.errors;
+    total.reconnects += std::max(0, r.reconnects);
+    min_frames = std::min(min_frames, r.frames);
+  }
+
+  Json out;
+  out["clients"] = n_clients;
+  out["slow_clients"] = n_slow;
+  out["duration_s"] = elapsed_s;
+  out["frames_published"] =
+      static_cast<double>(frontend.frame_seq() - seq_before);
+  out["polls"] = static_cast<double>(total.polls);
+  out["frames_delivered"] = static_cast<double>(total.frames);
+  out["frames_delivered_min_per_client"] = static_cast<double>(min_frames);
+  out["deliveries_per_sec"] =
+      static_cast<double>(total.frames) / std::max(1e-9, elapsed_s);
+  out["gaps"] = static_cast<double>(total.gaps);
+  out["timeouts"] = static_cast<double>(total.timeouts);
+  out["errors"] = static_cast<double>(total.errors);
+  out["client_reconnects"] = static_cast<double>(total.reconnects);
+
+  Json delivery;
+  delivery["p50_ms"] = percentile(total.delivery_ms, 50);
+  delivery["p90_ms"] = percentile(total.delivery_ms, 90);
+  delivery["p99_ms"] = percentile(total.delivery_ms, 99);
+  delivery["max_ms"] =
+      total.delivery_ms.empty()
+          ? 0.0
+          : *std::max_element(total.delivery_ms.begin(), total.delivery_ms.end());
+  out["delivery_latency"] = delivery;
+
+  if (!fast_delivery_ms.empty()) {
+    Json fast;
+    fast["p50_ms"] = percentile(fast_delivery_ms, 50);
+    fast["p90_ms"] = percentile(fast_delivery_ms, 90);
+    fast["p99_ms"] = percentile(fast_delivery_ms, 99);
+    fast["max_ms"] = *std::max_element(fast_delivery_ms.begin(),
+                                       fast_delivery_ms.end());
+    out["delivery_latency_fast_clients"] = fast;
+  }
+
+  Json rtt;
+  rtt["p50_ms"] = percentile(total.rtt_ms, 50);
+  rtt["p90_ms"] = percentile(total.rtt_ms, 90);
+  rtt["p99_ms"] = percentile(total.rtt_ms, 99);
+  out["poll_rtt"] = rtt;
+
+  const auto stats_after = frontend.hub().stats();
+  Json hub;
+  hub["waiting_peak"] = static_cast<double>(stats_after.waiting_peak);
+  hub["served"] = static_cast<double>(stats_after.served - stats_before.served);
+  hub["hub_timeouts"] =
+      static_cast<double>(stats_after.timeouts - stats_before.timeouts);
+  out["hub"] = hub;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> client_counts = {64, 256, 512};
+  double duration_s = 4.0;
+  double slow_fraction = 0.0;
+  double frame_interval_s = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--clients") {
+      client_counts.clear();
+      for (const std::string& tok : ricsa::util::split(next(), ',')) {
+        client_counts.push_back(std::atoi(tok.c_str()));
+      }
+    } else if (arg == "--duration-s") {
+      duration_s = std::atof(next().c_str());
+    } else if (arg == "--slow-fraction") {
+      slow_fraction = std::atof(next().c_str());
+    } else if (arg == "--frame-interval-s") {
+      frame_interval_s = std::atof(next().c_str());
+    } else {
+      std::fprintf(stderr,
+                   "usage: ajax_fanout [--clients 64,256,512] [--duration-s S]"
+                   " [--slow-fraction F] [--frame-interval-s S]\n");
+      return 2;
+    }
+  }
+
+  ricsa::web::FrontEndConfig config;
+  config.session.resolution = 16;  // small grid: the hub, not the sim, is under test
+  config.session.cycles_per_frame = 1;
+  config.frame_interval_s = frame_interval_s;
+  config.frame_window = 256;
+  config.hub_workers = 4;
+  ricsa::web::AjaxFrontEnd frontend(config);
+  const int port = frontend.start();
+  std::fprintf(stderr, "[ajax_fanout] hub on port %d, frame interval %.0f ms\n",
+               port, frame_interval_s * 1e3);
+
+  // Let the monitor loop publish its first frames before measuring.
+  while (frontend.frame_seq() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  Json rounds{ricsa::util::JsonArray{}};
+  for (const int n : client_counts) {
+    std::fprintf(stderr, "[ajax_fanout] %d clients for %.1f s...\n", n,
+                 duration_s);
+    rounds.as_array().push_back(
+        run_round(frontend, port, n, duration_s, slow_fraction));
+  }
+
+  Json report;
+  report["bench"] = "ajax_fanout";
+  report["frame_interval_s"] = frame_interval_s;
+  report["rounds"] = rounds;
+  std::printf("%s\n", report.dump(1).c_str());
+  frontend.stop();
+  return 0;
+}

@@ -24,16 +24,6 @@ U5 to_conserved(const P5& s, double gamma) {
           s.p / (gamma - 1.0) + kin};
 }
 
-P5 to_primitive(const U5& c, double gamma) {
-  const double rho = std::max(c.rho, kFloor);
-  const double u = c.mu / rho;
-  const double v = c.mv / rho;
-  const double w = c.mw / rho;
-  const double kin = 0.5 * rho * (u * u + v * v + w * w);
-  const double p = std::max((gamma - 1.0) * (c.e - kin), kFloor);
-  return {rho, u, v, w, p};
-}
-
 U5 flux_of(const P5& s, double gamma) {
   const U5 c = to_conserved(s, gamma);
   return {c.mu, c.mu * s.u + s.p, c.mv * s.u, c.mw * s.u,

@@ -36,6 +36,10 @@ int SimulationServer::receive_handle_message() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     drained.swap(mailbox_);
+    // Once shut down, stay shut down: messages posted after the shutdown
+    // are drained (bounding mailbox memory) but never acted on, and every
+    // further call keeps reporting -1 so a `!= -1` simulation loop exits.
+    if (!running_) return -1;
   }
   int result = 0;
   for (const Message& m : drained) {

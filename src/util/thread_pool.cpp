@@ -50,7 +50,18 @@ void ThreadPool::parallel_for(
     if (lo >= hi) break;
     futures.push_back(submit([&body, lo, hi] { body(lo, hi); }));
   }
-  for (auto& f : futures) f.get();
+  // Wait for every chunk before rethrowing: the caller may destroy `body`
+  // (and the data it references) the moment we propagate, so no chunk can
+  // still be running by then. First exception wins.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 void ThreadPool::worker_loop() {

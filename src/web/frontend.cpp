@@ -1,16 +1,17 @@
 #include "web/frontend.hpp"
 
 #include <chrono>
+#include <string>
 
-#include "util/base64.hpp"
 #include "util/strings.hpp"
 
 namespace ricsa::web {
 
 namespace {
 
-/// The embedded dashboard: plain XHR long-polling, no frameworks. Only the
-/// image and status elements update when a poll returns — the partial-update
+/// The embedded dashboard: plain XHR long-polling, no frameworks. Polls with
+/// delta=1 and merges partial state updates client-side — only the UI
+/// elements that contain new information change, the partial-update
 /// behaviour the paper highlights about Ajax UIs.
 constexpr const char* kDashboardHtml = R"HTML(<!doctype html>
 <html><head><meta charset="utf-8"><title>RICSA monitor</title>
@@ -42,18 +43,22 @@ constexpr const char* kDashboardHtml = R"HTML(<!doctype html>
 <div id="status">connecting...</div>
 <script>
 let since = 0;
+let state = {};
 function poll(){
   const xhr = new XMLHttpRequest();
-  xhr.open('GET', '/api/poll?since=' + since, true);
+  xhr.open('GET', '/api/poll?since=' + since + '&delta=1', true);
   xhr.onload = function(){
     try {
       const r = JSON.parse(xhr.responseText);
       if (r.seq > since) {
+        // Delta responses carry only the changed keys; merge them.
+        if (r.delta && r.seq === since + 1) Object.assign(state, r.state);
+        else state = r.state;
         since = r.seq;
         if (r.image_b64) document.getElementById('frame').src =
             'data:image/png;base64,' + r.image_b64;
         document.getElementById('status').textContent =
-            JSON.stringify(r.state, null, 1);
+            JSON.stringify(state, null, 1);
       }
     } catch(e) {}
     poll();
@@ -87,7 +92,10 @@ poll();
 }  // namespace
 
 AjaxFrontEnd::AjaxFrontEnd(FrontEndConfig config)
-    : config_(config), session_(config.session) {
+    : config_(config),
+      session_(config.session),
+      hub_(FrameHub::Config{config.frame_window, config.hub_workers,
+                            config.poll_timeout_s}) {
   register_routes();
 }
 
@@ -102,23 +110,24 @@ int AjaxFrontEnd::start() {
 
 void AjaxFrontEnd::stop() {
   if (!running_.exchange(false)) return;
-  state_cv_.notify_all();
   if (loop_thread_.joinable()) loop_thread_.join();
+  // Order matters: close every connection first so hub callbacks flushed by
+  // shutdown() hit dead sockets instead of re-entering live poll loops.
   server_.stop();
-}
-
-std::uint64_t AjaxFrontEnd::frame_seq() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  return seq_;
+  hub_.shutdown();
 }
 
 void AjaxFrontEnd::register_routes() {
   server_.route("GET", "/", [this](const HttpRequest& r) { return handle_index(r); });
   server_.route("GET", "/api/state", [this](const HttpRequest& r) { return handle_state(r); });
-  server_.route("GET", "/api/poll", [this](const HttpRequest& r) { return handle_poll(r); });
+  server_.route("GET", "/api/stats", [this](const HttpRequest& r) { return handle_stats(r); });
   server_.route("GET", "/api/image", [this](const HttpRequest& r) { return handle_image(r); });
   server_.route("POST", "/api/steer", [this](const HttpRequest& r) { return handle_steer(r); });
   server_.route("POST", "/api/view", [this](const HttpRequest& r) { return handle_view(r); });
+  server_.route_async("GET", "/api/poll",
+                      [this](const HttpRequest& r, HttpServer::ResponseSink s) {
+                        handle_poll_async(r, std::move(s));
+                      });
 }
 
 void AjaxFrontEnd::frame_loop() {
@@ -174,30 +183,63 @@ void AjaxFrontEnd::frame_loop() {
     state["transform_s"] = frame.exec.transform_s;
     state["render_s"] = frame.exec.render_s;
     state["geometry_bytes"] = static_cast<double>(frame.exec.geometry_bytes);
+    // Wall-clock publish stamp so clients (and the fan-out bench) can
+    // measure publish-to-delivery latency.
+    state["published_ms"] = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count()) / 1000.0;
     util::JsonObject params;
     for (const auto& [key, value] : session_.parameters()) {
       params[key] = util::Json(value);
     }
     state["parameters"] = util::Json(params);
 
-    {
-      std::lock_guard<std::mutex> lock(state_mutex_);
-      ++seq_;
-      latest_state_ = std::move(state);
-      latest_png_ = frame.image.encode_png();
-    }
-    state_cv_.notify_all();
+    // One snapshot, one PNG encode, one base64, one JSON render — however
+    // many clients are watching. The hub fans out to the parked pollers.
+    hub_.publish(std::move(state), frame.image.encode_png());
 
     std::this_thread::sleep_for(
         std::chrono::duration<double>(config_.frame_interval_s));
   }
 }
 
-util::Json AjaxFrontEnd::state_locked() const {
-  util::Json out;
-  out["seq"] = static_cast<double>(seq_);
-  out["state"] = latest_state_;
-  return out;
+void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
+                                     HttpServer::ResponseSink sink) {
+  std::uint64_t since = 0;
+  try {
+    since = static_cast<std::uint64_t>(
+        std::stoull(request.query_param("since", "0")));
+  } catch (const std::exception&) {
+    sink(HttpResponse::bad_request("since must be an integer"));
+    return;
+  }
+  double timeout = config_.poll_timeout_s;
+  try {
+    timeout = std::min(config_.poll_timeout_s,
+                       std::stod(request.query_param("timeout", "15")));
+  } catch (const std::exception&) {
+  }
+  const bool want_delta = request.query_param("delta", "0") == "1";
+
+  hub_.wait_async(since, timeout, [since, want_delta,
+                                   sink = std::move(sink)](FramePtr frame) {
+    if (!frame) {
+      // Echo the client's own cursor, not the current head: a publish
+      // racing this timeout must not let the client advance past a frame
+      // it never received.
+      util::Json out;
+      out["seq"] = static_cast<double>(since);
+      out["timeout"] = true;
+      sink(HttpResponse::json(out.dump()));
+      return;
+    }
+    // The delta body only applies to a cursor exactly one frame behind;
+    // everyone else (fresh clients, clients that fell past the window edge)
+    // gets the full snapshot.
+    const bool delta_ok = want_delta && frame->seq == since + 1;
+    sink(HttpResponse::json(delta_ok ? frame->body_delta : frame->body_full));
+  });
 }
 
 HttpResponse AjaxFrontEnd::handle_index(const HttpRequest&) {
@@ -205,36 +247,32 @@ HttpResponse AjaxFrontEnd::handle_index(const HttpRequest&) {
 }
 
 HttpResponse AjaxFrontEnd::handle_state(const HttpRequest&) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  return HttpResponse::json(state_locked().dump());
+  util::Json out;
+  const FramePtr frame = hub_.latest();
+  out["seq"] = static_cast<double>(frame ? frame->seq : 0);
+  out["state"] = frame ? frame->state : util::Json();
+  return HttpResponse::json(out.dump());
 }
 
-HttpResponse AjaxFrontEnd::handle_poll(const HttpRequest& request) {
-  const auto since =
-      static_cast<std::uint64_t>(std::stoull(request.query_param("since", "0")));
-  const double timeout = std::min(
-      config_.poll_timeout_s,
-      std::stod(request.query_param("timeout", "15")));
-
-  std::unique_lock<std::mutex> lock(state_mutex_);
-  state_cv_.wait_for(lock, std::chrono::duration<double>(timeout), [&] {
-    return seq_ > since || !running_.load();
-  });
-
-  util::Json out = state_locked();
-  if (seq_ > since && !latest_png_.empty()) {
-    // The partial update: image + state ride one XHR response.
-    out["image_b64"] = util::base64_encode(latest_png_);
-  } else {
-    out["timeout"] = true;
-  }
+HttpResponse AjaxFrontEnd::handle_stats(const HttpRequest&) {
+  const FrameHub::Stats s = hub_.stats();
+  util::Json out;
+  out["seq"] = static_cast<double>(hub_.seq());
+  out["published"] = static_cast<double>(s.published);
+  out["served"] = static_cast<double>(s.served);
+  out["timeouts"] = static_cast<double>(s.timeouts);
+  out["waiting"] = static_cast<double>(s.waiting);
+  out["waiting_peak"] = static_cast<double>(s.waiting_peak);
+  out["connections_open"] = static_cast<double>(server_.connections_open());
+  out["requests_served"] = static_cast<double>(server_.requests_served());
+  out["steers"] = static_cast<double>(steers_.load());
   return HttpResponse::json(out.dump());
 }
 
 HttpResponse AjaxFrontEnd::handle_image(const HttpRequest&) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  if (latest_png_.empty()) return HttpResponse::not_found();
-  return HttpResponse::binary(latest_png_, "image/png");
+  const FramePtr frame = hub_.latest();
+  if (!frame || frame->png.empty()) return HttpResponse::not_found();
+  return HttpResponse::binary(frame->png, "image/png");
 }
 
 HttpResponse AjaxFrontEnd::handle_steer(const HttpRequest& request) {

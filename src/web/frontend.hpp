@@ -7,15 +7,16 @@
 // the traditional click-wait-refresh page-driven model."
 //
 // Implementation: a background monitor loop produces frames from the
-// SteeringSession; browsers long-poll /api/poll?since=N and receive only the
-// delta (new frame sequence + state + PNG image) the moment it exists —
-// the XMLHttpRequest object-exchange of the paper. Steering commands arrive
-// as JSON POSTs and are applied on the next simulation cycle. Any number of
-// clients can watch/steer concurrently (each keeps its own cursor).
+// SteeringSession and publishes each one exactly once into a FrameHub;
+// browsers long-poll /api/poll?since=N (async route — no thread parks with
+// the connection) and receive the shared pre-rendered delta the moment it
+// exists — the XMLHttpRequest object-exchange of the paper. Steering
+// commands arrive as JSON POSTs and are applied on the next simulation
+// cycle. Hundreds of clients can watch/steer concurrently; each keeps its
+// own cursor and the hub's sliding window bounds server memory.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -24,6 +25,7 @@
 #include "steering/session.hpp"
 #include "util/json.hpp"
 #include "web/http.hpp"
+#include "web/hub.hpp"
 
 namespace ricsa::web {
 
@@ -35,6 +37,11 @@ struct FrontEndConfig {
   int port = 0;
   /// Long-poll timeout ceiling.
   double poll_timeout_s = 15.0;
+  /// Frames retained for catch-up replay (gap-free streams for clients that
+  /// fall at most this many frames behind).
+  std::size_t frame_window = 128;
+  /// Hub fan-out worker threads.
+  std::size_t hub_workers = 4;
 };
 
 class AjaxFrontEnd {
@@ -47,33 +54,31 @@ class AjaxFrontEnd {
   void stop();
 
   int port() const noexcept { return server_.port(); }
-  std::uint64_t frame_seq() const;
+  std::uint64_t frame_seq() const { return hub_.seq(); }
   std::uint64_t steer_count() const noexcept { return steers_.load(); }
+  const FrameHub& hub() const noexcept { return hub_; }
+  const HttpServer& server() const noexcept { return server_; }
 
  private:
   void register_routes();
   void frame_loop();
-  util::Json state_locked() const;  // requires state_mutex_
+  void handle_poll_async(const HttpRequest& request,
+                         HttpServer::ResponseSink sink);
 
   HttpResponse handle_index(const HttpRequest& request);
   HttpResponse handle_state(const HttpRequest& request);
-  HttpResponse handle_poll(const HttpRequest& request);
+  HttpResponse handle_stats(const HttpRequest& request);
   HttpResponse handle_image(const HttpRequest& request);
   HttpResponse handle_steer(const HttpRequest& request);
   HttpResponse handle_view(const HttpRequest& request);
 
   FrontEndConfig config_;
   steering::SteeringSession session_;
+  FrameHub hub_;
   HttpServer server_;
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> steers_{0};
-
-  mutable std::mutex state_mutex_;
-  mutable std::condition_variable state_cv_;
-  std::uint64_t seq_ = 0;
-  util::Json latest_state_;
-  std::vector<std::uint8_t> latest_png_;
 
   /// View/viz changes posted by clients, applied by the loop thread.
   std::mutex pending_mutex_;

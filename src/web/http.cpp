@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
@@ -15,6 +16,12 @@
 namespace ricsa::web {
 
 namespace {
+
+/// Idle read timeout for connection threads. Must exceed the longest poll
+/// timeout the application hands out: while a long-poll response is pending,
+/// the connection thread is already blocked reading the client's *next*
+/// request, which only arrives after the response fires.
+constexpr double kReadTimeoutS = 30.0;
 
 const char* status_text(int status) {
   switch (status) {
@@ -28,31 +35,79 @@ const char* status_text(int status) {
   }
 }
 
-/// Read until the full header block is present; then read the body per
-/// Content-Length. Returns false on EOF / malformed input.
-bool read_request(int fd, HttpRequest& out) {
-  std::string buffer;
-  char chunk[4096];
-  std::size_t header_end = std::string::npos;
-  while (header_end == std::string::npos) {
+void set_recv_timeout(int fd, double timeout_s) {
+  timeval tv{static_cast<time_t>(timeout_s),
+             static_cast<suseconds_t>(
+                 (timeout_s - static_cast<time_t>(timeout_s)) * 1e6)};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool write_response(int fd, const HttpResponse& response, bool keep_alive) {
+  std::string head = util::strprintf(
+      "HTTP/1.1 %d %s\r\nContent-Length: %zu\r\nConnection: %s\r\n",
+      response.status, status_text(response.status), response.body.size(),
+      keep_alive ? "keep-alive" : "close");
+  for (const auto& [key, value] : response.headers) {
+    head += key + ": " + value + "\r\n";
+  }
+  head += "\r\n";
+  return write_all(fd, head.data(), head.size()) &&
+         write_all(fd, response.body.data(), response.body.size());
+}
+
+/// Strict digits-only Content-Length parse. A malformed header from a
+/// remote peer must reject the request, never throw (these run on
+/// connection threads where an escaped exception would terminate).
+bool parse_content_length(const std::string& text, std::size_t& out) {
+  if (text.empty() || text.size() > 12) return false;
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+enum class ReadResult { kOk, kClosed, kTimeout };
+
+/// Parse one request out of `buffer`, topping it up from `fd` as needed.
+/// Bytes beyond the parsed request stay in `buffer` (pipelining-safe).
+ReadResult read_request(int fd, std::string& buffer, HttpRequest& out) {
+  char chunk[8192];
+  std::size_t header_end;
+  while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) return false;
+    if (n == 0) return ReadResult::kClosed;
+    if (n < 0) {
+      return (errno == EAGAIN || errno == EWOULDBLOCK) ? ReadResult::kTimeout
+                                                       : ReadResult::kClosed;
+    }
     buffer.append(chunk, static_cast<std::size_t>(n));
-    header_end = buffer.find("\r\n\r\n");
-    if (buffer.size() > 1 << 20) return false;  // header bomb
+    if (buffer.size() > 1 << 20) return ReadResult::kClosed;  // header bomb
   }
 
   const std::string head = buffer.substr(0, header_end);
-  std::string rest = buffer.substr(header_end + 4);
+  buffer.erase(0, header_end + 4);
 
   std::istringstream lines(head);
   std::string line;
-  if (!std::getline(lines, line)) return false;
+  if (!std::getline(lines, line)) return ReadResult::kClosed;
   if (!line.empty() && line.back() == '\r') line.pop_back();
   {
     std::istringstream first(line);
     std::string target, version;
-    if (!(first >> out.method >> target >> version)) return false;
+    if (!(first >> out.method >> target >> version)) return ReadResult::kClosed;
     const auto q = target.find('?');
     if (q == std::string::npos) {
       out.path = target;
@@ -72,26 +127,19 @@ bool read_request(int fd, HttpRequest& out) {
   std::size_t content_length = 0;
   const auto it = out.headers.find("content-length");
   if (it != out.headers.end()) {
-    content_length = static_cast<std::size_t>(std::stoul(it->second));
-    if (content_length > (64u << 20)) return false;
+    if (!parse_content_length(it->second, content_length)) {
+      return ReadResult::kClosed;
+    }
+    if (content_length > (64u << 20)) return ReadResult::kClosed;
   }
-  while (rest.size() < content_length) {
+  while (buffer.size() < content_length) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) return false;
-    rest.append(chunk, static_cast<std::size_t>(n));
+    if (n <= 0) return ReadResult::kClosed;
+    buffer.append(chunk, static_cast<std::size_t>(n));
   }
-  out.body = rest.substr(0, content_length);
-  return true;
-}
-
-bool write_all(int fd, const char* data, std::size_t n) {
-  std::size_t sent = 0;
-  while (sent < n) {
-    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
-    if (w <= 0) return false;
-    sent += static_cast<std::size_t>(w);
-  }
-  return true;
+  out.body = buffer.substr(0, content_length);
+  buffer.erase(0, content_length);
+  return ReadResult::kOk;
 }
 
 }  // namespace
@@ -165,6 +213,49 @@ HttpResponse HttpResponse::bad_request(const std::string& why) {
   return text("bad request: " + why, 400);
 }
 
+// ---------------------------------------------------------------- server --
+
+struct HttpServer::Connection {
+  int fd = -1;
+  std::string buffer;  // carry-over bytes between requests
+  /// The connection thread reads; sink invocations (hub workers) write.
+  /// This lock keeps two completing responses from interleaving bytes.
+  std::mutex write_mutex;
+
+  /// The fd is closed only when the last reference (connection thread or a
+  /// late-firing AsyncReply) lets go, so nobody ever writes into a reused
+  /// descriptor. Teardown paths shutdown(2) instead of closing.
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// Shared state of one in-flight async response.
+struct AsyncReply {
+  HttpServer* server = nullptr;
+  std::shared_ptr<HttpServer::Connection> conn;
+  bool keep_alive = true;
+  std::mutex mutex;
+  bool written = false;  // a sink invocation already handled the response
+};
+
+void HttpServer::ResponseSink::operator()(const HttpResponse& response) const {
+  if (!reply_) return;
+  AsyncReply& r = *reply_;
+  {
+    std::lock_guard<std::mutex> once(r.mutex);
+    if (r.written) return;
+    r.written = true;
+  }
+  {
+    std::lock_guard<std::mutex> write(r.conn->write_mutex);
+    write_response(r.conn->fd, response, r.keep_alive);
+  }
+  r.server->served_.fetch_add(1);
+  // A failed write needs no cleanup here: the connection thread is blocked
+  // reading this same socket and observes the error/EOF itself.
+}
+
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::route(const std::string& method, const std::string& path,
@@ -175,6 +266,12 @@ void HttpServer::route(const std::string& method, const std::string& path,
   } else {
     exact_[{method, path}] = std::move(handler);
   }
+}
+
+void HttpServer::route_async(const std::string& method, const std::string& path,
+                             AsyncHandler handler) {
+  std::lock_guard<std::mutex> lock(routes_mutex_);
+  async_[{method, path}] = std::move(handler);
 }
 
 int HttpServer::start(int port) {
@@ -190,7 +287,7 @@ int HttpServer::start(int port) {
     ::close(listen_fd_);
     throw std::runtime_error("http: bind() failed");
   }
-  if (::listen(listen_fd_, 16) < 0) {
+  if (::listen(listen_fd_, 128) < 0) {
     ::close(listen_fd_);
     throw std::runtime_error("http: listen() failed");
   }
@@ -207,14 +304,19 @@ void HttpServer::stop() {
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers.swap(workers_);
+    // Wake every blocked read; the owning serve path closes the fd. Parked
+    // async connections are buried when their sink eventually fires.
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
   }
-  for (auto& w : workers) {
-    if (w.joinable()) w.join();
-  }
+  std::unique_lock<std::mutex> lock(active_mutex_);
+  active_cv_.wait(lock, [this] { return active_ == 0; });
+}
+
+std::size_t HttpServer::connections_open() const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  return conns_.size();
 }
 
 void HttpServer::accept_loop() {
@@ -224,105 +326,196 @@ void HttpServer::accept_loop() {
       if (!running_.load()) return;
       continue;
     }
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers_.emplace_back([this, fd] { serve_connection(fd); });
+    if (!running_.load()) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // A consumer that stops reading must not pin a writer thread forever.
+    timeval snd{30, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd, sizeof(snd));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    track(conn);
+    spawn_dedicated(std::move(conn));
   }
 }
 
-void HttpServer::serve_connection(int fd) {
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  timeval tv{30, 0};
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+void HttpServer::spawn_dedicated(std::shared_ptr<Connection> conn) {
+  {
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    ++active_;  // before detaching, so stop() cannot miss the thread
+  }
+  std::thread([this, conn = std::move(conn)]() mutable {
+    serve(std::move(conn));
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    --active_;
+    active_cv_.notify_all();
+  }).detach();
+}
+
+void HttpServer::track(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.insert(conn);
+  }
+  // stop() may have swept the registry between accept and insert.
+  if (!running_.load()) ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void HttpServer::untrack_and_close(const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  if (conns_.erase(conn) > 0) ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void HttpServer::serve(std::shared_ptr<Connection> conn) {
+  set_recv_timeout(conn->fd, kReadTimeoutS);
 
   while (running_.load()) {
     HttpRequest request;
-    if (!read_request(fd, request)) break;
-    HttpResponse response = dispatch(request);
-    ++served_;
+    if (read_request(conn->fd, conn->buffer, request) != ReadResult::kOk) break;
 
     const bool keep_alive =
         !util::iequals(request.headers.count("connection")
                            ? request.headers.at("connection")
                            : "keep-alive",
                        "close");
-    std::string head = util::strprintf(
-        "HTTP/1.1 %d %s\r\nContent-Length: %zu\r\nConnection: %s\r\n",
-        response.status, status_text(response.status), response.body.size(),
-        keep_alive ? "keep-alive" : "close");
-    for (const auto& [key, value] : response.headers) {
-      head += key + ": " + value + "\r\n";
-    }
-    head += "\r\n";
-    if (!write_all(fd, head.data(), head.size())) break;
-    if (!write_all(fd, response.body.data(), response.body.size())) break;
-    if (!keep_alive) break;
-  }
-  ::close(fd);
-}
 
-HttpResponse HttpServer::dispatch(const HttpRequest& request) {
-  Handler handler;
-  {
-    std::lock_guard<std::mutex> lock(routes_mutex_);
-    const auto it = exact_.find({request.method, request.path});
-    if (it != exact_.end()) {
-      handler = it->second;
-    } else {
-      for (const auto& [method, prefix, h] : prefix_) {
-        if (method == request.method &&
-            util::starts_with(request.path, prefix)) {
-          handler = h;
-          break;
+    AsyncHandler async_handler;
+    Handler handler;
+    {
+      std::lock_guard<std::mutex> lock(routes_mutex_);
+      if (const auto it = async_.find({request.method, request.path});
+          it != async_.end()) {
+        async_handler = it->second;
+      } else if (const auto jt = exact_.find({request.method, request.path});
+                 jt != exact_.end()) {
+        handler = jt->second;
+      } else {
+        for (const auto& [method, prefix, h] : prefix_) {
+          if (method == request.method &&
+              util::starts_with(request.path, prefix)) {
+            handler = h;
+            break;
+          }
         }
       }
     }
+
+    if (async_handler) {
+      auto reply = std::make_shared<AsyncReply>();
+      reply->server = this;
+      reply->conn = conn;
+      reply->keep_alive = keep_alive;
+      ResponseSink sink;
+      sink.reply_ = reply;
+      try {
+        async_handler(request, sink);
+      } catch (const std::exception& e) {
+        sink(HttpResponse::text(std::string("internal error: ") + e.what(),
+                                500));
+      }
+      // Whether the sink already fired inline or fires later from a hub
+      // worker, this thread's job is identical: read the client's next
+      // request. The read blocks cheaply in the kernel while the response
+      // is pending, and observes EOF itself if the write side failed.
+      continue;
+    }
+
+    HttpResponse response;
+    if (!handler) {
+      response = HttpResponse::not_found();
+    } else {
+      try {
+        response = handler(request);
+      } catch (const std::exception& e) {
+        response =
+            HttpResponse::text(std::string("internal error: ") + e.what(), 500);
+      }
+    }
+    ++served_;
+    bool wrote;
+    {
+      std::lock_guard<std::mutex> write(conn->write_mutex);
+      wrote = write_response(conn->fd, response, keep_alive);
+    }
+    if (!wrote || !keep_alive) break;
   }
-  if (!handler) return HttpResponse::not_found();
-  try {
-    return handler(request);
-  } catch (const std::exception& e) {
-    return HttpResponse::text(std::string("internal error: ") + e.what(), 500);
-  }
+  untrack_and_close(conn);
 }
 
-namespace {
-HttpClientResponse http_exchange(int port, const std::string& request_text,
-                                 double timeout_s) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("http client: socket() failed");
-  timeval tv{static_cast<time_t>(timeout_s),
-             static_cast<suseconds_t>((timeout_s - static_cast<time_t>(timeout_s)) * 1e6)};
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+// ---------------------------------------------------------------- client --
+
+HttpClient::~HttpClient() { close(); }
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : port_(other.port_),
+      fd_(other.fd_),
+      reconnects_(other.reconnects_),
+      buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+void HttpClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+void HttpClient::ensure_connected(double timeout_s) {
+  if (fd_ >= 0) return;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("http client: socket() failed");
+  set_recv_timeout(fd_, timeout_s);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
     throw std::runtime_error("http client: connect() failed");
   }
-  if (!write_all(fd, request_text.data(), request_text.size())) {
-    ::close(fd);
+  ++reconnects_;
+  buffer_.clear();
+}
+
+HttpClient::Response HttpClient::exchange(const std::string& request_text,
+                                          double timeout_s,
+                                          bool retry_on_stale) {
+  ensure_connected(timeout_s);
+  set_recv_timeout(fd_, timeout_s);
+  if (!write_all(fd_, request_text.data(), request_text.size())) {
+    // Server closed the idle keep-alive connection; retry on a fresh one.
+    close();
+    if (retry_on_stale) return exchange(request_text, timeout_s, false);
     throw std::runtime_error("http client: send failed");
   }
 
-  std::string buffer;
   char chunk[8192];
-  std::size_t header_end = std::string::npos;
-  while (header_end == std::string::npos) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+  std::size_t header_end;
+  bool got_bytes = !buffer_.empty();
+  while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n <= 0) {
-      ::close(fd);
+      const bool stale = n == 0 || errno == ECONNRESET;
+      close();
+      if (!got_bytes && retry_on_stale && stale) {
+        // EOF/reset before any response bytes: stale keep-alive connection.
+        return exchange(request_text, timeout_s, false);
+      }
       throw std::runtime_error("http client: no response");
     }
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    header_end = buffer.find("\r\n\r\n");
+    got_bytes = true;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
   }
 
-  HttpClientResponse out;
+  Response out;
   {
-    std::istringstream lines(buffer.substr(0, header_end));
+    std::istringstream lines(buffer_.substr(0, header_end));
     std::string line;
     std::getline(lines, line);
     std::istringstream status_line(line);
@@ -336,19 +529,62 @@ HttpClientResponse http_exchange(int port, const std::string& request_text,
           std::string(util::trim(line.substr(colon + 1)));
     }
   }
-  std::string body = buffer.substr(header_end + 4);
+  buffer_.erase(0, header_end + 4);
+
   std::size_t content_length = 0;
-  if (out.headers.count("content-length")) {
-    content_length = std::stoul(out.headers.at("content-length"));
+  if (out.headers.count("content-length") &&
+      !parse_content_length(out.headers.at("content-length"),
+                            content_length)) {
+    close();
+    throw std::runtime_error("http client: bad content-length");
   }
-  while (body.size() < content_length) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;
-    body.append(chunk, static_cast<std::size_t>(n));
+  while (buffer_.size() < content_length) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      close();
+      throw std::runtime_error("http client: truncated response");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
   }
-  ::close(fd);
-  out.body = body.substr(0, std::min(body.size(), content_length));
+  out.body = buffer_.substr(0, content_length);
+  buffer_.erase(0, content_length);
+
+  if (out.headers.count("connection") &&
+      util::iequals(out.headers.at("connection"), "close")) {
+    close();
+  }
   return out;
+}
+
+HttpClient::Response HttpClient::get(const std::string& path_and_query,
+                                     double timeout_s) {
+  const std::string req =
+      "GET " + path_and_query +
+      " HTTP/1.1\r\nHost: localhost\r\nConnection: keep-alive\r\n\r\n";
+  return exchange(req, timeout_s, true);
+}
+
+HttpClient::Response HttpClient::post(const std::string& path,
+                                      const std::string& body,
+                                      const std::string& content_type,
+                                      double timeout_s) {
+  const std::string req =
+      util::strprintf(
+          "POST %s HTTP/1.1\r\nHost: localhost\r\nConnection: keep-alive\r\n"
+          "Content-Type: %s\r\nContent-Length: %zu\r\n\r\n",
+          path.c_str(), content_type.c_str(), body.size()) +
+      body;
+  return exchange(req, timeout_s, true);
+}
+
+// ----------------------------------------------------- one-shot helpers --
+
+namespace {
+HttpClientResponse http_exchange(int port, const std::string& request_text,
+                                 double timeout_s) {
+  HttpClient client(port);
+  const HttpClient::Response r = client.exchange(request_text, timeout_s, false);
+  return HttpClientResponse{r.status, r.headers, r.body};
 }
 }  // namespace
 

@@ -3,17 +3,31 @@
 // The paper's front end serves the GWT-built Ajax application and answers
 // XMLHttpRequest calls (Section 5.1); this is the equivalent embedded web
 // server: blocking accept loop + thread-per-connection with keep-alive,
-// enough of HTTP/1.1 for browsers and for the in-process AjaxClientEmulator
-// used in tests. No TLS, loopback-oriented.
+// enough of HTTP/1.1 for browsers and for the in-process load generators
+// used in tests and bench. No TLS, loopback-oriented.
+//
+// Long-poll endpoints use *async routes*: the handler receives a
+// ResponseSink instead of returning a response. The connection thread goes
+// straight back to reading (blocking cheaply in the kernel until the
+// client's next request), and whichever thread later invokes the sink —
+// typically a broadcast-hub worker — writes the response. Reads and writes
+// of one connection proceed on different threads; a per-connection write
+// lock keeps responses from interleaving. This is what lets hundreds of
+// idle long-poll clients cost nothing but a parked kernel read each, while
+// fan-out work stays on a bounded worker pool.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 namespace ricsa::web {
@@ -48,6 +62,20 @@ class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
+  /// Deferred reply for async routes. Copyable; the first invocation writes
+  /// the response (on the invoking thread), later invocations are no-ops.
+  /// Every sink handed to an async handler should eventually be invoked;
+  /// otherwise the client side of the poll hangs until its timeout.
+  class ResponseSink {
+   public:
+    void operator()(const HttpResponse& response) const;
+
+   private:
+    friend class HttpServer;
+    std::shared_ptr<struct AsyncReply> reply_;
+  };
+  using AsyncHandler = std::function<void(const HttpRequest&, ResponseSink)>;
+
   HttpServer() = default;
   ~HttpServer();
   HttpServer(const HttpServer&) = delete;
@@ -58,6 +86,10 @@ class HttpServer {
   void route(const std::string& method, const std::string& path,
              Handler handler, bool prefix = false);
 
+  /// Route whose handler completes asynchronously via the ResponseSink.
+  void route_async(const std::string& method, const std::string& path,
+                   AsyncHandler handler);
+
   /// Bind loopback:port (0 = ephemeral) and start serving. Returns the
   /// bound port. Throws std::runtime_error on failure.
   int start(int port = 0);
@@ -65,13 +97,21 @@ class HttpServer {
   int port() const noexcept { return port_; }
   bool running() const noexcept { return running_.load(); }
   std::uint64_t requests_served() const noexcept { return served_.load(); }
+  /// Connections currently open (attached to a thread or parked async).
+  std::size_t connections_open() const;
 
  private:
+  struct Connection;
+  friend struct AsyncReply;
+
   void accept_loop();
-  void serve_connection(int fd);
-  HttpResponse dispatch(const HttpRequest& request);
+  void spawn_dedicated(std::shared_ptr<Connection> conn);
+  void serve(std::shared_ptr<Connection> conn);
+  void track(const std::shared_ptr<Connection>& conn);
+  void untrack_and_close(const std::shared_ptr<Connection>& conn);
 
   std::map<std::pair<std::string, std::string>, Handler> exact_;
+  std::map<std::pair<std::string, std::string>, AsyncHandler> async_;
   std::vector<std::tuple<std::string, std::string, Handler>> prefix_;
   std::mutex routes_mutex_;
 
@@ -80,11 +120,57 @@ class HttpServer {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> served_{0};
   std::thread accept_thread_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
+
+  /// Registry of live connections; stop() shutdown(2)s every fd to wake
+  /// blocked reads, the owning serve/resume path closes it.
+  mutable std::mutex conns_mutex_;
+  std::set<std::shared_ptr<Connection>> conns_;
+
+  /// Count of detached serve threads; stop() waits for it to drain.
+  std::mutex active_mutex_;
+  std::condition_variable active_cv_;
+  std::size_t active_ = 0;
 };
 
-/// Tiny blocking HTTP/1.1 client for tests and the client emulator.
+/// Blocking HTTP/1.1 client. Keeps its connection alive across requests
+/// (reconnecting transparently when the server closed it), so a long-poll
+/// loop costs one TCP connection total instead of one per poll.
+class HttpClient {
+ public:
+  explicit HttpClient(int port) : port_(port) {}
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept;
+
+  struct Response {
+    int status = 0;
+    std::map<std::string, std::string> headers;
+    std::string body;
+  };
+
+  /// Throws std::runtime_error on connect/IO failure or timeout.
+  Response get(const std::string& path_and_query, double timeout_s = 30.0);
+  Response post(const std::string& path, const std::string& body,
+                const std::string& content_type = "application/json",
+                double timeout_s = 30.0);
+  void close();
+  int reconnects() const noexcept { return reconnects_; }
+
+  /// Raw request exchange; get()/post() are the usual entry points.
+  Response exchange(const std::string& request_text, double timeout_s,
+                    bool retry_on_stale);
+
+ private:
+  void ensure_connected(double timeout_s);
+
+  int port_ = 0;
+  int fd_ = -1;
+  int reconnects_ = -1;  // first connect is not a reconnect
+  std::string buffer_;   // bytes read past the previous response
+};
+
+/// One-shot helpers (Connection: close) for tests and simple tooling.
 struct HttpClientResponse {
   int status = 0;
   std::map<std::string, std::string> headers;

@@ -1,0 +1,251 @@
+#include "web/hub.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/base64.hpp"
+
+namespace ricsa::web {
+
+namespace {
+
+/// Render a poll response body. `state` is embedded as-is; the image rides
+/// along base64-encoded exactly once per frame (the pre-encoded string is
+/// shared by full and delta bodies).
+std::string render_body(std::uint64_t seq, const util::Json& state,
+                        const std::string& image_b64, bool delta) {
+  util::Json out;
+  out["seq"] = static_cast<double>(seq);
+  out["delta"] = delta;
+  out["state"] = state;
+  if (!image_b64.empty()) out["image_b64"] = image_b64;
+  return out.dump();
+}
+
+}  // namespace
+
+FrameHub::FrameHub() : FrameHub(Config()) {}
+
+FrameHub::FrameHub(Config config) : config_(config) {
+  if (config_.window == 0) config_.window = 1;
+  pool_ = std::make_unique<util::ThreadPool>(config_.workers);
+  timer_ = std::thread([this] { timer_loop(); });
+}
+
+FrameHub::~FrameHub() { shutdown(); }
+
+std::uint64_t FrameHub::publish(util::Json state,
+                                std::vector<std::uint8_t> png) {
+  // Publishers serialize here, which lets the expensive work — delta
+  // encoding, one base64 of the image, rendering both response bodies —
+  // happen without holding mutex_, so concurrent polls never stall behind
+  // a frame build. Readers see seq_ and window_ change together below.
+  std::lock_guard<std::mutex> publishing(publish_mutex_);
+  FramePtr prev = latest();
+
+  auto frame = std::make_shared<Frame>();
+  frame->seq = (prev ? prev->seq : 0) + 1;
+  frame->state = std::move(state);
+  frame->png = std::move(png);
+  frame->image_changed = !prev || frame->png != prev->png;
+
+  util::Json delta_state;
+  if (prev && frame->state.is_object() && prev->state.is_object()) {
+    const util::JsonObject& now = frame->state.as_object();
+    const util::JsonObject& before = prev->state.as_object();
+    for (const auto& [key, value] : now) {
+      const auto it = before.find(key);
+      if (it == before.end() || !(it->second == value)) {
+        delta_state[key] = value;
+        ++frame->delta_keys;
+      }
+    }
+  } else {
+    delta_state = frame->state;
+    frame->delta_keys =
+        frame->state.is_object() ? frame->state.as_object().size() : 0;
+  }
+
+  const std::string image_b64 =
+      frame->png.empty() ? std::string() : util::base64_encode(frame->png);
+  frame->body_full = render_body(frame->seq, frame->state, image_b64, false);
+  frame->body_delta = render_body(
+      frame->seq, delta_state, frame->image_changed ? image_b64 : "", true);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return seq_;
+    seq_ = frame->seq;
+    window_.push_back(frame);
+    while (window_.size() > config_.window) window_.pop_front();
+
+    std::vector<Waiter> satisfied;
+    auto it = waiters_.begin();
+    while (it != waiters_.end()) {
+      if (it->since < frame->seq) {
+        satisfied.push_back(std::move(*it));
+        it = waiters_.erase(it);
+      } else {
+        ++it;  // cursor from the future (stale client); keep waiting
+      }
+    }
+    stats_.published++;
+    stats_.served += satisfied.size();
+    stats_.waiting = waiters_.size();
+
+    // Fan out on the pool — the monitor thread returns to simulating
+    // immediately instead of writing N responses. Dispatching under mutex_
+    // keeps the shutdown_ check and the pool_ access atomic against
+    // shutdown() destroying the pool.
+    for (auto& w : satisfied) {
+      pool_->submit([done = std::move(w.done), frame] { done(frame); });
+    }
+  }
+  sync_cv_.notify_all();
+  timer_cv_.notify_all();
+  return frame->seq;
+}
+
+FramePtr FrameHub::latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return window_.empty() ? nullptr : window_.back();
+}
+
+FramePtr FrameHub::next_after_locked(std::uint64_t since) const {
+  if (window_.empty() || seq_ <= since) return nullptr;
+  // window_ holds consecutive seqs [seq_ - size + 1, seq_].
+  const std::uint64_t oldest = window_.front()->seq;
+  const std::uint64_t want = std::max(since + 1, oldest);
+  return window_[static_cast<std::size_t>(want - oldest)];
+}
+
+FramePtr FrameHub::next_after(std::uint64_t since) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_after_locked(since);
+}
+
+std::uint64_t FrameHub::seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+std::uint64_t FrameHub::oldest_retained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return window_.empty() ? 0 : window_.front()->seq;
+}
+
+FrameHub::Stats FrameHub::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void FrameHub::wait_async(std::uint64_t since, double timeout_s,
+                          std::function<void(FramePtr)> done) {
+  timeout_s = std::clamp(timeout_s, 0.0, config_.max_wait_s);
+  FramePtr ready;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      // fall through; completed below without registering
+    } else if (seq_ > since) {
+      ready = next_after_locked(since);
+      stats_.served++;
+    } else {
+      Waiter w;
+      w.since = since;
+      w.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(timeout_s));
+      w.done = std::move(done);
+      waiters_.push_back(std::move(w));
+      stats_.waiting = waiters_.size();
+      stats_.waiting_peak = std::max(stats_.waiting_peak, stats_.waiting);
+      timer_cv_.notify_all();
+      return;
+    }
+  }
+  // Caller's thread completes immediately — no pool round-trip when the
+  // frame already exists (the catch-up path).
+  done(ready);
+}
+
+FramePtr FrameHub::wait(std::uint64_t since, double timeout_s) {
+  timeout_s = std::clamp(timeout_s, 0.0, config_.max_wait_s);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  std::unique_lock<std::mutex> lock(mutex_);
+  sync_cv_.wait_until(lock, deadline,
+                      [&] { return shutdown_ || seq_ > since; });
+  FramePtr out = next_after_locked(since);
+  if (out) {
+    stats_.served++;
+  } else {
+    stats_.timeouts++;
+  }
+  return out;
+}
+
+void FrameHub::timer_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutdown_) {
+    if (waiters_.empty()) {
+      timer_cv_.wait(lock,
+                     [this] { return shutdown_ || !waiters_.empty(); });
+      continue;
+    }
+    auto earliest = waiters_.front().deadline;
+    for (const Waiter& w : waiters_) earliest = std::min(earliest, w.deadline);
+    timer_cv_.wait_until(lock, earliest, [this, earliest] {
+      if (shutdown_ || waiters_.empty()) return true;
+      // Re-check: publish drained the list, or a nearer deadline arrived.
+      for (const Waiter& w : waiters_) {
+        if (w.deadline < earliest) return true;
+      }
+      return std::chrono::steady_clock::now() >= earliest;
+    });
+    if (shutdown_) break;
+
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Waiter> expired;
+    auto it = waiters_.begin();
+    while (it != waiters_.end()) {
+      if (it->deadline <= now) {
+        expired.push_back(std::move(*it));
+        it = waiters_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (expired.empty()) continue;
+    stats_.timeouts += expired.size();
+    stats_.waiting = waiters_.size();
+    // Dispatch while still holding mutex_ (same shutdown-vs-pool atomicity
+    // as publish); submit only queues a task, so the hold stays short.
+    for (auto& w : expired) {
+      pool_->submit([done = std::move(w.done)] { done(nullptr); });
+    }
+  }
+}
+
+void FrameHub::shutdown() {
+  std::vector<Waiter> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    orphans.swap(waiters_);
+    stats_.timeouts += orphans.size();
+    stats_.waiting = 0;
+  }
+  timer_cv_.notify_all();
+  sync_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+  for (auto& w : orphans) {
+    pool_->submit([done = std::move(w.done)] { done(nullptr); });
+  }
+  // Drains queued fan-out tasks, then joins the workers: after shutdown()
+  // returns, no hub thread will ever run another callback.
+  pool_.reset();
+}
+
+}  // namespace ricsa::web

@@ -1,0 +1,124 @@
+// Broadcast hub between the monitor loop and any number of long-polling
+// Ajax clients.
+//
+// The paper's claim is that "any number of clients" can watch and steer a
+// running computation; the hub is what makes that scale. Each frame is
+// snapshotted ONCE into an immutable, seq-numbered Frame — state JSON,
+// encoded image, and the fully rendered poll response bodies (full and
+// delta-encoded) — and every waiting /api/poll?since=N cursor is then served
+// that shared object by a util::ThreadPool, never by the monitor thread and
+// never with per-client re-encoding. A sliding window of retained frames
+// lets clients that fall briefly behind catch up gap-free while bounding
+// memory regardless of how many clients attach or how slow they are.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ricsa::web {
+
+/// One published monitoring frame. Immutable after publish; shared between
+/// the hub's retention window and every in-flight response.
+struct Frame {
+  std::uint64_t seq = 0;
+  util::Json state;                // full monitoring state (JSON object)
+  std::vector<std::uint8_t> png;   // encoded image (may be empty)
+  /// Fully rendered /api/poll JSON bodies, built once per frame:
+  /// body_full carries the whole state, body_delta only the keys that
+  /// changed since the previous frame (and omits the image when its bytes
+  /// are identical) — the paper's partial update, applied to the payload.
+  std::string body_full;
+  std::string body_delta;
+  std::size_t delta_keys = 0;      // state keys that changed vs predecessor
+  bool image_changed = true;
+};
+using FramePtr = std::shared_ptr<const Frame>;
+
+class FrameHub {
+ public:
+  struct Config {
+    /// Frames retained for catch-up replay (per-client memory bound: a
+    /// client cursor is just an integer; the window is the only buffer).
+    std::size_t window = 128;
+    /// Fan-out worker threads (0 = one per hardware thread).
+    std::size_t workers = 4;
+    /// Ceiling on any single long-poll wait.
+    double max_wait_s = 60.0;
+  };
+
+  struct Stats {
+    std::uint64_t published = 0;
+    std::uint64_t served = 0;    // waiter completions carrying a frame
+    std::uint64_t timeouts = 0;  // waiter completions without one
+    std::size_t waiting = 0;     // cursors currently parked
+    std::size_t waiting_peak = 0;
+  };
+
+  FrameHub();  // default Config
+  explicit FrameHub(Config config);
+  ~FrameHub();
+  FrameHub(const FrameHub&) = delete;
+  FrameHub& operator=(const FrameHub&) = delete;
+
+  /// Snapshot a new frame (delta-encode vs the previous one, render the
+  /// poll bodies, base64 the image once), append it to the window, and fan
+  /// out to every satisfied waiter on the worker pool. Returns the new seq.
+  std::uint64_t publish(util::Json state, std::vector<std::uint8_t> png);
+
+  FramePtr latest() const;
+  /// Oldest retained frame with seq > since (the catch-up step), or null.
+  FramePtr next_after(std::uint64_t since) const;
+  std::uint64_t seq() const;
+  std::uint64_t oldest_retained() const;
+  Stats stats() const;
+
+  /// Long-poll: invoke done(frame) as soon as a frame newer than `since`
+  /// exists — synchronously on the caller if one already does, else on a
+  /// worker thread when it is published. done(nullptr) on timeout or
+  /// shutdown. `done` must be invocable from any thread.
+  void wait_async(std::uint64_t since, double timeout_s,
+                  std::function<void(FramePtr)> done);
+
+  /// Blocking flavour for in-process consumers.
+  FramePtr wait(std::uint64_t since, double timeout_s);
+
+  /// Complete all parked waiters with nullptr, refuse new ones, and join
+  /// the timer thread and worker pool. Idempotent.
+  void shutdown();
+
+ private:
+  struct Waiter {
+    std::uint64_t since = 0;
+    std::chrono::steady_clock::time_point deadline;
+    std::function<void(FramePtr)> done;
+  };
+
+  FramePtr next_after_locked(std::uint64_t since) const;  // requires mutex_
+  void timer_loop();
+
+  Config config_;
+  /// Serializes publishers so frame building happens outside mutex_.
+  std::mutex publish_mutex_;
+  mutable std::mutex mutex_;
+  std::condition_variable timer_cv_;  // wakes the timeout sweeper
+  std::condition_variable sync_cv_;   // wakes blocking wait()ers
+  std::deque<FramePtr> window_;
+  std::uint64_t seq_ = 0;
+  std::vector<Waiter> waiters_;
+  bool shutdown_ = false;
+  Stats stats_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread timer_;
+};
+
+}  // namespace ricsa::web

@@ -176,8 +176,8 @@ TEST(NetworkProfile, ActiveMeasurementApproximatesGroundTruth) {
   ns::LinkConfig slow = fast;
   slow.bandwidth_Bps = 1.5e6;
   net.add_duplex(a, b, fast);
-  // Overwrite one direction with the slow link (A->B measures slow path).
-  net.add_link(b, a, fast);
+  // Overwrite the return direction with the slow link; A->B stays fast.
+  net.add_link(b, a, slow);
 
   ricsa::transport::EpbOptions epb;
   epb.probe_sizes = {100 * 1024, 400 * 1024, 1000 * 1024};

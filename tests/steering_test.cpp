@@ -3,6 +3,7 @@
 // session, and the WAN session actors over the testbed.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "cost/pipeline_builder.hpp"
@@ -112,6 +113,42 @@ TEST(SimulationServer, CStyleApiMirrorsFig7) {
   EXPECT_EQ(server->frames_pushed(), 1u);
   st::RICSA_UpdateSimulationParameters(server);
   st::RICSA_ShutdownSimulationServer(server);
+}
+
+TEST(SimulationServer, PostAfterShutdownStaysShutDown) {
+  h::HydroSimulation sim(h::HydroSimulation::Kind::kSod, 16);
+  st::SimulationServer server(sim);
+  st::Message bye;
+  bye.type = st::MessageType::kShutdown;
+  server.post(bye);
+  EXPECT_EQ(server.receive_handle_message(), -1);
+
+  // Late messages (a client that missed the teardown) are drained but never
+  // acted on; every further receive keeps reporting shutdown so a
+  // `while (receive != -1)` simulation loop exits instead of spinning.
+  server.post(st::make_steering_params(2, {{"cfl", 0.4}}));
+  EXPECT_EQ(server.receive_handle_message(), -1);
+  EXPECT_EQ(server.update_simulation_parameters(), 0);
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.receive_handle_message(), -1);
+}
+
+TEST(SimulationServer, ShutdownWakesBlockedWaitAcceptConnection) {
+  // Teardown ordering: a simulation thread parked in wait_accept_connection
+  // (no client ever attached) must be released by the shutdown post, not
+  // deadlock.
+  h::HydroSimulation sim(h::HydroSimulation::Kind::kSod, 16);
+  st::SimulationServer server(sim);
+  std::thread simulation([&server] {
+    server.wait_accept_connection();
+    EXPECT_EQ(server.receive_handle_message(), -1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  st::Message bye;
+  bye.type = st::MessageType::kShutdown;
+  server.post(bye);
+  simulation.join();  // deadlock here = test timeout
+  EXPECT_FALSE(server.running());
 }
 
 TEST(SimulationServer, WaitBlocksUntilClientConnects) {

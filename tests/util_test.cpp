@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <thread>
@@ -409,4 +410,47 @@ TEST(ThreadPool, ExceptionsPropagate) {
 TEST(ThreadPool, SizeReflectsWorkers) {
   u::ThreadPool pool(5);
   EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPool, ParallelForPropagatesChunkException) {
+  u::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t lo, std::size_t) {
+                          if (lo == 0) throw std::runtime_error("chunk boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForWaitsForAllChunksBeforeRethrowing) {
+  // The caller may destroy the body (and everything it references) the
+  // moment parallel_for throws — so no chunk can still be running then.
+  u::ThreadPool pool(4);
+  std::atomic<int> started{0}, finished{0};
+  try {
+    pool.parallel_for(0, 4, [&](std::size_t lo, std::size_t) {
+      ++started;
+      if (lo == 0) throw std::runtime_error("first chunk dies");
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      ++finished;
+    });
+    FAIL() << "expected the chunk exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first chunk dies");
+  }
+  // Every chunk that started also ran to completion (or threw) by the time
+  // parallel_for returned; nothing is still touching the captures.
+  EXPECT_EQ(finished.load(), started.load() - 1);
+}
+
+TEST(ThreadPool, ParallelForFirstExceptionWinsWhenSeveralThrow) {
+  u::ThreadPool pool(4);
+  try {
+    pool.parallel_for(0, 4, [](std::size_t lo, std::size_t) {
+      throw std::runtime_error("chunk " + std::to_string(lo));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 0");  // chunks submit in order
+  }
 }
