@@ -9,13 +9,23 @@
 // throughput, gap and timeout counts. The scaling claim of the paper
 // ("any number of clients") is measured here, not asserted.
 //
+// The mixed scenario (--scenario mixed) runs every client count twice —
+// once without client identities (baseline: every browser gets the full
+// stream) and once with per-client adaptive pacing enabled — and reports
+// per-tier delivery bandwidth plus the byte savings: slow consumers are
+// downgraded to cheaper tiers instead of inflating total bytes sent, while
+// fast-client delivery latency stays put.
+//
 // Usage: ajax_fanout [--clients 64,256,512] [--duration-s 4]
 //                    [--slow-fraction 0.1] [--frame-interval-s 0.05]
+//                    [--scenario plain|mixed]
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,11 +52,22 @@ struct ClientResult {
   std::vector<double> rtt_ms;       // poll request -> response
   std::uint64_t frames = 0;
   std::uint64_t polls = 0;
-  std::uint64_t gaps = 0;          // seq advanced by more than one
+  std::uint64_t gaps = 0;          // seq advanced by more than one (unpaced)
+  std::uint64_t skips = 0;         // paced clients: frames deliberately jumped
   std::uint64_t timeouts = 0;
   std::uint64_t errors = 0;
+  std::uint64_t bytes = 0;         // response body bytes received
+  // Frame/byte counts by served quality tier (full, half, state-only).
+  std::array<std::uint64_t, 3> tier_frames{};
+  std::array<std::uint64_t, 3> tier_bytes{};
   int reconnects = 0;
 };
+
+std::size_t tier_index(const std::string& name) {
+  if (name == "half") return 1;
+  if (name == "state") return 2;
+  return 0;
+}
 
 double percentile(std::vector<double>& xs, double p) {
   if (xs.empty()) return 0.0;
@@ -59,9 +80,11 @@ double percentile(std::vector<double>& xs, double p) {
 }
 
 /// One emulated browser: long-poll loop with a private cursor. A "slow"
-/// client sleeps between polls, the mix the hub must not let starve.
+/// client sleeps between polls, the mix the hub must not let starve. A
+/// non-empty `client_id` opts into a per-client adaptive pacing session.
 void client_loop(int port, double duration_s, double inter_poll_delay_s,
-                 std::atomic<bool>& go, ClientResult& out) {
+                 std::string client_id, std::atomic<bool>& go,
+                 ClientResult& out) {
   ricsa::web::HttpClient http(port);
   // Join at the live head: replaying the retention window would count old
   // frames (with old publish stamps) as slow deliveries.
@@ -80,7 +103,8 @@ void client_loop(int port, double duration_s, double inter_poll_delay_s,
     ricsa::web::HttpClient::Response r;
     try {
       r = http.get("/api/poll?since=" + std::to_string(since) +
-                       "&delta=1&timeout=2",
+                       "&delta=1&timeout=2" +
+                       (client_id.empty() ? "" : "&client=" + client_id),
                    10.0);
     } catch (const std::exception&) {
       ++out.errors;
@@ -105,9 +129,19 @@ void client_loop(int port, double duration_s, double inter_poll_delay_s,
     }
     const auto seq = static_cast<std::uint64_t>(body.at("seq").as_number());
     if (seq <= since) continue;
-    if (since != 0 && seq != since + 1) ++out.gaps;
+    // Adaptive sessions skip frames by design (latest_only pacing); count
+    // those separately so `gaps` stays the hub-correctness signal.
+    if (since != 0 && seq != since + 1) {
+      if (client_id.empty()) ++out.gaps;
+      else out.skips += seq - since - 1;
+    }
     since = seq;
     ++out.frames;
+    out.bytes += r.body.size();
+    const std::size_t tier =
+        body.contains("tier") ? tier_index(body.at("tier").as_string()) : 0;
+    ++out.tier_frames[tier];
+    out.tier_bytes[tier] += r.body.size();
     out.rtt_ms.push_back(t1 - t0);
     if (body.at("state").contains("published_ms")) {
       out.delivery_ms.push_back(t1 -
@@ -121,8 +155,13 @@ void client_loop(int port, double duration_s, double inter_poll_delay_s,
   out.reconnects = http.reconnects();
 }
 
+/// `orbit` drives /api/view azimuth changes at frame cadence for the round:
+/// every frame renders a different image (the live-visualization regime the
+/// tier pipeline targets), instead of the byte-identical PNGs a converged
+/// tiny simulation produces.
 Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
-               double duration_s, double slow_fraction) {
+               double duration_s, double slow_fraction, bool adaptive,
+               bool orbit, double frame_interval_s) {
   const std::uint64_t seq_before = frontend.frame_seq();
   const auto stats_before = frontend.hub().stats();
 
@@ -131,16 +170,45 @@ Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
   threads.reserve(static_cast<std::size_t>(n_clients));
   std::atomic<bool> go{false};
   const int n_slow = static_cast<int>(slow_fraction * n_clients);
+  // Fresh session identities per round: reusing ids would leak one round's
+  // adapted tier state into the next.
+  static std::atomic<int> round_counter{0};
+  const int round = round_counter++;
   for (int i = 0; i < n_clients; ++i) {
     // Slow consumers sleep ~3 frame intervals between polls.
     const double delay = i < n_slow ? 0.15 : 0.0;
-    threads.emplace_back(client_loop, port, duration_s, delay, std::ref(go),
+    const std::string client_id =
+        adaptive ? "bench-r" + std::to_string(round) + "-c" + std::to_string(i)
+                 : std::string();
+    threads.emplace_back(client_loop, port, duration_s, delay, client_id,
+                         std::ref(go),
                          std::ref(results[static_cast<std::size_t>(i)]));
+  }
+  std::atomic<bool> orbiting{orbit};
+  std::thread orbit_thread;
+  if (orbit) {
+    orbit_thread = std::thread([port, frame_interval_s, &orbiting] {
+      ricsa::web::HttpClient http(port);
+      int k = 0;
+      while (orbiting.load()) {
+        const std::string body = "{\"azimuth\": " +
+                                 std::to_string(0.7 + 0.031 * (k++ % 100)) +
+                                 "}";
+        try {
+          http.post("/api/view", body);
+        } catch (const std::exception&) {
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(frame_interval_s));
+      }
+    });
   }
   const double t0 = now_unix_ms();
   go.store(true);
   for (auto& t : threads) t.join();
   const double elapsed_s = (now_unix_ms() - t0) / 1000.0;
+  orbiting.store(false);
+  if (orbit_thread.joinable()) orbit_thread.join();
 
   ClientResult total;
   std::vector<double> fast_delivery_ms;  // prompt pollers only: the hub's
@@ -159,8 +227,14 @@ Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
     total.frames += r.frames;
     total.polls += r.polls;
     total.gaps += r.gaps;
+    total.skips += r.skips;
     total.timeouts += r.timeouts;
     total.errors += r.errors;
+    total.bytes += r.bytes;
+    for (std::size_t t = 0; t < 3; ++t) {
+      total.tier_frames[t] += r.tier_frames[t];
+      total.tier_bytes[t] += r.tier_bytes[t];
+    }
     total.reconnects += std::max(0, r.reconnects);
     min_frames = std::min(min_frames, r.frames);
   }
@@ -168,6 +242,7 @@ Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
   Json out;
   out["clients"] = n_clients;
   out["slow_clients"] = n_slow;
+  out["adaptive"] = adaptive;
   out["duration_s"] = elapsed_s;
   out["frames_published"] =
       static_cast<double>(frontend.frame_seq() - seq_before);
@@ -177,9 +252,26 @@ Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
   out["deliveries_per_sec"] =
       static_cast<double>(total.frames) / std::max(1e-9, elapsed_s);
   out["gaps"] = static_cast<double>(total.gaps);
+  out["pacing_skips"] = static_cast<double>(total.skips);
   out["timeouts"] = static_cast<double>(total.timeouts);
   out["errors"] = static_cast<double>(total.errors);
   out["client_reconnects"] = static_cast<double>(total.reconnects);
+  out["bytes_total"] = static_cast<double>(total.bytes);
+  out["bandwidth_Bps"] =
+      static_cast<double>(total.bytes) / std::max(1e-9, elapsed_s);
+  {
+    static const char* kTierNames[3] = {"full", "half", "state"};
+    Json tiers;
+    for (std::size_t t = 0; t < 3; ++t) {
+      Json tier;
+      tier["frames"] = static_cast<double>(total.tier_frames[t]);
+      tier["bytes"] = static_cast<double>(total.tier_bytes[t]);
+      tier["bandwidth_Bps"] =
+          static_cast<double>(total.tier_bytes[t]) / std::max(1e-9, elapsed_s);
+      tiers[kTierNames[t]] = tier;
+    }
+    out["tiers"] = tiers;
+  }
 
   Json delivery;
   delivery["p50_ms"] = percentile(total.delivery_ms, 50);
@@ -224,6 +316,7 @@ int main(int argc, char** argv) {
   double duration_s = 4.0;
   double slow_fraction = 0.0;
   double frame_interval_s = 0.05;
+  std::string scenario = "plain";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
@@ -240,13 +333,17 @@ int main(int argc, char** argv) {
       slow_fraction = std::atof(next().c_str());
     } else if (arg == "--frame-interval-s") {
       frame_interval_s = std::atof(next().c_str());
+    } else if (arg == "--scenario") {
+      scenario = next();
     } else {
       std::fprintf(stderr,
                    "usage: ajax_fanout [--clients 64,256,512] [--duration-s S]"
-                   " [--slow-fraction F] [--frame-interval-s S]\n");
+                   " [--slow-fraction F] [--frame-interval-s S]"
+                   " [--scenario plain|mixed]\n");
       return 2;
     }
   }
+  if (scenario == "mixed" && slow_fraction <= 0.0) slow_fraction = 0.25;
 
   ricsa::web::FrontEndConfig config;
   config.session.resolution = 16;  // small grid: the hub, not the sim, is under test
@@ -254,29 +351,89 @@ int main(int argc, char** argv) {
   config.frame_interval_s = frame_interval_s;
   config.frame_window = 256;
   config.hub_workers = 4;
-  ricsa::web::AjaxFrontEnd frontend(config);
-  const int port = frontend.start();
+  if (scenario == "mixed") {
+    // The tier pipeline is about image bandwidth: render an isosurface that
+    // actually exists (and therefore changes frame to frame as the bow
+    // shock evolves and the view orbits), at a size where the client mix —
+    // not loopback throughput — is what is being measured.
+    config.session.viz.isovalue = 1.1f;
+    config.session.viz.image_width = 128;
+    config.session.viz.image_height = 128;
+  }
+  // Mixed rounds each get a fresh front end: sessions left behind by one
+  // adaptive round (idle expiry is 60 s) must not contaminate the next
+  // round's baseline (wants_half_tier) or eat into the session cap.
+  std::unique_ptr<ricsa::web::AjaxFrontEnd> frontend;
+  int port = 0;
+  const auto fresh_frontend = [&] {
+    if (frontend) frontend->stop();
+    frontend = std::make_unique<ricsa::web::AjaxFrontEnd>(config);
+    port = frontend->start();
+    // Let the monitor loop publish its first frames before measuring.
+    while (frontend->frame_seq() < 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  };
+  fresh_frontend();
   std::fprintf(stderr, "[ajax_fanout] hub on port %d, frame interval %.0f ms\n",
                port, frame_interval_s * 1e3);
 
-  // Let the monitor loop publish its first frames before measuring.
-  while (frontend.frame_seq() < 3) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-
   Json rounds{ricsa::util::JsonArray{}};
+  Json comparisons{ricsa::util::JsonArray{}};
+  bool first_round = true;
   for (const int n : client_counts) {
-    std::fprintf(stderr, "[ajax_fanout] %d clients for %.1f s...\n", n,
-                 duration_s);
-    rounds.as_array().push_back(
-        run_round(frontend, port, n, duration_s, slow_fraction));
+    if (scenario == "mixed") {
+      if (!first_round) fresh_frontend();
+      // Same fast/slow client mix twice: adaptive pacing off (baseline:
+      // everyone full tier) then on. Slow consumers must stop inflating
+      // total bytes sent without costing the fast clients latency.
+      std::fprintf(stderr,
+                   "[ajax_fanout] %d clients (%.0f%% slow) baseline...\n", n,
+                   slow_fraction * 100);
+      Json baseline = run_round(*frontend, port, n, duration_s, slow_fraction,
+                                false, true, frame_interval_s);
+      std::fprintf(stderr,
+                   "[ajax_fanout] %d clients (%.0f%% slow) adaptive...\n", n,
+                   slow_fraction * 100);
+      Json adaptive = run_round(*frontend, port, n, duration_s, slow_fraction,
+                                true, true, frame_interval_s);
+
+      Json cmp;
+      cmp["clients"] = n;
+      cmp["bytes_baseline"] = baseline.at("bytes_total");
+      cmp["bytes_adaptive"] = adaptive.at("bytes_total");
+      const double b = baseline.at("bytes_total").as_number();
+      const double a = adaptive.at("bytes_total").as_number();
+      cmp["bytes_saved_fraction"] = b > 0 ? (b - a) / b : 0.0;
+      if (baseline.contains("delivery_latency_fast_clients")) {
+        cmp["fast_p99_ms_baseline"] =
+            baseline.at("delivery_latency_fast_clients").at("p99_ms");
+      }
+      if (adaptive.contains("delivery_latency_fast_clients")) {
+        cmp["fast_p99_ms_adaptive"] =
+            adaptive.at("delivery_latency_fast_clients").at("p99_ms");
+      }
+      cmp["adaptive_tiers"] = adaptive.at("tiers");
+      comparisons.as_array().push_back(cmp);
+      rounds.as_array().push_back(std::move(baseline));
+      rounds.as_array().push_back(std::move(adaptive));
+    } else {
+      std::fprintf(stderr, "[ajax_fanout] %d clients for %.1f s...\n", n,
+                   duration_s);
+      rounds.as_array().push_back(run_round(*frontend, port, n, duration_s,
+                                            slow_fraction, false, false,
+                                            frame_interval_s));
+    }
+    first_round = false;
   }
 
   Json report;
   report["bench"] = "ajax_fanout";
+  report["scenario"] = scenario;
   report["frame_interval_s"] = frame_interval_s;
   report["rounds"] = rounds;
+  if (!comparisons.as_array().empty()) report["comparisons"] = comparisons;
   std::printf("%s\n", report.dump(1).c_str());
-  frontend.stop();
+  frontend->stop();
   return 0;
 }

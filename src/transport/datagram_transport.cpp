@@ -20,6 +20,10 @@ TransportReceiver::TransportReceiver(netsim::Network& net, netsim::NodeId node,
     : net_(net), node_(node), data_port_(data_port), peer_(peer),
       ack_port_(ack_port), config_(config),
       liveness_(std::make_shared<bool>(true)) {
+  // Warm-up epoch at transfer start: the goodput reported in early ACKs
+  // averages over the whole observation (including pre-arrival latency and
+  // inter-burst gaps), not just the in-burst receive rate.
+  meter_.start(net_.simulator().now());
   net_.listen(node_, data_port_,
               [this](const netsim::Packet& p) { on_datagram(p); });
 }

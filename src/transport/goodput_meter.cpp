@@ -1,8 +1,17 @@
 #include "transport/goodput_meter.hpp"
 
+#include <algorithm>
+
 namespace ricsa::transport {
 
+void GoodputMeter::start(netsim::SimTime now) {
+  if (started_) return;
+  started_ = true;
+  first_record_ = now;
+}
+
 void GoodputMeter::record(netsim::SimTime now, std::size_t bytes) {
+  start(now);
   events_.emplace_back(now, bytes);
   window_bytes_ += bytes;
   total_ += bytes;
@@ -11,7 +20,14 @@ void GoodputMeter::record(netsim::SimTime now, std::size_t bytes) {
 
 double GoodputMeter::rate(netsim::SimTime now) {
   evict(now);
-  return static_cast<double>(window_bytes_) / window_s_;
+  if (!started_) return 0.0;
+  // Warm-up: average over the time actually observed, floored so a burst
+  // recorded "right now" reads as a very high rate instead of dividing by
+  // zero (optimistically fast, never artificially slow).
+  constexpr double kMinElapsed = 1e-3;
+  const double elapsed = now - first_record_;
+  const double denom = std::min(std::max(elapsed, kMinElapsed), window_s_);
+  return static_cast<double>(window_bytes_) / denom;
 }
 
 void GoodputMeter::evict(netsim::SimTime now) {

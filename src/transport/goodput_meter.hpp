@@ -19,9 +19,18 @@ class GoodputMeter {
   /// the paper's stabilization target is judged over ~100 ms - 1 s scales.
   explicit GoodputMeter(double window_s = 0.5) : window_s_(window_s) {}
 
+  /// Anchor the warm-up epoch: rate() averages over the time since start()
+  /// (capped at the window), so idle time before/between the first payloads
+  /// counts against the rate. Without an explicit start the first record()
+  /// anchors it. Idempotent; only the first call wins.
+  void start(netsim::SimTime now);
+
   void record(netsim::SimTime now, std::size_t bytes);
 
-  /// Bytes per second over the trailing window ending at `now`.
+  /// Bytes per second over the trailing window ending at `now`. During
+  /// warm-up (less than a full window since the first record) the divisor is
+  /// the elapsed time, not the full window — otherwise every fresh receiver
+  /// looks slower than it is until the window fills.
   double rate(netsim::SimTime now);
 
   std::uint64_t total_bytes() const noexcept { return total_; }
@@ -33,6 +42,8 @@ class GoodputMeter {
   std::deque<std::pair<netsim::SimTime, std::size_t>> events_;
   std::size_t window_bytes_ = 0;
   std::uint64_t total_ = 0;
+  netsim::SimTime first_record_ = 0;
+  bool started_ = false;
 };
 
 }  // namespace ricsa::transport

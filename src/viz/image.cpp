@@ -1,5 +1,6 @@
 #include "viz/image.hpp"
 
+#include <algorithm>
 #include <array>
 #include <fstream>
 #include <stdexcept>
@@ -37,6 +38,34 @@ void Image::write_ppm(const std::string& path) const {
     out.put(static_cast<char>(p.b));
   }
   if (!out) throw std::runtime_error("Image: write failed " + path);
+}
+
+Image downsample(const Image& image, int factor) {
+  if (factor <= 0) throw std::invalid_argument("downsample: factor must be >= 1");
+  if (factor == 1 || image.width() == 0 || image.height() == 0) return image;
+  const int out_w = (image.width() + factor - 1) / factor;
+  const int out_h = (image.height() + factor - 1) / factor;
+  Image out(out_w, out_h);
+  for (int oy = 0; oy < out_h; ++oy) {
+    for (int ox = 0; ox < out_w; ++ox) {
+      const int x0 = ox * factor, y0 = oy * factor;
+      const int x1 = std::min(x0 + factor, image.width());
+      const int y1 = std::min(y0 + factor, image.height());
+      unsigned r = 0, g = 0, b = 0, a = 0;
+      for (int y = y0; y < y1; ++y) {
+        for (int x = x0; x < x1; ++x) {
+          const Rgba& p = image.at(x, y);
+          r += p.r; g += p.g; b += p.b; a += p.a;
+        }
+      }
+      const unsigned count = static_cast<unsigned>((x1 - x0) * (y1 - y0));
+      out.at(ox, oy) = Rgba{static_cast<std::uint8_t>(r / count),
+                            static_cast<std::uint8_t>(g / count),
+                            static_cast<std::uint8_t>(b / count),
+                            static_cast<std::uint8_t>(a / count)};
+    }
+  }
+  return out;
 }
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n,

@@ -44,6 +44,11 @@ class Image {
   std::vector<Rgba> pixels_;
 };
 
+/// Box-filtered reduction by an integer factor (>= 1): each output pixel
+/// averages the factor x factor source block, edge blocks clamped. Used by
+/// the web layer to build cheaper image quality tiers for slow consumers.
+Image downsample(const Image& image, int factor);
+
 /// Run-length encode RGBA pixels: stream of (count u8, rgba) runs.
 std::vector<std::uint8_t> rle_encode(const Image& image);
 /// Decode back; throws std::runtime_error on malformed input or mismatched

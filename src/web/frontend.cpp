@@ -1,6 +1,9 @@
 #include "web/frontend.hpp"
 
+#include <algorithm>
+#include <array>
 #include <chrono>
+#include <cmath>
 #include <string>
 
 #include "util/strings.hpp"
@@ -44,9 +47,16 @@ constexpr const char* kDashboardHtml = R"HTML(<!doctype html>
 <script>
 let since = 0;
 let state = {};
+let tier = 'full';
+// Per-client session identity: the server meters this client's goodput and
+// adapts its quality tier / frame rate (the paper's network optimization,
+// applied per browser).
+const client = 'c' + Math.random().toString(36).slice(2, 10) +
+               Date.now().toString(36);
 function poll(){
   const xhr = new XMLHttpRequest();
-  xhr.open('GET', '/api/poll?since=' + since + '&delta=1', true);
+  xhr.open('GET', '/api/poll?since=' + since + '&delta=1&client=' + client,
+           true);
   xhr.onload = function(){
     try {
       const r = JSON.parse(xhr.responseText);
@@ -55,10 +65,11 @@ function poll(){
         if (r.delta && r.seq === since + 1) Object.assign(state, r.state);
         else state = r.state;
         since = r.seq;
+        if (r.tier) tier = r.tier;
         if (r.image_b64) document.getElementById('frame').src =
             'data:image/png;base64,' + r.image_b64;
         document.getElementById('status').textContent =
-            JSON.stringify(state, null, 1);
+            'tier: ' + tier + '\n' + JSON.stringify(state, null, 1);
       }
     } catch(e) {}
     poll();
@@ -91,11 +102,26 @@ poll();
 
 }  // namespace
 
+namespace {
+
+PacingConfig pacing_of(const FrontEndConfig& config) {
+  PacingConfig pacing = config.pacing;
+  pacing.frame_interval_s = config.frame_interval_s;
+  return pacing;
+}
+
+}  // namespace
+
 AjaxFrontEnd::AjaxFrontEnd(FrontEndConfig config)
     : config_(config),
       session_(config.session),
       hub_(FrameHub::Config{config.frame_window, config.hub_workers,
-                            config.poll_timeout_s}) {
+                            config.poll_timeout_s}),
+      sessions_(pacing_of(config)) {
+  // The connection idle-read timeout must exceed the longest long-poll wait
+  // any route can hand out (poll timeout == hub max wait here), else a
+  // legal configuration silently kills keep-alive connections mid-poll.
+  server_.set_idle_read_timeout(config_.poll_timeout_s + 15.0);
   register_routes();
 }
 
@@ -131,6 +157,8 @@ void AjaxFrontEnd::register_routes() {
 }
 
 void AjaxFrontEnd::frame_loop() {
+  frame_period_s_.store(config_.frame_interval_s);
+  auto last_publish = std::chrono::steady_clock::now();
   while (running_.load()) {
     // Apply client-posted view/viz changes on the session's thread.
     {
@@ -195,9 +223,20 @@ void AjaxFrontEnd::frame_loop() {
     }
     state["parameters"] = util::Json(params);
 
-    // One snapshot, one PNG encode, one base64, one JSON render — however
-    // many clients are watching. The hub fans out to the parked pollers.
-    hub_.publish(std::move(state), frame.image.encode_png());
+    // One snapshot, one encode per quality tier, one base64 per image tier,
+    // one JSON render per tier body — however many clients are watching.
+    // The hub fans out to the parked pollers. The reduced image is only
+    // built while some client actually occupies the half tier.
+    hub_.publish(std::move(state), frame.image, sessions_.wants_half_tier());
+
+    const auto now = std::chrono::steady_clock::now();
+    const double period =
+        std::chrono::duration<double>(now - last_publish).count();
+    last_publish = now;
+    // EWMA of the real publish period (sim + render + sleep): pacing must
+    // judge clients against what is actually published, not the nominal
+    // cadence.
+    frame_period_s_.store(0.8 * frame_period_s_.load() + 0.2 * period);
 
     std::this_thread::sleep_for(
         std::chrono::duration<double>(config_.frame_interval_s));
@@ -207,39 +246,108 @@ void AjaxFrontEnd::frame_loop() {
 void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
                                      HttpServer::ResponseSink sink) {
   std::uint64_t since = 0;
-  try {
-    since = static_cast<std::uint64_t>(
-        std::stoull(request.query_param("since", "0")));
-  } catch (const std::exception&) {
-    sink(HttpResponse::bad_request("since must be an integer"));
+  const std::string since_raw = request.query_param("since", "0");
+  // std::stoull silently negates a leading '-' ("-1" wraps to 2^64-1) and
+  // ignores trailing garbage, so insist on a digit up front and a full
+  // parse.
+  if (since_raw.empty() || since_raw[0] < '0' || since_raw[0] > '9') {
+    sink(HttpResponse::bad_request("since must be a non-negative integer"));
     return;
   }
-  double timeout = config_.poll_timeout_s;
   try {
-    timeout = std::min(config_.poll_timeout_s,
-                       std::stod(request.query_param("timeout", "15")));
+    std::size_t parsed = 0;
+    since = static_cast<std::uint64_t>(std::stoull(since_raw, &parsed));
+    if (parsed != since_raw.size()) throw std::invalid_argument(since_raw);
   } catch (const std::exception&) {
+    sink(HttpResponse::bad_request("since must be a non-negative integer"));
+    return;
+  }
+  // The timeout is untrusted input: std::stod accepts "nan" and negatives
+  // without throwing, and either would poison the hub's deadline arithmetic.
+  double timeout = config_.poll_timeout_s;
+  const std::string timeout_raw = request.query_param("timeout");
+  if (!timeout_raw.empty()) {
+    try {
+      std::size_t parsed = 0;
+      timeout = std::stod(timeout_raw, &parsed);
+      if (parsed != timeout_raw.size()) throw std::invalid_argument(timeout_raw);
+    } catch (const std::exception&) {
+      sink(HttpResponse::bad_request("timeout must be a number"));
+      return;
+    }
+    if (std::isnan(timeout)) {
+      sink(HttpResponse::bad_request("timeout must not be NaN"));
+      return;
+    }
+    timeout = std::clamp(timeout, 0.0, config_.poll_timeout_s);
   }
   const bool want_delta = request.query_param("delta", "0") == "1";
 
-  hub_.wait_async(since, timeout, [since, want_delta,
-                                   sink = std::move(sink)](FramePtr frame) {
-    if (!frame) {
-      // Echo the client's own cursor, not the current head: a publish
-      // racing this timeout must not let the client advance past a frame
-      // it never received.
-      util::Json out;
-      out["seq"] = static_cast<double>(since);
-      out["timeout"] = true;
-      sink(HttpResponse::json(out.dump()));
-      return;
+  // Per-client adaptive pacing: a `client` identifier opts the poll into a
+  // session whose measured goodput picks the quality tier and the minimum
+  // inter-frame interval. Identifier-less polls keep the legacy contract
+  // (full tier, gap-free window replay).
+  std::shared_ptr<ClientSession> session;
+  Tier tier = Tier::kFull;
+  bool tier_delta_ok = true;
+  FrameHub::WaitOptions options;
+  options.timeout_s = timeout;
+  const std::string client = request.query_param("client");
+  if (!client.empty()) {
+    const double now = mono_now_s();
+    // A null session (table at its cap for this flood of distinct ids)
+    // falls through to the unpaced legacy path.
+    session = sessions_.acquire(client, request.peer, now);
+    if (session) {
+      const ClientSession::Decision decision =
+          session->decide(now, frame_period_s_.load());
+      tier = decision.tier;
+      tier_delta_ok = decision.allow_delta;
+      options.latest_only = decision.skip_to_latest;
+      if (decision.not_before_s > now) {
+        options.not_before =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(decision.not_before_s - now));
+      }
     }
-    // The delta body only applies to a cursor exactly one frame behind;
-    // everyone else (fresh clients, clients that fell past the window edge)
-    // gets the full snapshot.
-    const bool delta_ok = want_delta && frame->seq == since + 1;
-    sink(HttpResponse::json(delta_ok ? frame->body_delta : frame->body_full));
-  });
+  }
+
+  hub_.wait_async(
+      since, options,
+      [since, want_delta, tier, tier_delta_ok, session = std::move(session),
+       cadence = frame_period_s_.load(), sink = std::move(sink)](
+          FramePtr frame) {
+        if (!frame) {
+          // Echo the client's own cursor, not the current head: a publish
+          // racing this timeout must not let the client advance past a
+          // frame it never received.
+          util::Json out;
+          out["seq"] = static_cast<double>(since);
+          out["timeout"] = true;
+          sink(HttpResponse::json(out.dump()));
+          if (session) session->on_timeout(mono_now_s());
+          return;
+        }
+        // The delta body only applies to a cursor exactly one frame behind
+        // whose previous delivery used the same tier; everyone else (fresh
+        // clients, clients that fell past the window edge, skipped ahead,
+        // or just changed tier) gets the full snapshot.
+        const bool delta_ok =
+            want_delta && frame->seq == since + 1 && tier_delta_ok;
+        const std::string& body = frame->body(tier, delta_ok);
+        sink(HttpResponse::json(body));
+        if (session) {
+          // Record the delivery after the (possibly blocking) socket write:
+          // the timestamp then reflects when the client actually drained
+          // the body, which is what the goodput meter must see.
+          const std::uint64_t skipped =
+              (since != 0 && frame->seq > since + 1) ? frame->seq - since - 1
+                                                     : 0;
+          session->on_delivered(mono_now_s(), body.size(), skipped, tier,
+                                cadence);
+        }
+      });
 }
 
 HttpResponse AjaxFrontEnd::handle_index(const HttpRequest&) {
@@ -266,6 +374,9 @@ HttpResponse AjaxFrontEnd::handle_stats(const HttpRequest&) {
   out["connections_open"] = static_cast<double>(server_.connections_open());
   out["requests_served"] = static_cast<double>(server_.requests_served());
   out["steers"] = static_cast<double>(steers_.load());
+  // Per-client adaptive pacing: session count, tier occupancy, and the
+  // per-session goodput/interval/tier detail.
+  out["pacing"] = sessions_.stats_json(mono_now_s());
   return HttpResponse::json(out.dump());
 }
 

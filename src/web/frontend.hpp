@@ -26,6 +26,7 @@
 #include "util/json.hpp"
 #include "web/http.hpp"
 #include "web/hub.hpp"
+#include "web/session.hpp"
 
 namespace ricsa::web {
 
@@ -42,6 +43,9 @@ struct FrontEndConfig {
   std::size_t frame_window = 128;
   /// Hub fan-out worker threads.
   std::size_t hub_workers = 4;
+  /// Per-client adaptive pacing knobs (frame_interval_s is overridden with
+  /// the front end's own cadence at construction).
+  PacingConfig pacing;
 };
 
 class AjaxFrontEnd {
@@ -58,6 +62,7 @@ class AjaxFrontEnd {
   std::uint64_t steer_count() const noexcept { return steers_.load(); }
   const FrameHub& hub() const noexcept { return hub_; }
   const HttpServer& server() const noexcept { return server_; }
+  const SessionTable& sessions() const noexcept { return sessions_; }
 
  private:
   void register_routes();
@@ -75,10 +80,14 @@ class AjaxFrontEnd {
   FrontEndConfig config_;
   steering::SteeringSession session_;
   FrameHub hub_;
+  SessionTable sessions_;
   HttpServer server_;
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> steers_{0};
+  /// Measured publish period (EWMA of the frame loop's real cycle time,
+  /// sim+render included) — what pacing judges client promptness against.
+  std::atomic<double> frame_period_s_{0.0};
 
   /// View/viz changes posted by clients, applied by the loop thread.
   std::mutex pending_mutex_;

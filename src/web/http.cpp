@@ -15,13 +15,40 @@
 
 namespace ricsa::web {
 
+namespace detail {
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  bool stalled = false;  // hit a send timeout with no progress since
+  int timeouts = 0;      // total SO_SNDTIMEO expiries for this response
+  while (sent < n) {
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      stalled = false;
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;  // a signal is not a dead peer
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_SNDTIMEO expired. One retry after progress keeps a slow-but-
+      // steady consumer alive; a second consecutive timeout with zero
+      // bytes accepted means the peer is gone. The total budget is capped
+      // so a peer trickling one byte per timeout window cannot pin this
+      // (possibly hub-worker) thread forever.
+      if (stalled || ++timeouts > 2) return false;
+      stalled = true;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace detail
+
 namespace {
 
-/// Idle read timeout for connection threads. Must exceed the longest poll
-/// timeout the application hands out: while a long-poll response is pending,
-/// the connection thread is already blocked reading the client's *next*
-/// request, which only arrives after the response fires.
-constexpr double kReadTimeoutS = 30.0;
+using detail::write_all;
 
 const char* status_text(int status) {
   switch (status) {
@@ -40,16 +67,6 @@ void set_recv_timeout(int fd, double timeout_s) {
              static_cast<suseconds_t>(
                  (timeout_s - static_cast<time_t>(timeout_s)) * 1e6)};
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-}
-
-bool write_all(int fd, const char* data, std::size_t n) {
-  std::size_t sent = 0;
-  while (sent < n) {
-    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
-    if (w <= 0) return false;
-    sent += static_cast<std::size_t>(w);
-  }
-  return true;
 }
 
 bool write_response(int fd, const HttpResponse& response, bool keep_alive) {
@@ -217,6 +234,7 @@ HttpResponse HttpResponse::bad_request(const std::string& why) {
 
 struct HttpServer::Connection {
   int fd = -1;
+  std::string peer;    // remote "ip:port", fixed at accept
   std::string buffer;  // carry-over bytes between requests
   /// The connection thread reads; sink invocations (hub workers) write.
   /// This lock keeps two completing responses from interleaving bytes.
@@ -299,6 +317,10 @@ int HttpServer::start(int port) {
   return port_;
 }
 
+void HttpServer::set_idle_read_timeout(double seconds) {
+  if (seconds > 0.0) read_timeout_s_ = seconds;
+}
+
 void HttpServer::stop() {
   if (!running_.exchange(false)) return;
   ::shutdown(listen_fd_, SHUT_RDWR);
@@ -321,7 +343,10 @@ std::size_t HttpServer::connections_open() const {
 
 void HttpServer::accept_loop() {
   while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    sockaddr_in peer_addr{};
+    socklen_t peer_len = sizeof(peer_addr);
+    const int fd = ::accept(listen_fd_,
+                            reinterpret_cast<sockaddr*>(&peer_addr), &peer_len);
     if (fd < 0) {
       if (!running_.load()) return;
       continue;
@@ -337,6 +362,12 @@ void HttpServer::accept_loop() {
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd, sizeof(snd));
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    char ip[INET_ADDRSTRLEN] = {0};
+    if (peer_len >= sizeof(sockaddr_in) && peer_addr.sin_family == AF_INET &&
+        ::inet_ntop(AF_INET, &peer_addr.sin_addr, ip, sizeof(ip))) {
+      conn->peer = std::string(ip) + ":" +
+                   std::to_string(ntohs(peer_addr.sin_port));
+    }
     track(conn);
     spawn_dedicated(std::move(conn));
   }
@@ -370,11 +401,12 @@ void HttpServer::untrack_and_close(const std::shared_ptr<Connection>& conn) {
 }
 
 void HttpServer::serve(std::shared_ptr<Connection> conn) {
-  set_recv_timeout(conn->fd, kReadTimeoutS);
+  set_recv_timeout(conn->fd, read_timeout_s_);
 
   while (running_.load()) {
     HttpRequest request;
     if (read_request(conn->fd, conn->buffer, request) != ReadResult::kOk) break;
+    request.peer = conn->peer;
 
     const bool keep_alive =
         !util::iequals(request.headers.count("connection")

@@ -38,6 +38,9 @@ struct HttpRequest {
   std::string query;       // raw query string (after '?')
   std::map<std::string, std::string> headers;  // lower-cased keys
   std::string body;
+  /// Remote peer of the connection this request arrived on ("ip:port") —
+  /// a per-connection identity handlers can use as a client-session key.
+  std::string peer;
 
   /// Value of a query parameter (URL-decoded), or fallback.
   std::string query_param(const std::string& key,
@@ -100,6 +103,15 @@ class HttpServer {
   /// Connections currently open (attached to a thread or parked async).
   std::size_t connections_open() const;
 
+  /// Idle read timeout for keep-alive connection threads. MUST exceed the
+  /// longest async (long-poll) response delay the routes can produce:
+  /// while such a response is pending, the connection thread is already
+  /// blocked reading the client's *next* request, and a read timeout kills
+  /// the connection mid-poll. The application derives this from its route
+  /// configuration (see AjaxFrontEnd); call before start().
+  void set_idle_read_timeout(double seconds);
+  double idle_read_timeout_s() const noexcept { return read_timeout_s_; }
+
  private:
   struct Connection;
   friend struct AsyncReply;
@@ -117,6 +129,7 @@ class HttpServer {
 
   int listen_fd_ = -1;
   int port_ = 0;
+  double read_timeout_s_ = 30.0;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> served_{0};
   std::thread accept_thread_;
@@ -184,5 +197,13 @@ HttpClientResponse http_post(int port, const std::string& path,
                              double timeout_s = 10.0);
 
 std::string url_decode(const std::string& text);
+
+namespace detail {
+/// send() loop used for every response write: retries EINTR (a signal is
+/// not a dead peer) and keeps writing across send-timeout expiries (EAGAIN
+/// under SO_SNDTIMEO) as long as the peer keeps accepting bytes — only a
+/// full timeout with zero progress drops the connection. Exposed for tests.
+bool write_all(int fd, const char* data, std::size_t n);
+}  // namespace detail
 
 }  // namespace ricsa::web

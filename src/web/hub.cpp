@@ -1,6 +1,7 @@
 #include "web/hub.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "util/base64.hpp"
@@ -10,19 +11,36 @@ namespace ricsa::web {
 namespace {
 
 /// Render a poll response body. `state` is embedded as-is; the image rides
-/// along base64-encoded exactly once per frame (the pre-encoded string is
-/// shared by full and delta bodies).
-std::string render_body(std::uint64_t seq, const util::Json& state,
+/// along base64-encoded exactly once per frame per image tier (the
+/// pre-encoded string is shared by full and delta bodies).
+std::string render_body(std::uint64_t seq, Tier tier, const util::Json& state,
                         const std::string& image_b64, bool delta) {
   util::Json out;
   out["seq"] = static_cast<double>(seq);
   out["delta"] = delta;
+  out["tier"] = tier_name(tier);
   out["state"] = state;
   if (!image_b64.empty()) out["image_b64"] = image_b64;
   return out.dump();
 }
 
+/// Timeouts from the network are untrusted input: NaN must not reach the
+/// deadline arithmetic and a negative wait means "do not wait".
+double sanitize_timeout(double timeout_s, double max_wait_s) {
+  if (!std::isfinite(timeout_s) || timeout_s < 0.0) return 0.0;
+  return std::min(timeout_s, max_wait_s);
+}
+
 }  // namespace
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kFull: return "full";
+    case Tier::kHalf: return "half";
+    case Tier::kStateOnly: return "state";
+  }
+  return "full";
+}
 
 FrameHub::FrameHub() : FrameHub(Config()) {}
 
@@ -34,12 +52,29 @@ FrameHub::FrameHub(Config config) : config_(config) {
 
 FrameHub::~FrameHub() { shutdown(); }
 
+std::uint64_t FrameHub::publish(util::Json state, const viz::Image& image,
+                                bool build_half) {
+  if (image.width() == 0 || image.height() == 0) {
+    return publish_impl(std::move(state), {}, {});
+  }
+  return publish_impl(std::move(state), image.encode_png(),
+                      build_half ? viz::downsample(image, 2).encode_png()
+                                 : std::vector<std::uint8_t>{});
+}
+
 std::uint64_t FrameHub::publish(util::Json state,
                                 std::vector<std::uint8_t> png) {
+  // No raw pixels to reduce: the half tier falls back to the full body.
+  return publish_impl(std::move(state), std::move(png), {});
+}
+
+std::uint64_t FrameHub::publish_impl(util::Json state,
+                                     std::vector<std::uint8_t> png,
+                                     std::vector<std::uint8_t> png_half) {
   // Publishers serialize here, which lets the expensive work — delta
-  // encoding, one base64 of the image, rendering both response bodies —
-  // happen without holding mutex_, so concurrent polls never stall behind
-  // a frame build. Readers see seq_ and window_ change together below.
+  // encoding, one base64 per image tier, rendering the per-tier response
+  // bodies — happen without holding mutex_, so concurrent polls never stall
+  // behind a frame build. Readers see seq_ and window_ change together below.
   std::lock_guard<std::mutex> publishing(publish_mutex_);
   FramePtr prev = latest();
 
@@ -47,6 +82,7 @@ std::uint64_t FrameHub::publish(util::Json state,
   frame->seq = (prev ? prev->seq : 0) + 1;
   frame->state = std::move(state);
   frame->png = std::move(png);
+  frame->png_half = std::move(png_half);
   frame->image_changed = !prev || frame->png != prev->png;
 
   util::Json delta_state;
@@ -66,11 +102,28 @@ std::uint64_t FrameHub::publish(util::Json state,
         frame->state.is_object() ? frame->state.as_object().size() : 0;
   }
 
-  const std::string image_b64 =
+  const std::string b64_full =
       frame->png.empty() ? std::string() : util::base64_encode(frame->png);
-  frame->body_full = render_body(frame->seq, frame->state, image_b64, false);
-  frame->body_delta = render_body(
-      frame->seq, delta_state, frame->image_changed ? image_b64 : "", true);
+  const std::string b64_half =
+      frame->png_half.empty() ? std::string()
+                              : util::base64_encode(frame->png_half);
+  const std::string none;
+  for (std::size_t t = 0; t < kTierCount; ++t) {
+    const Tier tier = static_cast<Tier>(t);
+    if (tier == Tier::kHalf && frame->png_half.empty()) {
+      // Half tier not built this frame: Frame::body() falls back to the
+      // full tier's bodies, so rendering duplicates here buys nothing.
+      continue;
+    }
+    const std::string& image_b64 = tier == Tier::kFull   ? b64_full
+                                   : tier == Tier::kHalf ? b64_half
+                                                         : none;
+    frame->bodies[t].full =
+        render_body(frame->seq, tier, frame->state, image_b64, false);
+    frame->bodies[t].delta =
+        render_body(frame->seq, tier, delta_state,
+                    frame->image_changed ? image_b64 : none, true);
+  }
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -79,14 +132,20 @@ std::uint64_t FrameHub::publish(util::Json state,
     window_.push_back(frame);
     while (window_.size() > config_.window) window_.pop_front();
 
-    std::vector<Waiter> satisfied;
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::pair<std::function<void(FramePtr)>, FramePtr>> satisfied;
     auto it = waiters_.begin();
     while (it != waiters_.end()) {
-      if (it->since < frame->seq) {
-        satisfied.push_back(std::move(*it));
+      // A paced waiter whose inter-frame interval has not yet elapsed stays
+      // parked; the timer sweeper serves it at not_before.
+      if (it->since < frame->seq && now >= it->not_before) {
+        // frame_for_locked, not `frame`: a sequential waiter that sat out
+        // earlier publishes behind its not_before must resume at its own
+        // cursor, not jump to the newest frame.
+        satisfied.emplace_back(std::move(it->done), frame_for_locked(*it));
         it = waiters_.erase(it);
       } else {
-        ++it;  // cursor from the future (stale client); keep waiting
+        ++it;  // cursor from the future (stale client) or paced; keep waiting
       }
     }
     stats_.published++;
@@ -97,8 +156,10 @@ std::uint64_t FrameHub::publish(util::Json state,
     // immediately instead of writing N responses. Dispatching under mutex_
     // keeps the shutdown_ check and the pool_ access atomic against
     // shutdown() destroying the pool.
-    for (auto& w : satisfied) {
-      pool_->submit([done = std::move(w.done), frame] { done(frame); });
+    for (auto& [done, served] : satisfied) {
+      pool_->submit([done = std::move(done), served = std::move(served)] {
+        done(served);
+      });
     }
   }
   sync_cv_.notify_all();
@@ -117,6 +178,13 @@ FramePtr FrameHub::next_after_locked(std::uint64_t since) const {
   const std::uint64_t oldest = window_.front()->seq;
   const std::uint64_t want = std::max(since + 1, oldest);
   return window_[static_cast<std::size_t>(want - oldest)];
+}
+
+FramePtr FrameHub::frame_for_locked(const Waiter& waiter) const {
+  if (waiter.latest_only && !window_.empty() && seq_ > waiter.since) {
+    return window_.back();
+  }
+  return next_after_locked(waiter.since);
 }
 
 FramePtr FrameHub::next_after(std::uint64_t since) const {
@@ -141,21 +209,35 @@ FrameHub::Stats FrameHub::stats() const {
 
 void FrameHub::wait_async(std::uint64_t since, double timeout_s,
                           std::function<void(FramePtr)> done) {
-  timeout_s = std::clamp(timeout_s, 0.0, config_.max_wait_s);
+  WaitOptions options;
+  options.timeout_s = timeout_s;
+  wait_async(since, options, std::move(done));
+}
+
+void FrameHub::wait_async(std::uint64_t since, const WaitOptions& options,
+                          std::function<void(FramePtr)> done) {
+  const double timeout_s =
+      sanitize_timeout(options.timeout_s, config_.max_wait_s);
+  const auto now = std::chrono::steady_clock::now();
   FramePtr ready;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_) {
       // fall through; completed below without registering
-    } else if (seq_ > since) {
-      ready = next_after_locked(since);
+    } else if (seq_ > since && now >= options.not_before) {
+      Waiter probe;
+      probe.since = since;
+      probe.latest_only = options.latest_only;
+      ready = frame_for_locked(probe);
       stats_.served++;
     } else {
       Waiter w;
       w.since = since;
-      w.deadline = std::chrono::steady_clock::now() +
+      w.deadline = now +
                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                        std::chrono::duration<double>(timeout_s));
+      w.not_before = options.not_before;
+      w.latest_only = options.latest_only;
       w.done = std::move(done);
       waiters_.push_back(std::move(w));
       stats_.waiting = waiters_.size();
@@ -170,7 +252,7 @@ void FrameHub::wait_async(std::uint64_t since, double timeout_s,
 }
 
 FramePtr FrameHub::wait(std::uint64_t since, double timeout_s) {
-  timeout_s = std::clamp(timeout_s, 0.0, config_.max_wait_s);
+  timeout_s = sanitize_timeout(timeout_s, config_.max_wait_s);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_s);
   std::unique_lock<std::mutex> lock(mutex_);
@@ -193,36 +275,52 @@ void FrameHub::timer_loop() {
                      [this] { return shutdown_ || !waiters_.empty(); });
       continue;
     }
-    auto earliest = waiters_.front().deadline;
-    for (const Waiter& w : waiters_) earliest = std::min(earliest, w.deadline);
-    timer_cv_.wait_until(lock, earliest, [this, earliest] {
-      if (shutdown_ || waiters_.empty()) return true;
-      // Re-check: publish drained the list, or a nearer deadline arrived.
+    // Next actionable instant: a timeout deadline, or the not_before of a
+    // paced waiter whose frame is already available.
+    const auto next_event = [this] {
+      auto next = waiters_.front().deadline;
       for (const Waiter& w : waiters_) {
-        if (w.deadline < earliest) return true;
+        next = std::min(next, w.deadline);
+        if (seq_ > w.since) next = std::min(next, w.not_before);
       }
+      return next;
+    };
+    const auto earliest = next_event();
+    timer_cv_.wait_until(lock, earliest, [this, earliest, &next_event] {
+      if (shutdown_ || waiters_.empty()) return true;
+      // Re-check: publish drained the list, a publish made a paced waiter
+      // actionable, or a nearer deadline arrived.
+      if (next_event() < earliest) return true;
       return std::chrono::steady_clock::now() >= earliest;
     });
     if (shutdown_) break;
 
     const auto now = std::chrono::steady_clock::now();
-    std::vector<Waiter> expired;
+    std::vector<std::pair<std::function<void(FramePtr)>, FramePtr>> fire;
     auto it = waiters_.begin();
     while (it != waiters_.end()) {
       if (it->deadline <= now) {
-        expired.push_back(std::move(*it));
+        stats_.timeouts++;
+        fire.emplace_back(std::move(it->done), nullptr);
+        it = waiters_.erase(it);
+      } else if (seq_ > it->since && it->not_before <= now) {
+        // Paced waiter whose inter-frame interval elapsed after the frame
+        // arrived: serve it now (newest frame for latest_only skippers).
+        stats_.served++;
+        fire.emplace_back(std::move(it->done), frame_for_locked(*it));
         it = waiters_.erase(it);
       } else {
         ++it;
       }
     }
-    if (expired.empty()) continue;
-    stats_.timeouts += expired.size();
+    if (fire.empty()) continue;
     stats_.waiting = waiters_.size();
     // Dispatch while still holding mutex_ (same shutdown-vs-pool atomicity
     // as publish); submit only queues a task, so the hold stays short.
-    for (auto& w : expired) {
-      pool_->submit([done = std::move(w.done)] { done(nullptr); });
+    for (auto& [done, frame] : fire) {
+      pool_->submit([done = std::move(done), frame = std::move(frame)] {
+        done(frame);
+      });
     }
   }
 }

@@ -4,14 +4,24 @@
 // The paper's claim is that "any number of clients" can watch and steer a
 // running computation; the hub is what makes that scale. Each frame is
 // snapshotted ONCE into an immutable, seq-numbered Frame — state JSON,
-// encoded image, and the fully rendered poll response bodies (full and
-// delta-encoded) — and every waiting /api/poll?since=N cursor is then served
-// that shared object by a util::ThreadPool, never by the monitor thread and
-// never with per-client re-encoding. A sliding window of retained frames
-// lets clients that fall briefly behind catch up gap-free while bounding
-// memory regardless of how many clients attach or how slow they are.
+// encoded image, and the fully rendered poll response bodies — and every
+// waiting /api/poll?since=N cursor is then served that shared object by a
+// util::ThreadPool, never by the monitor thread and never with per-client
+// re-encoding. A sliding window of retained frames lets clients that fall
+// briefly behind catch up gap-free while bounding memory regardless of how
+// many clients attach or how slow they are.
+//
+// Network optimization (the paper's per-receiver rate adaptation, applied
+// per browser): each frame is rendered into a small set of quality *tiers*
+// — full image + full state, half-resolution image, state-only — still one
+// encode per frame per tier, shared by every client on that tier. The
+// per-client session layer (web/session.hpp) maps each client's measured
+// goodput to a tier and a minimum inter-frame interval; the hub enforces
+// the interval via WaitOptions::not_before and serves paced clients the
+// newest frame (skipping stale ones) instead of replaying the window.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -19,28 +29,56 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "util/json.hpp"
 #include "util/thread_pool.hpp"
+#include "viz/image.hpp"
 
 namespace ricsa::web {
+
+/// Frame quality tiers, cheapest-to-serve last. Every frame carries all
+/// tiers; which one a client receives is the session layer's decision.
+enum class Tier : std::uint8_t {
+  kFull = 0,      // full-resolution PNG + full monitoring state
+  kHalf = 1,      // half-resolution PNG + full monitoring state
+  kStateOnly = 2  // monitoring state only, no image
+};
+inline constexpr std::size_t kTierCount = 3;
+const char* tier_name(Tier tier);
 
 /// One published monitoring frame. Immutable after publish; shared between
 /// the hub's retention window and every in-flight response.
 struct Frame {
   std::uint64_t seq = 0;
-  util::Json state;                // full monitoring state (JSON object)
-  std::vector<std::uint8_t> png;   // encoded image (may be empty)
-  /// Fully rendered /api/poll JSON bodies, built once per frame:
-  /// body_full carries the whole state, body_delta only the keys that
-  /// changed since the previous frame (and omits the image when its bytes
-  /// are identical) — the paper's partial update, applied to the payload.
-  std::string body_full;
-  std::string body_delta;
-  std::size_t delta_keys = 0;      // state keys that changed vs predecessor
+  util::Json state;                     // full monitoring state (JSON object)
+  std::vector<std::uint8_t> png;        // encoded full-resolution image
+  std::vector<std::uint8_t> png_half;   // encoded half-resolution image
+  /// Fully rendered /api/poll JSON bodies, built once per frame per tier:
+  /// `full` carries the whole state, `delta` only the keys that changed
+  /// since the previous frame (and omits the image when its bytes are
+  /// identical) — the paper's partial update, applied to the payload.
+  struct Body {
+    std::string full;
+    std::string delta;
+  };
+  std::array<Body, kTierCount> bodies;
+  std::size_t delta_keys = 0;  // state keys that changed vs predecessor
   bool image_changed = true;
+
+  /// Body to serve for a tier. A half tier that was not built for this
+  /// frame (no client demanded it at publish time) falls back to the full
+  /// tier body — correct, just unreduced.
+  const std::string& body(Tier tier, bool delta) const {
+    const Body& b = bodies[static_cast<std::size_t>(tier)];
+    const std::string& chosen = delta ? b.delta : b.full;
+    if (chosen.empty() && tier == Tier::kHalf) {
+      return body(Tier::kFull, delta);
+    }
+    return chosen;
+  }
 };
 using FramePtr = std::shared_ptr<const Frame>;
 
@@ -64,15 +102,35 @@ class FrameHub {
     std::size_t waiting_peak = 0;
   };
 
+  /// Per-waiter delivery policy (the session layer's pacing decision).
+  struct WaitOptions {
+    double timeout_s = 0.0;
+    /// Serve no frame before this instant, even if one is already
+    /// available — the per-client minimum inter-frame interval. Default
+    /// (epoch) means no pacing.
+    std::chrono::steady_clock::time_point not_before{};
+    /// Serve the newest retained frame instead of the next one after
+    /// `since`: paced/downgraded clients skip frames they cannot drain
+    /// rather than replaying the whole window.
+    bool latest_only = false;
+  };
+
   FrameHub();  // default Config
   explicit FrameHub(Config config);
   ~FrameHub();
   FrameHub(const FrameHub&) = delete;
   FrameHub& operator=(const FrameHub&) = delete;
 
-  /// Snapshot a new frame (delta-encode vs the previous one, render the
-  /// poll bodies, base64 the image once), append it to the window, and fan
-  /// out to every satisfied waiter on the worker pool. Returns the new seq.
+  /// Snapshot a new frame: delta-encode vs the previous one, render the
+  /// tier bodies (one PNG encode + base64 per image tier), append it to the
+  /// window, and fan out to every satisfied waiter on the worker pool.
+  /// `build_half` skips the downsample + second encode when no client
+  /// currently occupies the half tier (the common all-fast case) — such
+  /// frames serve the full body to half-tier requests. Returns the new seq.
+  std::uint64_t publish(util::Json state, const viz::Image& image,
+                        bool build_half = true);
+  /// Pre-encoded flavour (tests, image-less publishers): no reduced image
+  /// exists, so the half tier serves the full body.
   std::uint64_t publish(util::Json state, std::vector<std::uint8_t> png);
 
   FramePtr latest() const;
@@ -83,9 +141,12 @@ class FrameHub {
   Stats stats() const;
 
   /// Long-poll: invoke done(frame) as soon as a frame newer than `since`
-  /// exists — synchronously on the caller if one already does, else on a
-  /// worker thread when it is published. done(nullptr) on timeout or
-  /// shutdown. `done` must be invocable from any thread.
+  /// exists AND options.not_before has passed — synchronously on the caller
+  /// if both already hold, else on a worker thread. done(nullptr) on timeout
+  /// or shutdown. `done` must be invocable from any thread. Non-finite or
+  /// negative timeouts are treated as 0.
+  void wait_async(std::uint64_t since, const WaitOptions& options,
+                  std::function<void(FramePtr)> done);
   void wait_async(std::uint64_t since, double timeout_s,
                   std::function<void(FramePtr)> done);
 
@@ -100,17 +161,22 @@ class FrameHub {
   struct Waiter {
     std::uint64_t since = 0;
     std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point not_before{};
+    bool latest_only = false;
     std::function<void(FramePtr)> done;
   };
 
+  std::uint64_t publish_impl(util::Json state, std::vector<std::uint8_t> png,
+                             std::vector<std::uint8_t> png_half);
   FramePtr next_after_locked(std::uint64_t since) const;  // requires mutex_
+  FramePtr frame_for_locked(const Waiter& waiter) const;  // requires mutex_
   void timer_loop();
 
   Config config_;
   /// Serializes publishers so frame building happens outside mutex_.
   std::mutex publish_mutex_;
   mutable std::mutex mutex_;
-  std::condition_variable timer_cv_;  // wakes the timeout sweeper
+  std::condition_variable timer_cv_;  // wakes the timeout/pacing sweeper
   std::condition_variable sync_cv_;   // wakes blocking wait()ers
   std::deque<FramePtr> window_;
   std::uint64_t seq_ = 0;

@@ -1,0 +1,305 @@
+#include "web/session.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <vector>
+
+namespace ricsa::web {
+
+double mono_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+std::size_t index_of(Tier tier) { return static_cast<std::size_t>(tier); }
+
+}  // namespace
+
+ClientSession::ClientSession(const PacingConfig& config, std::string id,
+                             std::string peer, double now_s)
+    : config_(config),
+      id_(std::move(id)),
+      peer_(std::move(peer)),
+      interval_s_(config.frame_interval_s),
+      meter_(config.meter_window_s),
+      frame_meter_(config.meter_window_s),
+      last_touch_s_(now_s) {
+  meter_.start(now_s);
+  frame_meter_.start(now_s);
+  reset_rmsa_locked(config_.frame_interval_s);
+}
+
+void ClientSession::reset_meters_locked(double now_s) {
+  // A tier change switches the regime being judged: stale history from the
+  // old tier would instantly mis-tier the new one (e.g. an upgrade
+  // immediately reverted because the window still holds the old pace).
+  meter_ = transport::GoodputMeter(config_.meter_window_s);
+  meter_.start(now_s);
+  frame_meter_ = transport::GoodputMeter(config_.meter_window_s);
+  frame_meter_.start(now_s);
+}
+
+void ClientSession::reset_rmsa_locked(double initial_sleep_s) {
+  // Re-initializing the controller restarts the Robbins-Monro gain schedule
+  // — the right move whenever conditions changed (new tier, upward probe):
+  // the decayed gain of the old schedule would barely track the new regime.
+  transport::RmsaConfig rmsa;
+  rmsa.gain_a = config_.rmsa_gain_a;
+  rmsa.alpha = config_.rmsa_alpha;
+  // The controller runs in the frame-rate domain (the paper's Eq. 1
+  // measures g in datagrams/s; frames/s is the web analogue), so the
+  // window payload normalization is one frame per burst.
+  rmsa.window = 1;
+  rmsa.datagram_bytes = 1;
+  rmsa.initial_sleep_s =
+      std::clamp(initial_sleep_s, config_.frame_interval_s,
+                 std::max(config_.frame_interval_s, config_.max_interval_s));
+  rmsa.min_sleep_s = config_.frame_interval_s;
+  rmsa.max_sleep_s = std::max(config_.frame_interval_s, config_.max_interval_s);
+  rmsa_ = std::make_unique<transport::RmsaController>(rmsa);
+}
+
+ClientSession::Decision ClientSession::decide(double now_s,
+                                              double cadence_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_touch_s_ = now_s;
+  const double cadence = std::max(config_.frame_interval_s, cadence_s);
+  Decision d;
+  d.tier = tier_;
+  // A small slack keeps fast full-tier clients off the pacing path: their
+  // natural poll cadence already matches the publisher.
+  const bool paced = interval_s_ > cadence * 1.25;
+  if (paced && last_delivery_s_ >= 0.0) {
+    d.not_before_s = last_delivery_s_ + interval_s_;
+  }
+  // Downgraded or paced clients skip to the newest frame instead of
+  // replaying every retained frame — stale frames are the bandwidth they
+  // cannot afford.
+  d.skip_to_latest = paced || tier_ != Tier::kFull;
+  // A tier transition invalidates the delta contract: the delta omits an
+  // unchanged image, but this client's previous frame was rendered at a
+  // different tier, so it must receive a full body once.
+  d.allow_delta = last_served_tier_ == tier_;
+  return d;
+}
+
+void ClientSession::on_delivered(double now_s, std::size_t bytes,
+                                 std::uint64_t skipped, Tier tier,
+                                 double cadence_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_touch_s_ = now_s;
+  last_delivery_s_ = now_s;
+  last_served_tier_ = tier;
+  meter_.record(now_s, bytes);
+  goodput_Bps_ = meter_.rate(now_s);
+  ++delivered_frames_;
+  delivered_bytes_ += bytes;
+  skipped_frames_ += skipped;
+
+  frame_meter_.record(now_s, 1);
+  const double achieved_fps = frame_meter_.rate(now_s);
+
+  // Judge against the measured publish period (floored by the configured
+  // cadence): frame production slower than configured must not make a
+  // prompt client look like a slow consumer.
+  const double cadence =
+      std::max(1e-6, std::max(config_.frame_interval_s, cadence_s));
+  // Offered: the frame rate our own pacing currently allows — utilization
+  // is judged against what the client was actually given the chance to
+  // drain. Judging in the frame-rate domain (not bytes) keeps delta-encoded
+  // bodies, whose size swings with how much of the frame changed, from
+  // masquerading as a slow consumer.
+  const double offered_fps = 1.0 / std::max(cadence, interval_s_);
+
+  // Eq. 1 with the web-layer roles: the rate under our control is the
+  // offered frame rate and the reference it must converge to is the
+  // client's achieved frame rate — offering more than the client drains
+  // lengthens the sleep, offering less shortens it, and the fixed point is
+  // offered == achieved (serve at the client's pace).
+  rmsa_->set_target(achieved_fps);
+  const double rmsa_sleep =
+      rmsa_->update(transport::RateFeedback{offered_fps, false});
+
+  const double util = achieved_fps / offered_fps;
+  if (util >= config_.high_util) {
+    low_streak_ = 0;
+    if (++prompt_streak_ >= config_.upgrade_streak) {
+      prompt_streak_ = 0;
+      // The client drains everything offered: probe upward. Restore the
+      // frame rate first, then climb a quality tier.
+      if (interval_s_ > cadence * 1.01) {
+        interval_s_ = std::max(cadence, interval_s_ * 0.5);
+        reset_rmsa_locked(interval_s_);
+      } else if (tier_ != Tier::kFull) {
+        tier_ = static_cast<Tier>(index_of(tier_) - 1);
+        tier_snapshot_.store(tier_, std::memory_order_relaxed);
+        ++upgrades_;
+        interval_s_ = cadence;
+        reset_meters_locked(now_s);
+        reset_rmsa_locked(cadence);
+      }
+    }
+  } else if (util < config_.low_util) {
+    prompt_streak_ = 0;
+    if (++low_streak_ >= config_.downgrade_streak) {
+      low_streak_ = 0;
+      if (index_of(tier_) + 1 < kTierCount) {
+        tier_ = static_cast<Tier>(index_of(tier_) + 1);
+        tier_snapshot_.store(tier_, std::memory_order_relaxed);
+        ++downgrades_;
+        reset_meters_locked(now_s);
+        reset_rmsa_locked(cadence);
+      } else {
+        // Already on the cheapest tier: throttle the frame rate itself with
+        // the Robbins-Monro interval.
+        interval_s_ = std::clamp(
+            rmsa_sleep, cadence,
+            std::max(cadence, config_.max_interval_s));
+      }
+    }
+  } else {
+    prompt_streak_ = 0;
+    low_streak_ = 0;
+  }
+}
+
+void ClientSession::on_timeout(double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_touch_s_ = now_s;
+  ++timeouts_;
+}
+
+Tier ClientSession::tier() const {
+  return tier_snapshot_.load(std::memory_order_relaxed);
+}
+
+double ClientSession::interval_s() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return interval_s_;
+}
+
+double ClientSession::goodput_Bps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return goodput_Bps_;
+}
+
+double ClientSession::last_touch_s() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_touch_s_;
+}
+
+util::Json ClientSession::stats_json(double now_s) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::Json out;
+  out["client"] = id_;
+  if (!peer_.empty()) out["peer"] = peer_;
+  out["tier"] = tier_name(tier_);
+  out["goodput_Bps"] = goodput_Bps_;
+  out["interval_s"] = interval_s_;
+  out["delivered"] = static_cast<double>(delivered_frames_);
+  out["bytes"] = static_cast<double>(delivered_bytes_);
+  out["skipped"] = static_cast<double>(skipped_frames_);
+  out["timeouts"] = static_cast<double>(timeouts_);
+  out["downgrades"] = static_cast<double>(downgrades_);
+  out["upgrades"] = static_cast<double>(upgrades_);
+  out["idle_s"] = std::max(0.0, now_s - last_touch_s_);
+  return out;
+}
+
+SessionTable::SessionTable(PacingConfig config) : config_(config) {}
+
+std::shared_ptr<ClientSession> SessionTable::acquire(const std::string& id,
+                                                     const std::string& peer,
+                                                     double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sweep_locked(now_s);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    if (sessions_.size() >= config_.max_sessions) {
+      // Possibly stale entries are holding the table at the cap: sweep
+      // immediately (bypassing the throttle) before refusing.
+      last_sweep_s_ = -1.0;
+      sweep_locked(now_s);
+      if (sessions_.size() >= config_.max_sessions) return nullptr;
+    }
+    it = sessions_
+             .emplace(id, std::make_shared<ClientSession>(config_, id, peer,
+                                                          now_s))
+             .first;
+  }
+  return it->second;
+}
+
+void SessionTable::sweep_locked(double now_s) {
+  // Expiry only needs second-granularity: sweeping every acquire would put
+  // an O(sessions) walk (locking each session) on every poll's hot path.
+  if (last_sweep_s_ >= 0.0 && now_s - last_sweep_s_ < 1.0) return;
+  last_sweep_s_ = now_s;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now_s - it->second->last_touch_s() > config_.idle_expiry_s) {
+      it = sessions_.erase(it);
+      ++expired_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t SessionTable::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+std::uint64_t SessionTable::expired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return expired_;
+}
+
+bool SessionTable::wants_half_tier() const {
+  // Once per published frame: a lock-free tier read per session keeps the
+  // walk cheap and free of per-session mutex contention with live polls.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, session] : sessions_) {
+    if (session->tier() == Tier::kHalf) return true;
+  }
+  return false;
+}
+
+util::Json SessionTable::stats_json(double now_s) const {
+  std::vector<std::shared_ptr<ClientSession>> snapshot;
+  std::uint64_t expired;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) snapshot.push_back(session);
+    expired = expired_;
+  }
+
+  util::Json out;
+  out["sessions"] = static_cast<double>(snapshot.size());
+  out["expired"] = static_cast<double>(expired);
+  std::array<std::uint64_t, kTierCount> by_tier{};
+  util::JsonArray clients;
+  // Cap the per-client detail: stats stay O(1)-ish for huge fan-outs while
+  // the aggregate tier counts remain exact.
+  constexpr std::size_t kMaxDetailed = 128;
+  for (const auto& session : snapshot) {
+    ++by_tier[static_cast<std::size_t>(session->tier())];
+    if (clients.size() < kMaxDetailed) {
+      clients.push_back(session->stats_json(now_s));
+    }
+  }
+  util::Json tiers;
+  for (std::size_t t = 0; t < kTierCount; ++t) {
+    tiers[tier_name(static_cast<Tier>(t))] = static_cast<double>(by_tier[t]);
+  }
+  out["tiers"] = tiers;
+  out["clients"] = util::Json(clients);
+  return out;
+}
+
+}  // namespace ricsa::web

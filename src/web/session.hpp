@@ -1,0 +1,173 @@
+// Per-client adaptive pacing sessions for the Ajax web layer.
+//
+// The paper's pipeline is *network-optimized*: the sender adapts its rate to
+// each receiver's measured goodput. Applied per browser: every /api/poll
+// carrying a `client` identifier gets a session that feeds delivery
+// timestamps and body sizes into a transport::GoodputMeter and runs a
+// per-session Robbins-Monro rate controller (transport::RmsaController,
+// the paper's Eq. 1). The session maps the measured goodput to
+//
+//  * a quality Tier (full image / half-resolution image / state-only) —
+//    slow consumers are transparently downgraded to cheaper frame bodies
+//    instead of eating bandwidth they cannot drain, and upgraded back once
+//    they demonstrably keep up; and
+//  * a minimum inter-frame interval — when even the cheapest tier exceeds
+//    the client's goodput, frames are skipped (FrameHub pacing) rather than
+//    queued.
+//
+// Sessions expire after an idle period, so the table is bounded by the
+// number of *recently active* clients, not by everyone who ever connected.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "transport/goodput_meter.hpp"
+#include "transport/rate_controller.hpp"
+#include "util/json.hpp"
+#include "web/hub.hpp"
+
+namespace ricsa::web {
+
+/// Monotonic wall time in seconds (steady_clock) for pacing timestamps.
+double mono_now_s();
+
+struct PacingConfig {
+  /// Nominal publisher cadence: the fastest any client can be served. The
+  /// frontend passes the *measured* publish period into decide() and
+  /// on_delivered(), floored by this, so a render loop running slower than
+  /// configured does not make prompt clients look slow.
+  double frame_interval_s = 0.2;
+  /// Goodput averaging horizon per session.
+  double meter_window_s = 2.0;
+  /// Sessions idle longer than this are evicted.
+  double idle_expiry_s = 60.0;
+  /// Utilization (measured goodput / offered rate at the current tier)
+  /// below which a sample counts toward a downgrade...
+  double low_util = 0.5;
+  /// ...and above which it counts toward an upgrade probe.
+  double high_util = 0.85;
+  /// Consecutive low samples before dropping a tier (jitter tolerance).
+  int downgrade_streak = 2;
+  /// Consecutive prompt samples before probing a cheaper pace / richer tier.
+  int upgrade_streak = 4;
+  /// Ceiling on the per-client inter-frame interval (frame-rate floor).
+  double max_interval_s = 1.0;
+  /// Hard cap on live sessions: beyond it new `client` ids are served
+  /// unpaced (full tier) instead of allocating — an attacker-chosen id per
+  /// request must not grow the table without bound.
+  std::size_t max_sessions = 4096;
+  /// Robbins-Monro gain template for the per-session controllers (Eq. 1).
+  double rmsa_gain_a = 1.0;
+  double rmsa_alpha = 0.8;
+};
+
+/// One client's adaptive pacing state. Thread-safe: polls arrive on
+/// connection threads, deliveries complete on hub workers.
+class ClientSession {
+ public:
+  ClientSession(const PacingConfig& config, std::string id, std::string peer,
+                double now_s);
+
+  struct Decision {
+    Tier tier = Tier::kFull;
+    /// Absolute monotonic time before which no frame should be served
+    /// (0 = unpaced): last delivery + the minimum inter-frame interval.
+    double not_before_s = 0.0;
+    /// Serve the newest frame, skipping stale ones, instead of replaying
+    /// the retention window frame by frame.
+    bool skip_to_latest = false;
+    /// Delta bodies are only valid when the previous delivery used the same
+    /// tier: a delta omits an unchanged image, which is wrong for a client
+    /// whose last frame was a different resolution.
+    bool allow_delta = true;
+  };
+
+  /// Pacing decision for a poll arriving now; `cadence_s` is the measured
+  /// publish period. Marks the session live.
+  Decision decide(double now_s, double cadence_s);
+
+  /// Account a completed delivery: `bytes` of the `tier` body written at
+  /// `now_s`, plus how many `skipped` frames the served one jumped over.
+  /// `cadence_s` is the measured publish period the utilization and Eq. 1
+  /// judgments are made against.
+  void on_delivered(double now_s, std::size_t bytes, std::uint64_t skipped,
+                    Tier tier, double cadence_s);
+
+  /// A poll that timed out without a frame still marks the session live.
+  void on_timeout(double now_s);
+
+  Tier tier() const;
+  double interval_s() const;
+  double goodput_Bps() const;
+  double last_touch_s() const;
+  util::Json stats_json(double now_s) const;
+
+ private:
+  void reset_meters_locked(double now_s);                // requires mutex_
+  void reset_rmsa_locked(double initial_sleep_s);        // requires mutex_
+
+  mutable std::mutex mutex_;
+  const PacingConfig config_;
+  const std::string id_;
+  const std::string peer_;
+
+  Tier tier_ = Tier::kFull;
+  /// Lock-free mirror of tier_ for hot-path probes (publisher's
+  /// wants_half_tier walk must not take every session's mutex).
+  std::atomic<Tier> tier_snapshot_{Tier::kFull};
+  Tier last_served_tier_ = Tier::kFull;  // tier of the previous delivery
+  double interval_s_;  // current minimum inter-frame interval
+  transport::GoodputMeter meter_;        // bytes/s: reported goodput
+  transport::GoodputMeter frame_meter_;  // frames/s: drives tier + pacing
+  std::unique_ptr<transport::RmsaController> rmsa_;
+  int low_streak_ = 0;
+  int prompt_streak_ = 0;
+  double last_delivery_s_ = -1.0;
+  double last_touch_s_ = 0.0;
+  double goodput_Bps_ = 0.0;
+
+  std::uint64_t delivered_frames_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t skipped_frames_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t downgrades_ = 0;
+  std::uint64_t upgrades_ = 0;
+};
+
+/// Registry of live client sessions, keyed by the dashboard-generated
+/// `client` query parameter. Expired sessions are swept on access.
+class SessionTable {
+ public:
+  explicit SessionTable(PacingConfig config);
+
+  /// Find-or-create the session for `id` (sweeping expired ones first).
+  /// Returns null when the table is at max_sessions and `id` is new — the
+  /// caller serves such polls unpaced rather than allocating.
+  std::shared_ptr<ClientSession> acquire(const std::string& id,
+                                         const std::string& peer,
+                                         double now_s);
+
+  std::size_t size() const;
+  std::uint64_t expired() const;
+  /// True when any live session currently sits on the half tier — the
+  /// publisher's cue to build the reduced image this frame.
+  bool wants_half_tier() const;
+  /// Aggregate + per-session pacing stats for /api/stats.
+  util::Json stats_json(double now_s) const;
+
+ private:
+  void sweep_locked(double now_s);
+
+  PacingConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<ClientSession>> sessions_;
+  std::uint64_t expired_ = 0;
+  double last_sweep_s_ = -1.0;
+};
+
+}  // namespace ricsa::web

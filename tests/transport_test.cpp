@@ -23,11 +23,33 @@ TEST(GoodputMeter, WindowedRate) {
   tp::GoodputMeter meter(1.0);
   meter.record(0.0, 1000);
   meter.record(0.5, 1000);
-  EXPECT_DOUBLE_EQ(meter.rate(0.5), 2000.0);
+  // Only 0.5 s observed so far: 2000 bytes over 0.5 s, not over the full
+  // (not yet elapsed) 1 s window.
+  EXPECT_DOUBLE_EQ(meter.rate(0.5), 4000.0);
   // At t=1.2 the first event (t=0) has left the 1 s window.
   EXPECT_DOUBLE_EQ(meter.rate(1.2), 1000.0);
   EXPECT_DOUBLE_EQ(meter.rate(5.0), 0.0);
   EXPECT_EQ(meter.total_bytes(), 2000u);
+}
+
+TEST(GoodputMeter, WarmUpDividesByElapsedNotFullWindow) {
+  // Regression: rate() used to divide by the full window even before a full
+  // window had elapsed, underestimating goodput during warm-up — which
+  // would mis-tier every freshly connected client of the web layer.
+  tp::GoodputMeter meter(2.0);
+  EXPECT_DOUBLE_EQ(meter.rate(0.0), 0.0);  // no records yet
+  meter.record(10.0, 1000);
+  meter.record(10.5, 1000);
+  // 0.5 s observed: 2000 bytes / 0.5 s, not 2000 / 2.0 = 1000 B/s.
+  EXPECT_DOUBLE_EQ(meter.rate(10.5), 4000.0);
+  EXPECT_DOUBLE_EQ(meter.rate(11.0), 2000.0);
+  // Once a full window has elapsed the divisor caps at the window; by
+  // t=12.5 the t=10.0 event has also left the 2 s window.
+  EXPECT_DOUBLE_EQ(meter.rate(12.5), 1000.0 / 2.0);
+  // A burst recorded "right now" reads optimistically fast, never 0/0.
+  tp::GoodputMeter fresh(1.0);
+  fresh.record(3.0, 500);
+  EXPECT_GT(fresh.rate(3.0), 1e5);
 }
 
 // ------------------------------------------------------- RmsaController ----

@@ -453,6 +453,30 @@ TEST(Image, PngStructureValid) {
   EXPECT_EQ(tail, "IEND");
 }
 
+TEST(Image, DownsampleBoxFilter) {
+  v::Image img(4, 4, {0, 0, 0, 255});
+  // One 2x2 block all-white: its output pixel averages to white, the rest
+  // stay black.
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 2; ++x) img.at(x, y) = {255, 255, 255, 255};
+  }
+  const v::Image half = v::downsample(img, 2);
+  EXPECT_EQ(half.width(), 2);
+  EXPECT_EQ(half.height(), 2);
+  EXPECT_EQ(half.at(0, 0), (v::Rgba{255, 255, 255, 255}));
+  EXPECT_EQ(half.at(1, 1), (v::Rgba{0, 0, 0, 255}));
+
+  // Non-divisible dims round up; edge blocks clamp.
+  const v::Image odd = v::downsample(v::Image(5, 3, {10, 20, 30, 255}), 2);
+  EXPECT_EQ(odd.width(), 3);
+  EXPECT_EQ(odd.height(), 2);
+  EXPECT_EQ(odd.at(2, 1), (v::Rgba{10, 20, 30, 255}));
+
+  // Factor 1 is the identity; bad factors throw.
+  EXPECT_EQ(v::downsample(img, 1).pixels(), img.pixels());
+  EXPECT_THROW(v::downsample(img, 0), std::invalid_argument);
+}
+
 TEST(Image, RleRoundTrip) {
   v::Image img(32, 16, {7, 7, 7, 255});
   img.at(5, 5) = {1, 2, 3, 255};

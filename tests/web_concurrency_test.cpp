@@ -156,8 +156,9 @@ Json state_of(const char* cycle, double value) {
 
 TEST(FrameHub, DeltaBodyCarriesOnlyChangedKeys) {
   w::FrameHub hub(w::FrameHub::Config{4, 1, 5.0});
-  hub.publish(state_of("density", 1.0), {0xAA, 0xBB});
-  hub.publish(state_of("density", 2.0), {0xAA, 0xBB});  // same image bytes
+  hub.publish(state_of("density", 1.0), std::vector<std::uint8_t>{0xAA, 0xBB});
+  hub.publish(state_of("density", 2.0),
+              std::vector<std::uint8_t>{0xAA, 0xBB});  // same image bytes
 
   const w::FramePtr frame = hub.latest();
   ASSERT_TRUE(frame);
@@ -165,20 +166,28 @@ TEST(FrameHub, DeltaBodyCarriesOnlyChangedKeys) {
   EXPECT_EQ(frame->delta_keys, 1u);  // only "value" changed
   EXPECT_FALSE(frame->image_changed);
 
-  const Json delta = Json::parse(frame->body_delta);
+  const Json delta = Json::parse(frame->body(w::Tier::kFull, true));
   EXPECT_TRUE(delta.at("delta").as_bool());
   EXPECT_TRUE(delta.at("state").contains("value"));
   EXPECT_FALSE(delta.at("state").contains("variable"));
   EXPECT_FALSE(delta.contains("image_b64"));  // image unchanged -> omitted
 
-  const Json full = Json::parse(frame->body_full);
+  const Json full = Json::parse(frame->body(w::Tier::kFull, false));
   EXPECT_TRUE(full.at("state").contains("variable"));
   EXPECT_TRUE(full.contains("image_b64"));
+  EXPECT_EQ(full.at("tier").as_string(), "full");
+
+  // The state-only tier never carries an image; the half tier reuses the
+  // given PNG bytes when publish() received pre-encoded input.
+  const Json state_only = Json::parse(frame->body(w::Tier::kStateOnly, false));
+  EXPECT_FALSE(state_only.contains("image_b64"));
+  EXPECT_EQ(state_only.at("tier").as_string(), "state");
+  EXPECT_TRUE(state_only.at("state").contains("variable"));
 }
 
 TEST(FrameHub, WindowEvictionBoundsMemoryAndJumpsMinimally) {
   w::FrameHub hub(w::FrameHub::Config{3, 1, 5.0});
-  for (int i = 1; i <= 10; ++i) hub.publish(state_of("density", i), {});
+  for (int i = 1; i <= 10; ++i) hub.publish(state_of("density", i), std::vector<std::uint8_t>{});
 
   EXPECT_EQ(hub.seq(), 10u);
   EXPECT_EQ(hub.oldest_retained(), 8u);  // window of 3: frames 8, 9, 10
@@ -195,7 +204,7 @@ TEST(FrameHub, WindowEvictionBoundsMemoryAndJumpsMinimally) {
 
 TEST(FrameHub, WaitAsyncCompletesInlineWhenFrameExists) {
   w::FrameHub hub(w::FrameHub::Config{4, 1, 5.0});
-  hub.publish(state_of("density", 1.0), {});
+  hub.publish(state_of("density", 1.0), std::vector<std::uint8_t>{});
 
   std::atomic<bool> done{false};
   hub.wait_async(0, 1.0, [&](w::FramePtr frame) {
@@ -214,7 +223,7 @@ TEST(FrameHub, WaitAsyncFiresOnPublishFromWorkerThread) {
   });
   EXPECT_EQ(got.load(), 0u);  // parked
 
-  hub.publish(state_of("density", 1.0), {});
+  hub.publish(state_of("density", 1.0), std::vector<std::uint8_t>{});
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
   while (got.load() == 0 && std::chrono::steady_clock::now() < deadline) {
@@ -261,7 +270,8 @@ TEST(FrameHub, ShutdownFlushesParkedWaitersAndRefusesNewOnes) {
   EXPECT_EQ(completions.load(), 8);
 
   // Post-shutdown interactions are inert, not crashes.
-  EXPECT_EQ(hub.publish(state_of("density", 1.0), {}), 0u);
+  EXPECT_EQ(hub.publish(state_of("density", 1.0), std::vector<std::uint8_t>{}),
+            0u);
   std::atomic<bool> refused{false};
   hub.wait_async(0, 1.0, [&](w::FramePtr frame) {
     EXPECT_EQ(frame, nullptr);
@@ -280,7 +290,7 @@ TEST(FrameHub, PublishKeepsFutureCursorsParked) {
     EXPECT_EQ(frame, nullptr);  // times out instead
     ++fired;
   });
-  hub.publish(state_of("density", 1.0), {});
+  hub.publish(state_of("density", 1.0), std::vector<std::uint8_t>{});
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   EXPECT_EQ(fired.load(), 0);  // still parked after the publish
   const auto deadline =
