@@ -16,15 +16,27 @@
 // downgraded to cheaper tiers instead of inflating total bytes sent, while
 // fast-client delivery latency stays put.
 //
+// The fanout scenario (--scenario fanout) is the epoll-reactor scaling
+// proof: thousands of concurrent long-poll clients (default 512 and 4096)
+// in a mixed population — fast, slow, and adaptively paced — against one
+// reactor-driven server. Besides the latency/throughput metrics it samples
+// process-wide fd count, thread count, and peak RSS during the round and
+// reports the configured server thread budget (reactor + worker pools +
+// monitor loop), which stays constant while client count scales 8x.
+//
 // Usage: ajax_fanout [--clients 64,256,512] [--duration-s 4]
 //                    [--slow-fraction 0.1] [--frame-interval-s 0.05]
-//                    [--scenario plain|mixed]
+//                    [--scenario plain|mixed|fanout]
+#include <dirent.h>
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -38,6 +50,42 @@
 namespace {
 
 using ricsa::util::Json;
+
+/// Raise RLIMIT_NOFILE to its hard limit: a 4k-client round needs ~8k fds
+/// (both ends are in this process), far above the usual 1024 soft default.
+void raise_fd_limit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) == 0 && lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+  }
+}
+
+std::size_t count_open_fds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::size_t count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count > 2 ? count - 2 : 0;  // drop "." and ".."
+}
+
+/// Value of a "Key:   1234 kB"-style line in /proc/self/status, or 0.
+long proc_status_value(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  long value = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      value = std::atol(line + key_len + 1);
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
+}
 
 double now_unix_ms() {
   return static_cast<double>(
@@ -159,8 +207,12 @@ void client_loop(int port, double duration_s, double inter_poll_delay_s,
 /// every frame renders a different image (the live-visualization regime the
 /// tier pipeline targets), instead of the byte-identical PNGs a converged
 /// tiny simulation produces.
+///
+/// `paced_fraction` of the clients present a session identity and get
+/// per-client adaptive pacing (1.0 = the adaptive rounds, 0.0 = baseline,
+/// in between = the fanout scenario's mixed population).
 Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
-               double duration_s, double slow_fraction, bool adaptive,
+               double duration_s, double slow_fraction, double paced_fraction,
                bool orbit, double frame_interval_s) {
   const std::uint64_t seq_before = frontend.frame_seq();
   const auto stats_before = frontend.hub().stats();
@@ -174,16 +226,39 @@ Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
   // adapted tier state into the next.
   static std::atomic<int> round_counter{0};
   const int round = round_counter++;
+  int n_paced = 0;
   for (int i = 0; i < n_clients; ++i) {
-    // Slow consumers sleep ~3 frame intervals between polls.
-    const double delay = i < n_slow ? 0.15 : 0.0;
+    // Slow consumers sleep ~3 frame intervals between polls — tied to the
+    // cadence so they stay genuinely slower than publication at any
+    // --frame-interval-s (a fixed delay under the interval would make the
+    // "slow" cohort indistinguishable from the fast one).
+    const double delay =
+        i < n_slow ? std::max(0.15, 3.0 * frame_interval_s) : 0.0;
+    // Spread paced clients evenly through the population so both the slow
+    // and the fast mix contain paced and unpaced members.
+    const bool paced =
+        static_cast<int>(static_cast<double>(i) * paced_fraction) !=
+        static_cast<int>(static_cast<double>(i + 1) * paced_fraction);
+    n_paced += paced ? 1 : 0;
     const std::string client_id =
-        adaptive ? "bench-r" + std::to_string(round) + "-c" + std::to_string(i)
-                 : std::string();
+        paced ? "bench-r" + std::to_string(round) + "-c" + std::to_string(i)
+              : std::string();
     threads.emplace_back(client_loop, port, duration_s, delay, client_id,
                          std::ref(go),
                          std::ref(results[static_cast<std::size_t>(i)]));
   }
+  // Process-wide resource sampler: peak fds and threads *during* the round
+  // (after it, the client sockets and threads are gone again).
+  std::atomic<bool> sampling{true};
+  std::size_t peak_fds = 0;
+  long peak_threads = 0;
+  std::thread sampler([&] {
+    while (sampling.load()) {
+      peak_fds = std::max(peak_fds, count_open_fds());
+      peak_threads = std::max(peak_threads, proc_status_value("Threads"));
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
   std::atomic<bool> orbiting{orbit};
   std::thread orbit_thread;
   if (orbit) {
@@ -209,6 +284,8 @@ Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
   const double elapsed_s = (now_unix_ms() - t0) / 1000.0;
   orbiting.store(false);
   if (orbit_thread.joinable()) orbit_thread.join();
+  sampling.store(false);
+  sampler.join();
 
   ClientResult total;
   std::vector<double> fast_delivery_ms;  // prompt pollers only: the hub's
@@ -242,7 +319,8 @@ Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
   Json out;
   out["clients"] = n_clients;
   out["slow_clients"] = n_slow;
-  out["adaptive"] = adaptive;
+  out["paced_clients"] = n_paced;
+  out["adaptive"] = paced_fraction > 0.0;
   out["duration_s"] = elapsed_s;
   out["frames_published"] =
       static_cast<double>(frontend.frame_seq() - seq_before);
@@ -306,16 +384,29 @@ Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
   hub["hub_timeouts"] =
       static_cast<double>(stats_after.timeouts - stats_before.timeouts);
   out["hub"] = hub;
+
+  // Process-wide peaks during the round. Both ends of every connection are
+  // in this process, so fds ~ 2x clients + constants, and threads include
+  // the bench's own client threads — the *server's* thread budget is the
+  // constant reported at the top level of the report.
+  Json process;
+  process["peak_fds"] = static_cast<double>(peak_fds);
+  process["peak_threads"] = static_cast<double>(peak_threads);
+  process["peak_rss_kb"] = static_cast<double>(proc_status_value("VmHWM"));
+  out["process"] = process;
   return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  raise_fd_limit();
   std::vector<int> client_counts = {64, 256, 512};
+  bool clients_set = false;
   double duration_s = 4.0;
   double slow_fraction = 0.0;
   double frame_interval_s = 0.05;
+  bool frame_interval_set = false;
   std::string scenario = "plain";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -324,6 +415,7 @@ int main(int argc, char** argv) {
     };
     if (arg == "--clients") {
       client_counts.clear();
+      clients_set = true;
       for (const std::string& tok : ricsa::util::split(next(), ',')) {
         client_counts.push_back(std::atoi(tok.c_str()));
       }
@@ -333,17 +425,27 @@ int main(int argc, char** argv) {
       slow_fraction = std::atof(next().c_str());
     } else if (arg == "--frame-interval-s") {
       frame_interval_s = std::atof(next().c_str());
+      frame_interval_set = true;
     } else if (arg == "--scenario") {
       scenario = next();
     } else {
       std::fprintf(stderr,
                    "usage: ajax_fanout [--clients 64,256,512] [--duration-s S]"
                    " [--slow-fraction F] [--frame-interval-s S]"
-                   " [--scenario plain|mixed]\n");
+                   " [--scenario plain|mixed|fanout]\n");
       return 2;
     }
   }
-  if (scenario == "mixed" && slow_fraction <= 0.0) slow_fraction = 0.25;
+  if ((scenario == "mixed" || scenario == "fanout") && slow_fraction <= 0.0) {
+    slow_fraction = 0.25;
+  }
+  if (scenario == "fanout") {
+    // The reactor scaling proof: 8x the thread-per-connection comfort zone
+    // by default, at a cadence where the server (not loopback throughput)
+    // is what saturates first.
+    if (!clients_set) client_counts = {512, 4096};
+    if (!frame_interval_set) frame_interval_s = 0.25;
+  }
 
   ricsa::web::FrontEndConfig config;
   config.session.resolution = 16;  // small grid: the hub, not the sim, is under test
@@ -351,6 +453,13 @@ int main(int argc, char** argv) {
   config.frame_interval_s = frame_interval_s;
   config.frame_window = 256;
   config.hub_workers = 4;
+  if (scenario == "fanout") {
+    const int biggest =
+        *std::max_element(client_counts.begin(), client_counts.end());
+    config.max_connections = static_cast<std::size_t>(biggest) + 128;
+    // Sessions for every paced client in the biggest round.
+    config.pacing.max_sessions = static_cast<std::size_t>(biggest) + 64;
+  }
   if (scenario == "mixed") {
     // The tier pipeline is about image bandwidth: render an isosurface that
     // actually exists (and therefore changes frame to frame as the bow
@@ -391,12 +500,12 @@ int main(int argc, char** argv) {
                    "[ajax_fanout] %d clients (%.0f%% slow) baseline...\n", n,
                    slow_fraction * 100);
       Json baseline = run_round(*frontend, port, n, duration_s, slow_fraction,
-                                false, true, frame_interval_s);
+                                0.0, true, frame_interval_s);
       std::fprintf(stderr,
                    "[ajax_fanout] %d clients (%.0f%% slow) adaptive...\n", n,
                    slow_fraction * 100);
       Json adaptive = run_round(*frontend, port, n, duration_s, slow_fraction,
-                                true, true, frame_interval_s);
+                                1.0, true, frame_interval_s);
 
       Json cmp;
       cmp["clients"] = n;
@@ -417,11 +526,22 @@ int main(int argc, char** argv) {
       comparisons.as_array().push_back(cmp);
       rounds.as_array().push_back(std::move(baseline));
       rounds.as_array().push_back(std::move(adaptive));
+    } else if (scenario == "fanout") {
+      // Fresh front end per count: one round's adapted sessions and peak
+      // stats must not contaminate the next.
+      if (!first_round) fresh_frontend();
+      std::fprintf(stderr,
+                   "[ajax_fanout] fanout: %d clients (%.0f%% slow, 50%% "
+                   "paced) for %.1f s...\n",
+                   n, slow_fraction * 100, duration_s);
+      rounds.as_array().push_back(run_round(*frontend, port, n, duration_s,
+                                            slow_fraction, 0.5, false,
+                                            frame_interval_s));
     } else {
       std::fprintf(stderr, "[ajax_fanout] %d clients for %.1f s...\n", n,
                    duration_s);
       rounds.as_array().push_back(run_round(*frontend, port, n, duration_s,
-                                            slow_fraction, false, false,
+                                            slow_fraction, 0.0, false,
                                             frame_interval_s));
     }
     first_round = false;
@@ -431,6 +551,19 @@ int main(int argc, char** argv) {
   report["bench"] = "ajax_fanout";
   report["scenario"] = scenario;
   report["frame_interval_s"] = frame_interval_s;
+  // The server-side thread budget — constant in the client count: the
+  // reactor loop, the HTTP handler workers, the hub fan-out workers, and
+  // the monitor loop. Everything else in the process is bench clients.
+  {
+    Json threads;
+    threads["reactor"] = 1.0;
+    threads["http_workers"] = static_cast<double>(config.http_workers);
+    threads["hub_workers"] = static_cast<double>(config.hub_workers);
+    threads["monitor_loop"] = 1.0;
+    threads["total"] = static_cast<double>(2 + config.http_workers +
+                                           config.hub_workers);
+    report["server_threads"] = threads;
+  }
   report["rounds"] = rounds;
   if (!comparisons.as_array().empty()) report["comparisons"] = comparisons;
   std::printf("%s\n", report.dump(1).c_str());

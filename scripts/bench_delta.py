@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compare ajax_fanout bench JSON against the previous CI run's artifact.
+
+Usage:
+  bench_delta.py --previous DIR --current DIR [--max-fast-p99-regression 0.5]
+
+For every bench JSON present in both trees (matched by file name, searched
+recursively on the previous side because artifact downloads nest a
+directory per artifact), rounds are matched by (clients, adaptive) and a
+delta summary is printed to the job log. The job fails (exit 1) when a
+matched round's fast-client p99 regresses by more than the allowed
+fraction; a missing or unreadable previous side is a note, not a failure —
+the first run on a branch has nothing to compare against.
+
+Tiny baselines are noise: regressions are only enforced when the previous
+p99 is at least MIN_PREV_MS and the absolute slip exceeds MIN_DELTA_MS.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+BENCH_FILES = ["ajax_fanout.json", "ajax_fanout_mixed.json",
+               "ajax_fanout_fanout.json"]
+MIN_PREV_MS = 1.0
+MIN_DELTA_MS = 5.0
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"[bench-delta] could not read {path}: {err}")
+        return None
+
+
+def fast_p99(round_json):
+    latency = round_json.get("delivery_latency_fast_clients") or \
+        round_json.get("delivery_latency") or {}
+    return latency.get("p99_ms")
+
+
+def round_key(round_json):
+    return (round_json.get("clients"), bool(round_json.get("adaptive")))
+
+
+def compare(name, previous, current, max_regression):
+    regressions = []
+    prev_rounds = {round_key(r): r for r in previous.get("rounds", [])}
+    for cur in current.get("rounds", []):
+        key = round_key(cur)
+        prev = prev_rounds.get(key)
+        if prev is None:
+            print(f"[bench-delta] {name} {key}: no previous round")
+            continue
+        cur_p99, prev_p99 = fast_p99(cur), fast_p99(prev)
+        cur_dps = cur.get("deliveries_per_sec", 0.0)
+        prev_dps = prev.get("deliveries_per_sec", 0.0)
+        parts = [f"deliveries/s {prev_dps:.0f} -> {cur_dps:.0f}"]
+        verdict = "ok"
+        if cur_p99 is not None and prev_p99 is not None:
+            delta = cur_p99 - prev_p99
+            pct = (delta / prev_p99 * 100.0) if prev_p99 > 0 else 0.0
+            parts.append(
+                f"fast p99 {prev_p99:.1f} -> {cur_p99:.1f} ms ({pct:+.0f}%)")
+            if (prev_p99 >= MIN_PREV_MS and delta > MIN_DELTA_MS and
+                    cur_p99 > prev_p99 * (1.0 + max_regression)):
+                verdict = "REGRESSION"
+                regressions.append(
+                    f"{name} clients={key[0]} adaptive={key[1]}: "
+                    f"fast p99 {prev_p99:.1f} -> {cur_p99:.1f} ms")
+        errors = cur.get("errors", 0)
+        gaps = cur.get("gaps", 0)
+        parts.append(f"gaps {gaps:.0f} errors {errors:.0f}")
+        print(f"[bench-delta] {name} clients={key[0]} adaptive={key[1]}: "
+              f"{', '.join(parts)} [{verdict}]")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--previous", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--max-fast-p99-regression", type=float, default=0.5)
+    args = parser.parse_args()
+
+    prev_root = pathlib.Path(args.previous)
+    cur_root = pathlib.Path(args.current)
+    if not prev_root.is_dir():
+        print(f"[bench-delta] no previous artifact at {prev_root}; "
+              "nothing to compare (first run?)")
+        return 0
+
+    regressions = []
+    compared = 0
+    for name in BENCH_FILES:
+        cur_path = cur_root / name
+        if not cur_path.is_file():
+            continue
+        prev_matches = sorted(prev_root.rglob(name))
+        if not prev_matches:
+            print(f"[bench-delta] {name}: not in previous artifact")
+            continue
+        current = load(cur_path)
+        previous = load(prev_matches[0])
+        if current is None or previous is None:
+            continue
+        compared += 1
+        regressions += compare(name, previous, current,
+                               args.max_fast_p99_regression)
+
+    if compared == 0:
+        print("[bench-delta] no comparable bench files found")
+        return 0
+    if regressions:
+        print("[bench-delta] FAILING: fast-client p99 regressed beyond "
+              f"{args.max_fast_p99_regression * 100:.0f}%:")
+        for line in regressions:
+            print(f"  - {line}")
+        return 1
+    print("[bench-delta] all compared rounds within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+namespace ricsa::net {
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+int Socket::release() noexcept {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+Socket Socket::listen_loopback(int port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) throw std::runtime_error("net: socket() failed");
+  Socket sock(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw std::runtime_error("net: bind() failed");
+  }
+  if (::listen(fd, backlog) < 0) {
+    throw std::runtime_error("net: listen() failed");
+  }
+  return sock;
+}
+
+int Socket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+IoStatus Socket::accept(Socket& out, std::string& peer, int& errno_out) {
+  sockaddr_in peer_addr{};
+  socklen_t peer_len = sizeof(peer_addr);
+  const int fd = ::accept4(fd_, reinterpret_cast<sockaddr*>(&peer_addr),
+                           &peer_len, SOCK_NONBLOCK);
+  if (fd < 0) {
+    errno_out = errno;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  out = Socket(fd);
+  peer.clear();
+  char ip[INET_ADDRSTRLEN] = {0};
+  if (peer_len >= sizeof(sockaddr_in) && peer_addr.sin_family == AF_INET &&
+      ::inet_ntop(AF_INET, &peer_addr.sin_addr, ip, sizeof(ip))) {
+    peer = std::string(ip) + ":" + std::to_string(ntohs(peer_addr.sin_port));
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus Socket::read_some(std::string& buffer, std::size_t max_chunk) {
+  char chunk[65536];
+  if (max_chunk > sizeof(chunk)) max_chunk = sizeof(chunk);
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, max_chunk, 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      return IoStatus::kOk;
+    }
+    if (n == 0) return IoStatus::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus Socket::write_some(const char* data, std::size_t n,
+                            std::size_t& written) {
+  written = 0;
+  while (written < n) {
+    const ssize_t w = ::send(fd_, data + written, n - written, MSG_NOSIGNAL);
+    if (w > 0) {
+      written += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return written > 0 ? IoStatus::kOk : IoStatus::kWouldBlock;
+    }
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace ricsa::net

@@ -1,0 +1,66 @@
+// Non-blocking socket wrapper for the epoll reactor.
+//
+// RAII over a file descriptor plus the handful of readiness-oriented I/O
+// primitives a reactor-driven connection state machine needs: read/write
+// calls that report "would block" as a first-class outcome instead of an
+// errno the caller has to untangle, and a loopback listener factory that
+// hands out non-blocking accepted sockets. Loopback/IPv4 only, like the
+// rest of the web layer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ricsa::net {
+
+/// Outcome of one non-blocking read or write attempt.
+enum class IoStatus {
+  kOk,          // made progress
+  kWouldBlock,  // EAGAIN/EWOULDBLOCK — wait for readiness
+  kEof,         // orderly peer shutdown (reads only)
+  kError        // anything else; the connection is dead
+};
+
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of `fd` (which should already be non-blocking).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  void close();
+  /// Give up ownership without closing.
+  int release() noexcept;
+
+  /// Non-blocking listener on loopback:port (0 = ephemeral).
+  /// Throws std::runtime_error on failure.
+  static Socket listen_loopback(int port, int backlog = 1024);
+  int local_port() const;
+
+  /// Accept one pending connection (non-blocking, TCP_NODELAY set).
+  /// kOk: `out` holds the socket and `peer` the remote "ip:port".
+  /// kWouldBlock: nothing pending. kError: accept failed; `errno_out`
+  /// carries errno (EMFILE/ENFILE mean fd exhaustion, not a dead listener).
+  IoStatus accept(Socket& out, std::string& peer, int& errno_out);
+
+  /// Append up to `max_chunk` bytes to `buffer`. kOk means >= 1 byte read.
+  IoStatus read_some(std::string& buffer, std::size_t max_chunk = 65536);
+
+  /// Write as much of [data, data+n) as the kernel accepts; `written`
+  /// reports the byte count (may be > 0 even when the tail would block,
+  /// in which case the status is still kOk — call again on writability).
+  IoStatus write_some(const char* data, std::size_t n, std::size_t& written);
+
+  static void set_nonblocking(int fd);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace ricsa::net

@@ -1,0 +1,94 @@
+#include "net/timer_wheel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ricsa::net {
+
+TimerWheel::TimerWheel(Clock::duration tick, std::size_t slots)
+    : tick_(tick.count() > 0 ? tick : std::chrono::milliseconds(1)),
+      epoch_(Clock::now()),
+      slots_(std::max<std::size_t>(slots, 2)) {}
+
+std::uint64_t TimerWheel::schedule(Clock::time_point when, Callback cb) {
+  // Land one tick past the deadline's tick: when advance() processes that
+  // slot, the deadline has provably passed, so an entry can never be
+  // visited-but-not-yet-due (which would strand it a full revolution).
+  // The lower clamp keeps an already-due deadline out of slots the current
+  // revolution has already processed, for the same reason.
+  const std::uint64_t target = std::max(tick_of(when) + 1, last_tick_ + 1);
+  const std::size_t slot = static_cast<std::size_t>(target % slots_.size());
+  const std::uint64_t id = next_id_++;
+  slots_[slot].push_back(Entry{id, when, std::move(cb)});
+  index_.emplace(id, std::make_pair(slot, std::prev(slots_[slot].end())));
+  soonest_ = std::min(soonest_, when);
+  return id;
+}
+
+bool TimerWheel::cancel(std::uint64_t id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  // Cancelling the bound-setting entry leaves soonest_ optimistic; the
+  // next next_expiry() recomputes instead of every cancel paying O(n).
+  if (it->second.second->deadline <= soonest_) soonest_stale_ = true;
+  slots_[it->second.first].erase(it->second.second);
+  index_.erase(it);
+  return true;
+}
+
+TimerWheel::Clock::time_point TimerWheel::next_expiry() {
+  if (index_.empty()) {
+    soonest_ = Clock::time_point::max();
+    soonest_stale_ = false;
+    return soonest_;
+  }
+  if (soonest_stale_) {
+    soonest_ = Clock::time_point::max();
+    for (const auto& entry : index_) {
+      soonest_ = std::min(soonest_, entry.second.second->deadline);
+    }
+    soonest_stale_ = false;
+  }
+  // An entry fires when the tick after its deadline's has been processed:
+  // report that boundary, not the raw deadline, so a driver sleeping until
+  // the returned instant always finds the entry due.
+  return epoch_ + (tick_of(soonest_) + 1) * tick_;
+}
+
+std::size_t TimerWheel::advance(Clock::time_point now) {
+  const std::uint64_t now_tick = tick_of(now);
+  if (now_tick <= last_tick_ && !index_.empty()) {
+    // Same tick as last time: schedule() clamps fresh entries past
+    // last_tick_, so nothing can be due that wasn't already fired.
+    return 0;
+  }
+  // Collect due entries first, fire after: callbacks may re-enter
+  // schedule()/cancel() and must not invalidate the slot being walked.
+  std::list<Entry> due;
+  const std::uint64_t span =
+      std::min<std::uint64_t>(now_tick - last_tick_, slots_.size());
+  for (std::uint64_t t = 1; t <= span && !index_.empty(); ++t) {
+    Slot& slot = slots_[static_cast<std::size_t>((last_tick_ + t) %
+                                                 slots_.size())];
+    for (auto it = slot.begin(); it != slot.end();) {
+      if (it->deadline <= now) {
+        index_.erase(it->id);
+        auto next = std::next(it);
+        due.splice(due.end(), slot, it);
+        it = next;
+      } else {
+        ++it;  // a later revolution's entry sharing the bucket
+      }
+    }
+  }
+  last_tick_ = now_tick;
+  std::size_t fired = 0;
+  if (!due.empty()) soonest_stale_ = true;
+  for (Entry& entry : due) {
+    ++fired;
+    entry.cb();
+  }
+  return fired;
+}
+
+}  // namespace ricsa::net

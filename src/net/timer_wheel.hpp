@@ -1,0 +1,83 @@
+// Hashed timer wheel for the reactor's poll/idle timeouts.
+//
+// Thousands of parked long-poll connections each carry a timeout, and most
+// of those timers are cancelled or re-armed long before they fire (every
+// received byte pushes an idle deadline out; every completed poll re-arms).
+// A wheel makes schedule/cancel O(1) and advance O(slots + due entries) per
+// tick, independent of how many timers are parked — the property a sorted
+// queue loses at 10k+ connections.
+//
+// Entries hash into `slots` buckets by expiry tick; each bucket holds its
+// entries with their absolute deadlines, so an entry more than one wheel
+// revolution out simply stays in its bucket until its round arrives.
+// Single-threaded by design: the owning reactor drives advance() from its
+// loop thread. Granularity is the tick duration — a timer can fire up to
+// one tick late, which is the right trade for connection timeouts measured
+// in seconds.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace ricsa::net {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using Callback = std::function<void()>;
+
+  explicit TimerWheel(Clock::duration tick = std::chrono::milliseconds(5),
+                      std::size_t slots = 512);
+
+  /// Schedule `cb` to fire once `when` has passed (at tick granularity).
+  /// Returns a non-zero id usable with cancel().
+  std::uint64_t schedule(Clock::time_point when, Callback cb);
+
+  /// Drop a pending timer. False when the id already fired or was cancelled.
+  bool cancel(std::uint64_t id);
+
+  /// Fire every entry whose deadline is <= now. Returns the number fired.
+  /// Callbacks run on the caller's thread and may schedule/cancel freely.
+  std::size_t advance(Clock::time_point now);
+
+  /// Instant by which the soonest pending entry is guaranteed due (its
+  /// deadline rounded up to the tick boundary its slot is processed at),
+  /// or time_point::max() when nothing is pending — what a driver should
+  /// sleep until. A cancel can leave the cached bound stale; that costs
+  /// one early wakeup and an O(pending) recompute, never a late fire.
+  Clock::time_point next_expiry();
+
+  std::size_t pending() const noexcept { return index_.size(); }
+  Clock::duration tick() const noexcept { return tick_; }
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    Clock::time_point deadline;
+    Callback cb;
+  };
+  using Slot = std::list<Entry>;
+
+  std::uint64_t tick_of(Clock::time_point t) const {
+    if (t <= epoch_) return 0;  // pre-epoch deadline: already due
+    return static_cast<std::uint64_t>((t - epoch_) / tick_);
+  }
+
+  Clock::duration tick_;
+  Clock::time_point epoch_;
+  std::vector<Slot> slots_;
+  /// id -> location, for O(1) cancel.
+  std::unordered_map<std::uint64_t, std::pair<std::size_t, Slot::iterator>>
+      index_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t last_tick_ = 0;  // last tick advance() fully processed
+  /// Lower bound on the earliest pending deadline; kMax when none/stale.
+  Clock::time_point soonest_ = Clock::time_point::max();
+  bool soonest_stale_ = false;
+};
+
+}  // namespace ricsa::net

@@ -116,12 +116,14 @@ AjaxFrontEnd::AjaxFrontEnd(FrontEndConfig config)
     : config_(config),
       session_(config.session),
       hub_(FrameHub::Config{config.frame_window, config.hub_workers,
-                            config.poll_timeout_s}),
+                            config.poll_timeout_s, &server_.reactor()}),
       sessions_(pacing_of(config)) {
   // The connection idle-read timeout must exceed the longest long-poll wait
   // any route can hand out (poll timeout == hub max wait here), else a
   // legal configuration silently kills keep-alive connections mid-poll.
   server_.set_idle_read_timeout(config_.poll_timeout_s + 15.0);
+  server_.set_workers(config_.http_workers);
+  server_.set_max_connections(config_.max_connections);
   register_routes();
 }
 

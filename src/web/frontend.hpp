@@ -43,6 +43,12 @@ struct FrontEndConfig {
   std::size_t frame_window = 128;
   /// Hub fan-out worker threads.
   std::size_t hub_workers = 4;
+  /// HTTP route-handler worker threads. Together with hub_workers, the
+  /// reactor thread, and the monitor loop this bounds *every* server-side
+  /// thread — client count never adds threads.
+  std::size_t http_workers = 4;
+  /// Accepted-connection cap; connections beyond it get 503.
+  std::size_t max_connections = 8192;
   /// Per-client adaptive pacing knobs (frame_interval_s is overridden with
   /// the front end's own cadence at construction).
   PacingConfig pacing;
@@ -79,9 +85,12 @@ class AjaxFrontEnd {
 
   FrontEndConfig config_;
   steering::SteeringSession session_;
+  /// Declared before hub_: the hub registers its timeout/pacing sweeps on
+  /// the server's reactor, so the server must be constructed first (and,
+  /// symmetrically, destroyed last).
+  HttpServer server_;
   FrameHub hub_;
   SessionTable sessions_;
-  HttpServer server_;
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> steers_{0};

@@ -1,13 +1,16 @@
 #include "web/http.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -33,8 +36,8 @@ bool write_all(int fd, const char* data, std::size_t n) {
       // SO_SNDTIMEO expired. One retry after progress keeps a slow-but-
       // steady consumer alive; a second consecutive timeout with zero
       // bytes accepted means the peer is gone. The total budget is capped
-      // so a peer trickling one byte per timeout window cannot pin this
-      // (possibly hub-worker) thread forever.
+      // so a peer trickling one byte per timeout window cannot pin the
+      // calling thread forever.
       if (stalled || ++timeouts > 2) return false;
       stalled = true;
       continue;
@@ -58,33 +61,13 @@ const char* status_text(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     default: return "Unknown";
   }
 }
 
-void set_recv_timeout(int fd, double timeout_s) {
-  timeval tv{static_cast<time_t>(timeout_s),
-             static_cast<suseconds_t>(
-                 (timeout_s - static_cast<time_t>(timeout_s)) * 1e6)};
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-}
-
-bool write_response(int fd, const HttpResponse& response, bool keep_alive) {
-  std::string head = util::strprintf(
-      "HTTP/1.1 %d %s\r\nContent-Length: %zu\r\nConnection: %s\r\n",
-      response.status, status_text(response.status), response.body.size(),
-      keep_alive ? "keep-alive" : "close");
-  for (const auto& [key, value] : response.headers) {
-    head += key + ": " + value + "\r\n";
-  }
-  head += "\r\n";
-  return write_all(fd, head.data(), head.size()) &&
-         write_all(fd, response.body.data(), response.body.size());
-}
-
 /// Strict digits-only Content-Length parse. A malformed header from a
-/// remote peer must reject the request, never throw (these run on
-/// connection threads where an escaped exception would terminate).
+/// remote peer must reject the request, never throw.
 bool parse_content_length(const std::string& text, std::size_t& out) {
   if (text.empty() || text.size() > 12) return false;
   std::size_t value = 0;
@@ -96,35 +79,34 @@ bool parse_content_length(const std::string& text, std::size_t& out) {
   return true;
 }
 
-enum class ReadResult { kOk, kClosed, kTimeout };
+enum class ParseResult { kOk, kNeedMore, kBad };
 
-/// Parse one request out of `buffer`, topping it up from `fd` as needed.
-/// Bytes beyond the parsed request stay in `buffer` (pipelining-safe).
-ReadResult read_request(int fd, std::string& buffer, HttpRequest& out) {
-  char chunk[8192];
-  std::size_t header_end;
-  while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n == 0) return ReadResult::kClosed;
-    if (n < 0) {
-      return (errno == EAGAIN || errno == EWOULDBLOCK) ? ReadResult::kTimeout
-                                                       : ReadResult::kClosed;
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    if (buffer.size() > 1 << 20) return ReadResult::kClosed;  // header bomb
+constexpr std::size_t kMaxHeaderBytes = 1u << 20;
+constexpr std::size_t kMaxBodyBytes = 64u << 20;
+/// Bytes a client may pipeline behind an in-flight response before the
+/// connection is dropped (nothing is parsed while a response is pending,
+/// so this is the only bound on that buffer).
+constexpr std::size_t kMaxPipelinedBytes = 1u << 20;
+
+/// Parse one request out of the front of `buffer`. Consumes the request's
+/// bytes only on kOk; on kNeedMore the buffer is left intact for the next
+/// readiness event (the incremental half of the connection state machine).
+ParseResult parse_request(std::string& buffer, HttpRequest& out) {
+  const std::size_t header_end = buffer.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return buffer.size() > kMaxHeaderBytes ? ParseResult::kBad
+                                           : ParseResult::kNeedMore;
   }
+  if (header_end > kMaxHeaderBytes) return ParseResult::kBad;
 
-  const std::string head = buffer.substr(0, header_end);
-  buffer.erase(0, header_end + 4);
-
-  std::istringstream lines(head);
+  std::istringstream lines(buffer.substr(0, header_end));
   std::string line;
-  if (!std::getline(lines, line)) return ReadResult::kClosed;
+  if (!std::getline(lines, line)) return ParseResult::kBad;
   if (!line.empty() && line.back() == '\r') line.pop_back();
   {
     std::istringstream first(line);
     std::string target, version;
-    if (!(first >> out.method >> target >> version)) return ReadResult::kClosed;
+    if (!(first >> out.method >> target >> version)) return ParseResult::kBad;
     const auto q = target.find('?');
     if (q == std::string::npos) {
       out.path = target;
@@ -142,21 +124,39 @@ ReadResult read_request(int fd, std::string& buffer, HttpRequest& out) {
   }
 
   std::size_t content_length = 0;
-  const auto it = out.headers.find("content-length");
-  if (it != out.headers.end()) {
+  if (const auto it = out.headers.find("content-length");
+      it != out.headers.end()) {
     if (!parse_content_length(it->second, content_length)) {
-      return ReadResult::kClosed;
+      return ParseResult::kBad;
     }
-    if (content_length > (64u << 20)) return ReadResult::kClosed;
+    if (content_length > kMaxBodyBytes) return ParseResult::kBad;
   }
-  while (buffer.size() < content_length) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) return ReadResult::kClosed;
-    buffer.append(chunk, static_cast<std::size_t>(n));
+  const std::size_t total = header_end + 4 + content_length;
+  if (buffer.size() < total) return ParseResult::kNeedMore;
+  out.body = buffer.substr(header_end + 4, content_length);
+  buffer.erase(0, total);
+  return ParseResult::kOk;
+}
+
+/// Serialize a response onto a connection's output buffer. HEAD responses
+/// keep the Content-Length of the body they suppress.
+void append_response(std::string& out, const HttpResponse& response,
+                     bool keep_alive, bool suppress_body) {
+  out += util::strprintf(
+      "HTTP/1.1 %d %s\r\nContent-Length: %zu\r\nConnection: %s\r\n",
+      response.status, status_text(response.status), response.body.size(),
+      keep_alive ? "keep-alive" : "close");
+  for (const auto& [key, value] : response.headers) {
+    out += key + ": " + value + "\r\n";
   }
-  out.body = buffer.substr(0, content_length);
-  buffer.erase(0, content_length);
-  return ReadResult::kOk;
+  out += "\r\n";
+  if (!suppress_body) out += response.body;
+}
+
+bool is_known_method(const std::string& method) {
+  static const std::set<std::string> kKnown = {
+      "GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH", "TRACE"};
+  return kKnown.count(method) > 0;
 }
 
 }  // namespace
@@ -232,46 +232,71 @@ HttpResponse HttpResponse::bad_request(const std::string& why) {
 
 // ---------------------------------------------------------------- server --
 
-struct HttpServer::Connection {
-  int fd = -1;
-  std::string peer;    // remote "ip:port", fixed at accept
-  std::string buffer;  // carry-over bytes between requests
-  /// The connection thread reads; sink invocations (hub workers) write.
-  /// This lock keeps two completing responses from interleaving bytes.
-  std::mutex write_mutex;
+/// One client connection: a state machine advanced by the reactor. All
+/// fields are loop-thread-only; cross-thread completions (worker-pool
+/// handlers, async sinks) re-enter via Reactor::post. The fd closes with
+/// the object, so a sink holding a weak_ptr can never write into a reused
+/// descriptor.
+struct HttpServer::Connection : net::EventHandler,
+                                std::enable_shared_from_this<Connection> {
+  HttpServer* server = nullptr;
+  net::Socket sock;
+  std::string peer;     // remote "ip:port", fixed at accept
+  std::string in;       // received bytes not yet parsed (pipelining-safe)
+  std::string out;      // serialized responses not yet written
+  std::size_t out_off = 0;
+  std::uint32_t events = EPOLLIN | EPOLLRDHUP;
+  /// A handler or async sink is outstanding for the current request; the
+  /// next pipelined request is not parsed until its response is enqueued,
+  /// which keeps responses in request order.
+  bool response_pending = false;
+  bool close_after_write = false;
+  bool closed = false;
+  /// Peer half-closed its write side (EOF/EPOLLRDHUP). Requests already
+  /// received are still served — a request-then-FIN client is legal HTTP —
+  /// and the connection closes once the last response has drained.
+  bool peer_eof = false;
+  /// Re-entrancy guard: an inline response (404/405) re-enters
+  /// try_dispatch via enqueue_response; the outer parse loop continues
+  /// instead of recursing once per pipelined request.
+  bool dispatching = false;
+  /// Closes when no bytes arrive by this instant — covers idle keep-alive
+  /// gaps, slow-loris partial requests, and clients gone mid-long-poll.
+  net::Reactor::Clock::time_point read_deadline{};
+  std::uint64_t idle_timer = 0;
 
-  /// The fd is closed only when the last reference (connection thread or a
-  /// late-firing AsyncReply) lets go, so nobody ever writes into a reused
-  /// descriptor. Teardown paths shutdown(2) instead of closing.
-  ~Connection() {
-    if (fd >= 0) ::close(fd);
-  }
+  void on_event(std::uint32_t ev) override { server->conn_event(this, ev); }
 };
 
-/// Shared state of one in-flight async response.
+/// Shared state of one in-flight async response. Holds the reactor (not
+/// the server's loop thread) alive so a sink fired after stop() still has
+/// a queue to post into — the task is then simply never run.
 struct AsyncReply {
+  std::shared_ptr<net::Reactor> reactor;
   HttpServer* server = nullptr;
-  std::shared_ptr<HttpServer::Connection> conn;
+  std::weak_ptr<HttpServer::Connection> conn;
   bool keep_alive = true;
-  std::mutex mutex;
-  bool written = false;  // a sink invocation already handled the response
+  bool suppress_body = false;
+  std::atomic<bool> written{false};
 };
 
 void HttpServer::ResponseSink::operator()(const HttpResponse& response) const {
   if (!reply_) return;
   AsyncReply& r = *reply_;
-  {
-    std::lock_guard<std::mutex> once(r.mutex);
-    if (r.written) return;
-    r.written = true;
-  }
-  {
-    std::lock_guard<std::mutex> write(r.conn->write_mutex);
-    write_response(r.conn->fd, response, r.keep_alive);
-  }
-  r.server->served_.fetch_add(1);
-  // A failed write needs no cleanup here: the connection thread is blocked
-  // reading this same socket and observes the error/EOF itself.
+  if (r.written.exchange(true)) return;
+  // The hub worker's completion becomes a reactor task: serialization and
+  // the actual write happen on the loop thread where the connection state
+  // lives, driven by write readiness from there on.
+  r.reactor->post([server = r.server, conn = r.conn, keep_alive = r.keep_alive,
+                   suppress = r.suppress_body, response] {
+    if (const auto c = conn.lock()) {
+      server->enqueue_response(c, response, keep_alive, suppress);
+    }
+  });
+}
+
+HttpServer::HttpServer() : reactor_(std::make_shared<net::Reactor>()) {
+  accept_handler_.server = this;
 }
 
 HttpServer::~HttpServer() { stop(); }
@@ -292,192 +317,442 @@ void HttpServer::route_async(const std::string& method, const std::string& path,
   async_[{method, path}] = std::move(handler);
 }
 
-int HttpServer::start(int port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("http: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(listen_fd_);
-    throw std::runtime_error("http: bind() failed");
-  }
-  if (::listen(listen_fd_, 128) < 0) {
-    ::close(listen_fd_);
-    throw std::runtime_error("http: listen() failed");
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  running_ = true;
-  accept_thread_ = std::thread([this] { accept_loop(); });
-  return port_;
-}
-
 void HttpServer::set_idle_read_timeout(double seconds) {
   if (seconds > 0.0) read_timeout_s_ = seconds;
 }
 
+void HttpServer::set_workers(std::size_t workers) {
+  if (workers > 0) workers_ = workers;
+}
+
+void HttpServer::set_max_connections(std::size_t max_connections) {
+  if (max_connections > 0) max_connections_ = max_connections;
+}
+
+int HttpServer::start(int port) {
+  if (started_) throw std::runtime_error("http: server cannot be restarted");
+  started_ = true;
+  listen_ = net::Socket::listen_loopback(port, 1024);
+  port_ = listen_.local_port();
+  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  pool_ = std::make_unique<util::ThreadPool>(workers_);
+  running_.store(true);
+  reactor_->post([this] {
+    if (!reactor_->add(listen_.fd(), EPOLLIN, &accept_handler_)) {
+      // No watch for the listener means no server: close it so clients
+      // get connection-refused instead of an accept queue nobody drains.
+      listen_.close();
+    }
+  });
+  loop_thread_ = std::thread([this] { reactor_->run(); });
+  return port_;
+}
+
 void HttpServer::stop() {
   if (!running_.exchange(false)) return;
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  {
-    // Wake every blocked read; the owning serve path closes the fd. Parked
-    // async connections are buried when their sink eventually fires.
-    std::lock_guard<std::mutex> lock(conns_mutex_);
-    for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
+  // Teardown runs where the state lives: the loop closes the listener and
+  // every connection, then stops itself (Reactor::run drains tasks posted
+  // before stop, so this one is guaranteed to execute).
+  reactor_->post([this] {
+    reactor_->remove(listen_.fd());
+    listen_.close();
+    std::vector<std::shared_ptr<Connection>> open;
+    open.reserve(conns_.size());
+    for (const auto& [fd, conn] : conns_) open.push_back(conn);
+    for (const auto& conn : open) close_conn(conn);
+    reactor_->stop();
+  });
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // Joining the pool after the loop: in-flight handlers finish, and their
+  // completion posts land in the drained reactor as no-ops.
+  pool_.reset();
+  if (reserve_fd_ >= 0) {
+    ::close(reserve_fd_);
+    reserve_fd_ = -1;
   }
-  std::unique_lock<std::mutex> lock(active_mutex_);
-  active_cv_.wait(lock, [this] { return active_ == 0; });
 }
 
-std::size_t HttpServer::connections_open() const {
-  std::lock_guard<std::mutex> lock(conns_mutex_);
-  return conns_.size();
+void HttpServer::AcceptHandler::on_event(std::uint32_t) {
+  server->on_acceptable();
 }
 
-void HttpServer::accept_loop() {
-  while (running_.load()) {
-    sockaddr_in peer_addr{};
-    socklen_t peer_len = sizeof(peer_addr);
-    const int fd = ::accept(listen_fd_,
-                            reinterpret_cast<sockaddr*>(&peer_addr), &peer_len);
-    if (fd < 0) {
-      if (!running_.load()) return;
-      continue;
-    }
-    if (!running_.load()) {
-      ::close(fd);
+net::Reactor::Clock::time_point HttpServer::read_deadline_from_now() const {
+  return net::Reactor::Clock::now() +
+         std::chrono::duration_cast<net::Reactor::Clock::duration>(
+             std::chrono::duration<double>(read_timeout_s_));
+}
+
+void HttpServer::on_acceptable() {
+  for (;;) {
+    net::Socket sock;
+    std::string peer;
+    int err = 0;
+    const net::IoStatus status = listen_.accept(sock, peer, err);
+    if (status == net::IoStatus::kWouldBlock) return;
+    if (status == net::IoStatus::kError) {
+      if (err == EMFILE || err == ENFILE) {
+        // fd table exhausted. Release the reserve descriptor so the
+        // connection can still be accepted, told 503, and closed — the
+        // alternative is a backlog the listener can never drain.
+        if (reserve_fd_ >= 0) {
+          ::close(reserve_fd_);
+          reserve_fd_ = -1;
+        }
+        if (listen_.accept(sock, peer, err) == net::IoStatus::kOk) {
+          reject_with_503(std::move(sock));
+          reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+          continue;
+        }
+        reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        return;  // still exhausted; level-triggered epoll will retry
+      }
+      if (err == ECONNABORTED || err == EINTR) continue;
       return;
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    // A consumer that stops reading must not pin a writer thread forever.
-    timeval snd{30, 0};
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd, sizeof(snd));
-    auto conn = std::make_shared<Connection>();
-    conn->fd = fd;
-    char ip[INET_ADDRSTRLEN] = {0};
-    if (peer_len >= sizeof(sockaddr_in) && peer_addr.sin_family == AF_INET &&
-        ::inet_ntop(AF_INET, &peer_addr.sin_addr, ip, sizeof(ip))) {
-      conn->peer = std::string(ip) + ":" +
-                   std::to_string(ntohs(peer_addr.sin_port));
+    if (conns_.size() >= max_connections_) {
+      reject_with_503(std::move(sock));
+      continue;
     }
-    track(conn);
-    spawn_dedicated(std::move(conn));
+    auto conn = std::make_shared<Connection>();
+    conn->server = this;
+    conn->sock = std::move(sock);
+    conn->peer = std::move(peer);
+    conn->read_deadline = read_deadline_from_now();
+    const int fd = conn->sock.fd();
+    if (!reactor_->add(fd, conn->events, conn.get())) {
+      // epoll watch exhaustion (fs.epoll.max_user_watches): the fd would
+      // never receive events, so tell the client 503 instead of tracking
+      // a connection that can only hang.
+      reject_with_503(std::move(conn->sock));
+      continue;
+    }
+    conns_[fd] = conn;
+    connections_open_.fetch_add(1);
+    arm_idle_timer(conn);
   }
 }
 
-void HttpServer::spawn_dedicated(std::shared_ptr<Connection> conn) {
-  {
-    std::lock_guard<std::mutex> lock(active_mutex_);
-    ++active_;  // before detaching, so stop() cannot miss the thread
-  }
-  std::thread([this, conn = std::move(conn)]() mutable {
-    serve(std::move(conn));
-    std::lock_guard<std::mutex> lock(active_mutex_);
-    --active_;
-    active_cv_.notify_all();
-  }).detach();
+void HttpServer::reject_with_503(net::Socket sock) {
+  rejected_.fetch_add(1);
+  std::string wire;
+  append_response(wire,
+                  HttpResponse::text("service unavailable: connection limit",
+                                     503),
+                  /*keep_alive=*/false, /*suppress_body=*/false);
+  std::size_t written = 0;
+  sock.write_some(wire.data(), wire.size(), written);  // fresh socket: fits
+  // Half-close instead of close: an immediate close() with the client's
+  // request sitting unread in our receive buffer turns into an RST that
+  // can destroy the 503 before the client reads it. The fd is reaped
+  // shortly after; under EMFILE pressure that delay is the price of the
+  // client seeing an answer at all. The socket rides the timer closure as
+  // a shared_ptr so server teardown (which destroys pending timers
+  // without running them) still closes the fd via RAII.
+  ::shutdown(sock.fd(), SHUT_WR);
+  auto held = std::make_shared<net::Socket>(std::move(sock));
+  reactor_->run_after(1.0, [held] { held->close(); });
 }
 
-void HttpServer::track(const std::shared_ptr<Connection>& conn) {
-  {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
-    conns_.insert(conn);
-  }
-  // stop() may have swept the registry between accept and insert.
-  if (!running_.load()) ::shutdown(conn->fd, SHUT_RDWR);
-}
-
-void HttpServer::untrack_and_close(const std::shared_ptr<Connection>& conn) {
-  std::lock_guard<std::mutex> lock(conns_mutex_);
-  if (conns_.erase(conn) > 0) ::shutdown(conn->fd, SHUT_RDWR);
-}
-
-void HttpServer::serve(std::shared_ptr<Connection> conn) {
-  set_recv_timeout(conn->fd, read_timeout_s_);
-
-  while (running_.load()) {
-    HttpRequest request;
-    if (read_request(conn->fd, conn->buffer, request) != ReadResult::kOk) break;
-    request.peer = conn->peer;
-
-    const bool keep_alive =
-        !util::iequals(request.headers.count("connection")
-                           ? request.headers.at("connection")
-                           : "keep-alive",
-                       "close");
-
-    AsyncHandler async_handler;
-    Handler handler;
-    {
-      std::lock_guard<std::mutex> lock(routes_mutex_);
-      if (const auto it = async_.find({request.method, request.path});
-          it != async_.end()) {
-        async_handler = it->second;
-      } else if (const auto jt = exact_.find({request.method, request.path});
-                 jt != exact_.end()) {
-        handler = jt->second;
-      } else {
-        for (const auto& [method, prefix, h] : prefix_) {
-          if (method == request.method &&
-              util::starts_with(request.path, prefix)) {
-            handler = h;
-            break;
-          }
+void HttpServer::arm_idle_timer(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed || conn->idle_timer != 0) return;
+  // One timer per connection, re-armed lazily: received bytes just move
+  // read_deadline; the callback chases it instead of rescheduling per byte.
+  conn->idle_timer = reactor_->run_at(
+      conn->read_deadline, [this, weak = std::weak_ptr<Connection>(conn)] {
+        const auto c = weak.lock();
+        if (!c || c->closed) return;
+        c->idle_timer = 0;
+        if (net::Reactor::Clock::now() >= c->read_deadline) {
+          close_conn(c);
+        } else {
+          arm_idle_timer(c);
         }
+      });
+}
+
+void HttpServer::close_conn(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  if (conn->idle_timer != 0) {
+    reactor_->cancel(conn->idle_timer);
+    conn->idle_timer = 0;
+  }
+  reactor_->remove(conn->sock.fd());
+  conns_.erase(conn->sock.fd());
+  conn->sock.close();
+  connections_open_.fetch_sub(1);
+}
+
+void HttpServer::conn_event(Connection* raw, std::uint32_t events) {
+  // Keep the connection alive across close_conn (which drops the registry
+  // reference) for the rest of this dispatch.
+  const std::shared_ptr<Connection> conn = raw->shared_from_this();
+  if (conn->closed) return;
+  if (events & EPOLLERR) {
+    close_conn(conn);
+    return;
+  }
+  if (events & EPOLLIN) {
+    bool got_bytes = false;
+    // Bounded burst so one firehose connection cannot starve the loop.
+    for (int burst = 0; burst < 8; ++burst) {
+      const net::IoStatus status = conn->sock.read_some(conn->in);
+      if (status == net::IoStatus::kOk) {
+        got_bytes = true;
+        continue;
+      }
+      if (status == net::IoStatus::kWouldBlock) break;
+      if (status == net::IoStatus::kEof) {
+        // Half-close, not abandonment: a request-then-FIN client still
+        // expects its responses. Serve what arrived, then close below.
+        conn->peer_eof = true;
+        break;
+      }
+      close_conn(conn);
+      return;
+    }
+    if (got_bytes) {
+      conn->read_deadline = read_deadline_from_now();
+      if (!conn->response_pending) {
+        try_dispatch(conn);
+        if (conn->closed) return;
+      } else if (conn->in.size() > kMaxPipelinedBytes) {
+        close_conn(conn);  // flooding behind a parked response
+        return;
       }
     }
+  }
+  // EPOLLRDHUP only wakes the loop; EOF itself is detected by recv()
+  // returning 0 above, which guarantees every byte the peer sent before
+  // its FIN has been drained first (level-triggered EPOLLIN re-fires
+  // until then, so a burst-capped read never loses the tail).
+  if (conn->peer_eof) {
+    finish_after_eof(conn);
+    if (conn->closed) return;
+    // Drop read interest: an EOF'd fd stays readable under level-triggered
+    // epoll and would spin the loop for as long as a response is pending.
+    update_events(conn);
+  }
+  if (events & EPOLLHUP) {
+    // Both directions gone: nothing can be delivered anymore.
+    close_conn(conn);
+    return;
+  }
+  if (events & EPOLLOUT) continue_write(conn);
+}
 
-    if (async_handler) {
-      auto reply = std::make_shared<AsyncReply>();
-      reply->server = this;
-      reply->conn = conn;
-      reply->keep_alive = keep_alive;
-      ResponseSink sink;
-      sink.reply_ = reply;
+/// Reconcile the epoll interest mask with the connection's state: reads
+/// while the peer can still send, writes while output is queued.
+void HttpServer::update_events(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed) return;
+  std::uint32_t want = conn->peer_eof ? 0u : (EPOLLIN | EPOLLRDHUP);
+  if (conn->out_off < conn->out.size()) want |= EPOLLOUT;
+  if (want != conn->events) {
+    conn->events = want;
+    reactor_->modify(conn->sock.fd(), want);
+  }
+}
+
+/// A half-closed peer sends no further requests: once nothing is in
+/// flight, close as soon as the output buffer drains. Complete requests
+/// already buffered keep being served first (try_dispatch runs before
+/// this on every path that can make response_pending false).
+void HttpServer::finish_after_eof(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed || !conn->peer_eof || conn->response_pending) return;
+  if (conn->out_off >= conn->out.size()) {
+    close_conn(conn);
+  } else {
+    conn->close_after_write = true;
+  }
+}
+
+void HttpServer::try_dispatch(const std::shared_ptr<Connection>& conn) {
+  if (conn->dispatching) return;
+  conn->dispatching = true;
+  while (!conn->closed && !conn->response_pending &&
+         !conn->close_after_write) {
+    HttpRequest request;
+    const ParseResult result = parse_request(conn->in, request);
+    if (result == ParseResult::kNeedMore) break;
+    if (result == ParseResult::kBad) {
+      close_conn(conn);
+      break;
+    }
+    request.peer = conn->peer;
+    conn->response_pending = true;
+    dispatch(conn, std::move(request));
+  }
+  conn->dispatching = false;
+}
+
+void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
+                          HttpRequest request) {
+  const bool keep_alive =
+      !util::iequals(request.headers.count("connection")
+                         ? request.headers.at("connection")
+                         : "keep-alive",
+                     "close");
+  const bool is_head = request.method == "HEAD";
+  bool suppress_body = is_head;
+
+  AsyncHandler async_handler;
+  Handler handler;
+  std::string allow;  // populated when the path exists under other methods
+  {
+    std::lock_guard<std::mutex> lock(routes_mutex_);
+    const auto find_for = [&](const std::string& method) {
+      if (const auto it = async_.find({method, request.path});
+          it != async_.end()) {
+        async_handler = it->second;
+        return true;
+      }
+      if (const auto jt = exact_.find({method, request.path});
+          jt != exact_.end()) {
+        handler = jt->second;
+        return true;
+      }
+      for (const auto& [m, prefix, h] : prefix_) {
+        if (m == method && util::starts_with(request.path, prefix)) {
+          handler = h;
+          return true;
+        }
+      }
+      return false;
+    };
+    // HEAD falls back to the GET route with the body suppressed.
+    if (!find_for(request.method) && !(is_head && find_for("GET"))) {
+      std::set<std::string> methods;
+      for (const auto& [key, h] : exact_) {
+        if (key.second == request.path) methods.insert(key.first);
+      }
+      for (const auto& [key, h] : async_) {
+        if (key.second == request.path) methods.insert(key.first);
+      }
+      for (const auto& [m, prefix, h] : prefix_) {
+        if (util::starts_with(request.path, prefix)) methods.insert(m);
+      }
+      if (methods.count("GET")) methods.insert("HEAD");
+      for (const std::string& m : methods) {
+        allow += (allow.empty() ? "" : ", ") + m;
+      }
+    }
+  }
+
+  if (!handler && !async_handler) {
+    HttpResponse response;
+    if (!allow.empty()) {
+      // The resource exists, the method is wrong (RFC 7231 §6.5.5).
+      response = HttpResponse::text("method not allowed", 405);
+      response.headers["Allow"] = allow;
+    } else if (!is_known_method(request.method)) {
+      // An unrecognized method is a method problem, not a missing page.
+      response = HttpResponse::text("method not allowed", 405);
+    } else {
+      response = HttpResponse::not_found();
+    }
+    enqueue_response(conn, response, keep_alive, suppress_body);
+    return;
+  }
+
+  if (async_handler) {
+    auto reply = std::make_shared<AsyncReply>();
+    reply->reactor = reactor_;
+    reply->server = this;
+    reply->conn = conn;
+    reply->keep_alive = keep_alive;
+    reply->suppress_body = suppress_body;
+    ResponseSink sink;
+    sink.reply_ = std::move(reply);
+    pool_->submit([handler = std::move(async_handler),
+                   request = std::move(request), sink] {
       try {
-        async_handler(request, sink);
+        handler(request, sink);
       } catch (const std::exception& e) {
         sink(HttpResponse::text(std::string("internal error: ") + e.what(),
                                 500));
       }
-      // Whether the sink already fired inline or fires later from a hub
-      // worker, this thread's job is identical: read the client's next
-      // request. The read blocks cheaply in the kernel while the response
-      // is pending, and observes EOF itself if the write side failed.
-      continue;
-    }
-
-    HttpResponse response;
-    if (!handler) {
-      response = HttpResponse::not_found();
-    } else {
-      try {
-        response = handler(request);
-      } catch (const std::exception& e) {
-        response =
-            HttpResponse::text(std::string("internal error: ") + e.what(), 500);
-      }
-    }
-    ++served_;
-    bool wrote;
-    {
-      std::lock_guard<std::mutex> write(conn->write_mutex);
-      wrote = write_response(conn->fd, response, keep_alive);
-    }
-    if (!wrote || !keep_alive) break;
+    });
+    return;
   }
-  untrack_and_close(conn);
+
+  // Sync handlers run on the worker pool — the loop thread never blocks on
+  // application code — and complete by posting back, exactly like a sink.
+  pool_->submit([this, handler = std::move(handler),
+                 request = std::move(request), conn, keep_alive,
+                 suppress_body] {
+    HttpResponse response;
+    try {
+      response = handler(request);
+    } catch (const std::exception& e) {
+      response =
+          HttpResponse::text(std::string("internal error: ") + e.what(), 500);
+    }
+    reactor_->post([this, conn, response = std::move(response), keep_alive,
+                    suppress_body] {
+      enqueue_response(conn, response, keep_alive, suppress_body);
+    });
+  });
+}
+
+void HttpServer::enqueue_response(const std::shared_ptr<Connection>& conn,
+                                  const HttpResponse& response,
+                                  bool keep_alive, bool suppress_body) {
+  if (conn->closed) return;
+  append_response(conn->out, response, keep_alive, suppress_body);
+  served_.fetch_add(1);
+  conn->response_pending = false;
+  if (!keep_alive) conn->close_after_write = true;
+  // The response window is over; the client gets a fresh full read timeout
+  // for its next request (matches the old per-recv SO_RCVTIMEO behaviour).
+  conn->read_deadline = read_deadline_from_now();
+  continue_write(conn);
+  // A pipelined request may already be buffered; its response will simply
+  // append behind the bytes still draining.
+  if (!conn->closed) try_dispatch(conn);
+  if (!conn->closed) finish_after_eof(conn);
+}
+
+void HttpServer::continue_write(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed) return;
+  if (conn->out_off < conn->out.size()) {
+    std::size_t written = 0;
+    const net::IoStatus status =
+        conn->sock.write_some(conn->out.data() + conn->out_off,
+                              conn->out.size() - conn->out_off, written);
+    conn->out_off += written;
+    if (status == net::IoStatus::kError) {
+      close_conn(conn);
+      return;
+    }
+  }
+  if (conn->out_off >= conn->out.size()) {
+    conn->out.clear();
+    conn->out_off = 0;
+    if (conn->close_after_write && !conn->response_pending) {
+      close_conn(conn);
+      return;
+    }
+  } else if (conn->out_off > (64u << 10)) {
+    // Tail would block: let the wall of written bytes go, park the rest
+    // on EPOLLOUT (update_events below arms it).
+    conn->out.erase(0, conn->out_off);
+    conn->out_off = 0;
+  }
+  update_events(conn);
 }
 
 // ---------------------------------------------------------------- client --
+
+namespace {
+
+void set_recv_timeout(int fd, double timeout_s) {
+  timeval tv{static_cast<time_t>(timeout_s),
+             static_cast<suseconds_t>(
+                 (timeout_s - static_cast<time_t>(timeout_s)) * 1e6)};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
 
 HttpClient::~HttpClient() { close(); }
 

@@ -2,33 +2,43 @@
 //
 // The paper's front end serves the GWT-built Ajax application and answers
 // XMLHttpRequest calls (Section 5.1); this is the equivalent embedded web
-// server: blocking accept loop + thread-per-connection with keep-alive,
-// enough of HTTP/1.1 for browsers and for the in-process load generators
-// used in tests and bench. No TLS, loopback-oriented.
+// server. Since the epoll port it is *event-driven*: one net::Reactor
+// thread multiplexes every connection — accept, request parsing, and
+// response writes are state machines advanced by readiness events — and a
+// small worker pool runs the route handlers. An idle long-poll client costs
+// one fd plus a few hundred bytes of connection state instead of a parked
+// thread stack, which is what pushes fan-out from ~1k clients to 10k+.
+// No TLS, loopback-oriented.
 //
 // Long-poll endpoints use *async routes*: the handler receives a
-// ResponseSink instead of returning a response. The connection thread goes
-// straight back to reading (blocking cheaply in the kernel until the
-// client's next request), and whichever thread later invokes the sink —
-// typically a broadcast-hub worker — writes the response. Reads and writes
-// of one connection proceed on different threads; a per-connection write
-// lock keeps responses from interleaving. This is what lets hundreds of
-// idle long-poll clients cost nothing but a parked kernel read each, while
-// fan-out work stays on a bounded worker pool.
+// ResponseSink instead of returning a response. Whichever thread later
+// invokes the sink — typically a broadcast-hub worker — posts the response
+// to the reactor, where it becomes a write-readiness event on the owning
+// connection. Requests pipelined behind an in-flight response are parsed
+// only after that response is serialized, so responses always leave in
+// request order.
+//
+// HTTP/1.1 surface: keep-alive with pipelining, HEAD (headers +
+// Content-Length, no body), 405 + Allow for known paths asked with the
+// wrong or an unknown method, 503 when the connection cap (or the
+// process's fd table) is exhausted.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
+
+#include "net/reactor.hpp"
+#include "net/socket.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ricsa::web {
 
@@ -65,10 +75,13 @@ class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
-  /// Deferred reply for async routes. Copyable; the first invocation writes
-  /// the response (on the invoking thread), later invocations are no-ops.
-  /// Every sink handed to an async handler should eventually be invoked;
-  /// otherwise the client side of the poll hangs until its timeout.
+  /// Deferred reply for async routes. Copyable; the first invocation wins
+  /// (it posts the response to the reactor, which writes it when the
+  /// connection is writable), later invocations are no-ops. Every sink
+  /// handed to an async handler should eventually be invoked; otherwise
+  /// the client side of the poll hangs until its timeout. Safe to invoke
+  /// from any thread, including after the server stopped (the response is
+  /// then dropped).
   class ResponseSink {
    public:
     void operator()(const HttpResponse& response) const;
@@ -79,13 +92,14 @@ class HttpServer {
   };
   using AsyncHandler = std::function<void(const HttpRequest&, ResponseSink)>;
 
-  HttpServer() = default;
+  HttpServer();
   ~HttpServer();
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
   /// Route an exact path for a method ("GET", "POST"). Longest-prefix
-  /// fallback routes can be added with `prefix = true`.
+  /// fallback routes can be added with `prefix = true`. HEAD requests fall
+  /// back to the matching GET route with the body suppressed.
   void route(const std::string& method, const std::string& path,
              Handler handler, bool prefix = false);
 
@@ -93,56 +107,98 @@ class HttpServer {
   void route_async(const std::string& method, const std::string& path,
                    AsyncHandler handler);
 
-  /// Bind loopback:port (0 = ephemeral) and start serving. Returns the
-  /// bound port. Throws std::runtime_error on failure.
+  /// Bind loopback:port (0 = ephemeral), start the reactor thread and the
+  /// worker pool. Returns the bound port. Throws std::runtime_error on
+  /// failure. Single-shot: a stopped server cannot be restarted.
   int start(int port = 0);
   void stop();
   int port() const noexcept { return port_; }
   bool running() const noexcept { return running_.load(); }
   std::uint64_t requests_served() const noexcept { return served_.load(); }
-  /// Connections currently open (attached to a thread or parked async).
-  std::size_t connections_open() const;
+  /// Connections accepted with a 503 (connection cap / fd exhaustion).
+  std::uint64_t connections_rejected() const noexcept {
+    return rejected_.load();
+  }
+  /// Connections currently open (reading, handling, or parked async).
+  std::size_t connections_open() const noexcept {
+    return connections_open_.load();
+  }
 
-  /// Idle read timeout for keep-alive connection threads. MUST exceed the
-  /// longest async (long-poll) response delay the routes can produce:
-  /// while such a response is pending, the connection thread is already
-  /// blocked reading the client's *next* request, and a read timeout kills
-  /// the connection mid-poll. The application derives this from its route
-  /// configuration (see AjaxFrontEnd); call before start().
+  /// Idle read deadline: a connection that receives no bytes for this long
+  /// is closed, whether it is between requests, trickling a partial request
+  /// (slow-loris), or waiting on an async response. The application derives
+  /// this from its route configuration (see AjaxFrontEnd) so a legal
+  /// long-poll wait is never killed mid-poll; call before start().
   void set_idle_read_timeout(double seconds);
   double idle_read_timeout_s() const noexcept { return read_timeout_s_; }
+
+  /// Handler worker-pool size (the only thread count that scales with
+  /// load; connections never get threads). Call before start().
+  void set_workers(std::size_t workers);
+  std::size_t workers() const noexcept { return workers_; }
+
+  /// Accepted-connection cap: connections beyond it receive 503 and are
+  /// closed immediately. Call before start().
+  void set_max_connections(std::size_t max_connections);
+
+  /// The event loop driving this server. Valid for the server's lifetime;
+  /// the loop thread runs between start() and stop(). Exposed so co-located
+  /// subsystems (FrameHub pacing/timeout sweeps) can register timers on the
+  /// same loop instead of spawning their own timer threads.
+  net::Reactor& reactor() noexcept { return *reactor_; }
 
  private:
   struct Connection;
   friend struct AsyncReply;
 
-  void accept_loop();
-  void spawn_dedicated(std::shared_ptr<Connection> conn);
-  void serve(std::shared_ptr<Connection> conn);
-  void track(const std::shared_ptr<Connection>& conn);
-  void untrack_and_close(const std::shared_ptr<Connection>& conn);
+  struct AcceptHandler : net::EventHandler {
+    HttpServer* server = nullptr;
+    void on_event(std::uint32_t events) override;
+  };
+
+  // All of the following run on the reactor loop thread only.
+  void on_acceptable();
+  void reject_with_503(net::Socket socket);
+  void conn_event(Connection* conn, std::uint32_t events);
+  void finish_after_eof(const std::shared_ptr<Connection>& conn);
+  net::Reactor::Clock::time_point read_deadline_from_now() const;
+  void try_dispatch(const std::shared_ptr<Connection>& conn);
+  void dispatch(const std::shared_ptr<Connection>& conn, HttpRequest request);
+  void enqueue_response(const std::shared_ptr<Connection>& conn,
+                        const HttpResponse& response, bool keep_alive,
+                        bool suppress_body);
+  void continue_write(const std::shared_ptr<Connection>& conn);
+  void update_events(const std::shared_ptr<Connection>& conn);
+  void arm_idle_timer(const std::shared_ptr<Connection>& conn);
+  void close_conn(const std::shared_ptr<Connection>& conn);
 
   std::map<std::pair<std::string, std::string>, Handler> exact_;
   std::map<std::pair<std::string, std::string>, AsyncHandler> async_;
   std::vector<std::tuple<std::string, std::string, Handler>> prefix_;
   std::mutex routes_mutex_;
 
-  int listen_fd_ = -1;
+  std::shared_ptr<net::Reactor> reactor_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread loop_thread_;
+  AcceptHandler accept_handler_;
+  net::Socket listen_;
+  /// Reserve descriptor: on EMFILE it is closed so the offending connection
+  /// can still be accepted, told 503, and closed — instead of the listener
+  /// spinning on an un-acceptable backlog.
+  int reserve_fd_ = -1;
+
+  /// Open connections, keyed by fd. Loop-thread only.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
   int port_ = 0;
   double read_timeout_s_ = 30.0;
+  std::size_t workers_ = 4;
+  std::size_t max_connections_ = 8192;
+  bool started_ = false;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> served_{0};
-  std::thread accept_thread_;
-
-  /// Registry of live connections; stop() shutdown(2)s every fd to wake
-  /// blocked reads, the owning serve/resume path closes it.
-  mutable std::mutex conns_mutex_;
-  std::set<std::shared_ptr<Connection>> conns_;
-
-  /// Count of detached serve threads; stop() waits for it to drain.
-  std::mutex active_mutex_;
-  std::condition_variable active_cv_;
-  std::size_t active_ = 0;
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::size_t> connections_open_{0};
 };
 
 /// Blocking HTTP/1.1 client. Keeps its connection alive across requests
@@ -199,10 +255,11 @@ HttpClientResponse http_post(int port, const std::string& path,
 std::string url_decode(const std::string& text);
 
 namespace detail {
-/// send() loop used for every response write: retries EINTR (a signal is
-/// not a dead peer) and keeps writing across send-timeout expiries (EAGAIN
-/// under SO_SNDTIMEO) as long as the peer keeps accepting bytes — only a
-/// full timeout with zero progress drops the connection. Exposed for tests.
+/// send() loop for *blocking* sockets (HttpClient and tests): retries EINTR
+/// (a signal is not a dead peer) and keeps writing across send-timeout
+/// expiries (EAGAIN under SO_SNDTIMEO) as long as the peer keeps accepting
+/// bytes — only a full timeout with zero progress drops the connection.
+/// The reactor server does not use this; its writes are readiness-driven.
 bool write_all(int fd, const char* data, std::size_t n);
 }  // namespace detail
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "net/reactor.hpp"
 #include "util/base64.hpp"
 
 namespace ricsa::web {
@@ -47,7 +48,12 @@ FrameHub::FrameHub() : FrameHub(Config()) {}
 FrameHub::FrameHub(Config config) : config_(config) {
   if (config_.window == 0) config_.window = 1;
   pool_ = std::make_unique<util::ThreadPool>(config_.workers);
-  timer_ = std::thread([this] { timer_loop(); });
+  if (config_.reactor != nullptr) {
+    link_ = std::make_shared<ReactorLink>();
+    link_->hub = this;
+  } else {
+    timer_ = std::thread([this] { timer_loop(); });
+  }
 }
 
 FrameHub::~FrameHub() { shutdown(); }
@@ -125,6 +131,8 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
                     frame->image_changed ? image_b64 : none, true);
   }
 
+  bool waiters_remain = false;
+  auto remain_hint = std::chrono::steady_clock::time_point::max();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_) return seq_;
@@ -145,7 +153,12 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
         satisfied.emplace_back(std::move(it->done), frame_for_locked(*it));
         it = waiters_.erase(it);
       } else {
-        ++it;  // cursor from the future (stale client) or paced; keep waiting
+        // Cursor from the future (stale client) or paced; keep waiting.
+        // Its next actionable instant feeds the reschedule hint below.
+        auto event = it->deadline;
+        if (it->since < frame->seq) event = std::min(event, it->not_before);
+        remain_hint = std::min(remain_hint, event);
+        ++it;
       }
     }
     stats_.published++;
@@ -161,9 +174,13 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
         done(served);
       });
     }
+    waiters_remain = !waiters_.empty();
   }
   sync_cv_.notify_all();
   timer_cv_.notify_all();
+  // Waiters held back by pacing (not_before) now have a frame: the reactor
+  // sweep timer must move up to the earliest such instant.
+  if (link_ && waiters_remain) request_reschedule(remain_hint);
   return frame->seq;
 }
 
@@ -220,6 +237,8 @@ void FrameHub::wait_async(std::uint64_t since, const WaitOptions& options,
       sanitize_timeout(options.timeout_s, config_.max_wait_s);
   const auto now = std::chrono::steady_clock::now();
   FramePtr ready;
+  bool registered = false;
+  auto new_event = std::chrono::steady_clock::time_point::max();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_) {
@@ -239,12 +258,25 @@ void FrameHub::wait_async(std::uint64_t since, const WaitOptions& options,
       w.not_before = options.not_before;
       w.latest_only = options.latest_only;
       w.done = std::move(done);
+      // This waiter's own next actionable instant — the reschedule hint.
+      new_event = w.deadline;
+      if (seq_ > since) new_event = std::min(new_event, w.not_before);
       waiters_.push_back(std::move(w));
       stats_.waiting = waiters_.size();
       stats_.waiting_peak = std::max(stats_.waiting_peak, stats_.waiting);
-      timer_cv_.notify_all();
-      return;
+      registered = true;
     }
+  }
+  if (registered) {
+    // The new waiter's deadline (or pacing instant) may be the nearest
+    // event: wake whichever sweeper — timer thread or reactor timer — so
+    // it can re-derive its wait.
+    if (link_) {
+      request_reschedule(new_event);
+    } else {
+      timer_cv_.notify_all();
+    }
+    return;
   }
   // Caller's thread completes immediately — no pool round-trip when the
   // frame already exists (the catch-up path).
@@ -267,6 +299,46 @@ FramePtr FrameHub::wait(std::uint64_t since, double timeout_s) {
   return out;
 }
 
+std::chrono::steady_clock::time_point FrameHub::next_event_locked() const {
+  // Next actionable instant: a timeout deadline, or the not_before of a
+  // paced waiter whose frame is already available.
+  auto next = waiters_.front().deadline;
+  for (const Waiter& w : waiters_) {
+    next = std::min(next, w.deadline);
+    if (seq_ > w.since) next = std::min(next, w.not_before);
+  }
+  return next;
+}
+
+void FrameHub::sweep_due_locked(std::chrono::steady_clock::time_point now) {
+  std::vector<std::pair<std::function<void(FramePtr)>, FramePtr>> fire;
+  auto it = waiters_.begin();
+  while (it != waiters_.end()) {
+    if (it->deadline <= now) {
+      stats_.timeouts++;
+      fire.emplace_back(std::move(it->done), nullptr);
+      it = waiters_.erase(it);
+    } else if (seq_ > it->since && it->not_before <= now) {
+      // Paced waiter whose inter-frame interval elapsed after the frame
+      // arrived: serve it now (newest frame for latest_only skippers).
+      stats_.served++;
+      fire.emplace_back(std::move(it->done), frame_for_locked(*it));
+      it = waiters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (fire.empty()) return;
+  stats_.waiting = waiters_.size();
+  // Dispatch while still holding mutex_ (same shutdown-vs-pool atomicity
+  // as publish); submit only queues a task, so the hold stays short.
+  for (auto& [done, frame] : fire) {
+    pool_->submit([done = std::move(done), frame = std::move(frame)] {
+      done(frame);
+    });
+  }
+}
+
 void FrameHub::timer_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (!shutdown_) {
@@ -275,54 +347,61 @@ void FrameHub::timer_loop() {
                      [this] { return shutdown_ || !waiters_.empty(); });
       continue;
     }
-    // Next actionable instant: a timeout deadline, or the not_before of a
-    // paced waiter whose frame is already available.
-    const auto next_event = [this] {
-      auto next = waiters_.front().deadline;
-      for (const Waiter& w : waiters_) {
-        next = std::min(next, w.deadline);
-        if (seq_ > w.since) next = std::min(next, w.not_before);
-      }
-      return next;
-    };
-    const auto earliest = next_event();
-    timer_cv_.wait_until(lock, earliest, [this, earliest, &next_event] {
+    const auto earliest = next_event_locked();
+    timer_cv_.wait_until(lock, earliest, [this, earliest] {
       if (shutdown_ || waiters_.empty()) return true;
       // Re-check: publish drained the list, a publish made a paced waiter
       // actionable, or a nearer deadline arrived.
-      if (next_event() < earliest) return true;
+      if (next_event_locked() < earliest) return true;
       return std::chrono::steady_clock::now() >= earliest;
     });
     if (shutdown_) break;
+    sweep_due_locked(std::chrono::steady_clock::now());
+  }
+}
 
-    const auto now = std::chrono::steady_clock::now();
-    std::vector<std::pair<std::function<void(FramePtr)>, FramePtr>> fire;
-    auto it = waiters_.begin();
-    while (it != waiters_.end()) {
-      if (it->deadline <= now) {
-        stats_.timeouts++;
-        fire.emplace_back(std::move(it->done), nullptr);
-        it = waiters_.erase(it);
-      } else if (seq_ > it->since && it->not_before <= now) {
-        // Paced waiter whose inter-frame interval elapsed after the frame
-        // arrived: serve it now (newest frame for latest_only skippers).
-        stats_.served++;
-        fire.emplace_back(std::move(it->done), frame_for_locked(*it));
-        it = waiters_.erase(it);
-      } else {
-        ++it;
+void FrameHub::request_reschedule(std::chrono::steady_clock::time_point hint) {
+  // Posted closures capture the link, never the hub: after shutdown() nulls
+  // link_->hub, a straggler is a locked no-op instead of a dangling call.
+  config_.reactor->post([link = link_, hint] {
+    std::lock_guard<std::mutex> guard(link->mutex);
+    if (link->hub != nullptr) link->hub->reschedule_on_reactor(hint);
+  });
+}
+
+void FrameHub::reschedule_on_reactor(
+    std::chrono::steady_clock::time_point hint) {
+  // The armed timer already fires by the prompting event's instant: done.
+  // This is the hot path — every new waiter whose deadline lies beyond
+  // the earliest one (i.e. almost all of them) stops here instead of
+  // paying an O(waiters) rescan.
+  if (reactor_timer_ != 0 && armed_at_ <= hint) return;
+  if (reactor_timer_ != 0) {
+    config_.reactor->cancel(reactor_timer_);
+    reactor_timer_ = 0;
+  }
+  std::chrono::steady_clock::time_point earliest;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_ || waiters_.empty()) return;
+    earliest = next_event_locked();
+  }
+  // One timer registration covers the whole waiter list — pacing instants
+  // and poll timeouts alike become wheel entries on the shared loop.
+  reactor_timer_ = config_.reactor->run_at(earliest, [link = link_] {
+    std::lock_guard<std::mutex> guard(link->mutex);
+    if (link->hub == nullptr) return;
+    link->hub->reactor_timer_ = 0;
+    {
+      std::lock_guard<std::mutex> lock(link->hub->mutex_);
+      if (!link->hub->shutdown_) {
+        link->hub->sweep_due_locked(std::chrono::steady_clock::now());
       }
     }
-    if (fire.empty()) continue;
-    stats_.waiting = waiters_.size();
-    // Dispatch while still holding mutex_ (same shutdown-vs-pool atomicity
-    // as publish); submit only queues a task, so the hold stays short.
-    for (auto& [done, frame] : fire) {
-      pool_->submit([done = std::move(done), frame = std::move(frame)] {
-        done(frame);
-      });
-    }
-  }
+    link->hub->reschedule_on_reactor(
+        std::chrono::steady_clock::time_point::min());
+  });
+  armed_at_ = earliest;
 }
 
 void FrameHub::shutdown() {
@@ -338,6 +417,11 @@ void FrameHub::shutdown() {
   timer_cv_.notify_all();
   sync_cv_.notify_all();
   if (timer_.joinable()) timer_.join();
+  if (link_) {
+    // Sever the reactor link: timers/tasks already queued find a null hub.
+    std::lock_guard<std::mutex> guard(link_->mutex);
+    link_->hub = nullptr;
+  }
   for (auto& w : orphans) {
     pool_->submit([done = std::move(w.done)] { done(nullptr); });
   }

@@ -37,6 +37,10 @@
 #include "util/thread_pool.hpp"
 #include "viz/image.hpp"
 
+namespace ricsa::net {
+class Reactor;
+}
+
 namespace ricsa::web {
 
 /// Frame quality tiers, cheapest-to-serve last. Every frame carries all
@@ -92,6 +96,13 @@ class FrameHub {
     std::size_t workers = 4;
     /// Ceiling on any single long-poll wait.
     double max_wait_s = 60.0;
+    /// When set, waiter timeouts and pacing `not_before` sweeps become
+    /// timer registrations on this reactor instead of a dedicated hub
+    /// timer thread — one event loop serves connection readiness and hub
+    /// deadlines alike. The reactor's loop must be stopped before the hub
+    /// is destroyed (AjaxFrontEnd stops the HTTP server first, which
+    /// guarantees it). Null keeps the self-contained timer thread.
+    net::Reactor* reactor = nullptr;
   };
 
   struct Stats {
@@ -166,11 +177,33 @@ class FrameHub {
     std::function<void(FramePtr)> done;
   };
 
+  /// Liveness guard between the hub and reactor-posted closures: tasks and
+  /// timers capture the link (shared), never the hub; shutdown() nulls
+  /// `hub` under the link mutex, after which stragglers are no-ops.
+  struct ReactorLink {
+    std::mutex mutex;
+    FrameHub* hub = nullptr;
+  };
+
   std::uint64_t publish_impl(util::Json state, std::vector<std::uint8_t> png,
                              std::vector<std::uint8_t> png_half);
   FramePtr next_after_locked(std::uint64_t since) const;  // requires mutex_
   FramePtr frame_for_locked(const Waiter& waiter) const;  // requires mutex_
+  /// Earliest actionable instant over the parked waiters. Requires mutex_
+  /// and a non-empty waiter list.
+  std::chrono::steady_clock::time_point next_event_locked() const;
+  /// Complete every waiter that is due at `now` (timeout or pacing
+  /// interval elapsed with a frame available). Requires mutex_.
+  void sweep_due_locked(std::chrono::steady_clock::time_point now);
   void timer_loop();
+  // Reactor-mode scheduling (reactor loop thread only, under link mutex).
+  /// `hint` is the event instant that prompted the call: when the armed
+  /// timer already fires no later than it, nothing needs rescheduling —
+  /// the common case for each new waiter, avoiding an O(waiters) rescan
+  /// per poll. time_point::min() forces the authoritative rescan.
+  void reschedule_on_reactor(std::chrono::steady_clock::time_point hint);
+  /// Any thread: ask the reactor to re-derive its sweep timer.
+  void request_reschedule(std::chrono::steady_clock::time_point hint);
 
   Config config_;
   /// Serializes publishers so frame building happens outside mutex_.
@@ -184,7 +217,12 @@ class FrameHub {
   bool shutdown_ = false;
   Stats stats_;
   std::unique_ptr<util::ThreadPool> pool_;
-  std::thread timer_;
+  std::thread timer_;  // thread mode only
+  // Reactor mode only:
+  std::shared_ptr<ReactorLink> link_;
+  std::uint64_t reactor_timer_ = 0;  // reactor loop thread only
+  /// Expiry the armed reactor timer targets (loop thread only).
+  std::chrono::steady_clock::time_point armed_at_{};
 };
 
 }  // namespace ricsa::web

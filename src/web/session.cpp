@@ -127,13 +127,21 @@ void ClientSession::on_delivered(double now_s, std::size_t bytes,
   const double util = achieved_fps / offered_fps;
   if (util >= config_.high_util) {
     low_streak_ = 0;
-    if (++prompt_streak_ >= config_.upgrade_streak) {
+    ++prompt_streak_;
+    if (probe_outstanding_ && prompt_streak_ >= config_.upgrade_streak) {
+      // The last probe survived a full prompt streak at the richer
+      // rate/tier: it stuck. Future probes need no extra caution.
+      probe_outstanding_ = false;
+      probe_backoff_ = 1;
+    }
+    if (prompt_streak_ >= config_.upgrade_streak * probe_backoff_) {
       prompt_streak_ = 0;
       // The client drains everything offered: probe upward. Restore the
       // frame rate first, then climb a quality tier.
       if (interval_s_ > cadence * 1.01) {
         interval_s_ = std::max(cadence, interval_s_ * 0.5);
         reset_rmsa_locked(interval_s_);
+        probe_outstanding_ = true;
       } else if (tier_ != Tier::kFull) {
         tier_ = static_cast<Tier>(index_of(tier_) - 1);
         tier_snapshot_.store(tier_, std::memory_order_relaxed);
@@ -141,12 +149,21 @@ void ClientSession::on_delivered(double now_s, std::size_t bytes,
         interval_s_ = cadence;
         reset_meters_locked(now_s);
         reset_rmsa_locked(cadence);
+        probe_outstanding_ = true;
       }
     }
   } else if (util < config_.low_util) {
     prompt_streak_ = 0;
     if (++low_streak_ >= config_.downgrade_streak) {
       low_streak_ = 0;
+      if (probe_outstanding_) {
+        // This regression chased an upward probe: the client sits at its
+        // capacity boundary. Double the wait before the next probe so it
+        // is not bounced across the boundary every upgrade_streak samples.
+        probe_outstanding_ = false;
+        probe_backoff_ =
+            std::min(probe_backoff_ * 2, std::max(1, config_.max_probe_backoff));
+      }
       if (index_of(tier_) + 1 < kTierCount) {
         tier_ = static_cast<Tier>(index_of(tier_) + 1);
         tier_snapshot_.store(tier_, std::memory_order_relaxed);
@@ -192,6 +209,11 @@ double ClientSession::last_touch_s() const {
   return last_touch_s_;
 }
 
+int ClientSession::probe_backoff() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return probe_backoff_;
+}
+
 util::Json ClientSession::stats_json(double now_s) const {
   std::lock_guard<std::mutex> lock(mutex_);
   util::Json out;
@@ -206,6 +228,7 @@ util::Json ClientSession::stats_json(double now_s) const {
   out["timeouts"] = static_cast<double>(timeouts_);
   out["downgrades"] = static_cast<double>(downgrades_);
   out["upgrades"] = static_cast<double>(upgrades_);
+  out["probe_backoff"] = static_cast<double>(probe_backoff_);
   out["idle_s"] = std::max(0.0, now_s - last_touch_s_);
   return out;
 }

@@ -55,6 +55,12 @@ struct PacingConfig {
   int downgrade_streak = 2;
   /// Consecutive prompt samples before probing a cheaper pace / richer tier.
   int upgrade_streak = 4;
+  /// Probe backoff cap: each upward probe that gets knocked back down
+  /// doubles the prompt-sample count required before the next probe (up to
+  /// upgrade_streak * max_probe_backoff); a probe that sticks resets it.
+  /// Keeps a client parked at its capacity boundary from re-probing and
+  /// re-downgrading every upgrade_streak samples forever.
+  int max_probe_backoff = 8;
   /// Ceiling on the per-client inter-frame interval (frame-rate floor).
   double max_interval_s = 1.0;
   /// Hard cap on live sessions: beyond it new `client` ids are served
@@ -105,6 +111,8 @@ class ClientSession {
   double interval_s() const;
   double goodput_Bps() const;
   double last_touch_s() const;
+  /// Current failed-probe backoff multiplier (1 = no failed probes).
+  int probe_backoff() const;
   util::Json stats_json(double now_s) const;
 
  private:
@@ -127,6 +135,12 @@ class ClientSession {
   std::unique_ptr<transport::RmsaController> rmsa_;
   int low_streak_ = 0;
   int prompt_streak_ = 0;
+  /// Probe backoff state: an upward probe is "outstanding" until it either
+  /// survives a full upgrade_streak of prompt samples (success — backoff
+  /// resets) or the next downgrade knocks it back (failure — backoff
+  /// doubles, capped).
+  int probe_backoff_ = 1;
+  bool probe_outstanding_ = false;
   double last_delivery_s_ = -1.0;
   double last_touch_s_ = 0.0;
   double goodput_Bps_ = 0.0;

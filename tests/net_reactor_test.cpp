@@ -1,0 +1,449 @@
+// Reactor subsystem tests: the timer wheel and event loop in isolation,
+// then the reactor-driven HTTP server's connection state machine at its
+// edges —
+//  * slow-loris partial request lines die at the idle deadline while a
+//    slow-but-steady sender inside the per-byte window survives,
+//  * a response bigger than the socket buffers drains correctly across
+//    EAGAIN / EPOLLOUT cycles,
+//  * a timer-driven poll timeout fires while an earlier pipelined
+//    response's write is still pending, and both leave in request order,
+//  * the connection cap answers 503 instead of crashing or hanging, and
+//    frees capacity when a connection leaves.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/reactor.hpp"
+#include "net/socket.hpp"
+#include "net/timer_wheel.hpp"
+#include "web/http.hpp"
+#include "web/hub.hpp"
+
+namespace n = ricsa::net;
+namespace w = ricsa::web;
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// Blocking loopback connect for driving the server with raw bytes.
+/// `rcvbuf` > 0 shrinks SO_RCVBUF before connecting (it must be set
+/// pre-connect to bound the advertised window).
+int raw_connect(int port, int rcvbuf = 0, double recv_timeout_s = 5.0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (rcvbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  }
+  timeval tv{static_cast<time_t>(recv_timeout_s),
+             static_cast<suseconds_t>(
+                 (recv_timeout_s - static_cast<time_t>(recv_timeout_s)) * 1e6)};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+struct RawResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+/// Read one complete HTTP response off a blocking fd; `carry` holds bytes
+/// already read past previous responses (pipelining).
+bool read_response(int fd, std::string& carry, RawResponse& out) {
+  char chunk[16384];
+  std::size_t header_end;
+  while ((header_end = carry.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) return false;
+    carry.append(chunk, static_cast<std::size_t>(got));
+  }
+  {
+    std::istringstream lines(carry.substr(0, header_end));
+    std::string line;
+    std::getline(lines, line);
+    std::istringstream status_line(line);
+    std::string version;
+    status_line >> version >> out.status;
+    while (std::getline(lines, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      std::string key = line.substr(0, colon);
+      for (char& c : key) c = static_cast<char>(::tolower(c));
+      std::string value = line.substr(colon + 1);
+      while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+      out.headers[key] = value;
+    }
+  }
+  carry.erase(0, header_end + 4);
+  std::size_t content_length = 0;
+  if (out.headers.count("content-length")) {
+    content_length = static_cast<std::size_t>(
+        std::stoull(out.headers.at("content-length")));
+  }
+  while (carry.size() < content_length) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) return false;
+    carry.append(chunk, static_cast<std::size_t>(got));
+  }
+  out.body = carry.substr(0, content_length);
+  carry.erase(0, content_length);
+  return true;
+}
+
+bool send_all(int fd, const std::string& text) {
+  return w::detail::write_all(fd, text.data(), text.size());
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ TimerWheel --
+
+TEST(TimerWheel, FiresAtDeadlineGranularityAndHonorsCancel) {
+  n::TimerWheel wheel(std::chrono::milliseconds(1), 8);
+  const auto t0 = Clock::now();
+  int fired = 0;
+  wheel.schedule(t0 + std::chrono::milliseconds(2), [&] { fired += 1; });
+  const std::uint64_t id =
+      wheel.schedule(t0 + std::chrono::milliseconds(3), [&] { fired += 10; });
+  EXPECT_EQ(wheel.pending(), 2u);
+
+  // Nothing due yet (deadline + one tick of slack).
+  wheel.advance(t0 + std::chrono::milliseconds(1));
+  EXPECT_EQ(fired, 0);
+
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.cancel(id));  // already gone
+
+  wheel.advance(t0 + std::chrono::milliseconds(4));
+  EXPECT_EQ(fired, 1);  // the cancelled entry stayed silent
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, EntryBeyondOneRevolutionWaitsItsRound) {
+  // 8 slots x 1 ms: a 20 ms deadline shares a bucket with earlier ticks
+  // and must not fire until its own revolution comes around.
+  n::TimerWheel wheel(std::chrono::milliseconds(1), 8);
+  const auto t0 = Clock::now();
+  bool fired = false;
+  wheel.schedule(t0 + std::chrono::milliseconds(20), [&] { fired = true; });
+  for (int ms = 1; ms <= 12; ++ms) {
+    wheel.advance(t0 + std::chrono::milliseconds(ms));
+  }
+  EXPECT_FALSE(fired);
+  wheel.advance(t0 + std::chrono::milliseconds(22));
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, LateAdvanceStillFiresEverySkippedEntry) {
+  // A stalled driver (one big jump past many ticks) must fire everything
+  // due, not just the entries in the last few slots.
+  n::TimerWheel wheel(std::chrono::milliseconds(1), 8);
+  const auto t0 = Clock::now();
+  int fired = 0;
+  for (int ms = 1; ms <= 30; ++ms) {
+    wheel.schedule(t0 + std::chrono::milliseconds(ms), [&] { ++fired; });
+  }
+  wheel.advance(t0 + std::chrono::milliseconds(200));
+  EXPECT_EQ(fired, 30);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+// --------------------------------------------------------------- Reactor --
+
+TEST(Reactor, RunsPostedTasksAndTimersOnTheLoopThread) {
+  n::Reactor reactor;
+  std::thread loop([&] { reactor.run(); });
+
+  std::atomic<bool> posted_ran{false};
+  std::atomic<bool> on_loop{false};
+  reactor.post([&] {
+    posted_ran = true;
+    on_loop = reactor.in_loop_thread();
+  });
+
+  std::atomic<bool> timer_fired{false};
+  // Timer registration is loop-thread-only; bounce through post().
+  reactor.post(
+      [&] { reactor.run_after(0.02, [&] { timer_fired = true; }); });
+
+  const auto deadline = Clock::now() + std::chrono::seconds(2);
+  while (!timer_fired.load() && Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(posted_ran.load());
+  EXPECT_TRUE(on_loop.load());
+  EXPECT_TRUE(timer_fired.load());
+
+  std::atomic<bool> cancelled{false};
+  std::atomic<bool> never{false};
+  reactor.post([&] {
+    const std::uint64_t id = reactor.run_after(30.0, [&] { never = true; });
+    cancelled = reactor.cancel(id);
+  });
+
+  // A task posted before stop() is guaranteed to run (shutdown sequences
+  // depend on it).
+  std::atomic<bool> last_task{false};
+  reactor.post([&] { last_task = true; });
+  reactor.stop();
+  loop.join();
+  EXPECT_TRUE(last_task.load());
+  EXPECT_TRUE(cancelled.load());
+  EXPECT_FALSE(never.load());
+  // After the loop exits, post() refuses instead of queueing forever.
+  EXPECT_FALSE(reactor.post([] {}));
+}
+
+// ------------------------------------------------------------ slow loris --
+
+TEST(ReactorHttp, SlowLorisPartialRequestDiesAtIdleDeadline) {
+  w::HttpServer server;
+  server.set_idle_read_timeout(0.3);
+  server.route("GET", "/hello",
+               [](const w::HttpRequest&) { return w::HttpResponse::text("hi"); });
+  const int port = server.start();
+
+  const int fd = raw_connect(port, 0, 3.0);
+  ASSERT_TRUE(send_all(fd, "GET /hel"));  // a request line that never ends
+  const auto t0 = Clock::now();
+  char buf[64];
+  const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);  // blocks until close
+  const double waited =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  EXPECT_EQ(got, 0);  // orderly close from the server, not a timeout
+  EXPECT_GE(waited, 0.15);
+  EXPECT_LT(waited, 2.0);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ReactorHttp, SlowButSteadySenderSurvivesThePerByteWindow) {
+  w::HttpServer server;
+  server.set_idle_read_timeout(0.3);
+  server.route("GET", "/hello",
+               [](const w::HttpRequest&) { return w::HttpResponse::text("hi"); });
+  const int port = server.start();
+
+  // Total request time (~0.45 s) exceeds the deadline, but every byte
+  // arrives within it: the deadline is idle time, not request time.
+  const int fd = raw_connect(port);
+  for (const char* piece : {"GET /hello", " HTTP/1.1\r\nHost: x\r\n",
+                            "Connection: close\r\n\r\n"}) {
+    ASSERT_TRUE(send_all(fd, piece));
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  }
+  std::string carry;
+  RawResponse response;
+  ASSERT_TRUE(read_response(fd, carry, response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "hi");
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ReactorHttp, RequestThenFinClientIsStillServed) {
+  // A legal HTTP client may send its request and immediately shut down its
+  // write side; the FIN must not make the server drop the request.
+  w::HttpServer server;
+  server.route("GET", "/hello",
+               [](const w::HttpRequest&) { return w::HttpResponse::text("hi"); });
+  const int port = server.start();
+
+  const int fd = raw_connect(port);
+  ASSERT_TRUE(send_all(
+      fd, "GET /hello HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  std::string carry;
+  RawResponse response;
+  ASSERT_TRUE(read_response(fd, carry, response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "hi");
+  // ...and the connection closes afterwards instead of lingering.
+  char buf[16];
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);
+  ::close(fd);
+  server.stop();
+}
+
+// ------------------------------------------- EAGAIN mid-response writes --
+
+TEST(ReactorHttp, ResponseLargerThanSocketBuffersDrainsAcrossEagain) {
+  std::string big(12u << 20, '\0');
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>('a' + (i % 26));
+  }
+  w::HttpServer server;
+  server.route("GET", "/big", [&big](const w::HttpRequest&) {
+    return w::HttpResponse::text(big);
+  });
+  const int port = server.start();
+
+  // A tiny receive buffer plus a read delay forces the server deep into
+  // EAGAIN territory: the response must park on EPOLLOUT and resume.
+  const int fd = raw_connect(port, 4096, 10.0);
+  ASSERT_TRUE(send_all(
+      fd, "GET /big HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  std::string carry;
+  RawResponse response;
+  ASSERT_TRUE(read_response(fd, carry, response));
+  EXPECT_EQ(response.status, 200);
+  ASSERT_EQ(response.body.size(), big.size());
+  EXPECT_EQ(response.body, big);  // no bytes lost or reordered at any seam
+  ::close(fd);
+  server.stop();
+}
+
+// ----------------------- poll timeout firing while a write is pending --
+
+TEST(ReactorHttp, HubPollTimeoutFiresWhileEarlierWriteIsPending) {
+  std::string big(8u << 20, 'x');
+  w::HttpServer server;
+  w::FrameHub::Config hub_config;
+  hub_config.workers = 2;
+  hub_config.reactor = &server.reactor();  // hub deadlines on the same loop
+  w::FrameHub hub(hub_config);
+
+  server.route("GET", "/big", [&big](const w::HttpRequest&) {
+    return w::HttpResponse::text(big);
+  });
+  server.route_async(
+      "GET", "/park",
+      [&hub](const w::HttpRequest&, w::HttpServer::ResponseSink sink) {
+        // Nothing is ever published: this waiter can only complete through
+        // the reactor-registered timeout sweep.
+        hub.wait_async(1000, 0.25, [sink](w::FramePtr frame) {
+          sink(w::HttpResponse::json(frame ? "{\"frame\":true}"
+                                           : "{\"timeout\":true}"));
+        });
+      });
+  const int port = server.start();
+
+  // Pipeline both requests, then refuse to read long enough that the /big
+  // response is parked on a full socket buffer when the /park timeout
+  // timer fires. Responses must still arrive complete and in order.
+  const int fd = raw_connect(port, 4096, 10.0);
+  ASSERT_TRUE(send_all(fd,
+                       "GET /big HTTP/1.1\r\nHost: x\r\n\r\n"
+                       "GET /park HTTP/1.1\r\nHost: x\r\n\r\n"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+
+  std::string carry;
+  RawResponse first, second;
+  ASSERT_TRUE(read_response(fd, carry, first));
+  EXPECT_EQ(first.status, 200);
+  EXPECT_EQ(first.body.size(), big.size());
+  ASSERT_TRUE(read_response(fd, carry, second));
+  EXPECT_EQ(second.status, 200);
+  EXPECT_NE(second.body.find("timeout"), std::string::npos);
+
+  const auto stats = hub.stats();
+  EXPECT_EQ(stats.timeouts, 1u);
+  ::close(fd);
+  hub.shutdown();
+  server.stop();
+}
+
+// ------------------------------------------------- connection cap / 503 --
+
+TEST(ReactorHttp, ConnectionCapAnswers503AndRecoversWhenSlotsFree) {
+  w::HttpServer server;
+  server.set_max_connections(2);
+  server.route("GET", "/hello",
+               [](const w::HttpRequest&) { return w::HttpResponse::text("hi"); });
+  const int port = server.start();
+
+  // Two keep-alive clients occupy the cap.
+  w::HttpClient a(port), b(port);
+  EXPECT_EQ(a.get("/hello").body, "hi");
+  EXPECT_EQ(b.get("/hello").body, "hi");
+
+  // The third connection is told 503 instead of hanging or crashing.
+  const auto rejected = w::http_get(port, "/hello");
+  EXPECT_EQ(rejected.status, 503);
+  EXPECT_GE(server.connections_rejected(), 1u);
+
+  // Freeing a slot restores service for new connections.
+  a.close();
+  const auto deadline = Clock::now() + std::chrono::seconds(2);
+  int status = 0;
+  while (Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    status = w::http_get(port, "/hello").status;
+    if (status == 200) break;
+  }
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(b.get("/hello").body, "hi");  // survivor unaffected
+  server.stop();
+}
+
+// ------------------------------------------------------- thread budget --
+
+TEST(ReactorHttp, ParkedConnectionsDoNotGrowServerThreads) {
+  // 64 parked long-polls on a 2-worker server: with thread-per-connection
+  // this needed 64 threads; the reactor needs its loop plus the pool.
+  w::HttpServer server;
+  server.set_workers(2);
+  std::atomic<int> parked{0};
+  std::vector<w::HttpServer::ResponseSink> sinks;
+  std::mutex sinks_mutex;
+  server.route_async("GET", "/park",
+                     [&](const w::HttpRequest&, w::HttpServer::ResponseSink s) {
+                       std::lock_guard<std::mutex> lock(sinks_mutex);
+                       sinks.push_back(std::move(s));
+                       ++parked;
+                     });
+  const int port = server.start();
+
+  std::vector<std::unique_ptr<w::HttpClient>> clients;
+  std::vector<std::thread> pollers;
+  for (int i = 0; i < 64; ++i) {
+    clients.push_back(std::make_unique<w::HttpClient>(port));
+  }
+  for (int i = 0; i < 64; ++i) {
+    pollers.emplace_back([&, i] {
+      try {
+        clients[static_cast<std::size_t>(i)]->get("/park", 10.0);
+      } catch (const std::exception&) {
+      }
+    });
+  }
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  while (parked.load() < 64 && Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(parked.load(), 64);
+  EXPECT_EQ(server.connections_open(), 64u);
+
+  // Release everyone and let the clients finish.
+  {
+    std::lock_guard<std::mutex> lock(sinks_mutex);
+    for (const auto& sink : sinks) sink(w::HttpResponse::text("go"));
+  }
+  for (auto& t : pollers) t.join();
+  server.stop();
+}

@@ -135,6 +135,64 @@ TEST(ClientSession, RecoveredClientUpgradesBackToFull) {
   EXPECT_GE(s.stats_json(t).at("upgrades").as_number(), 2.0);
 }
 
+TEST(ClientSession, FailedUpgradeProbesBackOffExponentially) {
+  // A client parked exactly at its capacity boundary: every upward probe
+  // gets knocked straight back down. Without backoff it re-probes (and the
+  // user-visible quality flaps) every upgrade_streak samples forever; with
+  // backoff the probe interval doubles per failure and resets on success.
+  w::PacingConfig config = pacing_config();  // upgrade 3, downgrade 2
+  config.max_probe_backoff = 8;
+  w::ClientSession s(config, "boundary", "", 0.0);
+  double t = 0.0;
+
+  // Two under-drained samples knock the tier down one notch.
+  const auto knock_down = [&] {
+    for (int i = 0; i < 2; ++i) {
+      t += 0.2;
+      s.on_delivered(t, kSizes[static_cast<std::size_t>(s.tier())], 0,
+                     s.tier(), 0.05);
+    }
+  };
+  // Prompt samples until the probe upgrades back to full; returns how many
+  // it took (the probe interval under the current backoff).
+  const auto prompt_samples_until_full = [&] {
+    for (int i = 1; i <= 50; ++i) {
+      t += 0.05;
+      s.on_delivered(t, kSizes[static_cast<std::size_t>(s.tier())], 0,
+                     s.tier(), 0.05);
+      if (s.tier() == w::Tier::kFull) return i;
+    }
+    return -1;
+  };
+
+  knock_down();
+  ASSERT_EQ(s.tier(), w::Tier::kHalf);
+  EXPECT_EQ(s.probe_backoff(), 1);
+
+  EXPECT_EQ(prompt_samples_until_full(), 3);  // first probe: plain streak
+  knock_down();                               // ...and it fails
+  EXPECT_EQ(s.probe_backoff(), 2);
+  EXPECT_EQ(prompt_samples_until_full(), 6);  // doubled interval
+  knock_down();
+  EXPECT_EQ(s.probe_backoff(), 4);
+  EXPECT_EQ(prompt_samples_until_full(), 12);
+  knock_down();
+  EXPECT_EQ(s.probe_backoff(), 8);
+  EXPECT_EQ(prompt_samples_until_full(), 24);
+  knock_down();  // yet another failure cannot exceed the cap
+  EXPECT_EQ(s.probe_backoff(), 8);
+  EXPECT_EQ(prompt_samples_until_full(), 24);
+
+  // This time the upgrade sticks: a full prompt streak at the richer tier
+  // resets the backoff for future probes.
+  for (int i = 0; i < 3; ++i) {
+    t += 0.05;
+    s.on_delivered(t, kSizes[0], 0, s.tier(), 0.05);
+  }
+  EXPECT_EQ(s.probe_backoff(), 1);
+  EXPECT_EQ(s.stats_json(t).at("probe_backoff").as_number(), 1.0);
+}
+
 TEST(SessionTable, KeysSessionsAndExpiresIdleOnes) {
   w::PacingConfig config = pacing_config();
   config.idle_expiry_s = 60.0;

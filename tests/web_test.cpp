@@ -3,6 +3,12 @@
 // POSTs, multi-client access).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
 #include <thread>
 
 #include "util/base64.hpp"
@@ -90,6 +96,70 @@ TEST(Http, ConcurrentClients) {
   }
   for (auto& c : clients) c.join();
   EXPECT_EQ(hits.load(), 40);
+  server.stop();
+}
+
+TEST(Http, HeadReturnsHeadersWithoutBody) {
+  w::HttpServer server;
+  server.route("GET", "/hello", [](const w::HttpRequest&) {
+    return w::HttpResponse::text("hi");
+  });
+  const int port = server.start();
+  // HEAD falls back to the GET route: same status and Content-Length, no
+  // body bytes. Raw socket because a body-aware client would block waiting
+  // for the advertised-but-absent payload.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request =
+      "HEAD /hello HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  ASSERT_TRUE(w::detail::write_all(fd, request.data(), request.size()));
+  std::string wire;
+  char chunk[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    wire.append(chunk, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  EXPECT_NE(wire.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 2"), std::string::npos);
+  // The response ends at the blank line: headers only, no "hi".
+  EXPECT_EQ(wire.substr(wire.size() - 4), "\r\n\r\n");
+  EXPECT_EQ(wire.find("hi\r\n"), std::string::npos);
+  server.stop();
+}
+
+TEST(Http, WrongMethodIs405WithAllowAndUnknownMethodIs405) {
+  w::HttpServer server;
+  server.route("GET", "/hello", [](const w::HttpRequest&) {
+    return w::HttpResponse::text("hi");
+  });
+  server.route("POST", "/steer", [](const w::HttpRequest&) {
+    return w::HttpResponse::text("ok");
+  });
+  const int port = server.start();
+
+  // Known path, wrong method: 405 with the permitted methods advertised.
+  const auto wrong = w::http_post(port, "/hello", "{}");
+  EXPECT_EQ(wrong.status, 405);
+  ASSERT_TRUE(wrong.headers.count("allow"));
+  EXPECT_NE(wrong.headers.at("allow").find("GET"), std::string::npos);
+  EXPECT_NE(wrong.headers.at("allow").find("HEAD"), std::string::npos);
+
+  // A method HTTP has never heard of is a method problem (405), not a
+  // missing page (404).
+  w::HttpClient client(port);
+  const auto brew = client.exchange(
+      "BREW /coffee HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n", 5.0,
+      false);
+  EXPECT_EQ(brew.status, 405);
+
+  // Known methods on unknown paths keep their 404.
+  EXPECT_EQ(w::http_get(port, "/nope").status, 404);
   server.stop();
 }
 
