@@ -24,9 +24,17 @@
 // reports the configured server thread budget (reactor + worker pools +
 // monitor loop), which stays constant while client count scales 8x.
 //
+// The delta scenario (--scenario delta) measures tile-based dirty-rect
+// image deltas on a localized-change workload — a steady isosurface under
+// an orbiting view, where most of the frame (background) is static — by
+// running the same client mix twice: once forcing full-frame resends
+// (full=1, the pre-tile behaviour) and once accepting tile deltas
+// (delta=1). The comparison reports steady-state bytes/frame both ways and
+// the saved fraction.
+//
 // Usage: ajax_fanout [--clients 64,256,512] [--duration-s 4]
 //                    [--slow-fraction 0.1] [--frame-interval-s 0.05]
-//                    [--scenario plain|mixed|fanout]
+//                    [--scenario plain|mixed|fanout|delta]
 #include <dirent.h>
 #include <sys/resource.h>
 
@@ -108,6 +116,11 @@ struct ClientResult {
   // Frame/byte counts by served quality tier (full, half, state-only).
   std::array<std::uint64_t, 3> tier_frames{};
   std::array<std::uint64_t, 3> tier_bytes{};
+  // Image-delta protocol accounting (delta scenario).
+  std::uint64_t tile_frames = 0;   // bodies carrying a `tiles` array
+  std::uint64_t tiles_received = 0;
+  std::uint64_t image_frames = 0;  // bodies carrying a full image_b64
+  std::uint64_t delta_breaks = 0;  // tiles whose base_seq != composited seq
   int reconnects = 0;
 };
 
@@ -130,8 +143,10 @@ double percentile(std::vector<double>& xs, double p) {
 /// One emulated browser: long-poll loop with a private cursor. A "slow"
 /// client sleeps between polls, the mix the hub must not let starve. A
 /// non-empty `client_id` opts into a per-client adaptive pacing session.
+/// `force_full` adds full=1 — the tile-delta opt-out, used as the
+/// full-resend baseline of the delta scenario.
 void client_loop(int port, double duration_s, double inter_poll_delay_s,
-                 std::string client_id, std::atomic<bool>& go,
+                 std::string client_id, bool force_full, std::atomic<bool>& go,
                  ClientResult& out) {
   ricsa::web::HttpClient http(port);
   // Join at the live head: replaying the retention window would count old
@@ -151,7 +166,7 @@ void client_loop(int port, double duration_s, double inter_poll_delay_s,
     ricsa::web::HttpClient::Response r;
     try {
       r = http.get("/api/poll?since=" + std::to_string(since) +
-                       "&delta=1&timeout=2" +
+                       "&delta=1&timeout=2" + (force_full ? "&full=1" : "") +
                        (client_id.empty() ? "" : "&client=" + client_id),
                    10.0);
     } catch (const std::exception&) {
@@ -183,6 +198,19 @@ void client_loop(int port, double duration_s, double inter_poll_delay_s,
       if (client_id.empty()) ++out.gaps;
       else out.skips += seq - since - 1;
     }
+    // Tile-delta protocol accounting. `since` doubles as the composited
+    // cursor: a gap-free client composites every frame, so tiles must
+    // always anchor at exactly the previous frame received.
+    if (body.contains("tiles")) {
+      ++out.tile_frames;
+      out.tiles_received += body.at("tiles").as_array().size();
+      if (static_cast<std::uint64_t>(body.at("base_seq").as_number()) !=
+          since) {
+        ++out.delta_breaks;
+      }
+    } else if (body.contains("image_b64")) {
+      ++out.image_frames;
+    }
     since = seq;
     ++out.frames;
     out.bytes += r.body.size();
@@ -211,9 +239,12 @@ void client_loop(int port, double duration_s, double inter_poll_delay_s,
 /// `paced_fraction` of the clients present a session identity and get
 /// per-client adaptive pacing (1.0 = the adaptive rounds, 0.0 = baseline,
 /// in between = the fanout scenario's mixed population).
+///
+/// `force_full` makes every client ask for complete frames (full=1) — the
+/// delta scenario's full-resend baseline.
 Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
                double duration_s, double slow_fraction, double paced_fraction,
-               bool orbit, double frame_interval_s) {
+               bool orbit, double frame_interval_s, bool force_full = false) {
   const std::uint64_t seq_before = frontend.frame_seq();
   const auto stats_before = frontend.hub().stats();
 
@@ -244,7 +275,7 @@ Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
         paced ? "bench-r" + std::to_string(round) + "-c" + std::to_string(i)
               : std::string();
     threads.emplace_back(client_loop, port, duration_s, delay, client_id,
-                         std::ref(go),
+                         force_full, std::ref(go),
                          std::ref(results[static_cast<std::size_t>(i)]));
   }
   // Process-wide resource sampler: peak fds and threads *during* the round
@@ -308,6 +339,10 @@ Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
     total.timeouts += r.timeouts;
     total.errors += r.errors;
     total.bytes += r.bytes;
+    total.tile_frames += r.tile_frames;
+    total.tiles_received += r.tiles_received;
+    total.image_frames += r.image_frames;
+    total.delta_breaks += r.delta_breaks;
     for (std::size_t t = 0; t < 3; ++t) {
       total.tier_frames[t] += r.tier_frames[t];
       total.tier_bytes[t] += r.tier_bytes[t];
@@ -321,6 +356,7 @@ Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
   out["slow_clients"] = n_slow;
   out["paced_clients"] = n_paced;
   out["adaptive"] = paced_fraction > 0.0;
+  out["full_resend"] = force_full;
   out["duration_s"] = elapsed_s;
   out["frames_published"] =
       static_cast<double>(frontend.frame_seq() - seq_before);
@@ -337,6 +373,18 @@ Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
   out["bytes_total"] = static_cast<double>(total.bytes);
   out["bandwidth_Bps"] =
       static_cast<double>(total.bytes) / std::max(1e-9, elapsed_s);
+  out["bytes_per_frame"] =
+      total.frames > 0
+          ? static_cast<double>(total.bytes) / static_cast<double>(total.frames)
+          : 0.0;
+  {
+    Json image_delta;
+    image_delta["tile_frames"] = static_cast<double>(total.tile_frames);
+    image_delta["tiles_received"] = static_cast<double>(total.tiles_received);
+    image_delta["full_image_frames"] = static_cast<double>(total.image_frames);
+    image_delta["delta_breaks"] = static_cast<double>(total.delta_breaks);
+    out["image_delta"] = image_delta;
+  }
   {
     static const char* kTierNames[3] = {"full", "half", "state"};
     Json tiers;
@@ -432,7 +480,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: ajax_fanout [--clients 64,256,512] [--duration-s S]"
                    " [--slow-fraction F] [--frame-interval-s S]"
-                   " [--scenario plain|mixed|fanout]\n");
+                   " [--scenario plain|mixed|fanout|delta]\n");
       return 2;
     }
   }
@@ -445,6 +493,11 @@ int main(int argc, char** argv) {
     // is what saturates first.
     if (!clients_set) client_counts = {512, 4096};
     if (!frame_interval_set) frame_interval_s = 0.25;
+  }
+  if (scenario == "delta") {
+    // Bandwidth, not concurrency, is under test: a handful of prompt
+    // clients on the localized-change workload is enough signal.
+    if (!clients_set) client_counts = {32};
   }
 
   ricsa::web::FrontEndConfig config;
@@ -468,6 +521,21 @@ int main(int argc, char** argv) {
     config.session.viz.isovalue = 1.1f;
     config.session.viz.image_width = 128;
     config.session.viz.image_height = 128;
+    // Fine enough tiles that image deltas engage at this size — the
+    // adaptive round then exercises cursor-anchored deltas under real
+    // pacing skips (delta_breaks is the protocol-correctness signal).
+    config.tile_size = 24;
+  }
+  if (scenario == "delta") {
+    // The localized-change workload: a steady isosurface under an orbiting
+    // view. The object occupies the middle of the frame; the background
+    // never changes, so dirty-rect tiles should carry a fraction of the
+    // full image. A finer grid than the 64-px default keeps tiles
+    // meaningful at this image size.
+    config.session.viz.isovalue = 1.1f;
+    config.session.viz.image_width = 192;
+    config.session.viz.image_height = 192;
+    config.tile_size = 24;
   }
   // Mixed rounds each get a fresh front end: sessions left behind by one
   // adaptive round (idle expiry is 60 s) must not contaminate the next
@@ -526,6 +594,40 @@ int main(int argc, char** argv) {
       comparisons.as_array().push_back(cmp);
       rounds.as_array().push_back(std::move(baseline));
       rounds.as_array().push_back(std::move(adaptive));
+    } else if (scenario == "delta") {
+      if (!first_round) fresh_frontend();
+      // Same workload twice: full-frame resends forced (the pre-tile
+      // behaviour), then tile deltas accepted. Clients are unpaced and
+      // prompt — steady-state sequential polls, where the per-frame delta
+      // is exactly one frame's dirty tiles.
+      std::fprintf(stderr,
+                   "[ajax_fanout] delta: %d clients full-resend baseline...\n",
+                   n);
+      Json baseline = run_round(*frontend, port, n, duration_s, 0.0, 0.0,
+                                /*orbit=*/true, frame_interval_s,
+                                /*force_full=*/true);
+      std::fprintf(stderr,
+                   "[ajax_fanout] delta: %d clients tile deltas...\n", n);
+      Json tiled = run_round(*frontend, port, n, duration_s, 0.0, 0.0,
+                             /*orbit=*/true, frame_interval_s,
+                             /*force_full=*/false);
+
+      Json cmp;
+      cmp["clients"] = n;
+      const double full_bpf = baseline.at("bytes_per_frame").as_number();
+      const double delta_bpf = tiled.at("bytes_per_frame").as_number();
+      cmp["bytes_per_frame_full"] = full_bpf;
+      cmp["bytes_per_frame_delta"] = delta_bpf;
+      cmp["bytes_saved_fraction"] =
+          full_bpf > 0 ? (full_bpf - delta_bpf) / full_bpf : 0.0;
+      cmp["tile_frames"] = tiled.at("image_delta").at("tile_frames");
+      cmp["tiles_received"] = tiled.at("image_delta").at("tiles_received");
+      cmp["delta_breaks"] = tiled.at("image_delta").at("delta_breaks");
+      cmp["gaps"] = tiled.at("gaps");
+      cmp["errors"] = tiled.at("errors");
+      comparisons.as_array().push_back(cmp);
+      rounds.as_array().push_back(std::move(baseline));
+      rounds.as_array().push_back(std::move(tiled));
     } else if (scenario == "fanout") {
       // Fresh front end per count: one round's adapted sessions and peak
       // stats must not contaminate the next.

@@ -1,19 +1,32 @@
 #!/usr/bin/env python3
-"""Compare ajax_fanout bench JSON against the previous CI run's artifact.
+"""Compare ajax_fanout bench JSON against the previous CI run's artifact and
+maintain a rolling multi-run history.
 
 Usage:
-  bench_delta.py --previous DIR --current DIR [--max-fast-p99-regression 0.5]
+  bench_delta.py --previous DIR --current DIR
+                 [--max-fast-p99-regression 0.5]
+                 [--max-bytes-per-frame-regression 0.5]
+                 [--history-out FILE] [--label SHA]
 
 For every bench JSON present in both trees (matched by file name, searched
 recursively on the previous side because artifact downloads nest a
-directory per artifact), rounds are matched by (clients, adaptive) and a
-delta summary is printed to the job log. The job fails (exit 1) when a
-matched round's fast-client p99 regresses by more than the allowed
+directory per artifact), rounds are matched by (clients, adaptive,
+full_resend) and a delta summary is printed to the job log. The job fails
+(exit 1) when a matched round's fast-client p99 — or, for the tile-delta
+scenario, its steady-state bytes/frame — regresses by more than the allowed
 fraction; a missing or unreadable previous side is a note, not a failure —
 the first run on a branch has nothing to compare against.
 
+History: the previous artifact may carry a bench_history.json (also searched
+recursively); this run's summary is appended to it and written to
+--history-out, capped to the most recent MAX_HISTORY_RUNS entries, so the
+uploaded artifact accumulates a rolling window of per-run numbers (fast p99,
+deliveries/s, bytes/frame) instead of only the immediately previous run. A
+short trend over the retained runs is printed for each round.
+
 Tiny baselines are noise: regressions are only enforced when the previous
-p99 is at least MIN_PREV_MS and the absolute slip exceeds MIN_DELTA_MS.
+p99 is at least MIN_PREV_MS and the absolute slip exceeds MIN_DELTA_MS (and,
+for bytes/frame, when the previous value is at least MIN_PREV_BYTES).
 """
 
 import argparse
@@ -22,9 +35,12 @@ import pathlib
 import sys
 
 BENCH_FILES = ["ajax_fanout.json", "ajax_fanout_mixed.json",
-               "ajax_fanout_fanout.json"]
+               "ajax_fanout_fanout.json", "ajax_fanout_delta.json"]
+HISTORY_FILE = "bench_history.json"
+MAX_HISTORY_RUNS = 50
 MIN_PREV_MS = 1.0
 MIN_DELTA_MS = 5.0
+MIN_PREV_BYTES = 1024.0
 
 
 def load(path):
@@ -43,17 +59,45 @@ def fast_p99(round_json):
 
 
 def round_key(round_json):
-    return (round_json.get("clients"), bool(round_json.get("adaptive")))
+    return (round_json.get("clients"), bool(round_json.get("adaptive")),
+            bool(round_json.get("full_resend")))
 
 
-def compare(name, previous, current, max_regression):
+def key_str(key):
+    parts = [f"clients={key[0]}"]
+    if key[1]:
+        parts.append("adaptive")
+    if key[2]:
+        parts.append("full-resend")
+    return " ".join(parts)
+
+
+def round_record(round_json):
+    """The per-round numbers worth keeping across runs."""
+    record = {
+        "fast_p99_ms": fast_p99(round_json),
+        "deliveries_per_sec": round_json.get("deliveries_per_sec"),
+        "gaps": round_json.get("gaps"),
+        "errors": round_json.get("errors"),
+    }
+    if "bytes_per_frame" in round_json:
+        record["bytes_per_frame"] = round_json.get("bytes_per_frame")
+    return record
+
+
+def compare(name, previous, current, max_p99_regression,
+            max_bpf_regression):
+    # bytes/frame is a *gate* only for the tile-delta scenario, whose
+    # workload is deterministic enough to hold a budget; other scenarios'
+    # byte counts swing with adaptive pacing and are reported, not enforced.
+    enforce_bpf = name == "ajax_fanout_delta.json"
     regressions = []
     prev_rounds = {round_key(r): r for r in previous.get("rounds", [])}
     for cur in current.get("rounds", []):
         key = round_key(cur)
         prev = prev_rounds.get(key)
         if prev is None:
-            print(f"[bench-delta] {name} {key}: no previous round")
+            print(f"[bench-delta] {name} {key_str(key)}: no previous round")
             continue
         cur_p99, prev_p99 = fast_p99(cur), fast_p99(prev)
         cur_dps = cur.get("deliveries_per_sec", 0.0)
@@ -66,17 +110,76 @@ def compare(name, previous, current, max_regression):
             parts.append(
                 f"fast p99 {prev_p99:.1f} -> {cur_p99:.1f} ms ({pct:+.0f}%)")
             if (prev_p99 >= MIN_PREV_MS and delta > MIN_DELTA_MS and
-                    cur_p99 > prev_p99 * (1.0 + max_regression)):
+                    cur_p99 > prev_p99 * (1.0 + max_p99_regression)):
                 verdict = "REGRESSION"
                 regressions.append(
-                    f"{name} clients={key[0]} adaptive={key[1]}: "
+                    f"{name} {key_str(key)}: "
                     f"fast p99 {prev_p99:.1f} -> {cur_p99:.1f} ms")
+        # Tile-delta bandwidth: a non-full-resend round whose bytes/frame
+        # grows past the budget means the dirty-rect encoding degraded.
+        cur_bpf = cur.get("bytes_per_frame")
+        prev_bpf = prev.get("bytes_per_frame")
+        if cur_bpf is not None and prev_bpf is not None:
+            bpct = ((cur_bpf - prev_bpf) / prev_bpf * 100.0) if prev_bpf > 0 \
+                else 0.0
+            parts.append(
+                f"bytes/frame {prev_bpf:.0f} -> {cur_bpf:.0f} ({bpct:+.0f}%)")
+            if (enforce_bpf and not key[2] and prev_bpf >= MIN_PREV_BYTES and
+                    cur_bpf > prev_bpf * (1.0 + max_bpf_regression)):
+                verdict = "REGRESSION"
+                regressions.append(
+                    f"{name} {key_str(key)}: "
+                    f"bytes/frame {prev_bpf:.0f} -> {cur_bpf:.0f}")
         errors = cur.get("errors", 0)
         gaps = cur.get("gaps", 0)
         parts.append(f"gaps {gaps:.0f} errors {errors:.0f}")
-        print(f"[bench-delta] {name} clients={key[0]} adaptive={key[1]}: "
+        print(f"[bench-delta] {name} {key_str(key)}: "
               f"{', '.join(parts)} [{verdict}]")
     return regressions
+
+
+def summarize_run(cur_root, label):
+    """This run's compact history record, one entry per bench file/round."""
+    record = {"label": label, "benches": {}}
+    for name in BENCH_FILES:
+        data = load(cur_root / name) if (cur_root / name).is_file() else None
+        if data is None:
+            continue
+        rounds = {}
+        for r in data.get("rounds", []):
+            rounds["/".join(str(k) for k in round_key(r))] = round_record(r)
+        comparisons = data.get("comparisons")
+        bench = {"rounds": rounds}
+        if comparisons:
+            bench["comparisons"] = comparisons
+        record["benches"][name] = bench
+    return record
+
+
+def print_trends(history):
+    """Per-round trend lines over the retained history window."""
+    runs = history.get("runs", [])
+    if len(runs) < 2:
+        return
+    print(f"[bench-delta] history: {len(runs)} runs retained")
+    series = {}
+    for run in runs:
+        for name, bench in run.get("benches", {}).items():
+            for key, rec in bench.get("rounds", {}).items():
+                series.setdefault((name, key), []).append(rec)
+    for (name, key), recs in sorted(series.items()):
+        tail = recs[-5:]
+        p99s = [r.get("fast_p99_ms") for r in tail
+                if r.get("fast_p99_ms") is not None]
+        bpfs = [r.get("bytes_per_frame") for r in tail
+                if r.get("bytes_per_frame") is not None]
+        parts = []
+        if p99s:
+            parts.append("p99 " + " -> ".join(f"{x:.1f}" for x in p99s) + " ms")
+        if bpfs:
+            parts.append("B/frame " + " -> ".join(f"{x:.0f}" for x in bpfs))
+        if parts:
+            print(f"[bench-delta]   {name} {key}: {'; '.join(parts)}")
 
 
 def main():
@@ -84,10 +187,35 @@ def main():
     parser.add_argument("--previous", required=True)
     parser.add_argument("--current", required=True)
     parser.add_argument("--max-fast-p99-regression", type=float, default=0.5)
+    parser.add_argument("--max-bytes-per-frame-regression", type=float,
+                        default=0.5)
+    parser.add_argument("--history-out", default=None,
+                        help="write the merged rolling history here")
+    parser.add_argument("--label", default="",
+                        help="identifier for this run (e.g. the commit sha)")
     args = parser.parse_args()
 
     prev_root = pathlib.Path(args.previous)
     cur_root = pathlib.Path(args.current)
+
+    # Merge the rolling history first: it survives even when the regression
+    # gate below fails the job, because it is written before the exit.
+    history = {"runs": []}
+    if prev_root.is_dir():
+        prev_history = sorted(prev_root.rglob(HISTORY_FILE))
+        if prev_history:
+            loaded = load(prev_history[0])
+            if loaded and isinstance(loaded.get("runs"), list):
+                history = loaded
+    history["runs"].append(summarize_run(cur_root, args.label))
+    history["runs"] = history["runs"][-MAX_HISTORY_RUNS:]
+    if args.history_out:
+        with open(args.history_out, "w") as f:
+            json.dump(history, f, indent=1)
+        print(f"[bench-delta] rolling history ({len(history['runs'])} runs) "
+              f"-> {args.history_out}")
+    print_trends(history)
+
     if not prev_root.is_dir():
         print(f"[bench-delta] no previous artifact at {prev_root}; "
               "nothing to compare (first run?)")
@@ -109,14 +237,16 @@ def main():
             continue
         compared += 1
         regressions += compare(name, previous, current,
-                               args.max_fast_p99_regression)
+                               args.max_fast_p99_regression,
+                               args.max_bytes_per_frame_regression)
 
     if compared == 0:
         print("[bench-delta] no comparable bench files found")
         return 0
     if regressions:
-        print("[bench-delta] FAILING: fast-client p99 regressed beyond "
-              f"{args.max_fast_p99_regression * 100:.0f}%:")
+        print("[bench-delta] FAILING: regression beyond budget "
+              f"(p99 {args.max_fast_p99_regression * 100:.0f}%, bytes/frame "
+              f"{args.max_bytes_per_frame_regression * 100:.0f}%):")
         for line in regressions:
             print(f"  - {line}")
         return 1

@@ -9,9 +9,12 @@ using data::ScalarVolume;
 
 ScalarVolume downsample(const ScalarVolume& v, int factor) {
   if (factor <= 0) throw std::invalid_argument("downsample: factor must be > 0");
-  const int nx = std::max(1, v.nx() / factor);
-  const int ny = std::max(1, v.ny() / factor);
-  const int nz = std::max(1, v.nz() / factor);
+  // Ceiling division: odd extents keep their last partial slab (the inner
+  // loops already clamp and average over the pixels that exist) instead of
+  // silently dropping the trailing row/column/slice.
+  const int nx = (v.nx() + factor - 1) / factor;
+  const int ny = (v.ny() + factor - 1) / factor;
+  const int nz = (v.nz() + factor - 1) / factor;
   ScalarVolume out(nx, ny, nz, v.variable());
   for (int z = 0; z < nz; ++z) {
     for (int y = 0; y < ny; ++y) {

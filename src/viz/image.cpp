@@ -168,6 +168,101 @@ std::vector<std::uint8_t> Image::encode_png() const {
   return png;
 }
 
+namespace {
+
+std::uint32_t read_be32(const std::vector<std::uint8_t>& b, std::size_t off) {
+  if (off + 4 > b.size()) throw std::runtime_error("png: truncated");
+  return (static_cast<std::uint32_t>(b[off]) << 24) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 8) |
+         static_cast<std::uint32_t>(b[off + 3]);
+}
+
+/// Inflate a zlib stream consisting solely of stored (BTYPE=00) deflate
+/// blocks — the only kind encode_png emits.
+std::vector<std::uint8_t> inflate_stored(const std::vector<std::uint8_t>& z) {
+  if (z.size() < 6) throw std::runtime_error("png: zlib stream too short");
+  std::vector<std::uint8_t> out;
+  std::size_t off = 2;  // past the zlib header
+  for (;;) {
+    if (off + 5 > z.size()) throw std::runtime_error("png: truncated block");
+    const std::uint8_t header = z[off];
+    if ((header & 0x06) != 0) {
+      throw std::runtime_error("png: only stored deflate blocks supported");
+    }
+    const std::size_t len = static_cast<std::size_t>(z[off + 1]) |
+                            (static_cast<std::size_t>(z[off + 2]) << 8);
+    const std::size_t nlen = static_cast<std::size_t>(z[off + 3]) |
+                             (static_cast<std::size_t>(z[off + 4]) << 8);
+    if ((len ^ nlen) != 0xFFFF) throw std::runtime_error("png: bad block length");
+    off += 5;
+    if (off + len > z.size()) throw std::runtime_error("png: truncated block");
+    out.insert(out.end(), z.begin() + static_cast<std::ptrdiff_t>(off),
+               z.begin() + static_cast<std::ptrdiff_t>(off + len));
+    off += len;
+    if ((header & 1) != 0) break;  // BFINAL
+  }
+  if (off + 4 > z.size() || adler32(out.data(), out.size()) != read_be32(z, off)) {
+    throw std::runtime_error("png: adler32 mismatch");
+  }
+  return out;
+}
+
+}  // namespace
+
+Image Image::decode_png(const std::vector<std::uint8_t>& bytes) {
+  static const std::uint8_t kSig[8] = {0x89, 'P', 'N', 'G',
+                                       0x0D, 0x0A, 0x1A, 0x0A};
+  if (bytes.size() < 8 || !std::equal(kSig, kSig + 8, bytes.begin())) {
+    throw std::runtime_error("png: bad signature");
+  }
+  int width = 0, height = 0;
+  std::vector<std::uint8_t> idat;
+  std::size_t off = 8;
+  bool done = false;
+  while (!done) {
+    const std::uint32_t len = read_be32(bytes, off);
+    if (off + 12 + len > bytes.size()) throw std::runtime_error("png: truncated");
+    const std::string type(bytes.begin() + static_cast<std::ptrdiff_t>(off + 4),
+                           bytes.begin() + static_cast<std::ptrdiff_t>(off + 8));
+    const std::size_t payload = off + 8;
+    if (crc32(bytes.data() + off + 4, 4 + len) != read_be32(bytes, payload + len)) {
+      throw std::runtime_error("png: chunk crc mismatch");
+    }
+    if (type == "IHDR") {
+      if (len != 13) throw std::runtime_error("png: bad IHDR");
+      width = static_cast<int>(read_be32(bytes, payload));
+      height = static_cast<int>(read_be32(bytes, payload + 4));
+      if (bytes[payload + 8] != 8 || bytes[payload + 9] != 6 ||
+          bytes[payload + 12] != 0) {
+        throw std::runtime_error("png: only RGBA8 non-interlaced supported");
+      }
+    } else if (type == "IDAT") {
+      idat.insert(idat.end(), bytes.begin() + static_cast<std::ptrdiff_t>(payload),
+                  bytes.begin() + static_cast<std::ptrdiff_t>(payload + len));
+    } else if (type == "IEND") {
+      done = true;
+    }
+    off = payload + len + 4;
+  }
+  if (width <= 0 || height <= 0) throw std::runtime_error("png: missing IHDR");
+  const std::vector<std::uint8_t> raw = inflate_stored(idat);
+  const std::size_t stride = 1 + 4 * static_cast<std::size_t>(width);
+  if (raw.size() != stride * static_cast<std::size_t>(height)) {
+    throw std::runtime_error("png: scanline size mismatch");
+  }
+  Image img(width, height);
+  for (int y = 0; y < height; ++y) {
+    const std::uint8_t* row = raw.data() + static_cast<std::size_t>(y) * stride;
+    if (row[0] != 0) throw std::runtime_error("png: only filter 0 supported");
+    for (int x = 0; x < width; ++x) {
+      const std::uint8_t* p = row + 1 + 4 * static_cast<std::size_t>(x);
+      img.at(x, y) = Rgba{p[0], p[1], p[2], p[3]};
+    }
+  }
+  return img;
+}
+
 void Image::write_png(const std::string& path) const {
   const auto bytes = encode_png();
   std::ofstream out(path, std::ios::binary | std::ios::trunc);

@@ -39,6 +39,12 @@ class Image {
   std::vector<std::uint8_t> encode_png() const;
   void write_png(const std::string& path) const;
 
+  /// Decode a PNG produced by encode_png (RGBA8, filter type 0 scanlines,
+  /// stored-mode deflate only — the encoder's exact subset). Throws
+  /// std::runtime_error on anything else: this is the test/bench-side
+  /// reassembly verifier, not a general PNG reader.
+  static Image decode_png(const std::vector<std::uint8_t>& bytes);
+
  private:
   int width_ = 0, height_ = 0;
   std::vector<Rgba> pixels_;

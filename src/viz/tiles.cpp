@@ -1,0 +1,100 @@
+#include "viz/tiles.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace ricsa::viz {
+
+TileGrid::TileGrid(int width, int height, int tile_size)
+    : width_(width), height_(height), tile_(tile_size) {
+  if (width <= 0 || height <= 0 || tile_size <= 0) {
+    throw std::invalid_argument("TileGrid: dimensions must be positive");
+  }
+  // Ceiling division: a partial edge tile still owns its pixels.
+  cols_ = (width + tile_size - 1) / tile_size;
+  rows_ = (height + tile_size - 1) / tile_size;
+}
+
+TileRect TileGrid::rect(std::size_t index) const {
+  if (index >= count()) throw std::out_of_range("TileGrid::rect");
+  const int col = static_cast<int>(index) % cols_;
+  const int row = static_cast<int>(index) / cols_;
+  TileRect r;
+  r.x = col * tile_;
+  r.y = row * tile_;
+  r.w = std::min(tile_, width_ - r.x);
+  r.h = std::min(tile_, height_ - r.y);
+  return r;
+}
+
+TileSet TileGrid::diff(const Image& before, const Image& after) const {
+  if (before.width() != width_ || before.height() != height_ ||
+      after.width() != width_ || after.height() != height_) {
+    throw std::invalid_argument("TileGrid::diff: image/grid dimension mismatch");
+  }
+  TileSet dirty(count(), 0);
+  const Rgba* a = before.pixels().data();
+  const Rgba* b = after.pixels().data();
+  for (std::size_t i = 0; i < count(); ++i) {
+    const TileRect r = rect(i);
+    // Row-segment memcmp: each tile row is contiguous in the framebuffer.
+    for (int y = r.y; y < r.y + r.h; ++y) {
+      const std::size_t off =
+          static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+          static_cast<std::size_t>(r.x);
+      if (std::memcmp(a + off, b + off,
+                      static_cast<std::size_t>(r.w) * sizeof(Rgba)) != 0) {
+        dirty[i] = 1;
+        break;
+      }
+    }
+  }
+  return dirty;
+}
+
+std::size_t TileGrid::dirty_count(const TileSet& dirty) {
+  std::size_t n = 0;
+  for (const std::uint8_t d : dirty) n += d != 0 ? 1 : 0;
+  return n;
+}
+
+double TileGrid::dirty_fraction(const TileSet& dirty) const {
+  std::size_t pixels = 0;
+  for (std::size_t i = 0; i < dirty.size() && i < count(); ++i) {
+    if (dirty[i] == 0) continue;
+    const TileRect r = rect(i);
+    pixels += static_cast<std::size_t>(r.w) * static_cast<std::size_t>(r.h);
+  }
+  const std::size_t total =
+      static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  return total == 0 ? 0.0 : static_cast<double>(pixels) / static_cast<double>(total);
+}
+
+Image TileGrid::extract(const Image& src, const TileRect& r) {
+  if (r.w <= 0 || r.h <= 0 || r.x < 0 || r.y < 0 || r.x + r.w > src.width() ||
+      r.y + r.h > src.height()) {
+    throw std::invalid_argument("TileGrid::extract: rect outside image");
+  }
+  Image out(r.w, r.h);
+  for (int y = 0; y < r.h; ++y) {
+    for (int x = 0; x < r.w; ++x) {
+      out.at(x, y) = src.at(r.x + x, r.y + y);
+    }
+  }
+  return out;
+}
+
+void TileGrid::composite(Image& dst, const Image& tile, int x, int y) {
+  if (x < 0 || y < 0 || x + tile.width() > dst.width() ||
+      y + tile.height() > dst.height()) {
+    throw std::invalid_argument("TileGrid::composite: tile outside image");
+  }
+  for (int ty = 0; ty < tile.height(); ++ty) {
+    for (int tx = 0; tx < tile.width(); ++tx) {
+      dst.at(x + tx, y + ty) = tile.at(tx, ty);
+    }
+  }
+}
+
+}  // namespace ricsa::viz

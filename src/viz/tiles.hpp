@@ -1,0 +1,71 @@
+// Fixed-grid tile decomposition of a framebuffer for dirty-rect deltas.
+//
+// The paper's network optimization ships only what the link needs; the tile
+// grid is the image-side analogue of its partial state updates: a frame is
+// split into fixed-size tiles (edge tiles clamped to partial width/height),
+// two framebuffers are diffed tile-by-tile, and only the dirty tiles are
+// re-encoded and shipped. The web hub uses this to serve VNC-style
+// incremental image updates to long-poll clients (see web/hub.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "viz/image.hpp"
+
+namespace ricsa::viz {
+
+/// One tile's pixel rectangle inside the framebuffer.
+struct TileRect {
+  int x = 0, y = 0, w = 0, h = 0;
+  bool operator==(const TileRect&) const = default;
+};
+
+/// Bitset over a grid's tile indices (row-major): dirty[i] != 0 means tile i
+/// differs between the two diffed framebuffers.
+using TileSet = std::vector<std::uint8_t>;
+
+class TileGrid {
+ public:
+  /// Grid over a width x height framebuffer with square tiles of
+  /// `tile_size` pixels; the last column/row of tiles is clamped to the
+  /// image edge (partial tiles), so every pixel belongs to exactly one
+  /// tile. Throws std::invalid_argument on non-positive dimensions.
+  TileGrid(int width, int height, int tile_size = 64);
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  int tile_size() const noexcept { return tile_; }
+  int cols() const noexcept { return cols_; }
+  int rows() const noexcept { return rows_; }
+  std::size_t count() const noexcept {
+    return static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
+  }
+
+  /// Pixel rectangle of tile `index` (row-major), clamped at the edges.
+  TileRect rect(std::size_t index) const;
+
+  /// Tile-wise diff: dirty[i] set iff any pixel of tile i differs between
+  /// `before` and `after`. Both images must match the grid's dimensions
+  /// (std::invalid_argument otherwise).
+  TileSet diff(const Image& before, const Image& after) const;
+
+  /// Number of set entries in a dirty set.
+  static std::size_t dirty_count(const TileSet& dirty);
+  /// Fraction of the frame's *pixels* covered by the dirty tiles — the
+  /// full-frame-fallback signal (edge tiles weigh less than interior ones).
+  double dirty_fraction(const TileSet& dirty) const;
+
+  /// Copy tile `r` out of `src` as a standalone image. `src` must contain
+  /// the rectangle.
+  static Image extract(const Image& src, const TileRect& r);
+  /// Paste `tile` into `dst` with its top-left corner at (x, y) — the
+  /// client-side reassembly step. The tile must fit inside `dst`.
+  static void composite(Image& dst, const Image& tile, int x, int y);
+
+ private:
+  int width_ = 0, height_ = 0, tile_ = 0;
+  int cols_ = 0, rows_ = 0;
+};
+
+}  // namespace ricsa::viz

@@ -27,7 +27,7 @@ constexpr const char* kDashboardHtml = R"HTML(<!doctype html>
 </style></head><body>
 <h2>RICSA &mdash; computational monitoring &amp; steering</h2>
 <div style="display:flex;gap:24px">
- <div><img id="frame" alt="waiting for first frame"/></div>
+ <div><canvas id="frame" width="384" height="384"></canvas></div>
  <div>
   <div class="row"><label>variable</label>
    <select id="variable"><option>density</option><option>pressure</option>
@@ -48,26 +48,100 @@ constexpr const char* kDashboardHtml = R"HTML(<!doctype html>
 let since = 0;
 let state = {};
 let tier = 'full';
+// Seq of the frame the canvas currently shows (what tile deltas patch) and
+// the resync escape hatch: when a delta cannot be composited, the next poll
+// asks the server for a complete frame with full=1.
+let composited = 0;
+let needFull = false;
+// Frame generation: image decodes are async, so a slow decode from frame N
+// must never paint over a frame accepted after it — stale generations are
+// dropped on decode completion. Within the surviving generation the
+// composite cursor is assigned *unconditionally* (never max()-guarded):
+// after a server restart the resync frame carries a smaller seq than the
+// stale cursor, and refusing to move backwards would wedge the client out
+// of tile deltas forever.
+let frameGen = 0;
+const canvas = document.getElementById('frame');
+const ctx = canvas.getContext('2d');
 // Per-client session identity: the server meters this client's goodput and
 // adapts its quality tier / frame rate (the paper's network optimization,
 // applied per browser).
 const client = 'c' + Math.random().toString(36).slice(2, 10) +
                Date.now().toString(36);
+function drawFull(b64, seq){
+  const gen = ++frameGen;
+  const im = new Image();
+  im.onload = function(){
+    if (gen !== frameGen) return;  // a newer frame superseded this decode
+    if (canvas.width !== im.width || canvas.height !== im.height) {
+      canvas.width = im.width; canvas.height = im.height;
+    }
+    ctx.drawImage(im, 0, 0);
+    composited = seq;
+    needFull = false;
+  };
+  im.onerror = function(){ needFull = true; };
+  im.src = 'data:image/png;base64,' + b64;
+}
+function drawTiles(r){
+  // Decode every tile first, then paint all of them in one synchronous
+  // pass: the visible canvas never shows a partially patched frame, and
+  // the composite cursor advances atomically with the paint. Any decode
+  // failure falls back to full=1.
+  const gen = ++frameGen;
+  let pending = r.tiles.length;
+  if (pending === 0) { composited = r.seq; return; }
+  const decoded = new Array(pending);
+  r.tiles.forEach(function(t, i){
+    const im = new Image();
+    im.onload = function(){
+      if (gen !== frameGen) return;
+      decoded[i] = im;
+      if (--pending === 0) {
+        r.tiles.forEach(function(t2, j){
+          ctx.drawImage(decoded[j], t2.x, t2.y);
+        });
+        composited = r.seq;
+      }
+    };
+    im.onerror = function(){ needFull = true; };
+    im.src = 'data:image/png;base64,' + t.png_b64;
+  });
+}
 function poll(){
   const xhr = new XMLHttpRequest();
-  xhr.open('GET', '/api/poll?since=' + since + '&delta=1&client=' + client,
-           true);
+  // The cursor echoes the seq last *composited*: the server anchors tile
+  // deltas at the frame this client actually shows.
+  xhr.open('GET', '/api/poll?since=' + since + '&delta=1&client=' + client +
+           (needFull ? '&full=1' : ''), true);
   xhr.onload = function(){
     try {
       const r = JSON.parse(xhr.responseText);
-      if (r.seq > since) {
+      // Accept any non-timeout frame — including a resync whose seq is
+      // *below* a stale cursor (server restarted and re-counts from 1).
+      if (r.seq && !r.timeout) {
         // Delta responses carry only the changed keys; merge them.
         if (r.delta && r.seq === since + 1) Object.assign(state, r.state);
         else state = r.state;
         since = r.seq;
         if (r.tier) tier = r.tier;
-        if (r.image_b64) document.getElementById('frame').src =
-            'data:image/png;base64,' + r.image_b64;
+        if (r.tiles) {
+          // Tiles patch the frame named by base_seq; anything else on the
+          // canvas would yield a franken-frame — resync instead.
+          if (r.base_seq === composited) drawTiles(r);
+          else needFull = true;
+        } else if (r.image_b64) {
+          drawFull(r.image_b64, r.seq);
+        } else {
+          // No tiles and no image: the frame's pixels are byte-identical
+          // to what the canvas already shows (or this is a state-only
+          // tier, where a later tier switch forces a full frame anyway) —
+          // advance the composite cursor so the tile chain survives idle
+          // frames instead of forcing a needless full resync. A decode
+          // still in flight may re-assign its own (older) seq afterwards;
+          // that costs at most one transient full resync.
+          composited = r.seq;
+        }
         document.getElementById('status').textContent =
             'tier: ' + tier + '\n' + JSON.stringify(state, null, 1);
       }
@@ -110,13 +184,23 @@ PacingConfig pacing_of(const FrontEndConfig& config) {
   return pacing;
 }
 
+FrameHub::Config hub_config_of(const FrontEndConfig& config,
+                               net::Reactor* reactor) {
+  FrameHub::Config hub;
+  hub.window = config.frame_window;
+  hub.workers = config.hub_workers;
+  hub.max_wait_s = config.poll_timeout_s;
+  hub.tile_size = config.tile_size;
+  hub.reactor = reactor;
+  return hub;
+}
+
 }  // namespace
 
 AjaxFrontEnd::AjaxFrontEnd(FrontEndConfig config)
     : config_(config),
       session_(config.session),
-      hub_(FrameHub::Config{config.frame_window, config.hub_workers,
-                            config.poll_timeout_s, &server_.reactor()}),
+      hub_(hub_config_of(config, &server_.reactor())),
       sessions_(pacing_of(config)) {
   // The connection idle-read timeout must exceed the longest long-poll wait
   // any route can hand out (poll timeout == hub max wait here), else a
@@ -283,7 +367,11 @@ void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
     }
     timeout = std::clamp(timeout, 0.0, config_.poll_timeout_s);
   }
-  const bool want_delta = request.query_param("delta", "0") == "1";
+  // `full=1` is the client's resync escape hatch: a browser whose canvas
+  // composite failed (or that otherwise lost track of what it shows) asks
+  // for a complete frame regardless of its cursor.
+  const bool want_delta = request.query_param("delta", "0") == "1" &&
+                          request.query_param("full", "0") != "1";
 
   // Per-client adaptive pacing: a `client` identifier opts the poll into a
   // session whose measured goodput picks the quality tier and the minimum
@@ -317,9 +405,9 @@ void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
 
   hub_.wait_async(
       since, options,
-      [since, want_delta, tier, tier_delta_ok, session = std::move(session),
-       cadence = frame_period_s_.load(), sink = std::move(sink)](
-          FramePtr frame) {
+      [this, since, want_delta, tier, tier_delta_ok,
+       session = std::move(session), cadence = frame_period_s_.load(),
+       sink = std::move(sink)](FramePtr frame) {
         if (!frame) {
           // Echo the client's own cursor, not the current head: a publish
           // racing this timeout must not let the client advance past a
@@ -331,14 +419,25 @@ void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
           if (session) session->on_timeout(mono_now_s());
           return;
         }
-        // The delta body only applies to a cursor exactly one frame behind
-        // whose previous delivery used the same tier; everyone else (fresh
-        // clients, clients that fell past the window edge, skipped ahead,
-        // or just changed tier) gets the full snapshot.
-        const bool delta_ok =
-            want_delta && frame->seq == since + 1 && tier_delta_ok;
-        const std::string& body = frame->body(tier, delta_ok);
-        sink(HttpResponse::json(body));
+        // Delta selection, cheapest first. A cursor exactly one frame
+        // behind (same tier as its previous delivery) gets the prebuilt
+        // sequential delta body. A cursor further behind — the paced /
+        // skipping client — gets a delta assembled against its *actual*
+        // cursor frame, from the publish-time tile encodes, while that
+        // frame remains in the retention window. Everyone else (fresh
+        // clients, cursors past the window edge, tier changes, full=1
+        // resyncs, stale-epoch resyncs) gets the full snapshot.
+        std::string assembled;
+        const std::string* body = nullptr;
+        if (want_delta && tier_delta_ok && frame->seq == since + 1) {
+          body = &frame->body(tier, true);
+        } else if (want_delta && tier_delta_ok && since > 0 &&
+                   frame->seq > since + 1) {
+          assembled = hub_.delta_body_for(frame, since, tier);
+          if (!assembled.empty()) body = &assembled;
+        }
+        if (body == nullptr || body->empty()) body = &frame->body(tier, false);
+        sink(HttpResponse::json(*body));
         if (session) {
           // Record the delivery after the (possibly blocking) socket write:
           // the timestamp then reflects when the client actually drained
@@ -346,7 +445,7 @@ void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
           const std::uint64_t skipped =
               (since != 0 && frame->seq > since + 1) ? frame->seq - since - 1
                                                      : 0;
-          session->on_delivered(mono_now_s(), body.size(), skipped, tier,
+          session->on_delivered(mono_now_s(), body->size(), skipped, tier,
                                 cadence);
         }
       });

@@ -49,6 +49,8 @@ struct FrontEndConfig {
   std::size_t http_workers = 4;
   /// Accepted-connection cap; connections beyond it get 503.
   std::size_t max_connections = 8192;
+  /// Tile edge (pixels) of the hub's dirty-rect image-delta grid.
+  int tile_size = 64;
   /// Per-client adaptive pacing knobs (frame_interval_s is overridden with
   /// the front end's own cadence at construction).
   PacingConfig pacing;

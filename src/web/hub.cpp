@@ -25,6 +25,45 @@ std::string render_body(std::uint64_t seq, Tier tier, const util::Json& state,
   return out.dump();
 }
 
+/// One dirty tile of an image delta: its rectangle plus a pointer to the
+/// publish-time base64(PNG) encode (shared, never copied until the final
+/// body render).
+struct TileRef {
+  viz::TileRect rect;
+  const std::string* b64 = nullptr;
+};
+
+/// Render a tile-delta poll body: the state as given (key-delta for the
+/// publish-time sequential body, full state for cursor-anchored skips — a
+/// skipping client cannot merge key deltas across frames it never saw), the
+/// base seq the tiles patch, the canvas dimensions, and the dirty tiles.
+std::string render_tiles_body(std::uint64_t seq, Tier tier,
+                              const util::Json& state, std::uint64_t base_seq,
+                              int width, int height,
+                              const std::vector<TileRef>& tiles) {
+  util::Json out;
+  out["seq"] = static_cast<double>(seq);
+  out["delta"] = true;
+  out["tier"] = tier_name(tier);
+  out["state"] = state;
+  out["base_seq"] = static_cast<double>(base_seq);
+  out["img_w"] = width;
+  out["img_h"] = height;
+  util::JsonArray arr;
+  arr.reserve(tiles.size());
+  for (const TileRef& t : tiles) {
+    util::Json tile;
+    tile["x"] = t.rect.x;
+    tile["y"] = t.rect.y;
+    tile["w"] = t.rect.w;
+    tile["h"] = t.rect.h;
+    tile["png_b64"] = *t.b64;
+    arr.push_back(std::move(tile));
+  }
+  out["tiles"] = util::Json(std::move(arr));
+  return out.dump();
+}
+
 /// Timeouts from the network are untrusted input: NaN must not reach the
 /// deadline arithmetic and a negative wait means "do not wait".
 double sanitize_timeout(double timeout_s, double max_wait_s) {
@@ -61,22 +100,34 @@ FrameHub::~FrameHub() { shutdown(); }
 std::uint64_t FrameHub::publish(util::Json state, const viz::Image& image,
                                 bool build_half) {
   if (image.width() == 0 || image.height() == 0) {
-    return publish_impl(std::move(state), {}, {});
+    return publish_impl(std::move(state), {}, {}, nullptr, nullptr);
   }
-  return publish_impl(std::move(state), image.encode_png(),
-                      build_half ? viz::downsample(image, 2).encode_png()
-                                 : std::vector<std::uint8_t>{});
+  auto raw_full = std::make_shared<const viz::Image>(image);
+  std::shared_ptr<const viz::Image> raw_half;
+  if (build_half) {
+    raw_half = std::make_shared<const viz::Image>(viz::downsample(image, 2));
+  }
+  // Encode before the argument list: a moved-from shared_ptr must not be
+  // dereferenced by a sibling argument (evaluation order is unspecified).
+  std::vector<std::uint8_t> png = raw_full->encode_png();
+  std::vector<std::uint8_t> png_half =
+      raw_half ? raw_half->encode_png() : std::vector<std::uint8_t>{};
+  return publish_impl(std::move(state), std::move(png), std::move(png_half),
+                      std::move(raw_full), std::move(raw_half));
 }
 
 std::uint64_t FrameHub::publish(util::Json state,
                                 std::vector<std::uint8_t> png) {
-  // No raw pixels to reduce: the half tier falls back to the full body.
-  return publish_impl(std::move(state), std::move(png), {});
+  // No raw pixels: no reduced image (half tier falls back to the full body)
+  // and no tile deltas (image changes resend the whole image).
+  return publish_impl(std::move(state), std::move(png), {}, nullptr, nullptr);
 }
 
 std::uint64_t FrameHub::publish_impl(util::Json state,
                                      std::vector<std::uint8_t> png,
-                                     std::vector<std::uint8_t> png_half) {
+                                     std::vector<std::uint8_t> png_half,
+                                     std::shared_ptr<const viz::Image> raw_full,
+                                     std::shared_ptr<const viz::Image> raw_half) {
   // Publishers serialize here, which lets the expensive work — delta
   // encoding, one base64 per image tier, rendering the per-tier response
   // bodies — happen without holding mutex_, so concurrent polls never stall
@@ -108,6 +159,43 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
         frame->state.is_object() ? frame->state.as_object().size() : 0;
   }
 
+  // Tile-delta pass, per image tier: diff the raw framebuffer against the
+  // predecessor's on a fixed tile grid and PNG-encode only the dirty tiles
+  // — once per frame per tier, shared by every client whose delta includes
+  // the tile (sequential *and* cursor-anchored skippers).
+  frame->tiles[0].raw = raw_full;
+  frame->tiles[1].raw = raw_half;
+  for (std::size_t t = 0; t < kImageTierCount; ++t) {
+    Frame::TileData& td = frame->tiles[t];
+    if (!td.raw) continue;
+    const std::shared_ptr<const viz::Image> prev_raw =
+        prev ? prev->tiles[t].raw : nullptr;
+    if (!prev_raw || prev_raw->width() != td.raw->width() ||
+        prev_raw->height() != td.raw->height()) {
+      continue;  // no reference: stays full_change
+    }
+    const viz::TileGrid grid(td.raw->width(), td.raw->height(),
+                             config_.tile_size);
+    td.dirty = grid.diff(*prev_raw, *td.raw);
+    if (grid.dirty_fraction(td.dirty) >= config_.full_tile_fraction) {
+      td.dirty.clear();
+      continue;  // most of the frame changed: full image is the delta
+    }
+    td.full_change = false;
+    if (viz::TileGrid::dirty_count(td.dirty) == 0) {
+      // Byte-identical pixels: share the predecessor's buffer so a
+      // converged simulation retains one framebuffer, not window-many.
+      td.raw = prev_raw;
+      continue;
+    }
+    td.tile_b64.resize(grid.count());
+    for (std::size_t i = 0; i < grid.count(); ++i) {
+      if (td.dirty[i] == 0) continue;
+      const viz::Image tile = viz::TileGrid::extract(*td.raw, grid.rect(i));
+      td.tile_b64[i] = util::base64_encode(tile.encode_png());
+    }
+  }
+
   const std::string b64_full =
       frame->png.empty() ? std::string() : util::base64_encode(frame->png);
   const std::string b64_half =
@@ -126,9 +214,26 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
                                                          : none;
     frame->bodies[t].full =
         render_body(frame->seq, tier, frame->state, image_b64, false);
-    frame->bodies[t].delta =
-        render_body(frame->seq, tier, delta_state,
-                    frame->image_changed ? image_b64 : none, true);
+    // The sequential delta body (cursor exactly one frame behind): dirty
+    // tiles when a tile delta exists, the whole image only as fallback.
+    const bool tiled = t < kImageTierCount && !frame->tiles[t].full_change &&
+                       frame->image_changed;
+    if (tiled) {
+      const Frame::TileData& td = frame->tiles[t];
+      const viz::TileGrid grid(td.raw->width(), td.raw->height(),
+                               config_.tile_size);
+      std::vector<TileRef> tiles;
+      for (std::size_t i = 0; i < td.tile_b64.size(); ++i) {
+        if (!td.tile_b64[i].empty()) tiles.push_back({grid.rect(i), &td.tile_b64[i]});
+      }
+      frame->bodies[t].delta =
+          render_tiles_body(frame->seq, tier, delta_state, frame->seq - 1,
+                            td.raw->width(), td.raw->height(), tiles);
+    } else {
+      frame->bodies[t].delta =
+          render_body(frame->seq, tier, delta_state,
+                      frame->image_changed ? image_b64 : none, true);
+    }
   }
 
   bool waiters_remain = false;
@@ -209,6 +314,71 @@ FramePtr FrameHub::next_after(std::uint64_t since) const {
   return next_after_locked(since);
 }
 
+std::string FrameHub::delta_body_for(const FramePtr& frame,
+                                     std::uint64_t since, Tier tier) const {
+  if (!frame || tier == Tier::kStateOnly || frame->seq <= since) return {};
+  const std::size_t t = static_cast<std::size_t>(tier);
+  const Frame::TileData& cur = frame->tiles[t];
+  if (!cur.raw) return {};
+  // Snapshot the frame chain [since, frame->seq] out of the window. The
+  // window holds a contiguous seq range, so retaining the cursor frame
+  // means every intermediate frame is retained too.
+  std::vector<FramePtr> chain;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (window_.empty()) return {};
+    const std::uint64_t oldest = window_.front()->seq;
+    if (since < oldest || frame->seq > seq_) return {};  // cursor aged out
+    chain.reserve(static_cast<std::size_t>(frame->seq - since) + 1);
+    for (std::uint64_t s = since; s <= frame->seq; ++s) {
+      chain.push_back(window_[static_cast<std::size_t>(s - oldest)]);
+    }
+  }
+  const Frame::TileData& base = chain.front()->tiles[t];
+  if (!base.raw || base.raw->width() != cur.raw->width() ||
+      base.raw->height() != cur.raw->height()) {
+    // The cursor frame never carried this tier's pixels (e.g. the half
+    // image was not built then, or the client's last body was actually a
+    // tier fallback), or the canvas was resized since: no valid reference.
+    return {};
+  }
+  // A full-change frame anywhere in the skipped range means tiles changed
+  // there are unaccounted for — the newest-dirty-wins lookup below would
+  // hand out stale tile content.
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    if (chain[i]->tiles[t].full_change) return {};
+  }
+  const viz::TileGrid grid(cur.raw->width(), cur.raw->height(),
+                           config_.tile_size);
+  // The cursor-anchored dirty set: diff the client's actual cursor frame
+  // against the served one. Tighter than the union of per-frame dirty sets
+  // (a tile that changed and changed back drops out entirely).
+  const viz::TileSet dirty = grid.diff(*base.raw, *cur.raw);
+  if (grid.dirty_fraction(dirty) >= config_.full_tile_fraction) return {};
+  std::vector<TileRef> tiles;
+  for (std::size_t i = 0; i < grid.count(); ++i) {
+    if (dirty[i] == 0) continue;
+    // Newest frame in the range that changed tile i holds its current
+    // content (nothing newer touched it) — and its publish-time encode.
+    const std::string* b64 = nullptr;
+    for (std::size_t j = chain.size() - 1; j >= 1; --j) {
+      const Frame::TileData& td = chain[j]->tiles[t];
+      if (i < td.dirty.size() && td.dirty[i] != 0) {
+        if (i < td.tile_b64.size() && !td.tile_b64[i].empty()) {
+          b64 = &td.tile_b64[i];
+        }
+        break;
+      }
+    }
+    if (b64 == nullptr) return {};  // inconsistent bookkeeping: full fallback
+    tiles.push_back({grid.rect(i), b64});
+  }
+  // Full state, not a key delta: the client skipped the intermediate frames
+  // and has nothing valid to merge into.
+  return render_tiles_body(frame->seq, tier, frame->state, since,
+                           cur.raw->width(), cur.raw->height(), tiles);
+}
+
 std::uint64_t FrameHub::seq() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return seq_;
@@ -241,6 +411,16 @@ void FrameHub::wait_async(std::uint64_t since, const WaitOptions& options,
   auto new_event = std::chrono::steady_clock::time_point::max();
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // A cursor ahead of the newest seq cannot be satisfied in this epoch —
+    // a stale client whose server restarted (seq counting re-began at 1).
+    // Clamp it to the head so the *next publish* serves it a full-frame
+    // resync instead of parking forever against a seq that will never
+    // arrive. Deliberately not served instantly: pre-resync dashboards
+    // ignore frames with seq <= their cursor and re-poll immediately, so an
+    // instant response would turn every such straggler into a wire-speed
+    // poll loop — parking until the next frame rate-limits them to the
+    // publish cadence.
+    if (since > seq_) since = seq_;
     if (shutdown_) {
       // fall through; completed below without registering
     } else if (seq_ > since && now >= options.not_before) {
@@ -288,6 +468,9 @@ FramePtr FrameHub::wait(std::uint64_t since, double timeout_s) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_s);
   std::unique_lock<std::mutex> lock(mutex_);
+  // Same stale-cursor resync as wait_async: never park against a seq from a
+  // previous epoch.
+  if (since > seq_) since = seq_;
   sync_cv_.wait_until(lock, deadline,
                       [&] { return shutdown_ || seq_ > since; });
   FramePtr out = next_after_locked(since);

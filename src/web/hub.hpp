@@ -36,6 +36,7 @@
 #include "util/json.hpp"
 #include "util/thread_pool.hpp"
 #include "viz/image.hpp"
+#include "viz/tiles.hpp"
 
 namespace ricsa::net {
 class Reactor;
@@ -53,6 +54,10 @@ enum class Tier : std::uint8_t {
 inline constexpr std::size_t kTierCount = 3;
 const char* tier_name(Tier tier);
 
+/// Image tiers that carry pixels (and therefore tile-delta data): kFull and
+/// kHalf. kStateOnly has no image.
+inline constexpr std::size_t kImageTierCount = 2;
+
 /// One published monitoring frame. Immutable after publish; shared between
 /// the hub's retention window and every in-flight response.
 struct Frame {
@@ -62,24 +67,50 @@ struct Frame {
   std::vector<std::uint8_t> png_half;   // encoded half-resolution image
   /// Fully rendered /api/poll JSON bodies, built once per frame per tier:
   /// `full` carries the whole state, `delta` only the keys that changed
-  /// since the previous frame (and omits the image when its bytes are
-  /// identical) — the paper's partial update, applied to the payload.
+  /// since the previous frame — and, for the image, only the dirty tiles vs
+  /// the predecessor (`tiles` + `base_seq`), omitting the image entirely
+  /// when its bytes are identical. The paper's partial update, applied to
+  /// both halves of the payload.
   struct Body {
     std::string full;
     std::string delta;
   };
   std::array<Body, kTierCount> bodies;
+
+  /// Tile-delta data for one image tier. The raw framebuffer is retained
+  /// for as long as the frame sits in the hub window, so poll completions
+  /// can diff any retained cursor frame against the served one — the
+  /// cursor-anchored delta that lets paced/skipping clients receive tiles
+  /// instead of full bodies. Frames carrying an unchanged image share the
+  /// predecessor's raw buffer instead of copying it.
+  struct TileData {
+    std::shared_ptr<const viz::Image> raw;  // null when no pixels were published
+    viz::TileSet dirty;                     // dirty tiles vs the predecessor
+    /// base64(PNG) per tile index; non-empty exactly for dirty tiles. One
+    /// encode per dirty tile per frame, shared by every client whose delta
+    /// includes that tile.
+    std::vector<std::string> tile_b64;
+    /// No usable per-tile delta vs the predecessor exists (first frame,
+    /// dimension change, dirty area above the fallback threshold, or the
+    /// predecessor had no raw for this tier). Cursor-anchored deltas whose
+    /// range crosses such a frame must fall back to a full image.
+    bool full_change = true;
+  };
+  std::array<TileData, kImageTierCount> tiles;
+
   std::size_t delta_keys = 0;  // state keys that changed vs predecessor
   bool image_changed = true;
 
   /// Body to serve for a tier. A half tier that was not built for this
   /// frame (no client demanded it at publish time) falls back to the full
-  /// tier body — correct, just unreduced.
+  /// tier's *full* body — never its delta: the full tier's delta may carry
+  /// tiles diffed against the full-resolution reference, which would be
+  /// composited onto a half-resolution canvas.
   const std::string& body(Tier tier, bool delta) const {
     const Body& b = bodies[static_cast<std::size_t>(tier)];
     const std::string& chosen = delta ? b.delta : b.full;
     if (chosen.empty() && tier == Tier::kHalf) {
-      return body(Tier::kFull, delta);
+      return body(Tier::kFull, false);
     }
     return chosen;
   }
@@ -96,6 +127,13 @@ class FrameHub {
     std::size_t workers = 4;
     /// Ceiling on any single long-poll wait.
     double max_wait_s = 60.0;
+    /// Tile edge (pixels) of the dirty-rect grid image deltas are encoded
+    /// on. Edge tiles are clamped to partial width/height.
+    int tile_size = 64;
+    /// Dirty-pixel fraction at or above which an image delta falls back to
+    /// the full image: when most of the frame changed, per-tile bookkeeping
+    /// costs more than it saves.
+    double full_tile_fraction = 0.85;
     /// When set, waiter timeouts and pacing `not_before` sweeps become
     /// timer registrations on this reactor instead of a dedicated hub
     /// timer thread — one event loop serves connection readiness and hub
@@ -147,6 +185,20 @@ class FrameHub {
   FramePtr latest() const;
   /// Oldest retained frame with seq > since (the catch-up step), or null.
   FramePtr next_after(std::uint64_t since) const;
+
+  /// Render a delta poll body for serving `frame` at `tier` to a client
+  /// whose last composited frame is `since` — the cursor-anchored delta:
+  /// the dirty-tile set is diffed against the client's *actual* cursor
+  /// frame (not just the predecessor), so paced/skipping clients receive
+  /// only the tiles that changed across the whole skipped range. Every tile
+  /// payload is a pre-encoded publish-time string; no per-client encoding
+  /// happens here. Returns an empty string whenever no valid tile delta
+  /// exists — cursor frame aged out of the window, raw framebuffer missing
+  /// for the tier, a full-change frame inside the range, or dirty area at
+  /// or above the full-frame threshold — in which case the caller serves
+  /// the full body.
+  std::string delta_body_for(const FramePtr& frame, std::uint64_t since,
+                             Tier tier) const;
   std::uint64_t seq() const;
   std::uint64_t oldest_retained() const;
   Stats stats() const;
@@ -155,7 +207,12 @@ class FrameHub {
   /// exists AND options.not_before has passed — synchronously on the caller
   /// if both already hold, else on a worker thread. done(nullptr) on timeout
   /// or shutdown. `done` must be invocable from any thread. Non-finite or
-  /// negative timeouts are treated as 0.
+  /// negative timeouts are treated as 0. A `since` ahead of the newest seq
+  /// (a stale client from a previous server epoch) is clamped to the head:
+  /// the waiter receives a full-frame resync at the *next publish* — never
+  /// parking forever against a seq that will not arrive under this epoch,
+  /// and never answering instantly either (an instant sub-cursor response
+  /// would spin pre-resync clients at wire speed).
   void wait_async(std::uint64_t since, const WaitOptions& options,
                   std::function<void(FramePtr)> done);
   void wait_async(std::uint64_t since, double timeout_s,
@@ -186,7 +243,9 @@ class FrameHub {
   };
 
   std::uint64_t publish_impl(util::Json state, std::vector<std::uint8_t> png,
-                             std::vector<std::uint8_t> png_half);
+                             std::vector<std::uint8_t> png_half,
+                             std::shared_ptr<const viz::Image> raw_full,
+                             std::shared_ptr<const viz::Image> raw_half);
   FramePtr next_after_locked(std::uint64_t since) const;  // requires mutex_
   FramePtr frame_for_locked(const Waiter& waiter) const;  // requires mutex_
   /// Earliest actionable instant over the parked waiters. Requires mutex_

@@ -19,6 +19,7 @@
 #include "viz/rasterizer.hpp"
 #include "viz/raycast.hpp"
 #include "viz/streamline.hpp"
+#include "viz/tiles.hpp"
 
 namespace d = ricsa::data;
 namespace v = ricsa::viz;
@@ -477,6 +478,34 @@ TEST(Image, DownsampleBoxFilter) {
   EXPECT_THROW(v::downsample(img, 0), std::invalid_argument);
 }
 
+TEST(Image, PngDecodeRoundTrip) {
+  v::Image img(13, 7);  // odd dims: scanline stride and edge handling
+  ricsa::util::Xoshiro256 rng(7);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      img.at(x, y) = {static_cast<std::uint8_t>(rng() & 0xFF),
+                      static_cast<std::uint8_t>(rng() & 0xFF),
+                      static_cast<std::uint8_t>(rng() & 0xFF),
+                      static_cast<std::uint8_t>(rng() & 0xFF)};
+    }
+  }
+  const v::Image back = v::Image::decode_png(img.encode_png());
+  ASSERT_EQ(back.width(), img.width());
+  ASSERT_EQ(back.height(), img.height());
+  EXPECT_EQ(back.pixels(), img.pixels());
+
+  // A frame-sized image spans multiple stored deflate blocks (>64 KB raw).
+  v::Image big(200, 120, {9, 8, 7, 255});
+  big.at(199, 119) = {1, 2, 3, 4};
+  EXPECT_EQ(v::Image::decode_png(big.encode_png()).pixels(), big.pixels());
+
+  // Corruption is an error, not garbage pixels.
+  auto bytes = img.encode_png();
+  bytes[bytes.size() / 2] ^= 0xFF;
+  EXPECT_THROW(v::Image::decode_png(bytes), std::runtime_error);
+  EXPECT_THROW(v::Image::decode_png({1, 2, 3}), std::runtime_error);
+}
+
 TEST(Image, RleRoundTrip) {
   v::Image img(32, 16, {7, 7, 7, 255});
   img.at(5, 5) = {1, 2, 3, 255};
@@ -495,6 +524,91 @@ TEST(Image, RleRejectsBadInput) {
   EXPECT_THROW(v::rle_decode(enc, 8, 8), std::runtime_error);
 }
 
+// -------------------------------------------------------------- TileGrid ----
+
+TEST(TileGrid, GridGeometryClampsEdgeTiles) {
+  // 100x70 at tile 32: 4x3 grid, right column 4 px wide, bottom row 6 px
+  // tall, corner tile 4x6 — partial edge tiles exactly cover the image.
+  const v::TileGrid grid(100, 70, 32);
+  EXPECT_EQ(grid.cols(), 4);
+  EXPECT_EQ(grid.rows(), 3);
+  EXPECT_EQ(grid.count(), 12u);
+  EXPECT_EQ(grid.rect(0), (v::TileRect{0, 0, 32, 32}));
+  EXPECT_EQ(grid.rect(3), (v::TileRect{96, 0, 4, 32}));
+  EXPECT_EQ(grid.rect(8), (v::TileRect{0, 64, 32, 6}));
+  EXPECT_EQ(grid.rect(11), (v::TileRect{96, 64, 4, 6}));
+  std::size_t pixels = 0;
+  for (std::size_t i = 0; i < grid.count(); ++i) {
+    const v::TileRect r = grid.rect(i);
+    pixels += static_cast<std::size_t>(r.w) * static_cast<std::size_t>(r.h);
+  }
+  EXPECT_EQ(pixels, 100u * 70u);
+  EXPECT_THROW(grid.rect(12), std::out_of_range);
+  EXPECT_THROW(v::TileGrid(0, 4, 8), std::invalid_argument);
+  EXPECT_THROW(v::TileGrid(4, 4, 0), std::invalid_argument);
+}
+
+TEST(TileGrid, DiffGolden) {
+  const v::TileGrid grid(100, 70, 32);
+  v::Image a(100, 70, {1, 2, 3, 255});
+  v::Image b = a;
+
+  // No change => zero dirty tiles.
+  EXPECT_EQ(v::TileGrid::dirty_count(grid.diff(a, b)), 0u);
+  EXPECT_EQ(grid.dirty_fraction(grid.diff(a, b)), 0.0);
+
+  // A single changed pixel dirties exactly its one tile.
+  b.at(40, 40) = {9, 9, 9, 255};
+  auto dirty = grid.diff(a, b);
+  EXPECT_EQ(v::TileGrid::dirty_count(dirty), 1u);
+  EXPECT_EQ(dirty[grid.cols() * 1 + 1], 1);  // tile (col 1, row 1)
+
+  // A pixel in the clamped bottom-right corner tile dirties only it.
+  v::Image c = a;
+  c.at(99, 69) = {7, 7, 7, 255};
+  dirty = grid.diff(a, c);
+  EXPECT_EQ(v::TileGrid::dirty_count(dirty), 1u);
+  EXPECT_EQ(dirty[grid.count() - 1], 1);
+
+  // Full change => every tile dirty, fraction 1 (the hub's full-frame
+  // fallback trigger).
+  const v::Image d(100, 70, {200, 200, 200, 255});
+  dirty = grid.diff(a, d);
+  EXPECT_EQ(v::TileGrid::dirty_count(dirty), grid.count());
+  EXPECT_DOUBLE_EQ(grid.dirty_fraction(dirty), 1.0);
+
+  // Dimension mismatch is an error, not a bogus diff.
+  EXPECT_THROW(grid.diff(a, v::Image(64, 64)), std::invalid_argument);
+}
+
+TEST(TileGrid, ExtractCompositeRoundTrip) {
+  const v::TileGrid grid(100, 70, 32);
+  v::Image src(100, 70);
+  ricsa::util::Xoshiro256 rng(21);
+  for (auto y = 0; y < src.height(); ++y) {
+    for (auto x = 0; x < src.width(); ++x) {
+      src.at(x, y) = {static_cast<std::uint8_t>(rng() & 0xFF),
+                      static_cast<std::uint8_t>(rng() & 0xFF),
+                      static_cast<std::uint8_t>(rng() & 0xFF), 255};
+    }
+  }
+  // Extracting every tile and compositing onto a blank canvas reproduces
+  // the source exactly — including the partial edge tiles.
+  v::Image canvas(100, 70);
+  for (std::size_t i = 0; i < grid.count(); ++i) {
+    const v::TileRect r = grid.rect(i);
+    const v::Image tile = v::TileGrid::extract(src, r);
+    EXPECT_EQ(tile.width(), r.w);
+    EXPECT_EQ(tile.height(), r.h);
+    v::TileGrid::composite(canvas, tile, r.x, r.y);
+  }
+  EXPECT_EQ(canvas.pixels(), src.pixels());
+  EXPECT_THROW(v::TileGrid::extract(src, {90, 0, 32, 32}),
+               std::invalid_argument);
+  EXPECT_THROW(v::TileGrid::composite(canvas, src, 1, 0),
+               std::invalid_argument);
+}
+
 // --------------------------------------------------------------- Filters ----
 
 TEST(Filters, DownsampleAveragesBlocks) {
@@ -506,6 +620,22 @@ TEST(Filters, DownsampleAveragesBlocks) {
   EXPECT_NEAR(down.at(0, 0, 0), 3.0f, 1e-5f);  // (10 + 7*2)/8
   EXPECT_NEAR(down.at(1, 1, 1), 2.0f, 1e-5f);
   EXPECT_THROW(v::downsample(vol, 0), std::invalid_argument);
+}
+
+TEST(Filters, DownsampleOddExtentsKeepLastSlab) {
+  // 5x3x1 by 2: the old floor division dropped the last column/row; ceil
+  // keeps them as clamped partial blocks averaged over the voxels present.
+  d::ScalarVolume vol(5, 3, 1);
+  for (auto& x : vol.raw()) x = 1.0f;
+  vol.at(4, 2, 0) = 9.0f;  // corner voxel that floor division discarded
+  const auto down = v::downsample(vol, 2);
+  EXPECT_EQ(down.nx(), 3);
+  EXPECT_EQ(down.ny(), 2);
+  EXPECT_EQ(down.nz(), 1);
+  // Corner output block covers exactly voxel (4,2,0).
+  EXPECT_NEAR(down.at(2, 1, 0), 9.0f, 1e-5f);
+  // Interior block still averages a full 2x2 neighbourhood.
+  EXPECT_NEAR(down.at(0, 0, 0), 1.0f, 1e-5f);
 }
 
 TEST(Filters, DownsampleByEightReducesBytes) {

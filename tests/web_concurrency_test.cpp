@@ -281,24 +281,54 @@ TEST(FrameHub, ShutdownFlushesParkedWaitersAndRefusesNewOnes) {
   EXPECT_EQ(hub.wait(0, 0.01), nullptr);
 }
 
-TEST(FrameHub, PublishKeepsFutureCursorsParked) {
-  w::FrameHub hub(w::FrameHub::Config{4, 1, 5.0});
+TEST(FrameHub, FutureCursorsResyncInsteadOfParkingForever) {
+  w::FrameHub hub(w::FrameHub::Config{.window = 4, .workers = 1,
+                                      .max_wait_s = 5.0});
+  // A cursor claiming to be at seq 100 (stale client whose server restarted
+  // and re-counts from 1) can never be satisfied in this epoch. The old
+  // contract parked it until timeout — and the client, echoing the same
+  // stale cursor each poll, parked forever. It is now clamped to the head
+  // and resynced with the *next published* frame (not instantly: pre-resync
+  // clients ignore sub-cursor frames and would re-poll at wire speed): an
+  // empty hub serves it the first frame published...
   std::atomic<int> fired{0};
-  // A cursor claiming to be at seq 100 (stale client from another run) must
-  // not be handed frame 1.
-  hub.wait_async(100, 0.2, [&](w::FramePtr frame) {
-    EXPECT_EQ(frame, nullptr);  // times out instead
+  hub.wait_async(100, 5.0, [&](w::FramePtr frame) {
+    ASSERT_NE(frame, nullptr);
+    EXPECT_EQ(frame->seq, 1u);
     ++fired;
   });
   hub.publish(state_of("density", 1.0), std::vector<std::uint8_t>{});
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  EXPECT_EQ(fired.load(), 0);  // still parked after the publish
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
   while (fired.load() == 0 && std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_EQ(fired.load(), 1);
+
+  // ...and a hub that already holds frames parks it only until the next
+  // publish, which serves that new frame — never the stale-cursor limbo.
+  std::atomic<int> resynced{0};
+  hub.wait_async(100, 5.0, [&](w::FramePtr frame) {
+    ASSERT_NE(frame, nullptr);
+    EXPECT_EQ(frame->seq, 2u);
+    ++resynced;
+  });
+  EXPECT_EQ(resynced.load(), 0);  // parked, not answered instantly
+  hub.publish(state_of("density", 2.0), std::vector<std::uint8_t>{});
+  while (resynced.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(resynced.load(), 1);
+
+  // The blocking flavour resyncs the same way.
+  std::thread publisher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    hub.publish(state_of("density", 3.0), std::vector<std::uint8_t>{});
+  });
+  const w::FramePtr blocking = hub.wait(500, 5.0);
+  publisher.join();
+  ASSERT_NE(blocking, nullptr);
+  EXPECT_EQ(blocking->seq, 3u);
 }
 
 // ------------------------------------------------------ HttpClient reuse ----

@@ -1,0 +1,384 @@
+// Tile-based dirty-rect frame deltas: publish-time tile encoding, the
+// sequential prebuilt delta body, cursor-anchored reassembly for skipping
+// clients (byte-identical composites after random skips), the full-frame
+// fallbacks (full change, aged-out cursor, missing tier reference, tier
+// switch), and the HTTP-level full=1 resync escape hatch.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/base64.hpp"
+#include "util/json.hpp"
+#include "util/prng.hpp"
+#include "web/frontend.hpp"
+#include "web/http.hpp"
+#include "web/hub.hpp"
+#include "web/session.hpp"
+#include "viz/image.hpp"
+#include "viz/tiles.hpp"
+
+namespace w = ricsa::web;
+namespace v = ricsa::viz;
+namespace u = ricsa::util;
+using ricsa::util::Json;
+
+namespace {
+
+Json state_of(double value) {
+  Json s;
+  s["value"] = value;
+  return s;
+}
+
+/// A localized-change workload frame: dark background with an 8x8 bright
+/// square whose position depends on `step` — the moving feature of a
+/// monitored visualization, touching only a few tiles per frame.
+v::Image scene(int step, int width = 64, int height = 48) {
+  v::Image img(width, height, {10, 10, 30, 255});
+  const int x0 = (step * 5) % (width - 8);
+  const int y0 = (step * 3) % (height - 8);
+  for (int y = y0; y < y0 + 8; ++y) {
+    for (int x = x0; x < x0 + 8; ++x) {
+      img.at(x, y) = {250, 200, 40, 255};
+    }
+  }
+  return img;
+}
+
+v::Image decode_b64_png(const std::string& b64) {
+  return v::Image::decode_png(u::base64_decode(b64));
+}
+
+/// Apply a parsed poll body to a client-side canvas, exactly the way the
+/// dashboard JS does: tiles patch the canvas when base_seq matches what the
+/// canvas shows, a full image replaces it. Returns false when the body
+/// could not be composited (the JS would set full=1).
+bool apply_body(const Json& body, v::Image& canvas, std::uint64_t& composited) {
+  if (body.contains("tiles")) {
+    if (static_cast<std::uint64_t>(body.at("base_seq").as_number()) !=
+        composited) {
+      return false;
+    }
+    for (const Json& t : body.at("tiles").as_array()) {
+      const v::Image tile = decode_b64_png(t.at("png_b64").as_string());
+      EXPECT_EQ(tile.width(), static_cast<int>(t.at("w").as_number()));
+      EXPECT_EQ(tile.height(), static_cast<int>(t.at("h").as_number()));
+      v::TileGrid::composite(canvas, tile,
+                             static_cast<int>(t.at("x").as_number()),
+                             static_cast<int>(t.at("y").as_number()));
+    }
+    composited = static_cast<std::uint64_t>(body.at("seq").as_number());
+    return true;
+  }
+  if (body.contains("image_b64")) {
+    canvas = decode_b64_png(body.at("image_b64").as_string());
+    composited = static_cast<std::uint64_t>(body.at("seq").as_number());
+    return true;
+  }
+  // Image unchanged: the canvas already shows this frame's pixels.
+  composited = static_cast<std::uint64_t>(body.at("seq").as_number());
+  return true;
+}
+
+w::FrameHub::Config tile_hub_config() {
+  w::FrameHub::Config config;
+  config.window = 64;
+  config.workers = 1;
+  config.max_wait_s = 5.0;
+  config.tile_size = 16;
+  return config;
+}
+
+}  // namespace
+
+TEST(TileDelta, SequentialDeltaBodyCarriesOnlyDirtyTiles) {
+  w::FrameHub hub(tile_hub_config());
+  hub.publish(state_of(1.0), scene(0));
+  hub.publish(state_of(2.0), scene(1));
+
+  const w::FramePtr f1 = hub.next_after(0);
+  const w::FramePtr f2 = hub.next_after(1);
+  ASSERT_TRUE(f1 && f2);
+
+  const Json delta = Json::parse(f2->body(w::Tier::kFull, true));
+  ASSERT_TRUE(delta.contains("tiles"));
+  EXPECT_FALSE(delta.contains("image_b64"));
+  EXPECT_EQ(delta.at("base_seq").as_number(), 1.0);
+  EXPECT_EQ(delta.at("img_w").as_number(), 64.0);
+  // The 8x8 feature moved by (5,3): both positions fit in a handful of the
+  // twelve 16x16 tiles — far from a full resend.
+  const std::size_t tiles = delta.at("tiles").as_array().size();
+  EXPECT_GE(tiles, 1u);
+  EXPECT_LE(tiles, 6u);
+  // And the delta body is materially smaller than the full one.
+  EXPECT_LT(f2->body(w::Tier::kFull, true).size(),
+            f2->body(w::Tier::kFull, false).size() / 2);
+
+  // Compositing the tiles over frame 1 reproduces frame 2 byte-identically.
+  v::Image canvas = decode_b64_png(
+      Json::parse(f1->body(w::Tier::kFull, false)).at("image_b64").as_string());
+  std::uint64_t composited = 1;
+  ASSERT_TRUE(apply_body(delta, canvas, composited));
+  EXPECT_EQ(composited, 2u);
+  EXPECT_EQ(canvas.pixels(), scene(1).pixels());
+}
+
+TEST(TileDelta, CursorAnchoredReassemblyIsByteIdenticalAfterRandomSkips) {
+  w::FrameHub hub(tile_hub_config());
+  const int kFrames = 40;
+  for (int i = 0; i < kFrames; ++i) hub.publish(state_of(i), scene(i));
+
+  // A skipping client: composite frame 1 in full, then jump the cursor by
+  // random strides (1..4 frames), asking for a cursor-anchored delta each
+  // time — the paced/latest_only consumption pattern.
+  const w::FramePtr first = hub.next_after(0);
+  ASSERT_TRUE(first);
+  v::Image canvas = decode_b64_png(Json::parse(first->body(w::Tier::kFull, false))
+                                       .at("image_b64")
+                                       .as_string());
+  std::uint64_t composited = 1;
+  u::Xoshiro256 rng(99);
+  int tile_polls = 0;
+  while (composited < static_cast<std::uint64_t>(kFrames)) {
+    const std::uint64_t target =
+        std::min<std::uint64_t>(composited + 1 + rng() % 4, kFrames);
+    const w::FramePtr frame = hub.next_after(target - 1);
+    ASSERT_TRUE(frame);
+    ASSERT_EQ(frame->seq, target);
+    std::string body = hub.delta_body_for(frame, composited, w::Tier::kFull);
+    if (body.empty()) {
+      body = frame->body(w::Tier::kFull, false);
+    } else {
+      ++tile_polls;
+    }
+    ASSERT_TRUE(apply_body(Json::parse(body), canvas, composited));
+    ASSERT_EQ(composited, target);
+    // Byte-identical to the server's own framebuffer at every step — zero
+    // drift, zero gaps, no matter how many frames were skipped. (Frame seq
+    // s was published from scene(s - 1).)
+    ASSERT_EQ(canvas.pixels(),
+              scene(static_cast<int>(target) - 1).pixels())
+        << "composite diverged at seq " << target;
+  }
+  // The localized workload must actually be served by tiles, not fallbacks.
+  EXPECT_GT(tile_polls, 5);
+}
+
+TEST(TileDelta, FullChangeFallsBackToFullImage) {
+  w::FrameHub hub(tile_hub_config());
+  hub.publish(state_of(1.0), v::Image(64, 48, {0, 0, 0, 255}));
+  hub.publish(state_of(2.0), v::Image(64, 48, {255, 255, 255, 255}));
+  const w::FramePtr f2 = hub.next_after(1);
+  ASSERT_TRUE(f2);
+  // Every tile changed: the delta body carries the whole image, not tiles.
+  const Json delta = Json::parse(f2->body(w::Tier::kFull, true));
+  EXPECT_FALSE(delta.contains("tiles"));
+  EXPECT_TRUE(delta.contains("image_b64"));
+  // And the cursor-anchored path declines too.
+  EXPECT_TRUE(hub.delta_body_for(f2, 1, w::Tier::kFull).empty());
+}
+
+TEST(TileDelta, CursorAnchoredDeltaRefusesRangesCrossingFullChangeFrames) {
+  w::FrameHub hub(tile_hub_config());
+  hub.publish(state_of(1.0), scene(0));
+  hub.publish(state_of(2.0), v::Image(64, 48, {255, 255, 255, 255}));  // cut
+  hub.publish(state_of(3.0), scene(2));  // full change again (vs white)
+  hub.publish(state_of(4.0), scene(3));
+  const w::FramePtr f4 = hub.next_after(3);
+  ASSERT_TRUE(f4);
+  // Cursor at 1, serving 4: the scene cut at 2/3 changed tiles that the
+  // stored per-frame encodes cannot account for — full fallback, never a
+  // franken-frame.
+  EXPECT_TRUE(hub.delta_body_for(f4, 1, w::Tier::kFull).empty());
+  // Anchored after the cut (cursor 3 -> 4) tiles work again.
+  EXPECT_FALSE(hub.delta_body_for(f4, 3, w::Tier::kFull).empty());
+}
+
+TEST(TileDelta, UnchangedImageSharesRawBufferAndOmitsImage) {
+  w::FrameHub hub(tile_hub_config());
+  hub.publish(state_of(1.0), scene(0));
+  hub.publish(state_of(2.0), scene(0));  // byte-identical pixels
+  const w::FramePtr f1 = hub.next_after(0);
+  const w::FramePtr f2 = hub.next_after(1);
+  ASSERT_TRUE(f1 && f2);
+  const Json delta = Json::parse(f2->body(w::Tier::kFull, true));
+  EXPECT_FALSE(delta.contains("tiles"));
+  EXPECT_FALSE(delta.contains("image_b64"));
+  // A converged simulation retains one framebuffer, not window-many.
+  EXPECT_EQ(f1->tiles[0].raw.get(), f2->tiles[0].raw.get());
+  // Cursor-anchored across the unchanged frame still works: 1 -> 3.
+  hub.publish(state_of(3.0), scene(5));
+  const w::FramePtr f3 = hub.next_after(2);
+  ASSERT_TRUE(f3);
+  const std::string body = hub.delta_body_for(f3, 1, w::Tier::kFull);
+  ASSERT_FALSE(body.empty());
+  v::Image canvas = scene(0);
+  std::uint64_t composited = 1;
+  ASSERT_TRUE(apply_body(Json::parse(body), canvas, composited));
+  EXPECT_EQ(canvas.pixels(), scene(5).pixels());
+}
+
+TEST(TileDelta, CursorAgedOutOfWindowFallsBack) {
+  w::FrameHub::Config config = tile_hub_config();
+  config.window = 4;
+  w::FrameHub hub(config);
+  for (int i = 0; i < 10; ++i) hub.publish(state_of(i), scene(i));
+  const w::FramePtr latest = hub.next_after(9);
+  ASSERT_TRUE(latest);
+  ASSERT_EQ(hub.oldest_retained(), 7u);
+  // Cursor 2 left the window long ago: no reference framebuffer, no delta.
+  EXPECT_TRUE(hub.delta_body_for(latest, 2, w::Tier::kFull).empty());
+  // A retained cursor still deltas.
+  EXPECT_FALSE(hub.delta_body_for(latest, 8, w::Tier::kFull).empty());
+}
+
+TEST(TileDelta, HalfTierDeltaNeedsAHalfReferenceFrame) {
+  w::FrameHub hub(tile_hub_config());
+  hub.publish(state_of(1.0), scene(0), /*build_half=*/false);
+  hub.publish(state_of(2.0), scene(1), /*build_half=*/true);
+  hub.publish(state_of(3.0), scene(2), /*build_half=*/true);
+  const w::FramePtr f2 = hub.next_after(1);
+  const w::FramePtr f3 = hub.next_after(2);
+  ASSERT_TRUE(f2 && f3);
+  // Frame 1 never built the half image: a half-tier delta anchored at it
+  // has no same-tier reference and must decline...
+  EXPECT_TRUE(hub.delta_body_for(f2, 1, w::Tier::kHalf).empty());
+  // ...while 2 -> 3 (both half-rendered) deltas fine, and reassembles to
+  // exactly the server's half-resolution framebuffer.
+  const std::string body = hub.delta_body_for(f3, 2, w::Tier::kHalf);
+  ASSERT_FALSE(body.empty());
+  v::Image canvas = v::downsample(scene(1), 2);
+  std::uint64_t composited = 2;
+  ASSERT_TRUE(apply_body(Json::parse(body), canvas, composited));
+  EXPECT_EQ(canvas.pixels(), v::downsample(scene(2), 2).pixels());
+  // The full tier, meanwhile, is never poisoned by the half tier's gaps.
+  EXPECT_FALSE(hub.delta_body_for(f3, 2, w::Tier::kFull).empty());
+}
+
+TEST(TileDelta, TierSwitchForcesFullFrame) {
+  // The session-level delta gate (satellite of the tier pipeline): a client
+  // downgraded between polls must not get a body diffed against another
+  // tier's reference.
+  w::PacingConfig config;
+  config.frame_interval_s = 0.1;
+  config.downgrade_streak = 2;
+  w::ClientSession session(config, "c1", "peer", 0.0);
+  double now = 0.0;
+  // Fresh session on the full tier: delta allowed once a delivery landed.
+  EXPECT_TRUE(session.decide(now, 0.1).allow_delta);
+  session.on_delivered(now += 0.1, 1000, 0, w::Tier::kFull, 0.1);
+  EXPECT_TRUE(session.decide(now, 0.1).allow_delta);
+  // Starve the meter so utilization collapses and the tier downgrades.
+  for (int i = 0; i < 20 && session.tier() == w::Tier::kFull; ++i) {
+    session.on_delivered(now += 5.0, 1000, 0, w::Tier::kFull, 0.1);
+  }
+  ASSERT_NE(session.tier(), w::Tier::kFull);
+  // Next poll is the first at the new tier: the previous delivery used the
+  // old tier, so the delta contract is void — full frame.
+  EXPECT_FALSE(session.decide(now, 0.1).allow_delta);
+  // After a delivery at the new tier the contract holds again.
+  session.on_delivered(now += 0.1, 1000, 0, session.tier(), 0.1);
+  EXPECT_TRUE(session.decide(now, 0.1).allow_delta);
+}
+
+// ------------------------------------------------- HTTP level (frontend) ----
+
+namespace {
+
+w::FrontEndConfig delta_frontend() {
+  w::FrontEndConfig config;
+  config.session.simulation = ricsa::hydro::HydroSimulation::Kind::kSod;
+  config.session.resolution = 24;
+  config.session.viz.image_width = 48;
+  config.session.viz.image_height = 48;
+  config.session.viz.isovalue = 0.5f;
+  config.frame_interval_s = 0.02;
+  config.tile_size = 16;
+  return config;
+}
+
+}  // namespace
+
+TEST(TileDeltaHttp, FullParamForcesCompleteFrameAndStaleCursorResyncs) {
+  w::AjaxFrontEnd fe(delta_frontend());
+  const int port = fe.start();
+  // First frame, full body.
+  const auto first = Json::parse(
+      w::http_get(port, "/api/poll?since=0&timeout=10").body);
+  const auto seq = static_cast<std::uint64_t>(first.at("seq").as_number());
+  ASSERT_GE(seq, 1u);
+  ASSERT_TRUE(first.contains("image_b64"));
+
+  // full=1 overrides delta=1: the resync escape hatch always yields a
+  // complete frame, never tiles.
+  const auto resync = Json::parse(
+      w::http_get(port, "/api/poll?since=" + std::to_string(seq) +
+                            "&delta=1&full=1&timeout=10")
+          .body);
+  EXPECT_TRUE(resync.contains("image_b64"));
+  EXPECT_FALSE(resync.contains("tiles"));
+  EXPECT_FALSE(resync.contains("base_seq"));
+
+  // A stale-epoch cursor (way past the head) is clamped and served the
+  // next published frame — a full body (cursor-anchored deltas cannot
+  // apply), not an indefinitely parked poll and not a timeout.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto stale = Json::parse(
+      w::http_get(port, "/api/poll?since=99999&delta=1&timeout=10").body);
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count(),
+            5.0);
+  EXPECT_FALSE(stale.contains("timeout"));
+  EXPECT_FALSE(stale.contains("tiles"));
+  ASSERT_GE(stale.at("seq").as_number(), 1.0);
+  EXPECT_LT(stale.at("seq").as_number(), 99999.0);
+  fe.stop();
+}
+
+TEST(TileDeltaHttp, PollDeltaBodiesCompositeToTheServerImage) {
+  w::AjaxFrontEnd fe(delta_frontend());
+  const int port = fe.start();
+  w::HttpClient http(port);
+
+  // Drive the view so frames actually change (orbiting azimuth), then
+  // long-poll with delta=1 like the dashboard and keep a composited canvas.
+  v::Image canvas;
+  std::uint64_t composited = 0;
+  std::uint64_t since = 0;
+  int applied = 0;
+  int tile_bodies = 0;
+  for (int i = 0; i < 30 && applied < 12; ++i) {
+    http.post("/api/view", "{\"azimuth\": " + std::to_string(0.7 + 0.1 * i) +
+                               "}");
+    const auto r =
+        http.get("/api/poll?since=" + std::to_string(since) +
+                     "&delta=1&timeout=5",
+                 10.0);
+    ASSERT_EQ(r.status, 200);
+    const Json body = Json::parse(r.body);
+    if (body.contains("timeout")) continue;
+    since = static_cast<std::uint64_t>(body.at("seq").as_number());
+    if (body.contains("tiles")) ++tile_bodies;
+    ASSERT_TRUE(apply_body(body, canvas, composited));
+    ++applied;
+    // The canvas must match the server's current full framebuffer exactly
+    // whenever we are at the head (fetch the full body of the same seq via
+    // a second client staying one behind is racy; instead assert against
+    // /api/image only when seq still matches).
+    const auto img = w::http_get(port, "/api/image");
+    if (img.status == 200 && fe.frame_seq() == since) {
+      const v::Image server = v::Image::decode_png(std::vector<std::uint8_t>(
+          img.body.begin(), img.body.end()));
+      if (fe.frame_seq() == since) {
+        EXPECT_EQ(canvas.pixels(), server.pixels())
+            << "composite diverged at seq " << since;
+      }
+    }
+  }
+  EXPECT_GE(applied, 12);
+  fe.stop();
+}

@@ -253,8 +253,9 @@ TEST(PollParams, NaNNegativeAndMalformedTimeoutsNeverReachTheHub) {
   EXPECT_EQ(w::http_get(port, "/api/poll?since=5xyz&timeout=1").status, 400);
   EXPECT_EQ(w::http_get(port, "/api/poll?since=0&timeout=2abc").status, 400);
 
-  // A negative timeout clamps to zero: with a future cursor that means an
-  // immediate, clean 200-timeout — not a negative deadline in the hub.
+  // A negative timeout clamps to zero: with a future cursor (clamped to
+  // the head, waiting for the next publish) that means an immediate, clean
+  // 200-timeout — not a negative deadline in the hub.
   const std::string future =
       std::to_string(fe.frame_seq() + 1000);
   const auto t0 = std::chrono::steady_clock::now();

@@ -225,14 +225,18 @@ TEST(AjaxFrontEnd, LongPollDeliversPartialUpdate) {
   EXPECT_EQ(png[1], 'P');  // PNG signature
   EXPECT_EQ(png[2], 'N');
 
-  // Polling with since == current seq waits; use a short timeout and expect
-  // either a newer frame (seq grows) or a timeout marker.
+  // A cursor far ahead of the head (stale client from a previous server
+  // epoch) is resynced with the next published frame instead of parking
+  // against a seq that will never arrive.
   const auto cur = static_cast<std::uint64_t>(parsed.at("seq").as_int());
   const auto poll2 =
       w::http_get(port, "/api/poll?since=" + std::to_string(cur + 1000) +
-                            "&timeout=0.1");
+                            "&timeout=2");
   const auto parsed2 = u::Json::parse(poll2.body);
-  EXPECT_TRUE(parsed2.contains("timeout"));
+  EXPECT_FALSE(parsed2.contains("timeout"));
+  ASSERT_GE(parsed2.at("seq").as_int(), 1);
+  EXPECT_LT(parsed2.at("seq").as_number(), static_cast<double>(cur + 1000));
+  EXPECT_TRUE(parsed2.contains("image_b64"));
   fe.stop();
 }
 
