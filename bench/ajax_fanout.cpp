@@ -22,7 +22,19 @@
 // reactor-driven server. Besides the latency/throughput metrics it samples
 // process-wide fd count, thread count, and peak RSS during the round and
 // reports the configured server thread budget (reactor + worker pools +
-// monitor loop), which stays constant while client count scales 8x.
+// monitor loop), which stays constant while client count scales 8x. The
+// clients are driven by the epoll fleet (bench/epoll_client.hpp): ONE
+// load-generator thread, so generator scheduling jitter no longer inflates
+// the tail latency attributed to the server.
+//
+// The shard scenario (--scenario shard) is the multi-hub sharding proof:
+// the server publishes 4 views (variable x projection shards, each its own
+// FrameHub), and >= 512 epoll-fleet clients split evenly across them. Each
+// client count runs twice — all views prompt, then one view's clients
+// turned into slow consumers — and the comparison block reports per-view
+// gap/error counts plus the fast views' delivery p99 both ways: a slow
+// *view* must not pace or delay the other shards, the isolation that a
+// single shared hub window cannot give.
 //
 // The delta scenario (--scenario delta) measures tile-based dirty-rect
 // image deltas on a localized-change workload — a steady isosurface under
@@ -34,7 +46,7 @@
 //
 // Usage: ajax_fanout [--clients 64,256,512] [--duration-s 4]
 //                    [--slow-fraction 0.1] [--frame-interval-s 0.05]
-//                    [--scenario plain|mixed|fanout|delta]
+//                    [--scenario plain|mixed|fanout|delta|shard]
 #include <dirent.h>
 #include <sys/resource.h>
 
@@ -45,11 +57,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "epoll_client.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
 #include "web/frontend.hpp"
@@ -57,6 +71,11 @@
 
 namespace {
 
+using benchweb::ClientResult;
+using benchweb::ClientSpec;
+using benchweb::EpollClientFleet;
+using benchweb::bench_now_unix_ms;
+using benchweb::tier_index;
 using ricsa::util::Json;
 
 /// Raise RLIMIT_NOFILE to its hard limit: a 4k-client round needs ~8k fds
@@ -95,41 +114,6 @@ long proc_status_value(const char* key) {
   return value;
 }
 
-double now_unix_ms() {
-  return static_cast<double>(
-             std::chrono::duration_cast<std::chrono::microseconds>(
-                 std::chrono::system_clock::now().time_since_epoch())
-                 .count()) /
-         1000.0;
-}
-
-struct ClientResult {
-  std::vector<double> delivery_ms;  // publish stamp -> response received
-  std::vector<double> rtt_ms;       // poll request -> response
-  std::uint64_t frames = 0;
-  std::uint64_t polls = 0;
-  std::uint64_t gaps = 0;          // seq advanced by more than one (unpaced)
-  std::uint64_t skips = 0;         // paced clients: frames deliberately jumped
-  std::uint64_t timeouts = 0;
-  std::uint64_t errors = 0;
-  std::uint64_t bytes = 0;         // response body bytes received
-  // Frame/byte counts by served quality tier (full, half, state-only).
-  std::array<std::uint64_t, 3> tier_frames{};
-  std::array<std::uint64_t, 3> tier_bytes{};
-  // Image-delta protocol accounting (delta scenario).
-  std::uint64_t tile_frames = 0;   // bodies carrying a `tiles` array
-  std::uint64_t tiles_received = 0;
-  std::uint64_t image_frames = 0;  // bodies carrying a full image_b64
-  std::uint64_t delta_breaks = 0;  // tiles whose base_seq != composited seq
-  int reconnects = 0;
-};
-
-std::size_t tier_index(const std::string& name) {
-  if (name == "half") return 1;
-  if (name == "state") return 2;
-  return 0;
-}
-
 double percentile(std::vector<double>& xs, double p) {
   if (xs.empty()) return 0.0;
   std::sort(xs.begin(), xs.end());
@@ -162,7 +146,7 @@ void client_loop(int port, double duration_s, double inter_poll_delay_s,
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(duration_s);
   while (std::chrono::steady_clock::now() < deadline) {
-    const double t0 = now_unix_ms();
+    const double t0 = bench_now_unix_ms();
     ricsa::web::HttpClient::Response r;
     try {
       r = http.get("/api/poll?since=" + std::to_string(since) +
@@ -173,7 +157,7 @@ void client_loop(int port, double duration_s, double inter_poll_delay_s,
       ++out.errors;
       continue;
     }
-    const double t1 = now_unix_ms();
+    const double t1 = bench_now_unix_ms();
     ++out.polls;
     if (r.status != 200) {
       ++out.errors;
@@ -309,10 +293,10 @@ Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
       }
     });
   }
-  const double t0 = now_unix_ms();
+  const double t0 = bench_now_unix_ms();
   go.store(true);
   for (auto& t : threads) t.join();
-  const double elapsed_s = (now_unix_ms() - t0) / 1000.0;
+  const double elapsed_s = (bench_now_unix_ms() - t0) / 1000.0;
   orbiting.store(false);
   if (orbit_thread.joinable()) orbit_thread.join();
   sampling.store(false);
@@ -445,6 +429,251 @@ Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
   return out;
 }
 
+void accumulate(const ClientResult& r, ClientResult& total) {
+  total.delivery_ms.insert(total.delivery_ms.end(), r.delivery_ms.begin(),
+                           r.delivery_ms.end());
+  total.rtt_ms.insert(total.rtt_ms.end(), r.rtt_ms.begin(), r.rtt_ms.end());
+  total.frames += r.frames;
+  total.polls += r.polls;
+  total.gaps += r.gaps;
+  total.skips += r.skips;
+  total.timeouts += r.timeouts;
+  total.errors += r.errors;
+  total.bytes += r.bytes;
+  total.tile_frames += r.tile_frames;
+  total.tiles_received += r.tiles_received;
+  total.image_frames += r.image_frames;
+  total.delta_breaks += r.delta_breaks;
+  for (std::size_t t = 0; t < 3; ++t) {
+    total.tier_frames[t] += r.tier_frames[t];
+    total.tier_bytes[t] += r.tier_bytes[t];
+  }
+  total.reconnects += std::max(0, r.reconnects);
+  total.errors_503 += r.errors_503;
+  total.errors_http += r.errors_http;
+  total.errors_parse += r.errors_parse;
+  total.errors_io += r.errors_io;
+}
+
+Json latency_json(std::vector<double>& xs) {
+  Json out;
+  out["p50_ms"] = percentile(xs, 50);
+  out["p90_ms"] = percentile(xs, 90);
+  out["p99_ms"] = percentile(xs, 99);
+  out["max_ms"] = xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+  return out;
+}
+
+/// Sum of the per-shard hub stats across every live view — the registry-
+/// wide equivalent of run_round's single-hub before/after snapshot.
+ricsa::web::FrameHub::Stats registry_stats(ricsa::web::AjaxFrontEnd& fe) {
+  ricsa::web::FrameHub::Stats sum;
+  for (const std::string& name : fe.registry().view_names()) {
+    const auto hub = fe.registry().find(name);
+    if (!hub) continue;
+    const auto s = hub->stats();
+    sum.published += s.published;
+    sum.served += s.served;
+    sum.timeouts += s.timeouts;
+    sum.waiting_peak = std::max(sum.waiting_peak, s.waiting_peak);
+  }
+  return sum;
+}
+
+/// One round driven by the epoll client fleet (one load-generator thread,
+/// however many clients) — the fanout and shard scenarios. `scenario`,
+/// `view_count`, and `slow_view` tag shard rounds so bench_delta.py can
+/// match rounds across runs by (scenario, view_count, slow-view presence);
+/// fanout rounds pass empty tags and keep their historical round key.
+Json run_fleet_round(ricsa::web::AjaxFrontEnd& frontend, int port,
+                     const std::vector<ClientSpec>& specs, double duration_s,
+                     const std::string& scenario, std::size_t view_count,
+                     const std::string& slow_view) {
+  // Let the server reap the previous round's connections first: starting a
+  // new full fleet while the old one's FINs are still queued would
+  // transiently double the connection count and 503 the overlap.
+  for (int i = 0; i < 300 && frontend.server().connections_open() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const auto stats_before = registry_stats(frontend);
+
+  // Process-wide resource sampler, as in run_round: peaks *during* the
+  // round. The expected thread picture here is the server budget plus ONE
+  // fleet thread — the satellite's point.
+  std::atomic<bool> sampling{true};
+  std::size_t peak_fds = 0;
+  long peak_threads = 0;
+  std::thread sampler([&] {
+    while (sampling.load()) {
+      peak_fds = std::max(peak_fds, count_open_fds());
+      peak_threads = std::max(peak_threads, proc_status_value("Threads"));
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+
+  const double t0 = bench_now_unix_ms();
+  EpollClientFleet fleet(port, specs);
+  std::vector<ClientResult> results = fleet.run(duration_s);
+  const double elapsed_s = (bench_now_unix_ms() - t0) / 1000.0;
+  sampling.store(false);
+  sampler.join();
+
+  ClientResult total;
+  std::vector<double> fast_delivery_ms;
+  std::uint64_t min_frames = results.empty() ? 0 : results.front().frames;
+  std::map<std::string, ClientResult> by_view;
+  std::map<std::string, int> view_clients;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    accumulate(results[i], total);
+    if (!specs[i].slow) {
+      fast_delivery_ms.insert(fast_delivery_ms.end(),
+                              results[i].delivery_ms.begin(),
+                              results[i].delivery_ms.end());
+    }
+    min_frames = std::min(min_frames, results[i].frames);
+    if (!specs[i].view.empty()) {
+      accumulate(results[i], by_view[specs[i].view]);
+      ++view_clients[specs[i].view];
+    }
+  }
+
+  Json out;
+  out["clients"] = static_cast<int>(specs.size());
+  int n_slow = 0;
+  int n_paced = 0;
+  for (const ClientSpec& spec : specs) {
+    n_slow += spec.slow ? 1 : 0;
+    n_paced += spec.client_id.empty() ? 0 : 1;
+  }
+  out["slow_clients"] = n_slow;
+  out["paced_clients"] = n_paced;
+  out["adaptive"] = n_paced > 0;
+  out["full_resend"] = false;
+  out["harness"] = "epoll";
+  if (!scenario.empty()) {
+    out["scenario"] = scenario;
+    out["view_count"] = static_cast<int>(view_count);
+    out["slow_view"] = slow_view;
+  }
+  out["duration_s"] = elapsed_s;
+  out["polls"] = static_cast<double>(total.polls);
+  out["frames_delivered"] = static_cast<double>(total.frames);
+  out["frames_delivered_min_per_client"] = static_cast<double>(min_frames);
+  out["deliveries_per_sec"] =
+      static_cast<double>(total.frames) / std::max(1e-9, elapsed_s);
+  out["gaps"] = static_cast<double>(total.gaps);
+  out["pacing_skips"] = static_cast<double>(total.skips);
+  out["timeouts"] = static_cast<double>(total.timeouts);
+  out["errors"] = static_cast<double>(total.errors);
+  {
+    Json errs;
+    errs["http_503"] = static_cast<double>(total.errors_503);
+    errs["http_other"] = static_cast<double>(total.errors_http);
+    errs["parse"] = static_cast<double>(total.errors_parse);
+    errs["io"] = static_cast<double>(total.errors_io);
+    out["error_breakdown"] = errs;
+  }
+  out["client_reconnects"] = static_cast<double>(total.reconnects);
+  out["bytes_total"] = static_cast<double>(total.bytes);
+  out["bandwidth_Bps"] =
+      static_cast<double>(total.bytes) / std::max(1e-9, elapsed_s);
+  out["bytes_per_frame"] =
+      total.frames > 0
+          ? static_cast<double>(total.bytes) / static_cast<double>(total.frames)
+          : 0.0;
+  out["delivery_latency"] = latency_json(total.delivery_ms);
+  if (!fast_delivery_ms.empty()) {
+    out["delivery_latency_fast_clients"] = latency_json(fast_delivery_ms);
+  }
+  out["poll_rtt"] = latency_json(total.rtt_ms);
+
+  // Per-view breakdown: the cross-shard isolation evidence. Every view
+  // reports its own gap/error/latency numbers, and views whose clients are
+  // all prompt additionally report them under `fast` for the bench_delta
+  // per-view gate.
+  if (!by_view.empty()) {
+    Json views;
+    for (auto& [name, r] : by_view) {
+      Json v;
+      v["clients"] = view_clients[name];
+      v["slow"] = name == slow_view;
+      v["frames"] = static_cast<double>(r.frames);
+      v["gaps"] = static_cast<double>(r.gaps);
+      v["errors"] = static_cast<double>(r.errors);
+      v["timeouts"] = static_cast<double>(r.timeouts);
+      v["bytes"] = static_cast<double>(r.bytes);
+      v["delivery_latency"] = latency_json(r.delivery_ms);
+      views[name] = v;
+    }
+    out["views"] = views;
+  }
+
+  const auto stats_after = registry_stats(frontend);
+  Json hub;
+  hub["waiting_peak"] = static_cast<double>(stats_after.waiting_peak);
+  hub["served"] = static_cast<double>(stats_after.served - stats_before.served);
+  hub["hub_timeouts"] =
+      static_cast<double>(stats_after.timeouts - stats_before.timeouts);
+  out["frames_published"] =
+      static_cast<double>(stats_after.published - stats_before.published);
+  out["hub"] = hub;
+
+  Json process;
+  process["peak_fds"] = static_cast<double>(peak_fds);
+  process["peak_threads"] = static_cast<double>(peak_threads);
+  process["peak_rss_kb"] = static_cast<double>(proc_status_value("VmHWM"));
+  out["process"] = process;
+  return out;
+}
+
+/// Fleet population for the fanout scenario: same mix the thread-based
+/// harness used — `slow_fraction` slow consumers and `paced_fraction`
+/// adaptive sessions spread through the population.
+std::vector<ClientSpec> fanout_specs(int n_clients, double slow_fraction,
+                                     double paced_fraction,
+                                     double frame_interval_s, int round) {
+  std::vector<ClientSpec> specs;
+  specs.reserve(static_cast<std::size_t>(n_clients));
+  const int n_slow = static_cast<int>(slow_fraction * n_clients);
+  for (int i = 0; i < n_clients; ++i) {
+    ClientSpec spec;
+    if (i < n_slow) {
+      spec.slow = true;
+      spec.inter_poll_delay_s = std::max(0.15, 3.0 * frame_interval_s);
+    }
+    const bool paced =
+        static_cast<int>(static_cast<double>(i) * paced_fraction) !=
+        static_cast<int>(static_cast<double>(i + 1) * paced_fraction);
+    if (paced) {
+      spec.client_id =
+          "bench-r" + std::to_string(round) + "-c" + std::to_string(i);
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// Fleet population for the shard scenario: clients split round-robin
+/// across the views; every client of `slow_view` (when set) is a slow
+/// consumer. Unpaced — per-view gap counts are the correctness signal.
+std::vector<ClientSpec> shard_specs(const std::vector<std::string>& views,
+                                    int n_clients,
+                                    const std::string& slow_view,
+                                    double frame_interval_s) {
+  std::vector<ClientSpec> specs;
+  specs.reserve(static_cast<std::size_t>(n_clients));
+  for (int i = 0; i < n_clients; ++i) {
+    ClientSpec spec;
+    spec.view = views[static_cast<std::size_t>(i) % views.size()];
+    if (spec.view == slow_view) {
+      spec.slow = true;
+      spec.inter_poll_delay_s = std::max(0.15, 3.0 * frame_interval_s);
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -480,7 +709,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: ajax_fanout [--clients 64,256,512] [--duration-s S]"
                    " [--slow-fraction F] [--frame-interval-s S]"
-                   " [--scenario plain|mixed|fanout|delta]\n");
+                   " [--scenario plain|mixed|fanout|delta|shard]\n");
       return 2;
     }
   }
@@ -492,6 +721,12 @@ int main(int argc, char** argv) {
     // by default, at a cadence where the server (not loopback throughput)
     // is what saturates first.
     if (!clients_set) client_counts = {512, 4096};
+    if (!frame_interval_set) frame_interval_s = 0.25;
+  }
+  if (scenario == "shard") {
+    // The sharding proof: >= 4 views, >= 512 clients split across them,
+    // all on the single-threaded epoll fleet.
+    if (!clients_set) client_counts = {512};
     if (!frame_interval_set) frame_interval_s = 0.25;
   }
   if (scenario == "delta") {
@@ -506,12 +741,35 @@ int main(int argc, char** argv) {
   config.frame_interval_s = frame_interval_s;
   config.frame_window = 256;
   config.hub_workers = 4;
-  if (scenario == "fanout") {
+  if (scenario == "fanout" || scenario == "shard") {
     const int biggest =
         *std::max_element(client_counts.begin(), client_counts.end());
     config.max_connections = static_cast<std::size_t>(biggest) + 128;
     // Sessions for every paced client in the biggest round.
     config.pacing.max_sessions = static_cast<std::size_t>(biggest) + 64;
+  }
+  // The shard scenario's view namespace: the default "main" view plus three
+  // fixed projections, each published into its own hub shard every frame.
+  // Small images and a bounded raw window keep 4x per-frame rendering CI-
+  // sized; fine tiles keep the delta protocol engaged on every shard.
+  std::vector<std::string> shard_views = {"main"};
+  if (scenario == "shard") {
+    config.session.viz.isovalue = 1.1f;
+    config.session.viz.image_width = 64;
+    config.session.viz.image_height = 64;
+    config.tile_size = 16;
+    config.raw_window = 32;
+    const float azimuths[3] = {1.6f, 2.8f, 4.1f};
+    const char* names[3] = {"rho/iso", "pressure/iso", "energy/iso"};
+    for (int v = 0; v < 3; ++v) {
+      ricsa::web::ViewSpec spec;
+      spec.name = names[v];
+      spec.viz = config.session.viz;
+      spec.camera.azimuth = azimuths[v];
+      spec.camera.zoom = 1.0f + 0.2f * static_cast<float>(v);
+      config.views.push_back(spec);
+      shard_views.push_back(spec.name);
+    }
   }
   if (scenario == "mixed") {
     // The tier pipeline is about image bandwidth: render an isosurface that
@@ -634,11 +892,71 @@ int main(int argc, char** argv) {
       if (!first_round) fresh_frontend();
       std::fprintf(stderr,
                    "[ajax_fanout] fanout: %d clients (%.0f%% slow, 50%% "
-                   "paced) for %.1f s...\n",
+                   "paced) on the epoll fleet for %.1f s...\n",
                    n, slow_fraction * 100, duration_s);
-      rounds.as_array().push_back(run_round(*frontend, port, n, duration_s,
-                                            slow_fraction, 0.5, false,
-                                            frame_interval_s));
+      static std::atomic<int> fleet_round{0};
+      rounds.as_array().push_back(run_fleet_round(
+          *frontend, port,
+          fanout_specs(n, slow_fraction, 0.5, frame_interval_s,
+                       fleet_round++),
+          duration_s, "", 0, ""));
+    } else if (scenario == "shard") {
+      if (!first_round) fresh_frontend();
+      const std::string slow_view = shard_views.back();
+      // Same split twice: every view prompt, then one view's clients slow.
+      // Shard isolation means the other views' fast p99 must not move.
+      std::fprintf(stderr,
+                   "[ajax_fanout] shard: %d clients over %zu views, all "
+                   "fast...\n",
+                   n, shard_views.size());
+      Json baseline = run_fleet_round(
+          *frontend, port,
+          shard_specs(shard_views, n, "", frame_interval_s), duration_s,
+          "shard", shard_views.size(), "");
+      std::fprintf(stderr,
+                   "[ajax_fanout] shard: %d clients, view '%s' slow...\n", n,
+                   slow_view.c_str());
+      Json perturbed = run_fleet_round(
+          *frontend, port,
+          shard_specs(shard_views, n, slow_view, frame_interval_s),
+          duration_s, "shard", shard_views.size(), slow_view);
+
+      Json cmp;
+      cmp["clients"] = n;
+      cmp["view_count"] = static_cast<int>(shard_views.size());
+      cmp["slow_view"] = slow_view;
+      cmp["gaps_all_fast"] = baseline.at("gaps");
+      cmp["gaps_with_slow_view"] = perturbed.at("gaps");
+      cmp["errors_all_fast"] = baseline.at("errors");
+      cmp["errors_with_slow_view"] = perturbed.at("errors");
+      if (baseline.contains("delivery_latency_fast_clients")) {
+        cmp["fast_p99_ms_all_fast"] =
+            baseline.at("delivery_latency_fast_clients").at("p99_ms");
+      }
+      if (perturbed.contains("delivery_latency_fast_clients")) {
+        // Fast clients here = every client NOT on the slow view: the
+        // isolation headline. A shared hub would drag this number up with
+        // the slow view's replay traffic.
+        cmp["fast_p99_ms_with_slow_view"] =
+            perturbed.at("delivery_latency_fast_clients").at("p99_ms");
+      }
+      {
+        // Per-view gap/error roll-up of the perturbed round — the
+        // "zero gaps on every view" acceptance check in one place.
+        Json views;
+        for (const auto& [name, v] : perturbed.at("views").as_object()) {
+          Json entry;
+          entry["slow"] = v.at("slow");
+          entry["gaps"] = v.at("gaps");
+          entry["errors"] = v.at("errors");
+          entry["p99_ms"] = v.at("delivery_latency").at("p99_ms");
+          views[name] = entry;
+        }
+        cmp["views"] = views;
+      }
+      comparisons.as_array().push_back(cmp);
+      rounds.as_array().push_back(std::move(baseline));
+      rounds.as_array().push_back(std::move(perturbed));
     } else {
       std::fprintf(stderr, "[ajax_fanout] %d clients for %.1f s...\n", n,
                    duration_s);

@@ -33,13 +33,31 @@ int main(int argc, char** argv) {
   // ship as a handful of tiles onto the dashboard's canvas instead of a
   // full PNG per frame.
   config.tile_size = 24;
+  // Bound raw-framebuffer retention: tile encodes stay for the whole
+  // window, the pixels only for the frames a live skipper can anchor on.
+  config.raw_window = 32;
   config.port = port;
+  // A second published view: the same simulation step rendered as an
+  // isosurface from another camera, into its own hub shard. The dashboard's
+  // view selector (or ?view=density/iso on the API) switches streams.
+  {
+    web::ViewSpec iso;
+    iso.name = "density/iso";
+    iso.viz = config.session.viz;
+    iso.viz.technique = cost::VizRequest::Technique::kIsosurface;
+    iso.viz.isovalue = 1.1f;
+    iso.camera.azimuth = 2.2f;
+    iso.camera.elevation = 0.5f;
+    config.views.push_back(iso);
+  }
 
   web::AjaxFrontEnd frontend(config);
   const int bound = frontend.start();
   std::printf("RICSA Ajax front end listening on http://localhost:%d/\n", bound);
   std::printf("monitoring a %d^3 stellar-wind bowshock; steerable: gamma, "
-              "cfl, mach, source_density, source_pressure\n\n", 40);
+              "cfl, mach, source_density, source_pressure\n", 40);
+  std::printf("published views: main (raycast), density/iso (isosurface) — "
+              "each its own hub shard\n\n");
 
   // Emulated browser: long-poll a few frames and steer the wind density, so
   // running the example headless still demonstrates the loop end-to-end.
@@ -68,6 +86,14 @@ int main(int argc, char** argv) {
         std::printf(">>> steered inflow Mach number to 3.5 from the "
                     "'browser'\n");
         steered = true;
+      }
+      if (polls == 3) {
+        // Peek at the second shard the way a second browser tab would.
+        const auto iso = web::http_get(
+            bound, "/api/poll?since=0&timeout=2&view=density%2Fiso");
+        const auto iso_body = util::Json::parse(iso.body);
+        std::printf(">>> view density/iso at frame %lld (own seq space)\n",
+                    static_cast<long long>(iso_body.at("seq").as_int()));
       }
     }
   }

@@ -11,8 +11,10 @@ Usage:
 For every bench JSON present in both trees (matched by file name, searched
 recursively on the previous side because artifact downloads nest a
 directory per artifact), rounds are matched by (clients, adaptive,
-full_resend) and a delta summary is printed to the job log. The job fails
-(exit 1) when a matched round's fast-client p99 — or, for the tile-delta
+full_resend) — plus (scenario, view_count, slow-view presence) for the
+sharded rounds that carry them — and a delta summary is printed to the job
+log. The job fails (exit 1) when a matched round's fast-client p99 (round
+level, and per fast view for sharded rounds) — or, for the tile-delta
 scenario, its steady-state bytes/frame — regresses by more than the allowed
 fraction; a missing or unreadable previous side is a note, not a failure —
 the first run on a branch has nothing to compare against.
@@ -35,7 +37,8 @@ import pathlib
 import sys
 
 BENCH_FILES = ["ajax_fanout.json", "ajax_fanout_mixed.json",
-               "ajax_fanout_fanout.json", "ajax_fanout_delta.json"]
+               "ajax_fanout_fanout.json", "ajax_fanout_delta.json",
+               "ajax_fanout_shard.json"]
 HISTORY_FILE = "bench_history.json"
 MAX_HISTORY_RUNS = 50
 MIN_PREV_MS = 1.0
@@ -59,8 +62,15 @@ def fast_p99(round_json):
 
 
 def round_key(round_json):
+    # Sharded rounds additionally carry (scenario, view_count, slow_view):
+    # an all-fast round and a slow-view round of the same client count are
+    # different workloads and must never be compared against each other.
+    # Rounds without those fields (every pre-shard scenario) keep their
+    # historical key, so existing artifacts stay comparable.
     return (round_json.get("clients"), bool(round_json.get("adaptive")),
-            bool(round_json.get("full_resend")))
+            bool(round_json.get("full_resend")),
+            round_json.get("scenario"), round_json.get("view_count"),
+            bool(round_json.get("slow_view")))
 
 
 def key_str(key):
@@ -69,6 +79,10 @@ def key_str(key):
         parts.append("adaptive")
     if key[2]:
         parts.append("full-resend")
+    if key[3]:
+        parts.append(f"{key[3]}/views={key[4]}")
+    if key[5]:
+        parts.append("slow-view")
     return " ".join(parts)
 
 
@@ -82,7 +96,36 @@ def round_record(round_json):
     }
     if "bytes_per_frame" in round_json:
         record["bytes_per_frame"] = round_json.get("bytes_per_frame")
+    views = round_json.get("views")
+    if views:
+        record["views"] = {
+            name: (view.get("delivery_latency") or {}).get("p99_ms")
+            for name, view in views.items()}
     return record
+
+
+def view_regressions(name, key, prev_round, cur_round, max_p99_regression):
+    """Per-view fast-client p99 gate for sharded rounds: every view whose
+    clients are all prompt is compared against the same view in the
+    previous run's matching round, with the usual noise floors."""
+    out = []
+    prev_views = prev_round.get("views") or {}
+    for view, cur in (cur_round.get("views") or {}).items():
+        if cur.get("slow"):
+            continue  # slow-consumer views measure think time, not the hub
+        prev = prev_views.get(view)
+        if prev is None or prev.get("slow"):
+            continue
+        cur_p99 = (cur.get("delivery_latency") or {}).get("p99_ms")
+        prev_p99 = (prev.get("delivery_latency") or {}).get("p99_ms")
+        if cur_p99 is None or prev_p99 is None:
+            continue
+        delta = cur_p99 - prev_p99
+        if (prev_p99 >= MIN_PREV_MS and delta > MIN_DELTA_MS and
+                cur_p99 > prev_p99 * (1.0 + max_p99_regression)):
+            out.append(f"{name} {key_str(key)} view={view}: "
+                       f"p99 {prev_p99:.1f} -> {cur_p99:.1f} ms")
+    return out
 
 
 def compare(name, previous, current, max_p99_regression,
@@ -130,6 +173,11 @@ def compare(name, previous, current, max_p99_regression,
                 regressions.append(
                     f"{name} {key_str(key)}: "
                     f"bytes/frame {prev_bpf:.0f} -> {cur_bpf:.0f}")
+        per_view = view_regressions(name, key, prev, cur,
+                                    max_p99_regression)
+        if per_view:
+            verdict = "REGRESSION"
+            regressions += per_view
         errors = cur.get("errors", 0)
         gaps = cur.get("gaps", 0)
         parts.append(f"gaps {gaps:.0f} errors {errors:.0f}")

@@ -56,6 +56,33 @@ Socket Socket::listen_loopback(int port, int backlog) {
   return sock;
 }
 
+Socket Socket::connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return Socket();
+  Socket sock(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return sock;  // loopback can complete synchronously
+    }
+    if (errno == EINTR) continue;
+    if (errno == EINPROGRESS) return sock;  // await writability
+    return Socket();
+  }
+}
+
+int Socket::connect_error() const {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0) return errno;
+  return err;
+}
+
 int Socket::local_port() const {
   sockaddr_in addr{};
   socklen_t len = sizeof(addr);

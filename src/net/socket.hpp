@@ -43,6 +43,13 @@ class Socket {
   static Socket listen_loopback(int port, int backlog = 1024);
   int local_port() const;
 
+  /// Non-blocking connect to loopback:port (TCP_NODELAY set). Returns an
+  /// invalid Socket on immediate failure; otherwise the connect is in
+  /// flight — wait for writability, then check connect_error().
+  static Socket connect_loopback(int port);
+  /// Pending connect outcome (SO_ERROR): 0 = established, else the errno.
+  int connect_error() const;
+
   /// Accept one pending connection (non-blocking, TCP_NODELAY set).
   /// kOk: `out` holds the socket and `peer` the remote "ip:port".
   /// kWouldBlock: nothing pending. kError: accept failed; `errno_out`

@@ -67,11 +67,15 @@ SteeringSession::FrameResult SteeringSession::next_frame() {
   out.cycle = frame->cycle;
   out.sim_time = frame->sim_time;
   out.variable = frame->variable;
+  // Retain the snapshot for render_view(): extra views re-render this
+  // cycle's data instead of advancing the simulation again.
+  last_snapshot_ =
+      std::make_shared<data::ScalarVolume>(std::move(frame->snapshot));
 
   // CM side: recompute the VRT for this dataset & operation (footnote 3).
   const auto props = cost::dataset_properties(
-      frame->snapshot, config_.viz.isovalue,
-      std::max(4, std::min(16, frame->snapshot.nx() / 4)));
+      *last_snapshot_, config_.viz.isovalue,
+      std::max(4, std::min(16, last_snapshot_->nx() / 4)));
   const auto spec = cost::build_pipeline(config_.viz, props, models_);
   const auto problem = core::MappingProblem::from_pipeline(
       spec, profile_, testbed_.gatech, testbed_.ornl);
@@ -89,9 +93,16 @@ SteeringSession::FrameResult SteeringSession::next_frame() {
   // Execute the real pipeline on the snapshot.
   ExecuteOptions exec_opt = view_;
   exec_opt.pool = &pool_;
-  out.exec = execute_pipeline(frame->snapshot, config_.viz, exec_opt);
+  out.exec = execute_pipeline(*last_snapshot_, config_.viz, exec_opt);
   out.image = out.exec.image;
   return out;
+}
+
+std::optional<ExecuteResult> SteeringSession::render_view(
+    const cost::VizRequest& request, ExecuteOptions options) {
+  if (!last_snapshot_) return std::nullopt;
+  options.pool = &pool_;
+  return execute_pipeline(*last_snapshot_, request, options);
 }
 
 }  // namespace ricsa::steering

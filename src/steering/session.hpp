@@ -12,6 +12,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/mapper.hpp"
@@ -52,6 +53,15 @@ class SteeringSession {
   /// Produce the next monitoring frame (advances the simulation).
   FrameResult next_frame();
 
+  /// Re-render the most recent frame's snapshot under a different
+  /// request/camera, without advancing the simulation — one simulation
+  /// step fanned out into several published *views* (the sharded web
+  /// layer's variable × projection streams). Uses the session's pool; call
+  /// from the thread driving next_frame(). Returns nullopt before the
+  /// first frame.
+  std::optional<ExecuteResult> render_view(const cost::VizRequest& request,
+                                           ExecuteOptions options);
+
   /// Post a steering parameter (takes effect on the next frame). Returns
   /// false only for malformed names the protocol rejects outright.
   void steer(const std::string& name, double value);
@@ -80,6 +90,9 @@ class SteeringSession {
   std::uint32_t vrt_version_ = 0;
   ExecuteOptions view_;
   std::uint32_t message_seq_ = 0;
+  /// The last frame's volume snapshot, retained so render_view() can fan
+  /// one simulation step out into several published views.
+  std::shared_ptr<const data::ScalarVolume> last_snapshot_;
 };
 
 }  // namespace ricsa::steering

@@ -29,6 +29,8 @@ constexpr const char* kDashboardHtml = R"HTML(<!doctype html>
 <div style="display:flex;gap:24px">
  <div><canvas id="frame" width="384" height="384"></canvas></div>
  <div>
+  <div class="row"><label>watch view</label>
+   <select id="viewsel"><option>main</option></select></div>
   <div class="row"><label>variable</label>
    <select id="variable"><option>density</option><option>pressure</option>
    <option>velocity</option><option>energy</option></select></div>
@@ -45,30 +47,48 @@ constexpr const char* kDashboardHtml = R"HTML(<!doctype html>
 </div>
 <div id="status">connecting...</div>
 <script>
-let since = 0;
-let state = {};
+// Sharded hubs: every published view is its own server-side stream with
+// its own seq space and tile-delta chain, so the dashboard keeps one
+// cursor record per view — switching back to a view resumes its stream
+// instead of restarting it.
+//   since      last seq received (the poll cursor)
+//   composited seq of the frame last painted for this view (what tile
+//              deltas patch)
+//   needFull   resync escape hatch: when a delta cannot be composited, the
+//              next poll asks for a complete frame with full=1
+let currentView = 'main';
+const viewRecs = {};
+function rec(name){
+  if (!viewRecs[name]) {
+    viewRecs[name] = {since: 0, composited: 0, needFull: true, state: {},
+                      tier: 'full'};
+  }
+  return viewRecs[name];
+}
 let tier = 'full';
-// Seq of the frame the canvas currently shows (what tile deltas patch) and
-// the resync escape hatch: when a delta cannot be composited, the next poll
-// asks the server for a complete frame with full=1.
-let composited = 0;
-let needFull = false;
 // Frame generation: image decodes are async, so a slow decode from frame N
 // must never paint over a frame accepted after it — stale generations are
-// dropped on decode completion. Within the surviving generation the
-// composite cursor is assigned *unconditionally* (never max()-guarded):
-// after a server restart the resync frame carries a smaller seq than the
-// stale cursor, and refusing to move backwards would wedge the client out
-// of tile deltas forever.
+// dropped on decode completion. A view switch also bumps it, so decodes of
+// the previous view never paint over the new one. Within the surviving
+// generation the composite cursor is assigned *unconditionally* (never
+// max()-guarded): after a server restart the resync frame carries a
+// smaller seq than the stale cursor, and refusing to move backwards would
+// wedge the client out of tile deltas forever.
 let frameGen = 0;
+// Poll epoch: a view switch aborts the in-flight long-poll and starts a
+// fresh loop; the aborted handler sees a stale epoch and exits instead of
+// double-looping.
+let pollEpoch = 0;
+let pollXhr = null;
 const canvas = document.getElementById('frame');
 const ctx = canvas.getContext('2d');
 // Per-client session identity: the server meters this client's goodput and
 // adapts its quality tier / frame rate (the paper's network optimization,
-// applied per browser).
+// applied per browser). One identity across every view this browser
+// watches — the server paces the client, not each stream.
 const client = 'c' + Math.random().toString(36).slice(2, 10) +
                Date.now().toString(36);
-function drawFull(b64, seq){
+function drawFull(v, b64, seq){
   const gen = ++frameGen;
   const im = new Image();
   im.onload = function(){
@@ -77,20 +97,20 @@ function drawFull(b64, seq){
       canvas.width = im.width; canvas.height = im.height;
     }
     ctx.drawImage(im, 0, 0);
-    composited = seq;
-    needFull = false;
+    v.composited = seq;
+    v.needFull = false;
   };
-  im.onerror = function(){ needFull = true; };
+  im.onerror = function(){ v.needFull = true; };
   im.src = 'data:image/png;base64,' + b64;
 }
-function drawTiles(r){
+function drawTiles(v, r){
   // Decode every tile first, then paint all of them in one synchronous
   // pass: the visible canvas never shows a partially patched frame, and
   // the composite cursor advances atomically with the paint. Any decode
   // failure falls back to full=1.
   const gen = ++frameGen;
   let pending = r.tiles.length;
-  if (pending === 0) { composited = r.seq; return; }
+  if (pending === 0) { v.composited = r.seq; return; }
   const decoded = new Array(pending);
   r.tiles.forEach(function(t, i){
     const im = new Image();
@@ -101,37 +121,44 @@ function drawTiles(r){
         r.tiles.forEach(function(t2, j){
           ctx.drawImage(decoded[j], t2.x, t2.y);
         });
-        composited = r.seq;
+        v.composited = r.seq;
       }
     };
-    im.onerror = function(){ needFull = true; };
+    im.onerror = function(){ v.needFull = true; };
     im.src = 'data:image/png;base64,' + t.png_b64;
   });
 }
 function poll(){
+  const epoch = pollEpoch;
+  const view = currentView;
+  const v = rec(view);
   const xhr = new XMLHttpRequest();
-  // The cursor echoes the seq last *composited*: the server anchors tile
-  // deltas at the frame this client actually shows.
-  xhr.open('GET', '/api/poll?since=' + since + '&delta=1&client=' + client +
-           (needFull ? '&full=1' : ''), true);
+  pollXhr = xhr;
+  // The cursor echoes the seq last *composited* for this view: the server
+  // anchors tile deltas at the frame this client actually shows.
+  xhr.open('GET', '/api/poll?since=' + v.since + '&delta=1&client=' + client +
+           '&view=' + encodeURIComponent(view) +
+           (v.needFull ? '&full=1' : ''), true);
   xhr.onload = function(){
+    if (epoch !== pollEpoch) return;  // superseded by a view switch
     try {
       const r = JSON.parse(xhr.responseText);
       // Accept any non-timeout frame — including a resync whose seq is
-      // *below* a stale cursor (server restarted and re-counts from 1).
+      // *below* a stale cursor (server restarted — or the idle shard was
+      // reaped and revived — and its seq re-counts from 1).
       if (r.seq && !r.timeout) {
         // Delta responses carry only the changed keys; merge them.
-        if (r.delta && r.seq === since + 1) Object.assign(state, r.state);
-        else state = r.state;
-        since = r.seq;
-        if (r.tier) tier = r.tier;
+        if (r.delta && r.seq === v.since + 1) Object.assign(v.state, r.state);
+        else v.state = r.state;
+        v.since = r.seq;
+        if (r.tier) { tier = r.tier; v.tier = r.tier; }
         if (r.tiles) {
           // Tiles patch the frame named by base_seq; anything else on the
           // canvas would yield a franken-frame — resync instead.
-          if (r.base_seq === composited) drawTiles(r);
-          else needFull = true;
+          if (r.base_seq === v.composited) drawTiles(v, r);
+          else v.needFull = true;
         } else if (r.image_b64) {
-          drawFull(r.image_b64, r.seq);
+          drawFull(v, r.image_b64, r.seq);
         } else {
           // No tiles and no image: the frame's pixels are byte-identical
           // to what the canvas already shows (or this is a state-only
@@ -140,17 +167,59 @@ function poll(){
           // frames instead of forcing a needless full resync. A decode
           // still in flight may re-assign its own (older) seq afterwards;
           // that costs at most one transient full resync.
-          composited = r.seq;
+          v.composited = r.seq;
         }
         document.getElementById('status').textContent =
-            'tier: ' + tier + '\n' + JSON.stringify(state, null, 1);
+            'view: ' + view + '  tier: ' + tier + '\n' +
+            JSON.stringify(v.state, null, 1);
       }
     } catch(e) {}
     poll();
   };
-  xhr.onerror = function(){ setTimeout(poll, 1000); };
+  xhr.onerror = function(){
+    if (epoch !== pollEpoch) return;
+    setTimeout(function(){ if (epoch === pollEpoch) poll(); }, 1000);
+  };
   xhr.send();
 }
+function switchView(){
+  currentView = document.getElementById('viewsel').value;
+  // The canvas holds another view's pixels: tile deltas must not patch
+  // them. Ask for a complete frame and invalidate in-flight decodes.
+  rec(currentView).needFull = true;
+  ++frameGen;
+  ++pollEpoch;
+  if (pollXhr) pollXhr.abort();
+  poll();
+}
+function refreshViews(){
+  // The registry's live shards populate the selector: what the publisher
+  // declares is what a browser can watch.
+  const xhr = new XMLHttpRequest();
+  xhr.open('GET', '/api/stats', true);
+  xhr.onload = function(){
+    try {
+      const names = Object.keys(JSON.parse(xhr.responseText).views || {});
+      const sel = document.getElementById('viewsel');
+      const have = {};
+      for (let i = 0; i < sel.options.length; i++) {
+        have[sel.options[i].value] = true;
+      }
+      names.forEach(function(n){
+        if (!have[n]) {
+          const opt = document.createElement('option');
+          opt.value = n; opt.textContent = n;
+          sel.appendChild(opt);
+        }
+      });
+    } catch(e) {}
+    setTimeout(refreshViews, 5000);
+  };
+  xhr.onerror = function(){ setTimeout(refreshViews, 5000); };
+  xhr.send();
+}
+document.getElementById('viewsel').onchange = switchView;
+refreshViews();
 function steer(){
   const body = {};
   body[document.getElementById('pname').value] =
@@ -184,15 +253,18 @@ PacingConfig pacing_of(const FrontEndConfig& config) {
   return pacing;
 }
 
-FrameHub::Config hub_config_of(const FrontEndConfig& config,
-                               net::Reactor* reactor) {
-  FrameHub::Config hub;
-  hub.window = config.frame_window;
-  hub.workers = config.hub_workers;
-  hub.max_wait_s = config.poll_timeout_s;
-  hub.tile_size = config.tile_size;
-  hub.reactor = reactor;
-  return hub;
+HubRegistry::Config registry_config_of(const FrontEndConfig& config,
+                                       net::Reactor* reactor) {
+  HubRegistry::Config registry;
+  registry.hub.window = config.frame_window;
+  registry.hub.raw_window = config.raw_window;
+  registry.hub.workers = config.hub_workers;
+  registry.hub.max_wait_s = config.poll_timeout_s;
+  registry.hub.tile_size = config.tile_size;
+  registry.hub.reactor = reactor;
+  registry.pacing = pacing_of(config);
+  registry.idle_reap_s = config.view_idle_reap_s;
+  return registry;
 }
 
 }  // namespace
@@ -200,8 +272,8 @@ FrameHub::Config hub_config_of(const FrontEndConfig& config,
 AjaxFrontEnd::AjaxFrontEnd(FrontEndConfig config)
     : config_(config),
       session_(config.session),
-      hub_(hub_config_of(config, &server_.reactor())),
-      sessions_(pacing_of(config)) {
+      registry_(registry_config_of(config, &server_.reactor())),
+      main_hub_(registry_.default_hub()) {
   // The connection idle-read timeout must exceed the longest long-poll wait
   // any route can hand out (poll timeout == hub max wait here), else a
   // legal configuration silently kills keep-alive connections mid-poll.
@@ -226,7 +298,7 @@ void AjaxFrontEnd::stop() {
   // Order matters: close every connection first so hub callbacks flushed by
   // shutdown() hit dead sockets instead of re-entering live poll loops.
   server_.stop();
-  hub_.shutdown();
+  registry_.shutdown();
 }
 
 void AjaxFrontEnd::register_routes() {
@@ -288,6 +360,7 @@ void AjaxFrontEnd::frame_loop() {
     const auto frame = session_.next_frame();
 
     util::Json state;
+    state["view"] = registry_.default_view_name();
     state["cycle"] = frame.cycle;
     state["sim_time"] = frame.sim_time;
     state["variable"] = frame.variable;
@@ -310,10 +383,36 @@ void AjaxFrontEnd::frame_loop() {
     state["parameters"] = util::Json(params);
 
     // One snapshot, one encode per quality tier, one base64 per image tier,
-    // one JSON render per tier body — however many clients are watching.
-    // The hub fans out to the parked pollers. The reduced image is only
-    // built while some client actually occupies the half tier.
-    hub_.publish(std::move(state), frame.image, sessions_.wants_half_tier());
+    // one JSON render per tier body — per *view*, however many clients are
+    // watching it. Each view publishes into its own hub shard, which fans
+    // out to that shard's parked pollers. The reduced image is only built
+    // while some client actually occupies the half tier (session-global:
+    // tiers are per client, not per view).
+    const bool build_half = registry_.sessions().wants_half_tier();
+    registry_.publish(registry_.default_view_name(), std::move(state),
+                      frame.image, build_half);
+    for (const ViewSpec& spec : config_.views) {
+      const auto exec = session_.render_view(spec.viz, spec.camera);
+      if (!exec) continue;
+      util::Json view_state;
+      view_state["view"] = spec.name;
+      view_state["cycle"] = frame.cycle;
+      view_state["sim_time"] = frame.sim_time;
+      view_state["variable"] = frame.variable;
+      view_state["filter_s"] = exec->filter_s;
+      view_state["transform_s"] = exec->transform_s;
+      view_state["render_s"] = exec->render_s;
+      view_state["geometry_bytes"] =
+          static_cast<double>(exec->geometry_bytes);
+      // Per-view publish stamp: delivery latency is measured against the
+      // instant THIS shard's frame became available, not the main view's.
+      view_state["published_ms"] = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count()) / 1000.0;
+      registry_.publish(spec.name, std::move(view_state), exec->image,
+                        build_half);
+    }
 
     const auto now = std::chrono::steady_clock::now();
     const double period =
@@ -329,8 +428,28 @@ void AjaxFrontEnd::frame_loop() {
   }
 }
 
+std::shared_ptr<FrameHub> AjaxFrontEnd::resolve_view(
+    const HttpRequest& request, std::string* resolved) {
+  const std::string view = request.query_param("view");
+  if (view.empty() || view == registry_.default_view_name()) {
+    // Missing view: the single-hub contract, served by the default shard.
+    if (resolved != nullptr) *resolved = registry_.default_view_name();
+    return main_hub_;
+  }
+  if (resolved != nullptr) *resolved = view;
+  // subscribe() revives reaped shards of known names; unknown names (the
+  // publisher never declared them) stay null — the caller's 404.
+  return registry_.subscribe(view);
+}
+
 void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
                                      HttpServer::ResponseSink sink) {
+  std::string view;
+  const std::shared_ptr<FrameHub> hub = resolve_view(request, &view);
+  if (!hub) {
+    sink(HttpResponse::not_found());
+    return;
+  }
   std::uint64_t since = 0;
   const std::string since_raw = request.query_param("since", "0");
   // std::stoull silently negates a leading '-' ("-1" wraps to 2^64-1) and
@@ -386,11 +505,12 @@ void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
   if (!client.empty()) {
     const double now = mono_now_s();
     // A null session (table at its cap for this flood of distinct ids)
-    // falls through to the unpaced legacy path.
-    session = sessions_.acquire(client, request.peer, now);
+    // falls through to the unpaced legacy path. One table for every view:
+    // the same browser polling two shards shares one meter/controller.
+    session = registry_.sessions().acquire(client, request.peer, now);
     if (session) {
       const ClientSession::Decision decision =
-          session->decide(now, frame_period_s_.load());
+          session->decide(now, frame_period_s_.load(), view);
       tier = decision.tier;
       tier_delta_ok = decision.allow_delta;
       options.latest_only = decision.skip_to_latest;
@@ -403,9 +523,11 @@ void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
     }
   }
 
-  hub_.wait_async(
+  // The completion captures the hub shared_ptr: a shard reaped mid-wait
+  // stays alive (shut down, but valid) until its last parked completion ran.
+  hub->wait_async(
       since, options,
-      [this, since, want_delta, tier, tier_delta_ok,
+      [hub, view, since, want_delta, tier, tier_delta_ok,
        session = std::move(session), cadence = frame_period_s_.load(),
        sink = std::move(sink)](FramePtr frame) {
         if (!frame) {
@@ -433,7 +555,7 @@ void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
           body = &frame->body(tier, true);
         } else if (want_delta && tier_delta_ok && since > 0 &&
                    frame->seq > since + 1) {
-          assembled = hub_.delta_body_for(frame, since, tier);
+          assembled = hub->delta_body_for(frame, since, tier);
           if (!assembled.empty()) body = &assembled;
         }
         if (body == nullptr || body->empty()) body = &frame->body(tier, false);
@@ -446,7 +568,7 @@ void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
               (since != 0 && frame->seq > since + 1) ? frame->seq - since - 1
                                                      : 0;
           session->on_delivered(mono_now_s(), body->size(), skipped, tier,
-                                cadence);
+                                cadence, view);
         }
       });
 }
@@ -455,34 +577,85 @@ HttpResponse AjaxFrontEnd::handle_index(const HttpRequest&) {
   return HttpResponse::html(kDashboardHtml);
 }
 
-HttpResponse AjaxFrontEnd::handle_state(const HttpRequest&) {
+HttpResponse AjaxFrontEnd::handle_state(const HttpRequest& request) {
+  const std::shared_ptr<FrameHub> hub = resolve_view(request, nullptr);
+  if (!hub) return HttpResponse::not_found();
   util::Json out;
-  const FramePtr frame = hub_.latest();
+  const FramePtr frame = hub->latest();
   out["seq"] = static_cast<double>(frame ? frame->seq : 0);
   out["state"] = frame ? frame->state : util::Json();
   return HttpResponse::json(out.dump());
 }
 
-HttpResponse AjaxFrontEnd::handle_stats(const HttpRequest&) {
-  const FrameHub::Stats s = hub_.stats();
+namespace {
+
+util::Json hub_stats_json(const FrameHub& hub) {
+  const FrameHub::Stats s = hub.stats();
   util::Json out;
-  out["seq"] = static_cast<double>(hub_.seq());
+  out["seq"] = static_cast<double>(hub.seq());
   out["published"] = static_cast<double>(s.published);
   out["served"] = static_cast<double>(s.served);
   out["timeouts"] = static_cast<double>(s.timeouts);
   out["waiting"] = static_cast<double>(s.waiting);
   out["waiting_peak"] = static_cast<double>(s.waiting_peak);
+  return out;
+}
+
+}  // namespace
+
+HttpResponse AjaxFrontEnd::handle_stats(const HttpRequest& request) {
+  // Monitoring must observe, not revive: resolve_view()'s subscribe()
+  // would refresh a reaped shard's idle clock and rebuild its hub, so a
+  // stats scraper alone could keep an unwatched view alive forever. Look
+  // up without revival instead; a known-but-reaped view reports live=false
+  // with zeroed hub counters, only unknown names are a 404.
+  std::string view = request.query_param("view");
+  if (view.empty()) view = registry_.default_view_name();
+  std::shared_ptr<FrameHub> hub;
+  if (view == registry_.default_view_name()) {
+    hub = main_hub_;
+  } else {
+    if (!registry_.known(view)) return HttpResponse::not_found();
+    hub = registry_.find(view);
+  }
+  // Top level keeps the pre-sharding shape, describing the requested (or
+  // default) view's shard; the `views` block carries every *live* shard so
+  // dashboards can enumerate what is watchable, and `registry` the shard
+  // lifecycle counters.
+  util::Json out = hub ? hub_stats_json(*hub) : util::Json();
+  out["view"] = view;
+  out["live"] = hub != nullptr;
   out["connections_open"] = static_cast<double>(server_.connections_open());
   out["requests_served"] = static_cast<double>(server_.requests_served());
   out["steers"] = static_cast<double>(steers_.load());
+  {
+    util::Json views;
+    for (const std::string& name : registry_.view_names()) {
+      const std::shared_ptr<FrameHub> shard = registry_.find(name);
+      if (shard) views[name] = hub_stats_json(*shard);
+    }
+    out["views"] = views;
+  }
+  {
+    const HubRegistry::Stats rs = registry_.stats();
+    util::Json registry;
+    registry["live"] = static_cast<double>(rs.live);
+    registry["known"] = static_cast<double>(rs.known);
+    registry["created"] = static_cast<double>(rs.created);
+    registry["reaped"] = static_cast<double>(rs.reaped);
+    out["registry"] = registry;
+  }
   // Per-client adaptive pacing: session count, tier occupancy, and the
-  // per-session goodput/interval/tier detail.
-  out["pacing"] = sessions_.stats_json(mono_now_s());
+  // per-session goodput/interval/tier detail. Registry-level — sessions
+  // span views.
+  out["pacing"] = registry_.sessions().stats_json(mono_now_s());
   return HttpResponse::json(out.dump());
 }
 
-HttpResponse AjaxFrontEnd::handle_image(const HttpRequest&) {
-  const FramePtr frame = hub_.latest();
+HttpResponse AjaxFrontEnd::handle_image(const HttpRequest& request) {
+  const std::shared_ptr<FrameHub> hub = resolve_view(request, nullptr);
+  if (!hub) return HttpResponse::not_found();
+  const FramePtr frame = hub->latest();
   if (!frame || frame->png.empty()) return HttpResponse::not_found();
   return HttpResponse::binary(frame->png, "image/png");
 }

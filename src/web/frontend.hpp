@@ -26,9 +26,19 @@
 #include "util/json.hpp"
 #include "web/http.hpp"
 #include "web/hub.hpp"
+#include "web/registry.hpp"
 #include "web/session.hpp"
 
 namespace ricsa::web {
+
+/// One extra named view published each frame besides the default view:
+/// the same simulation step re-rendered under a different request/camera
+/// into its own FrameHub shard (variable × projection, e.g. "rho/iso").
+struct ViewSpec {
+  std::string name;
+  cost::VizRequest viz;
+  steering::ExecuteOptions camera;
+};
 
 struct FrontEndConfig {
   steering::SessionConfig session;
@@ -41,6 +51,15 @@ struct FrontEndConfig {
   /// Frames retained for catch-up replay (gap-free streams for clients that
   /// fall at most this many frames behind).
   std::size_t frame_window = 128;
+  /// Frames that keep raw framebuffers for cursor-anchored tile deltas
+  /// (0 = the whole window); see FrameHub::Config::raw_window.
+  std::size_t raw_window = 0;
+  /// Extra views rendered and published per frame, each into its own hub
+  /// shard. The default view ("main") always exists and follows the
+  /// steerable request/camera; these are fixed projections.
+  std::vector<ViewSpec> views;
+  /// Idle-shard reaping horizon for the registry (0 disables).
+  double view_idle_reap_s = 300.0;
   /// Hub fan-out worker threads.
   std::size_t hub_workers = 4;
   /// HTTP route-handler worker threads. Together with hub_workers, the
@@ -66,17 +85,28 @@ class AjaxFrontEnd {
   void stop();
 
   int port() const noexcept { return server_.port(); }
-  std::uint64_t frame_seq() const { return hub_.seq(); }
+  std::uint64_t frame_seq() const { return main_hub_->seq(); }
   std::uint64_t steer_count() const noexcept { return steers_.load(); }
-  const FrameHub& hub() const noexcept { return hub_; }
+  /// The default view's shard — the single-view API surface (back-compat
+  /// for callers that predate sharding).
+  const FrameHub& hub() const noexcept { return *main_hub_; }
   const HttpServer& server() const noexcept { return server_; }
-  const SessionTable& sessions() const noexcept { return sessions_; }
+  HubRegistry& registry() noexcept { return registry_; }
+  const HubRegistry& registry() const noexcept { return registry_; }
+  const SessionTable& sessions() const noexcept {
+    return registry_.sessions();
+  }
 
  private:
   void register_routes();
   void frame_loop();
   void handle_poll_async(const HttpRequest& request,
                          HttpServer::ResponseSink sink);
+  /// Shard lookup for a request's `view=` parameter: the default hub when
+  /// absent, null (→ 404) for names the publisher never declared.
+  /// `resolved` receives the canonical view name.
+  std::shared_ptr<FrameHub> resolve_view(const HttpRequest& request,
+                                         std::string* resolved);
 
   HttpResponse handle_index(const HttpRequest& request);
   HttpResponse handle_state(const HttpRequest& request);
@@ -87,12 +117,14 @@ class AjaxFrontEnd {
 
   FrontEndConfig config_;
   steering::SteeringSession session_;
-  /// Declared before hub_: the hub registers its timeout/pacing sweeps on
-  /// the server's reactor, so the server must be constructed first (and,
-  /// symmetrically, destroyed last).
+  /// Declared before registry_: the shards register their timeout/pacing
+  /// sweeps on the server's reactor, so the server must be constructed
+  /// first (and, symmetrically, destroyed last).
   HttpServer server_;
-  FrameHub hub_;
-  SessionTable sessions_;
+  HubRegistry registry_;
+  /// The default view's shard, pinned for the front end's lifetime (the
+  /// hub()/frame_seq() accessors and the unsharded routes ride on it).
+  std::shared_ptr<FrameHub> main_hub_;
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> steers_{0};

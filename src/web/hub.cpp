@@ -163,20 +163,24 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
   // predecessor's on a fixed tile grid and PNG-encode only the dirty tiles
   // — once per frame per tier, shared by every client whose delta includes
   // the tile (sequential *and* cursor-anchored skippers).
-  frame->tiles[0].raw = raw_full;
-  frame->tiles[1].raw = raw_half;
+  frame->tiles[0].set_raw(raw_full);
+  frame->tiles[1].set_raw(raw_half);
+  const std::array<std::shared_ptr<const viz::Image>, kImageTierCount> raws = {
+      raw_full, raw_half};
   for (std::size_t t = 0; t < kImageTierCount; ++t) {
     Frame::TileData& td = frame->tiles[t];
-    if (!td.raw) continue;
+    const std::shared_ptr<const viz::Image>& raw = raws[t];
+    if (!raw) continue;
+    // The predecessor's raw may already have been dropped (raw_window):
+    // then there is no diff reference and this frame stays full_change.
     const std::shared_ptr<const viz::Image> prev_raw =
-        prev ? prev->tiles[t].raw : nullptr;
-    if (!prev_raw || prev_raw->width() != td.raw->width() ||
-        prev_raw->height() != td.raw->height()) {
+        prev ? prev->tiles[t].raw() : nullptr;
+    if (!prev_raw || prev_raw->width() != raw->width() ||
+        prev_raw->height() != raw->height()) {
       continue;  // no reference: stays full_change
     }
-    const viz::TileGrid grid(td.raw->width(), td.raw->height(),
-                             config_.tile_size);
-    td.dirty = grid.diff(*prev_raw, *td.raw);
+    const viz::TileGrid grid(raw->width(), raw->height(), config_.tile_size);
+    td.dirty = grid.diff(*prev_raw, *raw);
     if (grid.dirty_fraction(td.dirty) >= config_.full_tile_fraction) {
       td.dirty.clear();
       continue;  // most of the frame changed: full image is the delta
@@ -185,13 +189,13 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
     if (viz::TileGrid::dirty_count(td.dirty) == 0) {
       // Byte-identical pixels: share the predecessor's buffer so a
       // converged simulation retains one framebuffer, not window-many.
-      td.raw = prev_raw;
+      td.set_raw(prev_raw);
       continue;
     }
     td.tile_b64.resize(grid.count());
     for (std::size_t i = 0; i < grid.count(); ++i) {
       if (td.dirty[i] == 0) continue;
-      const viz::Image tile = viz::TileGrid::extract(*td.raw, grid.rect(i));
+      const viz::Image tile = viz::TileGrid::extract(*raw, grid.rect(i));
       td.tile_b64[i] = util::base64_encode(tile.encode_png());
     }
   }
@@ -220,7 +224,7 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
                        frame->image_changed;
     if (tiled) {
       const Frame::TileData& td = frame->tiles[t];
-      const viz::TileGrid grid(td.raw->width(), td.raw->height(),
+      const viz::TileGrid grid(raws[t]->width(), raws[t]->height(),
                                config_.tile_size);
       std::vector<TileRef> tiles;
       for (std::size_t i = 0; i < td.tile_b64.size(); ++i) {
@@ -228,7 +232,7 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
       }
       frame->bodies[t].delta =
           render_tiles_body(frame->seq, tier, delta_state, frame->seq - 1,
-                            td.raw->width(), td.raw->height(), tiles);
+                            raws[t]->width(), raws[t]->height(), tiles);
     } else {
       frame->bodies[t].delta =
           render_body(frame->seq, tier, delta_state,
@@ -244,6 +248,25 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
     seq_ = frame->seq;
     window_.push_back(frame);
     while (window_.size() > config_.window) window_.pop_front();
+    // Bounded raw retention: the frame that just crossed the raw window
+    // loses its framebuffers (O(1): seq_ advances by one per publish, so
+    // exactly one frame crosses the boundary — everything older was
+    // dropped by earlier publishes, and frames trimmed off the window
+    // free their raws with the Frame itself) while keeping its tile
+    // encodes. delta_body_for then declines cursors older than the raw
+    // window — full-frame fallback — but sequential clients keep tile
+    // deltas from the prebuilt bodies.
+    if (config_.raw_window > 0 && seq_ > config_.raw_window) {
+      const std::uint64_t boundary = seq_ - config_.raw_window;
+      const std::uint64_t oldest = window_.front()->seq;
+      if (boundary >= oldest) {
+        const Frame& aged =
+            *window_[static_cast<std::size_t>(boundary - oldest)];
+        for (std::size_t t = 0; t < kImageTierCount; ++t) {
+          aged.tiles[t].drop_raw();
+        }
+      }
+    }
 
     const auto now = std::chrono::steady_clock::now();
     std::vector<std::pair<std::function<void(FramePtr)>, FramePtr>> satisfied;
@@ -318,8 +341,10 @@ std::string FrameHub::delta_body_for(const FramePtr& frame,
                                      std::uint64_t since, Tier tier) const {
   if (!frame || tier == Tier::kStateOnly || frame->seq <= since) return {};
   const std::size_t t = static_cast<std::size_t>(tier);
-  const Frame::TileData& cur = frame->tiles[t];
-  if (!cur.raw) return {};
+  // Snapshot the atomic raw pointers once: the publisher may drop them
+  // concurrently (raw_window), and a diff must run against a stable buffer.
+  const std::shared_ptr<const viz::Image> cur_raw = frame->tiles[t].raw();
+  if (!cur_raw) return {};
   // Snapshot the frame chain [since, frame->seq] out of the window. The
   // window holds a contiguous seq range, so retaining the cursor frame
   // means every intermediate frame is retained too.
@@ -334,12 +359,15 @@ std::string FrameHub::delta_body_for(const FramePtr& frame,
       chain.push_back(window_[static_cast<std::size_t>(s - oldest)]);
     }
   }
-  const Frame::TileData& base = chain.front()->tiles[t];
-  if (!base.raw || base.raw->width() != cur.raw->width() ||
-      base.raw->height() != cur.raw->height()) {
+  const std::shared_ptr<const viz::Image> base_raw =
+      chain.front()->tiles[t].raw();
+  if (!base_raw || base_raw->width() != cur_raw->width() ||
+      base_raw->height() != cur_raw->height()) {
     // The cursor frame never carried this tier's pixels (e.g. the half
-    // image was not built then, or the client's last body was actually a
-    // tier fallback), or the canvas was resized since: no valid reference.
+    // image was not built then, the client's last body was actually a tier
+    // fallback, or the cursor fell behind the raw window and the reference
+    // buffer was dropped), or the canvas was resized since: no valid
+    // reference.
     return {};
   }
   // A full-change frame anywhere in the skipped range means tiles changed
@@ -348,12 +376,12 @@ std::string FrameHub::delta_body_for(const FramePtr& frame,
   for (std::size_t i = 1; i < chain.size(); ++i) {
     if (chain[i]->tiles[t].full_change) return {};
   }
-  const viz::TileGrid grid(cur.raw->width(), cur.raw->height(),
+  const viz::TileGrid grid(cur_raw->width(), cur_raw->height(),
                            config_.tile_size);
   // The cursor-anchored dirty set: diff the client's actual cursor frame
   // against the served one. Tighter than the union of per-frame dirty sets
   // (a tile that changed and changed back drops out entirely).
-  const viz::TileSet dirty = grid.diff(*base.raw, *cur.raw);
+  const viz::TileSet dirty = grid.diff(*base_raw, *cur_raw);
   if (grid.dirty_fraction(dirty) >= config_.full_tile_fraction) return {};
   std::vector<TileRef> tiles;
   for (std::size_t i = 0; i < grid.count(); ++i) {
@@ -376,7 +404,7 @@ std::string FrameHub::delta_body_for(const FramePtr& frame,
   // Full state, not a key delta: the client skipped the intermediate frames
   // and has nothing valid to merge into.
   return render_tiles_body(frame->seq, tier, frame->state, since,
-                           cur.raw->width(), cur.raw->height(), tiles);
+                           cur_raw->width(), cur_raw->height(), tiles);
 }
 
 std::uint64_t FrameHub::seq() const {

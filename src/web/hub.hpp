@@ -22,6 +22,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -78,23 +79,44 @@ struct Frame {
   std::array<Body, kTierCount> bodies;
 
   /// Tile-delta data for one image tier. The raw framebuffer is retained
-  /// for as long as the frame sits in the hub window, so poll completions
-  /// can diff any retained cursor frame against the served one — the
-  /// cursor-anchored delta that lets paced/skipping clients receive tiles
-  /// instead of full bodies. Frames carrying an unchanged image share the
-  /// predecessor's raw buffer instead of copying it.
+  /// while the frame sits inside the hub's raw window (Config::raw_window;
+  /// by default the whole retention window), so poll completions can diff a
+  /// retained cursor frame against the served one — the cursor-anchored
+  /// delta that lets paced/skipping clients receive tiles instead of full
+  /// bodies. Frames carrying an unchanged image share the predecessor's raw
+  /// buffer instead of copying it.
   struct TileData {
-    std::shared_ptr<const viz::Image> raw;  // null when no pixels were published
-    viz::TileSet dirty;                     // dirty tiles vs the predecessor
+    viz::TileSet dirty;  // dirty tiles vs the predecessor
     /// base64(PNG) per tile index; non-empty exactly for dirty tiles. One
     /// encode per dirty tile per frame, shared by every client whose delta
-    /// includes that tile.
+    /// includes that tile. Kept for the frame's whole window lifetime even
+    /// after the raw buffer is dropped: the prebuilt sequential delta body
+    /// needs no raw pixels at serve time.
     std::vector<std::string> tile_b64;
     /// No usable per-tile delta vs the predecessor exists (first frame,
     /// dimension change, dirty area above the fallback threshold, or the
     /// predecessor had no raw for this tier). Cursor-anchored deltas whose
     /// range crosses such a frame must fall back to a full image.
     bool full_change = true;
+
+    /// Raw framebuffer snapshot; null when no pixels were published for
+    /// this tier or the frame aged past the raw window. The one mutable
+    /// exception to Frame immutability: the publisher drops it early
+    /// (bounded raw retention) while poll completions may be reading it, so
+    /// access goes through an atomic shared_ptr.
+    std::shared_ptr<const viz::Image> raw() const {
+      return raw_.load(std::memory_order_acquire);
+    }
+    void set_raw(std::shared_ptr<const viz::Image> image) {
+      raw_.store(std::move(image), std::memory_order_release);
+    }
+    /// Publisher-side early release once the frame leaves the raw window.
+    /// `const` because retained frames are shared as `const Frame` — the
+    /// raw buffer is cache, not contract: readers must tolerate null.
+    void drop_raw() const { raw_.store(nullptr, std::memory_order_release); }
+
+   private:
+    mutable std::atomic<std::shared_ptr<const viz::Image>> raw_;
   };
   std::array<TileData, kImageTierCount> tiles;
 
@@ -141,6 +163,15 @@ class FrameHub {
     /// is destroyed (AjaxFrontEnd stops the HTTP server first, which
     /// guarantees it). Null keeps the self-contained timer thread.
     net::Reactor* reactor = nullptr;
+    /// Frames that keep their raw framebuffers (0 = the whole window). Raw
+    /// retention is what makes hub memory scale as `window × W×H×4` per
+    /// image tier; capping it separately drops the pixels early while
+    /// keeping the per-frame tile encodes, so sequential clients still get
+    /// tile deltas from the prebuilt bodies at any window size. Cursor-
+    /// anchored deltas need the *cursor frame's* raw buffer as reference,
+    /// so clients skipping further back than this fall back to a full
+    /// frame (delta_body_for declines).
+    std::size_t raw_window = 0;
   };
 
   struct Stats {

@@ -63,37 +63,71 @@ void ClientSession::reset_rmsa_locked(double initial_sleep_s) {
   rmsa_ = std::make_unique<transport::RmsaController>(rmsa);
 }
 
-ClientSession::Decision ClientSession::decide(double now_s,
-                                              double cadence_s) {
+ClientSession::ViewState& ClientSession::view_state_locked(
+    const std::string& view, double now_s) {
+  // Sweep view entries idle past the session expiry horizon: the map stays
+  // bounded by the views this client *recently* polled even if a dashboard
+  // cycles through every shard the publisher ever declared.
+  for (auto it = views_.begin(); it != views_.end();) {
+    if (now_s - it->second.last_touch_s > config_.idle_expiry_s &&
+        it->first != view) {
+      it = views_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ViewState& vs = views_[view];
+  vs.last_touch_s = now_s;
+  return vs;
+}
+
+std::size_t ClientSession::active_views_locked(double now_s) const {
+  // A view counts as active while touched within the goodput horizon — the
+  // same window the meters aggregate over, so the normalizer and the
+  // measured rate describe the same stretch of time.
+  std::size_t active = 0;
+  for (const auto& [name, vs] : views_) {
+    if (now_s - vs.last_touch_s <= config_.meter_window_s) ++active;
+  }
+  return std::max<std::size_t>(active, 1);
+}
+
+ClientSession::Decision ClientSession::decide(double now_s, double cadence_s,
+                                              const std::string& view) {
   std::lock_guard<std::mutex> lock(mutex_);
   last_touch_s_ = now_s;
+  const ViewState& vs = view_state_locked(view, now_s);
   const double cadence = std::max(config_.frame_interval_s, cadence_s);
   Decision d;
   d.tier = tier_;
   // A small slack keeps fast full-tier clients off the pacing path: their
   // natural poll cadence already matches the publisher.
   const bool paced = interval_s_ > cadence * 1.25;
-  if (paced && last_delivery_s_ >= 0.0) {
-    d.not_before_s = last_delivery_s_ + interval_s_;
+  if (paced && vs.last_delivery_s >= 0.0) {
+    // The interval anchors at this *view's* last delivery: one paced
+    // browser on two views gets each stream at the interval instead of the
+    // two alternately starving each other behind a shared anchor.
+    d.not_before_s = vs.last_delivery_s + interval_s_;
   }
   // Downgraded or paced clients skip to the newest frame instead of
   // replaying every retained frame — stale frames are the bandwidth they
   // cannot afford.
   d.skip_to_latest = paced || tier_ != Tier::kFull;
   // A tier transition invalidates the delta contract: the delta omits an
-  // unchanged image, but this client's previous frame was rendered at a
-  // different tier, so it must receive a full body once.
-  d.allow_delta = last_served_tier_ == tier_;
+  // unchanged image, but this client's previous frame *on this view* was
+  // rendered at a different tier, so it must receive a full body once.
+  d.allow_delta = vs.last_served_tier == tier_;
   return d;
 }
 
 void ClientSession::on_delivered(double now_s, std::size_t bytes,
                                  std::uint64_t skipped, Tier tier,
-                                 double cadence_s) {
+                                 double cadence_s, const std::string& view) {
   std::lock_guard<std::mutex> lock(mutex_);
   last_touch_s_ = now_s;
-  last_delivery_s_ = now_s;
-  last_served_tier_ = tier;
+  ViewState& vs = view_state_locked(view, now_s);
+  vs.last_delivery_s = now_s;
+  vs.last_served_tier = tier;
   meter_.record(now_s, bytes);
   goodput_Bps_ = meter_.rate(now_s);
   ++delivered_frames_;
@@ -112,8 +146,13 @@ void ClientSession::on_delivered(double now_s, std::size_t bytes,
   // is judged against what the client was actually given the chance to
   // drain. Judging in the frame-rate domain (not bytes) keeps delta-encoded
   // bodies, whose size swings with how much of the frame changed, from
-  // masquerading as a slow consumer.
-  const double offered_fps = 1.0 / std::max(cadence, interval_s_);
+  // masquerading as a slow consumer. The publisher offers one frame per
+  // cadence *per active view*: a client on two views that drains only one
+  // of them is at 50% utilization, which a single-stream denominator would
+  // book as 100% (the double-counting the shared session exists to avoid).
+  const double offered_fps =
+      static_cast<double>(active_views_locked(now_s)) /
+      std::max(cadence, interval_s_);
 
   // Eq. 1 with the web-layer roles: the rate under our control is the
   // offered frame rate and the reference it must converge to is the
@@ -214,6 +253,11 @@ int ClientSession::probe_backoff() const {
   return probe_backoff_;
 }
 
+std::size_t ClientSession::active_views(double now_s) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_views_locked(now_s);
+}
+
 util::Json ClientSession::stats_json(double now_s) const {
   std::lock_guard<std::mutex> lock(mutex_);
   util::Json out;
@@ -230,6 +274,14 @@ util::Json ClientSession::stats_json(double now_s) const {
   out["upgrades"] = static_cast<double>(upgrades_);
   out["probe_backoff"] = static_cast<double>(probe_backoff_);
   out["idle_s"] = std::max(0.0, now_s - last_touch_s_);
+  out["active_views"] = static_cast<double>(active_views_locked(now_s));
+  {
+    util::JsonArray views;
+    for (const auto& [name, vs] : views_) {
+      if (!name.empty()) views.push_back(util::Json(name));
+    }
+    if (!views.empty()) out["views"] = util::Json(views);
+  }
   return out;
 }
 

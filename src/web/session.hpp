@@ -17,6 +17,17 @@
 //
 // Sessions expire after an idle period, so the table is bounded by the
 // number of *recently active* clients, not by everyone who ever connected.
+//
+// Sharded hubs (web/registry.hpp) do NOT shard the sessions: pacing state
+// is keyed by the client identity alone, so one browser polling several
+// views feeds a single GoodputMeter/RmsaController. The session tracks
+// which views the client is actively polling and judges utilization
+// against `active_views / interval` — without that normalization a client
+// draining only one of its two views would count every delivery toward one
+// stream's budget and look prompt while actually keeping up with half the
+// offered frames. Tier decisions are session-global (a slow pipe is slow
+// for every view); the delta contract (last served tier) and the pacing
+// interval anchor (last delivery instant) are per view.
 #pragma once
 
 #include <atomic>
@@ -94,15 +105,19 @@ class ClientSession {
   };
 
   /// Pacing decision for a poll arriving now; `cadence_s` is the measured
-  /// publish period. Marks the session live.
-  Decision decide(double now_s, double cadence_s);
+  /// publish period and `view` names the shard being polled (empty = the
+  /// single-hub legacy contract — one unnamed view). Marks the session
+  /// live and the view active.
+  Decision decide(double now_s, double cadence_s,
+                  const std::string& view = std::string());
 
   /// Account a completed delivery: `bytes` of the `tier` body written at
-  /// `now_s`, plus how many `skipped` frames the served one jumped over.
-  /// `cadence_s` is the measured publish period the utilization and Eq. 1
-  /// judgments are made against.
+  /// `now_s` for `view`, plus how many `skipped` frames the served one
+  /// jumped over. `cadence_s` is the measured publish period the
+  /// utilization and Eq. 1 judgments are made against.
   void on_delivered(double now_s, std::size_t bytes, std::uint64_t skipped,
-                    Tier tier, double cadence_s);
+                    Tier tier, double cadence_s,
+                    const std::string& view = std::string());
 
   /// A poll that timed out without a frame still marks the session live.
   void on_timeout(double now_s);
@@ -111,13 +126,27 @@ class ClientSession {
   double interval_s() const;
   double goodput_Bps() const;
   double last_touch_s() const;
+  /// Views this client polled within the activity horizon (>= 1 once any
+  /// poll was decided) — the utilization normalizer.
+  std::size_t active_views(double now_s) const;
   /// Current failed-probe backoff multiplier (1 = no failed probes).
   int probe_backoff() const;
   util::Json stats_json(double now_s) const;
 
  private:
+  /// Per-view slice of the session: the delta contract and the pacing
+  /// interval anchor follow the individual stream; everything else (tier,
+  /// meters, controller) is shared across views.
+  struct ViewState {
+    double last_delivery_s = -1.0;
+    Tier last_served_tier = Tier::kFull;
+    double last_touch_s = 0.0;
+  };
+
   void reset_meters_locked(double now_s);                // requires mutex_
   void reset_rmsa_locked(double initial_sleep_s);        // requires mutex_
+  ViewState& view_state_locked(const std::string& view, double now_s);
+  std::size_t active_views_locked(double now_s) const;   // requires mutex_
 
   mutable std::mutex mutex_;
   const PacingConfig config_;
@@ -128,7 +157,10 @@ class ClientSession {
   /// Lock-free mirror of tier_ for hot-path probes (publisher's
   /// wants_half_tier walk must not take every session's mutex).
   std::atomic<Tier> tier_snapshot_{Tier::kFull};
-  Tier last_served_tier_ = Tier::kFull;  // tier of the previous delivery
+  /// Per-view stream state, keyed by the view name ("" for the single-hub
+  /// contract). Bounded: entries idle past idle_expiry_s are swept on
+  /// access, and view names only exist for publisher-declared shards.
+  std::map<std::string, ViewState> views_;
   double interval_s_;  // current minimum inter-frame interval
   transport::GoodputMeter meter_;        // bytes/s: reported goodput
   transport::GoodputMeter frame_meter_;  // frames/s: drives tier + pacing
@@ -141,7 +173,6 @@ class ClientSession {
   /// doubles, capped).
   int probe_backoff_ = 1;
   bool probe_outstanding_ = false;
-  double last_delivery_s_ = -1.0;
   double last_touch_s_ = 0.0;
   double goodput_Bps_ = 0.0;
 

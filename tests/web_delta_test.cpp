@@ -209,7 +209,7 @@ TEST(TileDelta, UnchangedImageSharesRawBufferAndOmitsImage) {
   EXPECT_FALSE(delta.contains("tiles"));
   EXPECT_FALSE(delta.contains("image_b64"));
   // A converged simulation retains one framebuffer, not window-many.
-  EXPECT_EQ(f1->tiles[0].raw.get(), f2->tiles[0].raw.get());
+  EXPECT_EQ(f1->tiles[0].raw().get(), f2->tiles[0].raw().get());
   // Cursor-anchored across the unchanged frame still works: 1 -> 3.
   hub.publish(state_of(3.0), scene(5));
   const w::FramePtr f3 = hub.next_after(2);
