@@ -44,9 +44,19 @@
 // (delta=1). The comparison reports steady-state bytes/frame both ways and
 // the saved fraction.
 //
+// The transport scenario (--scenario transport) is the long-poll vs SSE
+// head-to-head: the same frame source and the same epoll-fleet client
+// count (>= 1024 by default) run twice, once long-polling /api/poll and
+// once riding the /api/stream chunked push channel. Both rounds count
+// every byte on the wire in both directions, so the comparison reports the
+// per-frame framing overhead — request line + response headers per frame
+// for long-poll, chunk + event framing for SSE — beside delivery p99,
+// gap, and delta-break counts. The tiered/delta body stream itself is
+// identical on both transports; only the envelope differs.
+//
 // Usage: ajax_fanout [--clients 64,256,512] [--duration-s 4]
 //                    [--slow-fraction 0.1] [--frame-interval-s 0.05]
-//                    [--scenario plain|mixed|fanout|delta|shard]
+//                    [--scenario plain|mixed|fanout|delta|shard|transport]
 #include <dirent.h>
 #include <sys/resource.h>
 
@@ -440,6 +450,7 @@ void accumulate(const ClientResult& r, ClientResult& total) {
   total.timeouts += r.timeouts;
   total.errors += r.errors;
   total.bytes += r.bytes;
+  total.wire_bytes += r.wire_bytes;
   total.tile_frames += r.tile_frames;
   total.tiles_received += r.tiles_received;
   total.image_frames += r.image_frames;
@@ -481,14 +492,18 @@ ricsa::web::FrameHub::Stats registry_stats(ricsa::web::AjaxFrontEnd& fe) {
 }
 
 /// One round driven by the epoll client fleet (one load-generator thread,
-/// however many clients) — the fanout and shard scenarios. `scenario`,
-/// `view_count`, and `slow_view` tag shard rounds so bench_delta.py can
-/// match rounds across runs by (scenario, view_count, slow-view presence);
-/// fanout rounds pass empty tags and keep their historical round key.
+/// however many clients) — the fanout, shard, and transport scenarios.
+/// `scenario`, `view_count`, and `slow_view` tag shard rounds so
+/// bench_delta.py can match rounds across runs by (scenario, view_count,
+/// slow-view presence); fanout rounds pass empty tags and keep their
+/// historical round key. `transport` tags the transport scenario's rounds
+/// ("long-poll" vs "sse") — empty everywhere else, so pre-transport
+/// artifacts keep matching too.
 Json run_fleet_round(ricsa::web::AjaxFrontEnd& frontend, int port,
                      const std::vector<ClientSpec>& specs, double duration_s,
                      const std::string& scenario, std::size_t view_count,
-                     const std::string& slow_view) {
+                     const std::string& slow_view,
+                     const std::string& transport = "") {
   // Let the server reap the previous round's connections first: starting a
   // new full fleet while the old one's FINs are still queued would
   // transiently double the connection count and 503 the overlap.
@@ -555,6 +570,7 @@ Json run_fleet_round(ricsa::web::AjaxFrontEnd& frontend, int port,
     out["view_count"] = static_cast<int>(view_count);
     out["slow_view"] = slow_view;
   }
+  if (!transport.empty()) out["transport"] = transport;
   out["duration_s"] = elapsed_s;
   out["polls"] = static_cast<double>(total.polls);
   out["frames_delivered"] = static_cast<double>(total.frames);
@@ -581,6 +597,23 @@ Json run_fleet_round(ricsa::web::AjaxFrontEnd& frontend, int port,
       total.frames > 0
           ? static_cast<double>(total.bytes) / static_cast<double>(total.frames)
           : 0.0;
+  // Transport envelope cost: everything on the wire that is not frame
+  // body — request lines, response headers, chunk and SSE event framing —
+  // amortized per delivered frame. This is the long-poll vs SSE headline.
+  out["wire_bytes_total"] = static_cast<double>(total.wire_bytes);
+  out["overhead_bytes_per_frame"] =
+      total.frames > 0
+          ? static_cast<double>(total.wire_bytes - total.bytes) /
+                static_cast<double>(total.frames)
+          : 0.0;
+  {
+    Json image_delta;
+    image_delta["tile_frames"] = static_cast<double>(total.tile_frames);
+    image_delta["tiles_received"] = static_cast<double>(total.tiles_received);
+    image_delta["full_image_frames"] = static_cast<double>(total.image_frames);
+    image_delta["delta_breaks"] = static_cast<double>(total.delta_breaks);
+    out["image_delta"] = image_delta;
+  }
   out["delivery_latency"] = latency_json(total.delivery_ms);
   if (!fast_delivery_ms.empty()) {
     out["delivery_latency_fast_clients"] = latency_json(fast_delivery_ms);
@@ -653,6 +686,22 @@ std::vector<ClientSpec> fanout_specs(int n_clients, double slow_fraction,
   return specs;
 }
 
+/// Fleet population for the transport scenario: every client prompt and
+/// unpaced — the head-to-head isolates the *envelope* cost of the two
+/// transports, so pacing skips and think-time pauses would only blur the
+/// per-frame overhead number. `sse` flips the whole fleet between the
+/// long-poll loop and the /api/stream push channel.
+std::vector<ClientSpec> transport_specs(int n_clients, bool sse) {
+  std::vector<ClientSpec> specs;
+  specs.reserve(static_cast<std::size_t>(n_clients));
+  for (int i = 0; i < n_clients; ++i) {
+    ClientSpec spec;
+    spec.sse = sse;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
 /// Fleet population for the shard scenario: clients split round-robin
 /// across the views; every client of `slow_view` (when set) is a slow
 /// consumer. Unpaced — per-view gap counts are the correctness signal.
@@ -709,7 +758,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: ajax_fanout [--clients 64,256,512] [--duration-s S]"
                    " [--slow-fraction F] [--frame-interval-s S]"
-                   " [--scenario plain|mixed|fanout|delta|shard]\n");
+                   " [--scenario plain|mixed|fanout|delta|shard|transport]\n");
       return 2;
     }
   }
@@ -734,6 +783,13 @@ int main(int argc, char** argv) {
     // clients on the localized-change workload is enough signal.
     if (!clients_set) client_counts = {32};
   }
+  if (scenario == "transport") {
+    // The envelope head-to-head at reactor scale: enough clients that
+    // per-frame request overhead is a real aggregate cost, at a cadence
+    // where both transports comfortably keep up.
+    if (!clients_set) client_counts = {1024};
+    if (!frame_interval_set) frame_interval_s = 0.25;
+  }
 
   ricsa::web::FrontEndConfig config;
   config.session.resolution = 16;  // small grid: the hub, not the sim, is under test
@@ -741,7 +797,7 @@ int main(int argc, char** argv) {
   config.frame_interval_s = frame_interval_s;
   config.frame_window = 256;
   config.hub_workers = 4;
-  if (scenario == "fanout" || scenario == "shard") {
+  if (scenario == "fanout" || scenario == "shard" || scenario == "transport") {
     const int biggest =
         *std::max_element(client_counts.begin(), client_counts.end());
     config.max_connections = static_cast<std::size_t>(biggest) + 128;
@@ -900,6 +956,56 @@ int main(int argc, char** argv) {
           fanout_specs(n, slow_fraction, 0.5, frame_interval_s,
                        fleet_round++),
           duration_s, "", 0, ""));
+    } else if (scenario == "transport") {
+      if (!first_round) fresh_frontend();
+      // Same frame source, same client count, both transports: long-poll
+      // round first, then a fresh front end and the SSE round. Fleet
+      // accounting is field-identical (account_frame runs on both paths),
+      // so gaps/delta_breaks/tier counts compare one-to-one; the envelope
+      // cost per frame is the differing number.
+      std::fprintf(stderr,
+                   "[ajax_fanout] transport: %d long-poll clients...\n", n);
+      Json poll_round =
+          run_fleet_round(*frontend, port, transport_specs(n, false),
+                          duration_s, "transport", 0, "", "long-poll");
+      fresh_frontend();
+      std::fprintf(stderr,
+                   "[ajax_fanout] transport: %d SSE stream clients...\n", n);
+      Json sse_round =
+          run_fleet_round(*frontend, port, transport_specs(n, true),
+                          duration_s, "transport", 0, "", "sse");
+
+      Json cmp;
+      cmp["clients"] = n;
+      cmp["frames_long_poll"] = poll_round.at("frames_delivered");
+      cmp["frames_sse"] = sse_round.at("frames_delivered");
+      cmp["gaps_long_poll"] = poll_round.at("gaps");
+      cmp["gaps_sse"] = sse_round.at("gaps");
+      cmp["errors_long_poll"] = poll_round.at("errors");
+      cmp["errors_sse"] = sse_round.at("errors");
+      cmp["delta_breaks_long_poll"] =
+          poll_round.at("image_delta").at("delta_breaks");
+      cmp["delta_breaks_sse"] = sse_round.at("image_delta").at("delta_breaks");
+      // The headline: bytes of transport envelope per delivered frame.
+      // Long-poll pays a request line + response headers per frame; SSE
+      // pays one subscription, then chunk + event framing per frame.
+      const double lp_ov =
+          poll_round.at("overhead_bytes_per_frame").as_number();
+      const double sse_ov =
+          sse_round.at("overhead_bytes_per_frame").as_number();
+      cmp["overhead_bytes_per_frame_long_poll"] = lp_ov;
+      cmp["overhead_bytes_per_frame_sse"] = sse_ov;
+      cmp["overhead_saved_fraction"] =
+          lp_ov > 0 ? (lp_ov - sse_ov) / lp_ov : 0.0;
+      cmp["delivery_p99_ms_long_poll"] =
+          poll_round.at("delivery_latency").at("p99_ms");
+      cmp["delivery_p99_ms_sse"] =
+          sse_round.at("delivery_latency").at("p99_ms");
+      cmp["sse_subscriptions"] = sse_round.at("polls");
+      cmp["sse_keepalives"] = sse_round.at("timeouts");
+      comparisons.as_array().push_back(cmp);
+      rounds.as_array().push_back(std::move(poll_round));
+      rounds.as_array().push_back(std::move(sse_round));
     } else if (scenario == "shard") {
       if (!first_round) fresh_frontend();
       const std::string slow_view = shard_views.back();

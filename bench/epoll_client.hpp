@@ -45,9 +45,14 @@ struct ClientResult {
   std::uint64_t polls = 0;
   std::uint64_t gaps = 0;   // seq advanced by more than one (unpaced)
   std::uint64_t skips = 0;  // paced clients: frames deliberately jumped
-  std::uint64_t timeouts = 0;
+  std::uint64_t timeouts = 0;  // empty polls; for SSE, keepalive comments
   std::uint64_t errors = 0;
   std::uint64_t bytes = 0;  // response body bytes received
+  /// Raw bytes on the wire, both directions: request lines, response
+  /// headers, chunk framing, SSE event framing, bodies. wire_bytes - bytes
+  /// is the transport's framing overhead — the long-poll vs SSE
+  /// head-to-head number the transport scenario reports per frame.
+  std::uint64_t wire_bytes = 0;
   // Frame/byte counts by served quality tier (full, half, state-only).
   std::array<std::uint64_t, 3> tier_frames{};
   std::array<std::uint64_t, 3> tier_bytes{};
@@ -148,6 +153,12 @@ struct ClientSpec {
   bool force_full = false;          // tile-delta opt-out (full=1)
   bool slow = false;                // reporting tag: excluded from the
                                     // fast-client percentiles
+  /// Ride the /api/stream SSE push channel instead of the long-poll loop:
+  /// one request, then an unbounded chunked event stream. Frame/tier/delta
+  /// accounting is identical to the poll mode; for slow consumers the
+  /// think time becomes a read-side pause (TCP backpressure) instead of a
+  /// delay between polls.
+  bool sse = false;
 };
 
 /// Drives every ClientSpec against one server on a single reactor thread.
@@ -274,6 +285,7 @@ class EpollClientFleet {
 
     void queue_request() {
       inbuf_.clear();
+      streaming_ = false;
       if (!joined_) {
         outbuf_ = "GET /api/state" +
                   (spec_.view.empty() ? std::string()
@@ -285,7 +297,20 @@ class EpollClientFleet {
         if (spec_.force_full) query += "&full=1";
         if (!spec_.client_id.empty()) query += "&client=" + spec_.client_id;
         if (!spec_.view.empty()) query += "&view=" + spec_.view;
-        outbuf_ = "GET /api/poll?" + query + " HTTP/1.1\r\nHost: bench\r\n\r\n";
+        if (spec_.sse) {
+          // One subscribe, then an unbounded event stream: `polls` counts
+          // stream (re)subscriptions, which is exactly where the
+          // per-frame request overhead of long-polling disappears.
+          outbuf_ =
+              "GET /api/stream?" + query + " HTTP/1.1\r\nHost: bench\r\n\r\n";
+          streaming_ = true;
+          stream_headers_done_ = false;
+          event_buf_.clear();
+          ++out_.polls;
+        } else {
+          outbuf_ =
+              "GET /api/poll?" + query + " HTTP/1.1\r\nHost: bench\r\n\r\n";
+        }
         t0_ms_ = bench_now_unix_ms();
       }
       outpos_ = 0;
@@ -300,6 +325,7 @@ class EpollClientFleet {
         const ricsa::net::IoStatus status = sock_.write_some(
             outbuf_.data() + outpos_, outbuf_.size() - outpos_, written);
         outpos_ += written;
+        out_.wire_bytes += written;
         if (status == ricsa::net::IoStatus::kWouldBlock) return;
         if (status == ricsa::net::IoStatus::kError) {
           reconnect();
@@ -312,15 +338,114 @@ class EpollClientFleet {
 
     void drain() {
       for (;;) {
+        const std::size_t before = inbuf_.size();
         const ricsa::net::IoStatus status = sock_.read_some(inbuf_);
         if (status == ricsa::net::IoStatus::kWouldBlock) break;
         if (status != ricsa::net::IoStatus::kOk) {
           reconnect();
           return;
         }
-        if (try_complete_response()) return;
+        out_.wire_bytes += inbuf_.size() - before;
+        if (streaming_) {
+          if (!consume_stream()) return;  // connection torn down
+          if (spec_.inter_poll_delay_s > 0.0) {
+            // Slow SSE consumer: the think time becomes a read pause, so
+            // unread events back up in the socket — the TCP backpressure a
+            // real saturated browser applies to the push channel.
+            pause_stream_reads();
+            return;
+          }
+        } else if (try_complete_response()) {
+          return;
+        }
       }
       // Level-triggered read drained without a full response yet: wait.
+    }
+
+    void pause_stream_reads() {
+      phase_ = Phase::kDelay;
+      reactor_.modify(sock_.fd(), 0);
+      timer_ = reactor_.run_after(spec_.inter_poll_delay_s, [this] {
+        timer_ = 0;
+        if (phase_ != Phase::kDelay) return;
+        phase_ = Phase::kResponse;
+        reactor_.modify(sock_.fd(), EPOLLIN);
+      });
+    }
+
+    /// Consume whatever fraction of the SSE stream has arrived: response
+    /// head once, then chunked-transfer envelopes, then blank-line-split
+    /// events. Returns false when the connection was torn down.
+    bool consume_stream() {
+      if (!stream_headers_done_) {
+        const std::size_t header_end = inbuf_.find("\r\n\r\n");
+        if (header_end == std::string::npos) return true;
+        int status = 0;
+        std::size_t ignored = std::string::npos;
+        parse_head(inbuf_.substr(0, header_end), &status, &ignored);
+        inbuf_.erase(0, header_end + 4);
+        if (status != 200) {
+          ++out_.errors;
+          if (status == 503) {
+            ++out_.errors_503;
+          } else {
+            ++out_.errors_http;
+          }
+          reconnect();
+          return false;
+        }
+        stream_headers_done_ = true;
+      }
+      for (;;) {
+        const std::size_t line_end = inbuf_.find("\r\n");
+        if (line_end == std::string::npos) break;
+        char* end = nullptr;
+        const unsigned long long size =
+            std::strtoull(inbuf_.c_str(), &end, 16);
+        if (end == inbuf_.c_str() || end > inbuf_.c_str() + line_end) {
+          ++out_.errors;
+          ++out_.errors_parse;
+          reconnect();
+          return false;
+        }
+        if (inbuf_.size() < line_end + 2 + size + 2) break;
+        if (size == 0) {
+          // Terminal chunk: the server ended the stream (shutdown or
+          // reaped shard). Resubscribe from the preserved cursor.
+          reconnect();
+          return false;
+        }
+        event_buf_.append(inbuf_, line_end + 2, size);
+        inbuf_.erase(0, line_end + 2 + size + 2);
+      }
+      std::size_t pos;
+      while ((pos = event_buf_.find("\n\n")) != std::string::npos) {
+        const std::string block = event_buf_.substr(0, pos);
+        event_buf_.erase(0, pos + 2);
+        handle_event(block);
+      }
+      return true;
+    }
+
+    void handle_event(const std::string& block) {
+      if (!block.empty() && block[0] == ':') {
+        // Keepalive comment: the push channel's "no frame yet", counted
+        // where a long-poll's empty 200 would land.
+        ++out_.timeouts;
+        return;
+      }
+      const std::size_t data_pos = block.find("data: ");
+      if (data_pos == std::string::npos) {
+        ++out_.errors;
+        ++out_.errors_parse;
+        return;
+      }
+      const std::size_t data_end = block.find('\n', data_pos);
+      account_frame(block.substr(data_pos + 6,
+                                 data_end == std::string::npos
+                                     ? std::string::npos
+                                     : data_end - data_pos - 6),
+                    bench_now_unix_ms());
     }
 
     /// True when a full response was consumed and the connection moved on
@@ -402,22 +527,25 @@ class EpollClientFleet {
         });
         return;
       }
+      if (account_frame(body, t1)) out_.rtt_ms.push_back(t1 - t0_ms_);
+      next_poll();
+    }
+
+    /// Shared accounting for one frame body, whether it arrived as a poll
+    /// response or as an SSE event payload. Returns true when the body
+    /// advanced the cursor (a new frame, not a timeout/stale/parse miss).
+    bool account_frame(const std::string& body, double t1) {
       const PollBodyFields fields = scan_poll_body(body);
       if (fields.timeout) {
         ++out_.timeouts;
-        next_poll();
-        return;
+        return false;
       }
       if (!fields.has_seq) {
         ++out_.errors;
         ++out_.errors_parse;
-        next_poll();
-        return;
+        return false;
       }
-      if (fields.seq <= since_) {
-        next_poll();
-        return;
-      }
+      if (fields.seq <= since_) return false;
       // Adaptive sessions skip frames by design (latest_only pacing);
       // count those separately so `gaps` stays the hub-correctness signal.
       if (since_ != 0 && fields.seq != since_ + 1) {
@@ -446,11 +574,10 @@ class EpollClientFleet {
           fields.tier.empty() ? 0 : tier_index(fields.tier);
       ++out_.tier_frames[tier];
       out_.tier_bytes[tier] += body.size();
-      out_.rtt_ms.push_back(t1 - t0_ms_);
       if (fields.has_published) {
         out_.delivery_ms.push_back(t1 - fields.published_ms);
       }
-      next_poll();
+      return true;
     }
 
     void next_poll() {
@@ -477,6 +604,9 @@ class EpollClientFleet {
     ricsa::net::Socket sock_;
     Phase phase_ = Phase::kDone;
     bool joined_ = false;
+    bool streaming_ = false;
+    bool stream_headers_done_ = false;
+    std::string event_buf_;  // de-chunked SSE payload awaiting "\n\n"
     std::uint64_t since_ = 0;
     std::string outbuf_;
     std::size_t outpos_ = 0;

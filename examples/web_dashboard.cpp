@@ -3,10 +3,12 @@
 //
 // Run:  ./web_dashboard [port] [seconds]
 //
-// Open http://localhost:<port>/ — the image and status panel update via XHR
-// long-polling (only the elements with new information refresh); steering
-// posts apply on the next simulation cycle. With no arguments the demo also
-// drives itself for 10 seconds with an emulated browser, so it is CI-safe.
+// Open http://localhost:<port>/ — the image and status panel update over a
+// Server-Sent Events push stream (/api/stream; the dashboard falls back to
+// XHR long-polling when EventSource is unavailable), and only the elements
+// with new information refresh; steering posts apply on the next simulation
+// cycle. With no arguments the demo also drives itself for 10 seconds with
+// an emulated browser, so it is CI-safe.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -57,7 +59,9 @@ int main(int argc, char** argv) {
   std::printf("monitoring a %d^3 stellar-wind bowshock; steerable: gamma, "
               "cfl, mach, source_density, source_pressure\n", 40);
   std::printf("published views: main (raycast), density/iso (isosurface) — "
-              "each its own hub shard\n\n");
+              "each its own hub shard\n");
+  std::printf("browsers ride the SSE push stream (/api/stream) and fall back "
+              "to long-poll (/api/poll) automatically\n\n");
 
   // Emulated browser: long-poll a few frames and steer the wind density, so
   // running the example headless still demonstrates the loop end-to-end.

@@ -38,7 +38,7 @@ import sys
 
 BENCH_FILES = ["ajax_fanout.json", "ajax_fanout_mixed.json",
                "ajax_fanout_fanout.json", "ajax_fanout_delta.json",
-               "ajax_fanout_shard.json"]
+               "ajax_fanout_shard.json", "ajax_fanout_transport.json"]
 HISTORY_FILE = "bench_history.json"
 MAX_HISTORY_RUNS = 50
 MIN_PREV_MS = 1.0
@@ -65,12 +65,14 @@ def round_key(round_json):
     # Sharded rounds additionally carry (scenario, view_count, slow_view):
     # an all-fast round and a slow-view round of the same client count are
     # different workloads and must never be compared against each other.
-    # Rounds without those fields (every pre-shard scenario) keep their
-    # historical key, so existing artifacts stay comparable.
+    # Transport rounds carry "transport" ("long-poll" vs "sse") for the
+    # same reason. Rounds without those fields (every earlier scenario)
+    # get None for them, so existing artifacts stay comparable.
     return (round_json.get("clients"), bool(round_json.get("adaptive")),
             bool(round_json.get("full_resend")),
             round_json.get("scenario"), round_json.get("view_count"),
-            bool(round_json.get("slow_view")))
+            bool(round_json.get("slow_view")),
+            round_json.get("transport"))
 
 
 def key_str(key):
@@ -83,6 +85,8 @@ def key_str(key):
         parts.append(f"{key[3]}/views={key[4]}")
     if key[5]:
         parts.append("slow-view")
+    if key[6]:
+        parts.append(key[6])
     return " ".join(parts)
 
 
@@ -96,6 +100,9 @@ def round_record(round_json):
     }
     if "bytes_per_frame" in round_json:
         record["bytes_per_frame"] = round_json.get("bytes_per_frame")
+    if "overhead_bytes_per_frame" in round_json:
+        record["overhead_bytes_per_frame"] = \
+            round_json.get("overhead_bytes_per_frame")
     views = round_json.get("views")
     if views:
         record["views"] = {

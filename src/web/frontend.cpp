@@ -12,10 +12,13 @@ namespace ricsa::web {
 
 namespace {
 
-/// The embedded dashboard: plain XHR long-polling, no frameworks. Polls with
-/// delta=1 and merges partial state updates client-side — only the UI
-/// elements that contain new information change, the partial-update
-/// behaviour the paper highlights about Ajax UIs.
+/// The embedded dashboard: no frameworks. Prefers the SSE push channel
+/// (/api/stream — one request, events forever) and falls back to plain XHR
+/// long-polling when EventSource is missing or the stream fails before its
+/// first event. Both transports ask for delta=1 and merge partial state
+/// updates client-side — only the UI elements that contain new information
+/// change, the partial-update behaviour the paper highlights about Ajax
+/// UIs.
 constexpr const char* kDashboardHtml = R"HTML(<!doctype html>
 <html><head><meta charset="utf-8"><title>RICSA monitor</title>
 <style>
@@ -80,6 +83,11 @@ let frameGen = 0;
 // double-looping.
 let pollEpoch = 0;
 let pollXhr = null;
+// Preferred transport: the SSE push channel when the browser has
+// EventSource; demoted to 'poll' the moment a stream fails before its
+// first event (startStream's negotiation).
+let transport = (typeof EventSource !== 'undefined') ? 'sse' : 'poll';
+let es = null;
 const canvas = document.getElementById('frame');
 const ctx = canvas.getContext('2d');
 // Per-client session identity: the server meters this client's goodput and
@@ -128,6 +136,39 @@ function drawTiles(v, r){
     im.src = 'data:image/png;base64,' + t.png_b64;
   });
 }
+// One frame body — the transports carry identical JSON, so SSE events and
+// poll responses land in the same handler.
+function handleFrame(v, view, r){
+  // Accept any non-timeout frame — including a resync whose seq is
+  // *below* a stale cursor (server restarted — or the idle shard was
+  // reaped and revived — and its seq re-counts from 1).
+  if (!r.seq || r.timeout) return;
+  // Delta responses carry only the changed keys; merge them.
+  if (r.delta && r.seq === v.since + 1) Object.assign(v.state, r.state);
+  else v.state = r.state;
+  v.since = r.seq;
+  if (r.tier) { tier = r.tier; v.tier = r.tier; }
+  if (r.tiles) {
+    // Tiles patch the frame named by base_seq; anything else on the
+    // canvas would yield a franken-frame — resync instead.
+    if (r.base_seq === v.composited) drawTiles(v, r);
+    else v.needFull = true;
+  } else if (r.image_b64) {
+    drawFull(v, r.image_b64, r.seq);
+  } else {
+    // No tiles and no image: the frame's pixels are byte-identical
+    // to what the canvas already shows (or this is a state-only
+    // tier, where a later tier switch forces a full frame anyway) —
+    // advance the composite cursor so the tile chain survives idle
+    // frames instead of forcing a needless full resync. A decode
+    // still in flight may re-assign its own (older) seq afterwards;
+    // that costs at most one transient full resync.
+    v.composited = r.seq;
+  }
+  document.getElementById('status').textContent =
+      'view: ' + view + '  tier: ' + tier + ' (' + transport + ')\n' +
+      JSON.stringify(v.state, null, 1);
+}
 function poll(){
   const epoch = pollEpoch;
   const view = currentView;
@@ -141,39 +182,7 @@ function poll(){
            (v.needFull ? '&full=1' : ''), true);
   xhr.onload = function(){
     if (epoch !== pollEpoch) return;  // superseded by a view switch
-    try {
-      const r = JSON.parse(xhr.responseText);
-      // Accept any non-timeout frame — including a resync whose seq is
-      // *below* a stale cursor (server restarted — or the idle shard was
-      // reaped and revived — and its seq re-counts from 1).
-      if (r.seq && !r.timeout) {
-        // Delta responses carry only the changed keys; merge them.
-        if (r.delta && r.seq === v.since + 1) Object.assign(v.state, r.state);
-        else v.state = r.state;
-        v.since = r.seq;
-        if (r.tier) { tier = r.tier; v.tier = r.tier; }
-        if (r.tiles) {
-          // Tiles patch the frame named by base_seq; anything else on the
-          // canvas would yield a franken-frame — resync instead.
-          if (r.base_seq === v.composited) drawTiles(v, r);
-          else v.needFull = true;
-        } else if (r.image_b64) {
-          drawFull(v, r.image_b64, r.seq);
-        } else {
-          // No tiles and no image: the frame's pixels are byte-identical
-          // to what the canvas already shows (or this is a state-only
-          // tier, where a later tier switch forces a full frame anyway) —
-          // advance the composite cursor so the tile chain survives idle
-          // frames instead of forcing a needless full resync. A decode
-          // still in flight may re-assign its own (older) seq afterwards;
-          // that costs at most one transient full resync.
-          v.composited = r.seq;
-        }
-        document.getElementById('status').textContent =
-            'view: ' + view + '  tier: ' + tier + '\n' +
-            JSON.stringify(v.state, null, 1);
-      }
-    } catch(e) {}
+    try { handleFrame(v, view, JSON.parse(xhr.responseText)); } catch(e) {}
     poll();
   };
   xhr.onerror = function(){
@@ -181,6 +190,43 @@ function poll(){
     setTimeout(function(){ if (epoch === pollEpoch) poll(); }, 1000);
   };
   xhr.send();
+}
+// Transport negotiation: one EventSource replaces the whole poll loop —
+// same query contract, same bodies, one `data:` event per frame. Any
+// failure before the first event means no server-side stream support (or a
+// proxy eating chunked responses): fall back to long-poll for good. A
+// failure *after* events flowed is a reap/restart; reconnect over SSE and
+// take the stale-cursor resync.
+function startStream(){
+  const epoch = pollEpoch;
+  const view = currentView;
+  const v = rec(view);
+  let gotEvent = false;
+  es = new EventSource('/api/stream?since=' + v.since + '&delta=1&client=' +
+                       client + '&view=' + encodeURIComponent(view) +
+                       (v.needFull ? '&full=1' : ''));
+  es.onmessage = function(e){
+    if (epoch !== pollEpoch) return;
+    gotEvent = true;
+    try { handleFrame(v, view, JSON.parse(e.data)); } catch(err) {}
+    if (v.needFull) {
+      // A delta could not be composited mid-stream: reconnect asking the
+      // first event to be a complete frame (the stream's full=1 resync).
+      ++pollEpoch;
+      es.close(); es = null;
+      startTransport();
+    }
+  };
+  es.onerror = function(){
+    if (epoch !== pollEpoch) return;
+    ++pollEpoch;
+    es.close(); es = null;
+    if (!gotEvent) transport = 'poll';
+    setTimeout(function(){ startTransport(); }, gotEvent ? 250 : 0);
+  };
+}
+function startTransport(){
+  if (transport === 'sse') startStream(); else poll();
 }
 function switchView(){
   currentView = document.getElementById('viewsel').value;
@@ -190,7 +236,8 @@ function switchView(){
   ++frameGen;
   ++pollEpoch;
   if (pollXhr) pollXhr.abort();
-  poll();
+  if (es) { es.close(); es = null; }
+  startTransport();
 }
 function refreshViews(){
   // The registry's live shards populate the selector: what the publisher
@@ -240,7 +287,7 @@ function postView(){
   xhr.open('POST', '/api/view', true);
   xhr.send(JSON.stringify(body));
 }
-poll();
+startTransport();
 </script></body></html>)HTML";
 
 }  // namespace
@@ -312,6 +359,10 @@ void AjaxFrontEnd::register_routes() {
                       [this](const HttpRequest& r, HttpServer::ResponseSink s) {
                         handle_poll_async(r, std::move(s));
                       });
+  server_.route_stream("GET", "/api/stream",
+                       [this](const HttpRequest& r, HttpServer::StreamSink s) {
+                         handle_stream(r, std::move(s));
+                       });
 }
 
 void AjaxFrontEnd::frame_loop() {
@@ -428,6 +479,39 @@ void AjaxFrontEnd::frame_loop() {
   }
 }
 
+namespace {
+
+/// Strict cursor parse shared by /api/poll and /api/stream: std::stoull
+/// silently negates a leading '-' ("-1" wraps to 2^64-1) and ignores
+/// trailing garbage, so insist on a digit up front and a full parse.
+bool parse_since(const std::string& raw, std::uint64_t& out) {
+  if (raw.empty() || raw[0] < '0' || raw[0] > '9') return false;
+  try {
+    std::size_t parsed = 0;
+    out = static_cast<std::uint64_t>(std::stoull(raw, &parsed));
+    return parsed == raw.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Strict wait-timeout parse: std::stod accepts "nan" and negatives
+/// without throwing, and either would poison the hub's deadline
+/// arithmetic. Clamps to [0, ceiling].
+bool parse_timeout(const std::string& raw, double ceiling, double& out) {
+  try {
+    std::size_t parsed = 0;
+    const double value = std::stod(raw, &parsed);
+    if (parsed != raw.size() || std::isnan(value)) return false;
+    out = std::clamp(value, 0.0, ceiling);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
 std::shared_ptr<FrameHub> AjaxFrontEnd::resolve_view(
     const HttpRequest& request, std::string* resolved) {
   const std::string view = request.query_param("view");
@@ -451,40 +535,16 @@ void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
     return;
   }
   std::uint64_t since = 0;
-  const std::string since_raw = request.query_param("since", "0");
-  // std::stoull silently negates a leading '-' ("-1" wraps to 2^64-1) and
-  // ignores trailing garbage, so insist on a digit up front and a full
-  // parse.
-  if (since_raw.empty() || since_raw[0] < '0' || since_raw[0] > '9') {
+  if (!parse_since(request.query_param("since", "0"), since)) {
     sink(HttpResponse::bad_request("since must be a non-negative integer"));
     return;
   }
-  try {
-    std::size_t parsed = 0;
-    since = static_cast<std::uint64_t>(std::stoull(since_raw, &parsed));
-    if (parsed != since_raw.size()) throw std::invalid_argument(since_raw);
-  } catch (const std::exception&) {
-    sink(HttpResponse::bad_request("since must be a non-negative integer"));
-    return;
-  }
-  // The timeout is untrusted input: std::stod accepts "nan" and negatives
-  // without throwing, and either would poison the hub's deadline arithmetic.
   double timeout = config_.poll_timeout_s;
   const std::string timeout_raw = request.query_param("timeout");
-  if (!timeout_raw.empty()) {
-    try {
-      std::size_t parsed = 0;
-      timeout = std::stod(timeout_raw, &parsed);
-      if (parsed != timeout_raw.size()) throw std::invalid_argument(timeout_raw);
-    } catch (const std::exception&) {
-      sink(HttpResponse::bad_request("timeout must be a number"));
-      return;
-    }
-    if (std::isnan(timeout)) {
-      sink(HttpResponse::bad_request("timeout must not be NaN"));
-      return;
-    }
-    timeout = std::clamp(timeout, 0.0, config_.poll_timeout_s);
+  if (!timeout_raw.empty() &&
+      !parse_timeout(timeout_raw, config_.poll_timeout_s, timeout)) {
+    sink(HttpResponse::bad_request("timeout must be a number, not NaN"));
+    return;
   }
   // `full=1` is the client's resync escape hatch: a browser whose canvas
   // composite failed (or that otherwise lost track of what it shows) asks
@@ -571,6 +631,183 @@ void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
                                 cadence, view);
         }
       });
+}
+
+namespace {
+
+/// One SSE subscription: the stream-side twin of a long-poll loop. The
+/// raw pointers (registry, frame period) are owned by the AjaxFrontEnd,
+/// whose stop() order guarantees no pump step runs after they die: the
+/// server stops first (every stream connection closes, chunk() starts
+/// refusing), then the registry shuts its hubs down, which completes any
+/// still-parked waiter before returning.
+struct SseStream {
+  std::shared_ptr<FrameHub> hub;
+  HubRegistry* registry = nullptr;
+  const std::atomic<double>* frame_period = nullptr;
+  std::string view;
+  std::shared_ptr<ClientSession> session;
+  HttpServer::StreamSink sink;
+  std::uint64_t since = 0;
+  bool want_delta = false;
+  /// full=1 resync: the first event carries a complete frame no matter
+  /// where the cursor stands; deltas resume from there.
+  bool force_full = false;
+  /// Per-wait bound: when it elapses without a frame the stream emits a
+  /// keepalive comment and waits again.
+  double timeout_s = 15.0;
+};
+
+/// One step of the push loop: make the same pacing decision a poll would,
+/// park on the hub, and on completion push the same body a poll would have
+/// carried. The next step is armed only from the chunk's drained callback,
+/// so a slow consumer paces its own stream through TCP backpressure — and
+/// feeds the goodput meter drain-time timestamps, exactly what on_delivered
+/// sees on the poll path. No unbounded recursion: chunk() always defers
+/// through a reactor post, so each event breaks the call chain.
+void sse_pump(const std::shared_ptr<SseStream>& s) {
+  if (!s->sink.alive()) return;
+  const double now = mono_now_s();
+  const double cadence = s->frame_period->load();
+  Tier tier = Tier::kFull;
+  bool tier_delta_ok = true;
+  FrameHub::WaitOptions options;
+  options.timeout_s = s->timeout_s;
+  if (s->session) {
+    const ClientSession::Decision decision =
+        s->session->decide(now, cadence, s->view);
+    tier = decision.tier;
+    tier_delta_ok = decision.allow_delta;
+    options.latest_only = decision.skip_to_latest;
+    if (decision.not_before_s > now) {
+      options.not_before =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(decision.not_before_s - now));
+    }
+  }
+  s->hub->wait_async(s->since, options, [s, tier, tier_delta_ok,
+                                         cadence](FramePtr frame) {
+    if (!frame) {
+      if (s->hub->is_shutdown()) {
+        // The shard is gone — reaped idle or server stopping. End the
+        // stream cleanly (terminal chunk, close); a reconnecting client
+        // brings its stale cursor and takes the same clamp-to-head resync
+        // long-pollers take against a revived shard.
+        s->sink.end();
+        return;
+      }
+      if (s->session) s->session->on_timeout(mono_now_s());
+      // Comment line: feeds the client's liveness timer without touching
+      // onmessage, the SSE idiom for "still here, nothing new".
+      s->sink.chunk(": keepalive\n\n", [s] { sse_pump(s); });
+      return;
+    }
+    // Identical body selection to /api/poll's completion: sequential
+    // prebuilt delta, cursor-anchored assembled delta, else the full
+    // snapshot at the session's tier.
+    std::string assembled;
+    const std::string* body = nullptr;
+    const std::uint64_t since = s->since;
+    const bool want_delta = s->want_delta && tier_delta_ok && !s->force_full;
+    if (want_delta && frame->seq == since + 1) {
+      body = &frame->body(tier, true);
+    } else if (want_delta && since > 0 && frame->seq > since + 1) {
+      assembled = s->hub->delta_body_for(frame, since, tier);
+      if (!assembled.empty()) body = &assembled;
+    }
+    if (body == nullptr || body->empty()) body = &frame->body(tier, false);
+    s->force_full = false;
+    const std::uint64_t skipped =
+        (since != 0 && frame->seq > since + 1) ? frame->seq - since - 1 : 0;
+    s->since = frame->seq;
+    std::string event;
+    event.reserve(body->size() + 48);
+    event += "id: ";
+    event += std::to_string(frame->seq);
+    event += "\ndata: ";
+    event += *body;  // compact JSON: never carries a raw newline
+    event += "\n\n";
+    const std::size_t bytes = body->size();
+    s->sink.chunk(std::move(event), [s, bytes, skipped, tier, cadence] {
+      if (s->session) {
+        s->session->on_delivered(mono_now_s(), bytes, skipped, tier, cadence,
+                                 s->view);
+      }
+      // A stream subscribes once but consumes continuously; each drained
+      // event counts as subscriber activity for the shard's idle-reap
+      // clock, as each poll's subscribe() does.
+      s->registry->touch(s->view);
+      sse_pump(s);
+    });
+  });
+}
+
+const std::map<std::string, std::string> kSseHeaders = {
+    {"Content-Type", "text/event-stream"}, {"Cache-Control", "no-cache"}};
+const std::map<std::string, std::string> kTextHeaders = {
+    {"Content-Type", "text/plain; charset=utf-8"}};
+
+/// Error path for a stream route: a non-200 chunked response with a short
+/// text body. EventSource treats any non-200 as a fatal error, which is
+/// what drives the dashboard's fallback to long-poll.
+void stream_error(const HttpServer::StreamSink& sink, int status,
+                  const std::string& message) {
+  sink.begin(kTextHeaders, status);
+  sink.chunk(message + "\n");
+  sink.end();
+}
+
+}  // namespace
+
+void AjaxFrontEnd::handle_stream(const HttpRequest& request,
+                                 HttpServer::StreamSink sink) {
+  std::string view;
+  const std::shared_ptr<FrameHub> hub = resolve_view(request, &view);
+  if (!hub) {
+    stream_error(sink, 404, "not found");
+    return;
+  }
+  std::uint64_t since = 0;
+  if (!parse_since(request.query_param("since", "0"), since)) {
+    stream_error(sink, 400, "since must be a non-negative integer");
+    return;
+  }
+  double timeout = config_.poll_timeout_s;
+  const std::string timeout_raw = request.query_param("timeout");
+  if (!timeout_raw.empty() &&
+      !parse_timeout(timeout_raw, config_.poll_timeout_s, timeout)) {
+    stream_error(sink, 400, "timeout must be a number, not NaN");
+    return;
+  }
+  // Unlike a poll — where the client pays a round-trip per retry — the
+  // keepalive loop here is server-driven, so a zero timeout would spin it
+  // at wire speed. Floor it.
+  timeout = std::max(timeout, 0.05);
+
+  sink.begin(kSseHeaders);
+  // HEAD: the headers a stream would carry were sent and the connection
+  // closed — never a parked suppressed infinite body.
+  if (sink.head_only()) return;
+
+  auto s = std::make_shared<SseStream>();
+  s->hub = hub;
+  s->registry = &registry_;
+  s->frame_period = &frame_period_s_;
+  s->view = std::move(view);
+  s->sink = std::move(sink);
+  s->since = since;
+  s->want_delta = request.query_param("delta", "0") == "1";
+  s->force_full = request.query_param("full", "0") == "1";
+  s->timeout_s = timeout;
+  const std::string client = request.query_param("client");
+  if (!client.empty()) {
+    // Same table as /api/poll: a browser that switches transports keeps
+    // its meters, and pacing tiers span both channels.
+    s->session =
+        registry_.sessions().acquire(client, request.peer, mono_now_s());
+  }
+  sse_pump(s);
 }
 
 HttpResponse AjaxFrontEnd::handle_index(const HttpRequest&) {

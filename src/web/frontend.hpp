@@ -14,6 +14,13 @@
 // commands arrive as JSON POSTs and are applied on the next simulation
 // cycle. Hundreds of clients can watch/steer concurrently; each keeps its
 // own cursor and the hub's sliding window bounds server memory.
+//
+// Beside the poll there is a push transport: /api/stream serves the same
+// frame bodies as Server-Sent Events over one chunked response. The
+// dashboard negotiates per client — EventSource when available, falling
+// back to long-poll on any failure — and both transports share the
+// SessionTable, so pacing tiers and per-view delta contracts are identical
+// whichever channel a client rides.
 #pragma once
 
 #include <atomic>
@@ -102,6 +109,7 @@ class AjaxFrontEnd {
   void frame_loop();
   void handle_poll_async(const HttpRequest& request,
                          HttpServer::ResponseSink sink);
+  void handle_stream(const HttpRequest& request, HttpServer::StreamSink sink);
   /// Shard lookup for a request's `view=` parameter: the default hub when
   /// absent, null (→ 404) for names the publisher never declared.
   /// `resolved` receives the canonical view name.

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <set>
 #include <sstream>
@@ -46,6 +47,18 @@ bool write_all(int fd, const char* data, std::size_t n) {
   }
   return true;
 }
+
+void append_chunk(std::string& out, const std::string& payload) {
+  if (payload.empty()) return;  // "0\r\n" would terminate the stream
+  char size_line[32];
+  const int n = std::snprintf(size_line, sizeof(size_line), "%zx\r\n",
+                              payload.size());
+  out.append(size_line, static_cast<std::size_t>(n));
+  out += payload;
+  out += "\r\n";
+}
+
+void append_last_chunk(std::string& out) { out += "0\r\n\r\n"; }
 
 }  // namespace detail
 
@@ -87,6 +100,11 @@ constexpr std::size_t kMaxBodyBytes = 64u << 20;
 /// connection is dropped (nothing is parsed while a response is pending,
 /// so this is the only bound on that buffer).
 constexpr std::size_t kMaxPipelinedBytes = 1u << 20;
+/// Ceiling on unsent bytes queued to a streaming connection. A producer
+/// honoring the drained callback stays far below this; hitting it means
+/// the producer ignores backpressure while the consumer is effectively
+/// dead, and the connection is dropped rather than growing without bound.
+constexpr std::size_t kMaxStreamBuffered = 16u << 20;
 
 /// Parse one request out of the front of `buffer`. Consumes the request's
 /// bytes only on kOk; on kNeedMore the buffer is left intact for the next
@@ -187,9 +205,16 @@ std::string url_decode(const std::string& text) {
 std::string HttpRequest::query_param(const std::string& key,
                                      const std::string& fallback) const {
   for (const std::string& pair : util::split(query, '&')) {
+    if (pair.empty()) continue;
     const auto eq = pair.find('=');
-    if (eq == std::string::npos) continue;
-    if (pair.substr(0, eq) == key) return url_decode(pair.substr(eq + 1));
+    // Decode before comparing: %66ull=1 names the parameter "full". A
+    // valueless key (?foo&bar=1) is present with the empty value, not
+    // absent — and never its own name as the value.
+    const std::string name =
+        url_decode(eq == std::string::npos ? pair : pair.substr(0, eq));
+    if (name != key) continue;
+    return eq == std::string::npos ? std::string()
+                                   : url_decode(pair.substr(eq + 1));
   }
   return fallback;
 }
@@ -260,6 +285,17 @@ struct HttpServer::Connection : net::EventHandler,
   /// try_dispatch via enqueue_response; the outer parse loop continues
   /// instead of recursing once per pipelined request.
   bool dispatching = false;
+  /// Streaming (chunked) response in progress: the connection never
+  /// returns to request parsing. Further received bytes are drained and
+  /// discarded, the idle read deadline is retired (an SSE subscriber
+  /// legally sends nothing for hours), and the stream ends by closing.
+  bool streaming = false;
+  /// The stream's producer handle state; close paths mark it dead so the
+  /// producer stops. Set together with `streaming`.
+  std::shared_ptr<StreamReply> stream;
+  /// One-shot callback fired when `out` fully drains to the socket — the
+  /// streaming producer's cue to build the next chunk (TCP backpressure).
+  std::function<void()> on_drain;
   /// Closes when no bytes arrive by this instant — covers idle keep-alive
   /// gaps, slow-loris partial requests, and clients gone mid-long-poll.
   net::Reactor::Clock::time_point read_deadline{};
@@ -295,6 +331,65 @@ void HttpServer::ResponseSink::operator()(const HttpResponse& response) const {
   });
 }
 
+/// Shared state of one streaming response. Like AsyncReply it holds the
+/// reactor alive so a producer firing after stop() posts into a drained
+/// queue instead of a destroyed one. `dead` flows loop→producer only: any
+/// close path sets it, and the producer reads it through alive()/chunk().
+struct StreamReply {
+  std::shared_ptr<net::Reactor> reactor;
+  HttpServer* server = nullptr;
+  std::weak_ptr<HttpServer::Connection> conn;
+  bool head = false;  // HEAD request: begin() answers headers and closes
+  std::atomic<bool> begun{false};
+  std::atomic<bool> ended{false};
+  std::atomic<bool> dead{false};
+};
+
+void HttpServer::StreamSink::begin(std::map<std::string, std::string> headers,
+                                   int status) const {
+  if (!reply_) return;
+  StreamReply& r = *reply_;
+  if (r.begun.exchange(true)) return;
+  r.reactor->post([server = r.server, reply = reply_, status,
+                   headers = std::move(headers)] {
+    const auto c = reply->conn.lock();
+    if (!c || c->closed) {
+      reply->dead.store(true);
+      return;
+    }
+    server->begin_stream(c, reply, status, headers);
+  });
+}
+
+bool HttpServer::StreamSink::chunk(std::string payload,
+                                   std::function<void()> drained) const {
+  if (!reply_) return false;
+  StreamReply& r = *reply_;
+  if (r.dead.load() || r.ended.load() || !r.begun.load()) return false;
+  r.reactor->post([server = r.server, reply = reply_,
+                   payload = std::move(payload),
+                   drained = std::move(drained)]() mutable {
+    server->stream_chunk(reply, std::move(payload), std::move(drained));
+  });
+  return true;
+}
+
+void HttpServer::StreamSink::end() const {
+  if (!reply_) return;
+  StreamReply& r = *reply_;
+  if (r.ended.exchange(true)) return;
+  r.reactor->post(
+      [server = r.server, reply = reply_] { server->end_stream(reply); });
+}
+
+bool HttpServer::StreamSink::alive() const {
+  return reply_ && !reply_->dead.load() && !reply_->ended.load();
+}
+
+bool HttpServer::StreamSink::head_only() const {
+  return reply_ && reply_->head && reply_->begun.load();
+}
+
 HttpServer::HttpServer() : reactor_(std::make_shared<net::Reactor>()) {
   accept_handler_.server = this;
 }
@@ -315,6 +410,12 @@ void HttpServer::route_async(const std::string& method, const std::string& path,
                              AsyncHandler handler) {
   std::lock_guard<std::mutex> lock(routes_mutex_);
   async_[{method, path}] = std::move(handler);
+}
+
+void HttpServer::route_stream(const std::string& method,
+                              const std::string& path, StreamHandler handler) {
+  std::lock_guard<std::mutex> lock(routes_mutex_);
+  stream_[{method, path}] = std::move(handler);
 }
 
 void HttpServer::set_idle_read_timeout(double seconds) {
@@ -462,6 +563,9 @@ void HttpServer::arm_idle_timer(const std::shared_ptr<Connection>& conn) {
         const auto c = weak.lock();
         if (!c || c->closed) return;
         c->idle_timer = 0;
+        // A streaming subscriber legally sends nothing for the stream's
+        // whole life; its death shows up as a write error or HUP instead.
+        if (c->streaming) return;
         if (net::Reactor::Clock::now() >= c->read_deadline) {
           close_conn(c);
         } else {
@@ -473,6 +577,12 @@ void HttpServer::arm_idle_timer(const std::shared_ptr<Connection>& conn) {
 void HttpServer::close_conn(const std::shared_ptr<Connection>& conn) {
   if (conn->closed) return;
   conn->closed = true;
+  if (conn->stream) {
+    // Tell the producer its consumer is gone; the next chunk() refuses.
+    conn->stream->dead.store(true);
+    conn->stream.reset();
+  }
+  conn->on_drain = nullptr;
   if (conn->idle_timer != 0) {
     reactor_->cancel(conn->idle_timer);
     conn->idle_timer = 0;
@@ -513,7 +623,13 @@ void HttpServer::conn_event(Connection* raw, std::uint32_t events) {
     }
     if (got_bytes) {
       conn->read_deadline = read_deadline_from_now();
-      if (!conn->response_pending) {
+      if (conn->streaming) {
+        // A converted connection never parses again: bytes pipelined
+        // behind the converting request — or sent later — are drained and
+        // discarded deterministically instead of being interpreted as
+        // requests against a response channel that no longer exists.
+        conn->in.clear();
+      } else if (!conn->response_pending) {
         try_dispatch(conn);
         if (conn->closed) return;
       } else if (conn->in.size() > kMaxPipelinedBytes) {
@@ -558,7 +674,14 @@ void HttpServer::update_events(const std::shared_ptr<Connection>& conn) {
 /// already buffered keep being served first (try_dispatch runs before
 /// this on every path that can make response_pending false).
 void HttpServer::finish_after_eof(const std::shared_ptr<Connection>& conn) {
-  if (conn->closed || !conn->peer_eof || conn->response_pending) return;
+  if (conn->closed || !conn->peer_eof) return;
+  if (conn->streaming) {
+    // A streaming peer that half-closed is gone for our purposes: the only
+    // traffic left flows our way, and EventSource aborts by closing.
+    close_conn(conn);
+    return;
+  }
+  if (conn->response_pending) return;
   if (conn->out_off >= conn->out.size()) {
     close_conn(conn);
   } else {
@@ -569,7 +692,7 @@ void HttpServer::finish_after_eof(const std::shared_ptr<Connection>& conn) {
 void HttpServer::try_dispatch(const std::shared_ptr<Connection>& conn) {
   if (conn->dispatching) return;
   conn->dispatching = true;
-  while (!conn->closed && !conn->response_pending &&
+  while (!conn->closed && !conn->response_pending && !conn->streaming &&
          !conn->close_after_write) {
     HttpRequest request;
     const ParseResult result = parse_request(conn->in, request);
@@ -596,6 +719,7 @@ void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
   bool suppress_body = is_head;
 
   AsyncHandler async_handler;
+  StreamHandler stream_handler;
   Handler handler;
   std::string allow;  // populated when the path exists under other methods
   {
@@ -604,6 +728,11 @@ void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
       if (const auto it = async_.find({method, request.path});
           it != async_.end()) {
         async_handler = it->second;
+        return true;
+      }
+      if (const auto st = stream_.find({method, request.path});
+          st != stream_.end()) {
+        stream_handler = st->second;
         return true;
       }
       if (const auto jt = exact_.find({method, request.path});
@@ -619,13 +748,18 @@ void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
       }
       return false;
     };
-    // HEAD falls back to the GET route with the body suppressed.
+    // HEAD falls back to the GET route with the body suppressed. For a
+    // stream route the sink answers HEAD itself (headers, then close) —
+    // it must never park a suppressed infinite body.
     if (!find_for(request.method) && !(is_head && find_for("GET"))) {
       std::set<std::string> methods;
       for (const auto& [key, h] : exact_) {
         if (key.second == request.path) methods.insert(key.first);
       }
       for (const auto& [key, h] : async_) {
+        if (key.second == request.path) methods.insert(key.first);
+      }
+      for (const auto& [key, h] : stream_) {
         if (key.second == request.path) methods.insert(key.first);
       }
       for (const auto& [m, prefix, h] : prefix_) {
@@ -638,7 +772,7 @@ void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
     }
   }
 
-  if (!handler && !async_handler) {
+  if (!handler && !async_handler && !stream_handler) {
     HttpResponse response;
     if (!allow.empty()) {
       // The resource exists, the method is wrong (RFC 7231 §6.5.5).
@@ -651,6 +785,28 @@ void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
       response = HttpResponse::not_found();
     }
     enqueue_response(conn, response, keep_alive, suppress_body);
+    return;
+  }
+
+  if (stream_handler) {
+    auto reply = std::make_shared<StreamReply>();
+    reply->reactor = reactor_;
+    reply->server = this;
+    reply->conn = conn;
+    reply->head = is_head;
+    StreamSink sink;
+    sink.reply_ = std::move(reply);
+    pool_->submit([handler = std::move(stream_handler),
+                   request = std::move(request), sink] {
+      try {
+        handler(request, sink);
+      } catch (const std::exception&) {
+        // Best effort: an empty chunked 500 if the stream never began, a
+        // truncating terminator if it did. begin() is a no-op once begun.
+        sink.begin({{"Content-Type", "text/plain; charset=utf-8"}}, 500);
+        sink.end();
+      }
+    });
     return;
   }
 
@@ -712,6 +868,74 @@ void HttpServer::enqueue_response(const std::shared_ptr<Connection>& conn,
   if (!conn->closed) finish_after_eof(conn);
 }
 
+void HttpServer::begin_stream(
+    const std::shared_ptr<Connection>& conn,
+    const std::shared_ptr<StreamReply>& reply, int status,
+    const std::map<std::string, std::string>& headers) {
+  // The stream head: chunked framing delimits the body, so no
+  // Content-Length; Connection: close because a converted connection
+  // never parses another request — keep-alive would strand the client.
+  conn->out += util::strprintf(
+      "HTTP/1.1 %d %s\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
+      status, status_text(status));
+  for (const auto& [key, value] : headers) {
+    conn->out += key + ": " + value + "\r\n";
+  }
+  conn->out += "\r\n";
+  served_.fetch_add(1);
+  conn->response_pending = false;
+  if (reply->head) {
+    // HEAD of a streaming resource: the headers it would carry, then
+    // close. The producer sees head_only()/refused chunks and stops.
+    reply->dead.store(true);
+    conn->close_after_write = true;
+    continue_write(conn);
+    return;
+  }
+  conn->streaming = true;
+  conn->stream = reply;
+  // Bytes pipelined behind the converting request are discarded, never
+  // parsed into a stream-mode connection (conn_event drains later ones).
+  conn->in.clear();
+  if (conn->idle_timer != 0) {
+    reactor_->cancel(conn->idle_timer);
+    conn->idle_timer = 0;
+  }
+  continue_write(conn);
+  // A peer that already half-closed is gone (see finish_after_eof); close
+  // now rather than holding an un-watched fd forever.
+  if (!conn->closed && conn->peer_eof) close_conn(conn);
+}
+
+void HttpServer::stream_chunk(const std::shared_ptr<StreamReply>& reply,
+                              std::string payload,
+                              std::function<void()> drained) {
+  const auto conn = reply->conn.lock();
+  if (!conn || conn->closed || !conn->streaming) {
+    reply->dead.store(true);
+    return;
+  }
+  if (conn->out.size() - conn->out_off + payload.size() > kMaxStreamBuffered) {
+    close_conn(conn);  // producer ignoring backpressure on a dead consumer
+    return;
+  }
+  detail::append_chunk(conn->out, payload);
+  // Latest-wins: the producer re-arms one continuation per burst of
+  // chunks; pacing decisions belong to it, not to a callback queue.
+  if (drained) conn->on_drain = std::move(drained);
+  continue_write(conn);
+}
+
+void HttpServer::end_stream(const std::shared_ptr<StreamReply>& reply) {
+  const auto conn = reply->conn.lock();
+  reply->dead.store(true);
+  if (!conn || conn->closed || !conn->streaming) return;
+  detail::append_last_chunk(conn->out);
+  conn->on_drain = nullptr;
+  conn->close_after_write = true;
+  continue_write(conn);
+}
+
 void HttpServer::continue_write(const std::shared_ptr<Connection>& conn) {
   if (conn->closed) return;
   if (conn->out_off < conn->out.size()) {
@@ -731,6 +955,14 @@ void HttpServer::continue_write(const std::shared_ptr<Connection>& conn) {
     if (conn->close_after_write && !conn->response_pending) {
       close_conn(conn);
       return;
+    }
+    if (conn->on_drain) {
+      // Everything queued reached the kernel: the streaming producer's
+      // cue for the next chunk. One-shot; any further work it wants
+      // arrives as reactor posts, so firing inline cannot recurse here.
+      const auto drained = std::move(conn->on_drain);
+      conn->on_drain = nullptr;
+      drained();
     }
   } else if (conn->out_off > (64u << 10)) {
     // Tail would block: let the wall of written bytes go, park the rest

@@ -18,10 +18,19 @@
 // only after that response is serialized, so responses always leave in
 // request order.
 //
+// *Stream routes* go one step further: the handler receives a StreamSink
+// and the response is an unbounded sequence of HTTP/1.1 chunks
+// (Transfer-Encoding: chunked) — the wire format Server-Sent Events rides
+// on. A streaming response converts the connection: it never returns to
+// request parsing (bytes pipelined behind the converting request are
+// drained and discarded), partial chunk writes resume on EPOLLOUT like any
+// response, and the producer paces itself off the drained callback, so a
+// slow consumer exerts TCP backpressure instead of growing the buffer.
+//
 // HTTP/1.1 surface: keep-alive with pipelining, HEAD (headers +
-// Content-Length, no body), 405 + Allow for known paths asked with the
-// wrong or an unknown method, 503 when the connection cap (or the
-// process's fd table) is exhausted.
+// Content-Length, no body), chunked streaming responses, 405 + Allow for
+// known paths asked with the wrong or an unknown method, 503 when the
+// connection cap (or the process's fd table) is exhausted.
 #pragma once
 
 #include <atomic>
@@ -92,6 +101,48 @@ class HttpServer {
   };
   using AsyncHandler = std::function<void(const HttpRequest&, ResponseSink)>;
 
+  /// Producer handle for a streaming (chunked) response. Copyable; safe to
+  /// use from any thread — every operation posts to the reactor, where the
+  /// connection state lives. Lifecycle: begin() once (first call wins),
+  /// then chunk() repeatedly, then end(); the connection always closes
+  /// when the stream finishes (a converted connection never parses another
+  /// request, so keep-alive would strand it).
+  class StreamSink {
+   public:
+    /// Send the status line + headers and convert the connection to stream
+    /// mode (Transfer-Encoding: chunked, Connection: close). For a HEAD
+    /// request the headers are sent as-is and the connection closes —
+    /// head_only() turns true and chunk() refuses — so streaming resources
+    /// answer HEAD instead of parking an infinite suppressed body.
+    void begin(std::map<std::string, std::string> headers = {},
+               int status = 200) const;
+    /// Queue one chunk of payload (already application-framed; this only
+    /// adds the chunked-transfer envelope). `drained`, if given, fires on
+    /// the loop thread once the connection's output buffer has fully
+    /// drained to the socket — the producer's backpressure signal; issue
+    /// the next chunk from there and a slow consumer paces the stream via
+    /// TCP instead of ballooning server memory. Returns false once the
+    /// stream is dead (connection gone or end() called): the producer
+    /// should stop. Empty payloads are dropped (a zero-length chunk is the
+    /// terminator on the wire — only end() may emit it).
+    bool chunk(std::string payload,
+               std::function<void()> drained = nullptr) const;
+    /// Terminal zero-length chunk; the connection closes once it drains.
+    void end() const;
+    /// The connection can still accept chunks. Advisory (the connection
+    /// can die between the check and the write); chunk()'s return is the
+    /// authoritative signal.
+    bool alive() const;
+    /// True once begin() ran for a HEAD request: the response is complete
+    /// and the handler should produce nothing.
+    bool head_only() const;
+
+   private:
+    friend class HttpServer;
+    std::shared_ptr<struct StreamReply> reply_;
+  };
+  using StreamHandler = std::function<void(const HttpRequest&, StreamSink)>;
+
   HttpServer();
   ~HttpServer();
   HttpServer(const HttpServer&) = delete;
@@ -106,6 +157,11 @@ class HttpServer {
   /// Route whose handler completes asynchronously via the ResponseSink.
   void route_async(const std::string& method, const std::string& path,
                    AsyncHandler handler);
+
+  /// Route whose handler produces a chunked streaming response via the
+  /// StreamSink. HEAD requests reach the handler too (head_only() sinks).
+  void route_stream(const std::string& method, const std::string& path,
+                    StreamHandler handler);
 
   /// Bind loopback:port (0 = ephemeral), start the reactor thread and the
   /// worker pool. Returns the bound port. Throws std::runtime_error on
@@ -150,6 +206,7 @@ class HttpServer {
  private:
   struct Connection;
   friend struct AsyncReply;
+  friend struct StreamReply;
 
   struct AcceptHandler : net::EventHandler {
     HttpServer* server = nullptr;
@@ -167,6 +224,12 @@ class HttpServer {
   void enqueue_response(const std::shared_ptr<Connection>& conn,
                         const HttpResponse& response, bool keep_alive,
                         bool suppress_body);
+  void begin_stream(const std::shared_ptr<Connection>& conn,
+                    const std::shared_ptr<StreamReply>& reply, int status,
+                    const std::map<std::string, std::string>& headers);
+  void stream_chunk(const std::shared_ptr<StreamReply>& reply,
+                    std::string payload, std::function<void()> drained);
+  void end_stream(const std::shared_ptr<StreamReply>& reply);
   void continue_write(const std::shared_ptr<Connection>& conn);
   void update_events(const std::shared_ptr<Connection>& conn);
   void arm_idle_timer(const std::shared_ptr<Connection>& conn);
@@ -174,6 +237,7 @@ class HttpServer {
 
   std::map<std::pair<std::string, std::string>, Handler> exact_;
   std::map<std::pair<std::string, std::string>, AsyncHandler> async_;
+  std::map<std::pair<std::string, std::string>, StreamHandler> stream_;
   std::vector<std::tuple<std::string, std::string, Handler>> prefix_;
   std::mutex routes_mutex_;
 
@@ -255,6 +319,12 @@ HttpClientResponse http_post(int port, const std::string& path,
 std::string url_decode(const std::string& text);
 
 namespace detail {
+/// Append one HTTP/1.1 chunk (hex size line, payload, CRLF) to `out`.
+/// Empty payloads are dropped: a zero-length chunk is the stream
+/// terminator on the wire, which only append_last_chunk may emit.
+void append_chunk(std::string& out, const std::string& payload);
+/// Append the terminal zero-length chunk ("0\r\n\r\n", no trailers).
+void append_last_chunk(std::string& out);
 /// send() loop for *blocking* sockets (HttpClient and tests): retries EINTR
 /// (a signal is not a dead peer) and keeps writing across send-timeout
 /// expiries (EAGAIN under SO_SNDTIMEO) as long as the peer keeps accepting

@@ -422,6 +422,11 @@ FrameHub::Stats FrameHub::stats() const {
   return stats_;
 }
 
+bool FrameHub::is_shutdown() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_;
+}
+
 void FrameHub::wait_async(std::uint64_t since, double timeout_s,
                           std::function<void(FramePtr)> done) {
   WaitOptions options;

@@ -256,6 +256,11 @@ class FrameHub {
   /// the timer thread and worker pool. Idempotent.
   void shutdown();
 
+  /// True once shutdown() began: lets a long-lived subscriber (an SSE
+  /// stream) distinguish a done(nullptr) that means "timed out, wait
+  /// again" from one that means "this hub is gone, end the stream".
+  bool is_shutdown() const;
+
  private:
   struct Waiter {
     std::uint64_t since = 0;

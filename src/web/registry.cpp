@@ -89,6 +89,15 @@ std::shared_ptr<FrameHub> HubRegistry::find(const std::string& view) const {
   return it == shards_.end() ? nullptr : it->second.hub;
 }
 
+void HubRegistry::touch(const std::string& view) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) return;
+  const auto it = shards_.find(view);
+  if (it != shards_.end() && it->second.hub) {
+    it->second.last_subscribe_s = mono_now_s();
+  }
+}
+
 bool HubRegistry::known(const std::string& view) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return shards_.find(view) != shards_.end();

@@ -96,6 +96,11 @@ class HubRegistry {
   /// Lookup without revival (monitoring): null when the shard has no live
   /// hub right now, even if the name is known.
   std::shared_ptr<FrameHub> find(const std::string& view) const;
+  /// Record subscriber activity on `view` without looking anything up: a
+  /// long-lived stream subscribes once but keeps consuming, so it refreshes
+  /// the shard's idle-reap clock per delivery the way each long-poll's
+  /// subscribe() does. No-op for unknown or reaped views.
+  void touch(const std::string& view);
   /// Register `view` eagerly and exempt it from reaping.
   std::shared_ptr<FrameHub> pin(const std::string& view);
 

@@ -18,6 +18,13 @@
 // Sessions expire after an idle period, so the table is bounded by the
 // number of *recently active* clients, not by everyone who ever connected.
 //
+// Sessions also span *transports*: an /api/stream SSE subscription with the
+// same `client` identifier feeds the identical session its polls would —
+// delivery samples are taken when the connection's output buffer actually
+// drains into the kernel, so a push stream whose reader stalls (TCP
+// backpressure) collapses utilization and is downgraded/paced mid-stream
+// exactly like a slow poller.
+//
 // Sharded hubs (web/registry.hpp) do NOT shard the sessions: pacing state
 // is keyed by the client identity alone, so one browser polling several
 // views feeds a single GoodputMeter/RmsaController. The session tracks

@@ -1,0 +1,748 @@
+// Chunked-transfer streaming and the /api/stream SSE push transport:
+//  * chunk-encoder framing (hex size lines, CRLF placement, the dropped
+//    empty payload, the exact "0\r\n\r\n" terminator)
+//  * decoder-side seam independence: the encoded wire split at every
+//    possible byte boundary still reassembles
+//  * a multi-megabyte chunk against a tiny receive buffer: the server's
+//    partial-write EPOLLOUT resume delivers every byte, then the terminal
+//    chunk, then EOF
+//  * HEAD to a stream route answers the headers and closes — it never
+//    converts the connection or parks
+//  * bytes pipelined behind a stream-converting request are discarded, so
+//    exactly one response ever leaves the connection
+//  * end-to-end SSE beside long-poll: gap-free strictly-increasing frame
+//    streams for both transports off the same hub shard while steering
+//    POSTs land, slow-consumer tier downgrade over SSE, stale-cursor and
+//    full=1 resync, keepalive comments, and clean stream end on registry
+//    shutdown.
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+#include "web/frontend.hpp"
+#include "web/http.hpp"
+#include "web/hub.hpp"
+
+namespace w = ricsa::web;
+using ricsa::util::Json;
+
+namespace {
+
+w::FrontEndConfig fast_config() {
+  w::FrontEndConfig config;
+  config.session.resolution = 12;
+  config.session.cycles_per_frame = 1;
+  config.frame_interval_s = 0.02;
+  config.frame_window = 256;
+  config.hub_workers = 4;
+  return config;
+}
+
+w::FrontEndConfig paced_config() {
+  w::FrontEndConfig config;
+  config.session.resolution = 16;
+  config.session.cycles_per_frame = 1;
+  config.session.viz.image_width = 32;
+  config.session.viz.image_height = 32;
+  config.frame_interval_s = 0.02;
+  config.pacing.downgrade_streak = 2;
+  config.pacing.upgrade_streak = 3;
+  config.pacing.meter_window_s = 0.5;
+  return config;
+}
+
+int connect_to(int port, int rcvbuf = 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (rcvbuf > 0) {
+    // Must be set before connect so the window scale is negotiated small:
+    // this is what forces the server through many partial writes.
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void set_recv_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<long>(seconds);
+  tv.tv_usec = static_cast<long>((seconds - tv.tv_sec) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/// Incremental HTTP/1.1 chunked-transfer decoder. Feed arbitrary slices;
+/// `payload` accumulates de-chunked bytes, `terminated` flips on the
+/// zero-length final chunk.
+struct ChunkDecoder {
+  std::string raw;
+  std::string payload;
+  bool terminated = false;
+  bool error = false;
+
+  void feed(const char* data, std::size_t n) {
+    raw.append(data, n);
+    parse();
+  }
+
+  void parse() {
+    while (!terminated && !error) {
+      const auto line_end = raw.find("\r\n");
+      if (line_end == std::string::npos) return;
+      std::size_t size = 0;
+      try {
+        size = static_cast<std::size_t>(
+            std::stoull(raw.substr(0, line_end), nullptr, 16));
+      } catch (const std::exception&) {
+        error = true;
+        return;
+      }
+      // size line + payload + trailing CRLF must be complete.
+      if (raw.size() < line_end + 2 + size + 2) return;
+      if (raw.compare(line_end + 2 + size, 2, "\r\n") != 0) {
+        error = true;
+        return;
+      }
+      if (size == 0) {
+        terminated = true;
+      } else {
+        payload.append(raw, line_end + 2, size);
+      }
+      raw.erase(0, line_end + 2 + size + 2);
+    }
+  }
+};
+
+/// One SSE event as parsed off the wire.
+struct SseEvent {
+  std::uint64_t id = 0;
+  std::string data;
+};
+
+/// Splits a de-chunked SSE payload into events (blank-line separated);
+/// keepalive comment lines (": ...") yield no event but are counted.
+struct SseParser {
+  std::string buf;
+  std::vector<SseEvent> events;
+  int keepalives = 0;
+
+  void feed(const std::string& payload) {
+    buf += payload;
+    std::size_t pos;
+    while ((pos = buf.find("\n\n")) != std::string::npos) {
+      const std::string block = buf.substr(0, pos);
+      buf.erase(0, pos + 2);
+      SseEvent ev;
+      bool has_data = false;
+      std::size_t start = 0;
+      while (start <= block.size()) {
+        const auto nl = block.find('\n', start);
+        const std::string line = block.substr(
+            start, nl == std::string::npos ? std::string::npos : nl - start);
+        if (line.rfind("id: ", 0) == 0) {
+          ev.id = std::stoull(line.substr(4));
+        } else if (line.rfind("data: ", 0) == 0) {
+          ev.data = line.substr(6);
+          has_data = true;
+        } else if (!line.empty() && line[0] == ':') {
+          ++keepalives;
+        }
+        if (nl == std::string::npos) break;
+        start = nl + 1;
+      }
+      if (has_data) events.push_back(std::move(ev));
+    }
+  }
+};
+
+/// A raw-socket SSE subscriber: sends the request, then reads and decodes
+/// the chunked event stream until the deadline (or EOF). HttpClient cannot
+/// be used — it has no chunked-transfer support, by design.
+struct SseClient {
+  int fd = -1;
+  std::string headers;
+  ChunkDecoder decoder;
+  SseParser sse;
+  bool eof = false;
+
+  bool open(int port, const std::string& path_and_query, int rcvbuf = 0) {
+    fd = connect_to(port, rcvbuf);
+    if (fd < 0) return false;
+    set_recv_timeout(fd, 0.25);
+    const std::string request =
+        "GET " + path_and_query + " HTTP/1.1\r\nHost: x\r\n\r\n";
+    return w::detail::write_all(fd, request.data(), request.size());
+  }
+
+  /// One recv; returns false on EOF/error, true on progress or timeout.
+  bool pump(std::size_t cap = 4096) {
+    char chunk[4096];
+    const ssize_t got =
+        ::recv(fd, chunk, std::min(cap, sizeof(chunk)), 0);
+    if (got == 0) {
+      eof = true;
+      return false;
+    }
+    if (got < 0) return errno == EAGAIN || errno == EWOULDBLOCK ||
+                        errno == EINTR;
+    std::size_t off = 0;
+    if (headers.find("\r\n\r\n") == std::string::npos) {
+      headers.append(chunk, static_cast<std::size_t>(got));
+      const auto end = headers.find("\r\n\r\n");
+      if (end == std::string::npos) return true;
+      const std::string rest = headers.substr(end + 4);
+      headers.resize(end + 4);
+      if (!rest.empty()) decoder.feed(rest.data(), rest.size());
+      off = static_cast<std::size_t>(got);  // already consumed via headers
+    }
+    if (off == 0) decoder.feed(chunk, static_cast<std::size_t>(got));
+    const std::size_t before = sse.events.size();
+    sse.feed(decoder.payload.substr(sse_consumed));
+    sse_consumed = decoder.payload.size();
+    (void)before;
+    return true;
+  }
+
+  void run_until(std::chrono::steady_clock::time_point deadline,
+                 double inter_read_delay_s = 0.0, std::size_t read_cap = 4096) {
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (!pump(read_cap)) break;
+      if (inter_read_delay_s > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(inter_read_delay_s));
+      }
+    }
+  }
+
+  ~SseClient() {
+    if (fd >= 0) ::close(fd);
+  }
+
+ private:
+  std::size_t sse_consumed = 0;
+};
+
+std::string read_to_eof(int fd, double timeout_s = 5.0) {
+  set_recv_timeout(fd, timeout_s);
+  std::string wire;
+  char chunk[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    wire.append(chunk, static_cast<std::size_t>(got));
+  }
+  return wire;
+}
+
+int count_status_lines(const std::string& wire) {
+  int n = 0;
+  std::size_t pos = 0;
+  while ((pos = wire.find("HTTP/1.1 ", pos)) != std::string::npos) {
+    ++n;
+    pos += 9;
+  }
+  return n;
+}
+
+}  // namespace
+
+// ------------------------------------------------- chunk encoder units ----
+
+TEST(ChunkEncoding, FramesPayloadsWithHexSizes) {
+  std::string out;
+  w::detail::append_chunk(out, "hello");
+  EXPECT_EQ(out, "5\r\nhello\r\n");
+  // A payload crossing the single-hex-digit boundary: 255 bytes -> "ff".
+  out.clear();
+  w::detail::append_chunk(out, std::string(255, 'x'));
+  EXPECT_EQ(out.substr(0, 4), "ff\r\n");
+  EXPECT_EQ(out.size(), 4 + 255 + 2);
+  EXPECT_EQ(out.substr(out.size() - 2), "\r\n");
+  // Payload bytes are opaque — embedded CRLFs are framed, not parsed.
+  out.clear();
+  w::detail::append_chunk(out, "a\r\nb");
+  EXPECT_EQ(out, "4\r\na\r\nb\r\n");
+}
+
+TEST(ChunkEncoding, EmptyPayloadDroppedAndTerminatorExact) {
+  std::string out;
+  w::detail::append_chunk(out, "");
+  // "0\r\n" is the wire terminator; an empty producer chunk must not
+  // accidentally end the stream.
+  EXPECT_TRUE(out.empty());
+  w::detail::append_last_chunk(out);
+  EXPECT_EQ(out, "0\r\n\r\n");
+}
+
+TEST(ChunkEncoding, DecoderReassemblesAcrossEveryByteSeam) {
+  // Encode a small stream, then re-feed it split at every byte boundary:
+  // framing must never depend on chunk boundaries aligning with reads —
+  // exactly the situation after a partial write resumes on EPOLLOUT.
+  std::string wire;
+  const std::vector<std::string> payloads = {
+      "id: 1\ndata: {\"seq\":1}\n\n", std::string(300, 'q'), ": keepalive\n\n"};
+  std::string want;
+  for (const auto& p : payloads) {
+    w::detail::append_chunk(wire, p);
+    want += p;
+  }
+  w::detail::append_last_chunk(wire);
+  for (std::size_t split = 1; split < wire.size(); ++split) {
+    ChunkDecoder decoder;
+    decoder.feed(wire.data(), split);
+    decoder.feed(wire.data() + split, wire.size() - split);
+    ASSERT_FALSE(decoder.error) << "split at " << split;
+    EXPECT_TRUE(decoder.terminated) << "split at " << split;
+    EXPECT_EQ(decoder.payload, want) << "split at " << split;
+  }
+}
+
+// ------------------------------------------- server-level stream routes ----
+
+TEST(HttpStream, MultiMegabyteChunkResumesAcrossPartialWrites) {
+  // One 2 MiB chunk against an 8 KiB client receive buffer: the reactor
+  // write path hits EAGAIN hundreds of times and must resume on EPOLLOUT
+  // without losing or reordering a byte, then emit the terminal chunk.
+  std::string big(2u << 20, '\0');
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>('a' + (i % 26));
+  }
+  w::HttpServer server;
+  server.route_stream(
+      "GET", "/big", [&big](const w::HttpRequest&, w::HttpServer::StreamSink sink) {
+        sink.begin({{"Content-Type", "application/octet-stream"}});
+        if (sink.head_only()) return;
+        sink.chunk(big, [sink] { sink.end(); });
+      });
+  const int port = server.start();
+
+  const int fd = connect_to(port, /*rcvbuf=*/8192);
+  ASSERT_GE(fd, 0);
+  const std::string request = "GET /big HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_TRUE(w::detail::write_all(fd, request.data(), request.size()));
+  set_recv_timeout(fd, 5.0);
+  std::string wire;
+  char chunk[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    wire.append(chunk, static_cast<std::size_t>(got));
+    // A deliberately slow consumer: keeps the server buffer full so the
+    // EPOLLOUT-resume path is exercised for real, not just once.
+    if (wire.size() < (1u << 20)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  ::close(fd);
+
+  const auto header_end = wire.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  const std::string head = wire.substr(0, header_end + 4);
+  EXPECT_NE(head.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(head.find("Transfer-Encoding: chunked"), std::string::npos);
+  EXPECT_NE(head.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(head.find("Content-Length"), std::string::npos);
+  ChunkDecoder decoder;
+  decoder.feed(wire.data() + header_end + 4, wire.size() - header_end - 4);
+  EXPECT_FALSE(decoder.error);
+  EXPECT_TRUE(decoder.terminated);
+  EXPECT_EQ(decoder.payload.size(), big.size());
+  EXPECT_EQ(decoder.payload, big);
+  server.stop();
+}
+
+TEST(HttpStream, BeginThenEndYieldsEmptyTerminatedStream) {
+  w::HttpServer server;
+  server.route_stream("GET", "/empty",
+                      [](const w::HttpRequest&, w::HttpServer::StreamSink sink) {
+                        sink.begin();
+                        sink.end();
+                      });
+  const int port = server.start();
+  const int fd = connect_to(port);
+  ASSERT_GE(fd, 0);
+  const std::string request = "GET /empty HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_TRUE(w::detail::write_all(fd, request.data(), request.size()));
+  const std::string wire = read_to_eof(fd);
+  ::close(fd);
+  const auto header_end = wire.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  // Nothing but the terminator after the headers, then EOF.
+  EXPECT_EQ(wire.substr(header_end + 4), "0\r\n\r\n");
+  server.stop();
+}
+
+TEST(HttpStream, HeadAnswersHeadersAndClosesWithoutConverting) {
+  w::HttpServer server;
+  std::atomic<int> chunks_attempted{0};
+  server.route_stream(
+      "GET", "/s",
+      [&](const w::HttpRequest&, w::HttpServer::StreamSink sink) {
+        sink.begin({{"Content-Type", "text/event-stream"}});
+        if (sink.head_only()) return;
+        ++chunks_attempted;
+        sink.chunk("data: x\n\n", [sink] { sink.end(); });
+      });
+  const int port = server.start();
+  const int fd = connect_to(port);
+  ASSERT_GE(fd, 0);
+  const std::string request = "HEAD /s HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_TRUE(w::detail::write_all(fd, request.data(), request.size()));
+  const std::string wire = read_to_eof(fd);
+  ::close(fd);
+  EXPECT_NE(wire.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: text/event-stream"), std::string::npos);
+  // Headers only: the connection closed instead of parking a suppressed
+  // infinite body, and the handler produced no chunks.
+  EXPECT_EQ(wire.substr(wire.size() - 4), "\r\n\r\n");
+  EXPECT_EQ(wire.find("data:"), std::string::npos);
+  EXPECT_EQ(chunks_attempted.load(), 0);
+  server.stop();
+}
+
+TEST(HttpStream, PipelinedBytesBehindStreamAreDiscarded) {
+  w::HttpServer server;
+  server.route("GET", "/plain", [](const w::HttpRequest&) {
+    return w::HttpResponse::text("plain");
+  });
+  server.route_stream(
+      "GET", "/s", [](const w::HttpRequest&, w::HttpServer::StreamSink sink) {
+        sink.begin({{"Content-Type", "text/event-stream"}});
+        if (sink.head_only()) return;
+        sink.chunk("data: one\n\n", [sink] {
+          sink.chunk("data: two\n\n", [sink] { sink.end(); });
+        });
+      });
+  const int port = server.start();
+  const int fd = connect_to(port);
+  ASSERT_GE(fd, 0);
+  // The stream-converting request and a pipelined request for a normal
+  // route arrive in one segment. The second request's bytes must be
+  // drained and dropped — never parsed, never answered.
+  const std::string request =
+      "GET /s HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /plain HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_TRUE(w::detail::write_all(fd, request.data(), request.size()));
+  const std::string wire = read_to_eof(fd);
+  ::close(fd);
+  EXPECT_EQ(count_status_lines(wire), 1);
+  EXPECT_EQ(wire.find("Content-Length"), std::string::npos);
+  EXPECT_EQ(wire.find("plain"), std::string::npos);
+  const auto header_end = wire.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  ChunkDecoder decoder;
+  decoder.feed(wire.data() + header_end + 4, wire.size() - header_end - 4);
+  EXPECT_TRUE(decoder.terminated);
+  EXPECT_EQ(decoder.payload, "data: one\n\ndata: two\n\n");
+  EXPECT_EQ(server.requests_served(), 1u);
+  server.stop();
+}
+
+// --------------------------------------------------- /api/stream (SSE) ----
+
+TEST(SseStream, HeadAnswersEventStreamHeadersAndWrongMethodIs405) {
+  w::AjaxFrontEnd fe(fast_config());
+  const int port = fe.start();
+
+  const int fd = connect_to(port);
+  ASSERT_GE(fd, 0);
+  const std::string request = "HEAD /api/stream HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_TRUE(w::detail::write_all(fd, request.data(), request.size()));
+  const std::string wire = read_to_eof(fd, 2.0);
+  ::close(fd);
+  EXPECT_NE(wire.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: text/event-stream"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 4), "\r\n\r\n");
+
+  const auto post = w::http_post(port, "/api/stream", "{}");
+  EXPECT_EQ(post.status, 405);
+  EXPECT_NE(post.headers.at("allow").find("GET"), std::string::npos);
+  fe.stop();
+}
+
+TEST(SseStream, BadParametersRejectedBeforeConverting) {
+  w::AjaxFrontEnd fe(fast_config());
+  const int port = fe.start();
+  for (const std::string query :
+       {"?view=nope", "?since=abc", "?timeout=nan"}) {
+    const int fd = connect_to(port);
+    ASSERT_GE(fd, 0);
+    const std::string request =
+        "GET /api/stream" + query + " HTTP/1.1\r\nHost: x\r\n\r\n";
+    ASSERT_TRUE(w::detail::write_all(fd, request.data(), request.size()));
+    const std::string wire = read_to_eof(fd, 2.0);
+    ::close(fd);
+    const int status = std::stoi(wire.substr(9, 3));
+    EXPECT_TRUE(status == 400 || status == 404) << query << " -> " << wire;
+    // Error replies are still well-formed terminated streams.
+    EXPECT_NE(wire.find("0\r\n\r\n"), std::string::npos) << query;
+  }
+  fe.stop();
+}
+
+TEST(SseStream, PushesGapFreeFramesBesidePollersWhileSteering) {
+  w::AjaxFrontEnd fe(fast_config());
+  const int port = fe.start();
+  while (fe.frame_seq() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  constexpr int kSse = 4;
+  constexpr int kPollers = 4;
+  // Goal-seeking, not wall-clock-bound: each client reads until it holds
+  // enough frames for the assertions below, under a generous cap — a
+  // loaded machine slows delivery without failing a fixed-window count.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(8);
+
+  std::vector<SseClient> streams(kSse);
+  std::vector<std::vector<std::uint64_t>> poll_seqs(kPollers);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSse; ++i) {
+    threads.emplace_back([&, i] {
+      ASSERT_TRUE(
+          streams[i].open(port, "/api/stream?since=0&delta=1&timeout=1"));
+      while (streams[i].sse.events.size() < 12 &&
+             std::chrono::steady_clock::now() < deadline) {
+        if (!streams[i].pump()) break;
+      }
+    });
+  }
+  for (int i = 0; i < kPollers; ++i) {
+    threads.emplace_back([&, i] {
+      w::HttpClient http(port);
+      std::uint64_t since = 0;
+      while (poll_seqs[i].size() < 8 &&
+             std::chrono::steady_clock::now() < deadline) {
+        Json body;
+        try {
+          body = Json::parse(http.get("/api/poll?since=" +
+                                          std::to_string(since) +
+                                          "&delta=1&timeout=1",
+                                      5.0)
+                                 .body);
+        } catch (const std::exception&) {
+          continue;
+        }
+        if (body.contains("timeout")) continue;
+        const auto seq = static_cast<std::uint64_t>(body.at("seq").as_number());
+        ASSERT_GT(seq, since);
+        poll_seqs[i].push_back(seq);
+        since = seq;
+      }
+    });
+  }
+  // Early enough that every client is still mid-stream when the steering
+  // write lands (12 events at the 20 ms cadence is ~240 ms of reading).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  w::http_post(port, "/api/steer", "{\"mach\": 3.25}");
+  for (auto& t : threads) t.join();
+
+  EXPECT_GE(fe.steer_count(), 1u);
+  for (int i = 0; i < kSse; ++i) {
+    const auto& events = streams[i].sse.events;
+    ASSERT_GE(events.size(), 10u) << "sse client " << i;
+    bool saw_delta = false;
+    for (std::size_t k = 0; k < events.size(); ++k) {
+      const Json body = Json::parse(events[k].data);
+      const auto seq = static_cast<std::uint64_t>(body.at("seq").as_number());
+      EXPECT_EQ(seq, events[k].id);
+      if (k > 0) {
+        // The same gap-free contract as long-poll: an unpaced subscriber
+        // inside the replay window never skips a frame.
+        ASSERT_EQ(seq, static_cast<std::uint64_t>(events[k - 1].id) + 1)
+            << "sse client " << i << " event " << k;
+        if (body.at("delta").as_bool()) saw_delta = true;
+      }
+    }
+    EXPECT_TRUE(saw_delta) << "sse client " << i;
+  }
+  for (int i = 0; i < kPollers; ++i) {
+    ASSERT_GE(poll_seqs[i].size(), 5u) << "poller " << i;
+    for (std::size_t k = 1; k < poll_seqs[i].size(); ++k) {
+      ASSERT_GT(poll_seqs[i][k], poll_seqs[i][k - 1]);
+    }
+  }
+  fe.stop();
+}
+
+TEST(SseStream, StaleCursorAndFullParamResyncWithFullFrame) {
+  w::AjaxFrontEnd fe(fast_config());
+  const int port = fe.start();
+  while (fe.frame_seq() < 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // A cursor far beyond the head clamps and resyncs: the first event is a
+  // full frame (not a delta against a frame the client never had) with a
+  // real sequence number, and the stream continues gap-free from there.
+  {
+    SseClient c;
+    ASSERT_TRUE(c.open(port, "/api/stream?since=999999&delta=1&timeout=1"));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(800);
+    while (c.sse.events.size() < 3 &&
+           std::chrono::steady_clock::now() < deadline) {
+      if (!c.pump()) break;
+    }
+    ASSERT_GE(c.sse.events.size(), 2u);
+    const Json first = Json::parse(c.sse.events[0].data);
+    EXPECT_LT(first.at("seq").as_number(), 999999.0);
+    EXPECT_FALSE(first.at("delta").as_bool());
+    EXPECT_TRUE(first.contains("image_b64"));
+    EXPECT_EQ(c.sse.events[1].id, c.sse.events[0].id + 1);
+  }
+
+  // full=1 forces the first event to a full frame even with a live cursor —
+  // the dashboard's explicit resync after a transport switch.
+  {
+    const std::uint64_t head = fe.frame_seq();
+    SseClient c;
+    ASSERT_TRUE(c.open(port, "/api/stream?since=" + std::to_string(head) +
+                                 "&delta=1&full=1&timeout=1"));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(800);
+    while (c.sse.events.size() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      if (!c.pump()) break;
+    }
+    ASSERT_GE(c.sse.events.size(), 2u);
+    const Json first = Json::parse(c.sse.events[0].data);
+    EXPECT_FALSE(first.at("delta").as_bool());
+    EXPECT_TRUE(first.contains("image_b64"));
+    // Consumed once: the second event reverts to the delta contract.
+    const Json second = Json::parse(c.sse.events[1].data);
+    EXPECT_TRUE(second.at("delta").as_bool());
+  }
+  fe.stop();
+}
+
+TEST(SseStream, KeepaliveCommentsFlowDuringQuietPeriods) {
+  // Publisher at 0.4 s, stream timeout at 0.1 s: between frames the wait
+  // times out and the server emits comment keepalives instead of silence —
+  // what keeps proxies and the client's liveness check happy.
+  w::FrontEndConfig config = fast_config();
+  config.frame_interval_s = 0.4;
+  w::AjaxFrontEnd fe(config);
+  const int port = fe.start();
+  while (fe.frame_seq() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  SseClient c;
+  ASSERT_TRUE(c.open(port, "/api/stream?delta=1&timeout=0.1"));
+  c.run_until(std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(1000));
+  EXPECT_GE(c.sse.keepalives, 1);
+  EXPECT_GE(c.sse.events.size(), 1u);
+  fe.stop();
+}
+
+TEST(SseStream, SlowConsumerDowngradedMidStream) {
+  // Full frames (no delta) at 160x160 so each event is tens of kilobytes:
+  // the stream's byte backlog must outrun the kernel's socket buffering
+  // (which autotunes to megabytes of in-flight data) before the server can
+  // feel a slow consumer at all — delta bodies of a tiny sim never would.
+  w::FrontEndConfig config = paced_config();
+  config.session.viz.image_width = 160;
+  config.session.viz.image_height = 160;
+  w::AjaxFrontEnd fe(config);
+  const int port = fe.start();
+  while (fe.frame_seq() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Phase one: read slowly until the drained callbacks stall behind the
+  // full socket buffers and the drain-timed goodput meter downgrades the
+  // session — the same session a long-poller would get — *inside* the open
+  // stream, no reconnect needed. Phase two: drain the backlog at full
+  // speed and find the cheap-tier events the downgrade produced.
+  SseClient c;
+  ASSERT_TRUE(c.open(port, "/api/stream?since=0&timeout=1&client=slow-sse",
+                     /*rcvbuf=*/4096));
+  std::atomic<bool> fast{false};
+  std::atomic<bool> saw_cheap_tier{false};
+  std::thread reader([&] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    std::size_t scanned = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (!c.pump(fast ? 65536 : 4096)) break;
+      for (; scanned < c.sse.events.size(); ++scanned) {
+        const Json body = Json::parse(c.sse.events[scanned].data);
+        const std::string tier = body.at("tier").as_string();
+        if (tier == "half" || tier == "state") saw_cheap_tier = true;
+      }
+      if (saw_cheap_tier) break;
+      if (!fast) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  bool downgraded = false;
+  double delivered = 0.0;
+  Json pacing;
+  const auto stats_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!downgraded && std::chrono::steady_clock::now() < stats_deadline) {
+    pacing = Json::parse(w::http_get(port, "/api/stats").body).at("pacing");
+    for (const Json& client : pacing.at("clients").as_array()) {
+      if (client.at("client").as_string() != "slow-sse") continue;
+      delivered = client.at("delivered").as_number();
+      if (client.at("downgrades").as_number() >= 1.0) downgraded = true;
+    }
+    if (!downgraded) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  }
+  EXPECT_TRUE(downgraded) << pacing.dump();
+  // The shared session table reports the stream client like any poller
+  // would appear: sessions created by a stream, samples from its drains.
+  EXPECT_GT(delivered, 0.0);
+  fast = true;
+  reader.join();
+  EXPECT_TRUE(saw_cheap_tier.load()) << c.sse.events.size() << " events";
+  fe.stop();
+}
+
+TEST(SseStream, RegistryShutdownEndsStreamCleanly) {
+  w::AjaxFrontEnd fe(fast_config());
+  const int port = fe.start();
+  while (fe.frame_seq() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  SseClient c;
+  ASSERT_TRUE(c.open(port, "/api/stream?since=0&delta=1&timeout=1"));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(800);
+  while (c.sse.events.empty() &&
+         std::chrono::steady_clock::now() < deadline) {
+    ASSERT_TRUE(c.pump());
+  }
+  ASSERT_GE(c.sse.events.size(), 1u);
+
+  // Shutting the registry down completes the parked hub wait with the
+  // shutdown verdict; the stream must end with the terminal chunk and EOF
+  // — a clean close, not a stalled or reset connection.
+  fe.registry().shutdown();
+  const auto end_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(3);
+  while (!c.eof && std::chrono::steady_clock::now() < end_deadline) {
+    c.pump();
+  }
+  EXPECT_TRUE(c.eof);
+  EXPECT_TRUE(c.decoder.terminated);
+  EXPECT_FALSE(c.decoder.error);
+  fe.stop();
+}

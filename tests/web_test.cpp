@@ -66,6 +66,29 @@ TEST(Http, QueryParamsAndUrlDecoding) {
   server.stop();
 }
 
+TEST(Http, QueryParamValuelessAndEncodedKeys) {
+  w::HttpRequest r;
+  // Valueless keys are present with the empty value. The old parser's
+  // eq==npos arithmetic made "?foo" invisible to query_param("foo") while
+  // "?foo&bar=1" could surface a key as its own value.
+  r.query = "foo&bar=1&full";
+  EXPECT_EQ(r.query_param("foo", "fallback"), "");
+  EXPECT_EQ(r.query_param("full", "0"), "");
+  EXPECT_EQ(r.query_param("bar"), "1");
+  // Keys are URL-decoded before comparison: %66ull names "full".
+  r.query = "%66ull=1&a%20b=2";
+  EXPECT_EQ(r.query_param("full", "0"), "1");
+  EXPECT_EQ(r.query_param("a b"), "2");
+  // '+' decodes to a space in keys exactly as in values.
+  r.query = "a+b=c+d";
+  EXPECT_EQ(r.query_param("a b"), "c d");
+  // Empty pairs (leading/doubled/trailing '&') are skipped, never matched
+  // as the empty key.
+  r.query = "&&x=3&";
+  EXPECT_EQ(r.query_param("x"), "3");
+  EXPECT_EQ(r.query_param("", "fallback"), "fallback");
+}
+
 TEST(Http, HandlerExceptionBecomes500) {
   w::HttpServer server;
   server.route("GET", "/boom", [](const w::HttpRequest&) -> w::HttpResponse {
