@@ -702,6 +702,13 @@ std::vector<ClientSpec> transport_specs(int n_clients, bool sse) {
   return specs;
 }
 
+/// Fleet population for the multireactor scenario: every client prompt,
+/// unpaced, long-poll. Raw serving capacity is the measurement — pacing
+/// skips or think-time pauses would mask the reactor saturation point.
+std::vector<ClientSpec> plain_specs(int n_clients) {
+  return std::vector<ClientSpec>(static_cast<std::size_t>(n_clients));
+}
+
 /// Fleet population for the shard scenario: clients split round-robin
 /// across the views; every client of `slow_view` (when set) is a slow
 /// consumer. Unpaced — per-view gap counts are the correctness signal.
@@ -758,7 +765,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: ajax_fanout [--clients 64,256,512] [--duration-s S]"
                    " [--slow-fraction F] [--frame-interval-s S]"
-                   " [--scenario plain|mixed|fanout|delta|shard|transport]\n");
+                   " [--scenario plain|mixed|fanout|delta|shard|transport|"
+                   "multireactor]\n");
       return 2;
     }
   }
@@ -790,6 +798,14 @@ int main(int argc, char** argv) {
     if (!clients_set) client_counts = {1024};
     if (!frame_interval_set) frame_interval_s = 0.25;
   }
+  // The multi-reactor capacity proof: the acceptance fleet is 8k prompt
+  // long-poll clients on four reactors, against a single-reactor baseline
+  // at the same load and at a quarter of it.
+  const std::size_t kMultiReactors = 4;
+  if (scenario == "multireactor") {
+    if (!clients_set) client_counts = {8192};
+    if (!frame_interval_set) frame_interval_s = 0.25;
+  }
 
   ricsa::web::FrontEndConfig config;
   config.session.resolution = 16;  // small grid: the hub, not the sim, is under test
@@ -797,7 +813,8 @@ int main(int argc, char** argv) {
   config.frame_interval_s = frame_interval_s;
   config.frame_window = 256;
   config.hub_workers = 4;
-  if (scenario == "fanout" || scenario == "shard" || scenario == "transport") {
+  if (scenario == "fanout" || scenario == "shard" || scenario == "transport" ||
+      scenario == "multireactor") {
     const int biggest =
         *std::max_element(client_counts.begin(), client_counts.end());
     config.max_connections = static_cast<std::size_t>(biggest) + 128;
@@ -854,6 +871,9 @@ int main(int argc, char** argv) {
   // Mixed rounds each get a fresh front end: sessions left behind by one
   // adaptive round (idle expiry is 60 s) must not contaminate the next
   // round's baseline (wants_half_tier) or eat into the session cap.
+  // The multireactor scenario flips config.reactors between rounds; every
+  // other scenario runs the default single reactor.
+  if (scenario == "multireactor") config.reactors = kMultiReactors;
   std::unique_ptr<ricsa::web::AjaxFrontEnd> frontend;
   int port = 0;
   const auto fresh_frontend = [&] {
@@ -1006,6 +1026,71 @@ int main(int argc, char** argv) {
       comparisons.as_array().push_back(cmp);
       rounds.as_array().push_back(std::move(poll_round));
       rounds.as_array().push_back(std::move(sse_round));
+    } else if (scenario == "multireactor") {
+      // Same prompt fleet three ways: N reactors at n clients, one reactor
+      // at n clients, one reactor at n/N. The capacity headline is the
+      // multi/single deliveries-per-second ratio at n; the quarter-load
+      // round shows a single reactor is comfortable at n/N — the scaling
+      // lives in the reactor count, not the workload.
+      const int quarter =
+          std::max(1, n / static_cast<int>(kMultiReactors));
+      config.reactors = kMultiReactors;
+      if (!first_round) fresh_frontend();
+      std::fprintf(stderr,
+                   "[ajax_fanout] multireactor: %d clients on %zu "
+                   "reactors...\n",
+                   n, kMultiReactors);
+      Json multi = run_fleet_round(*frontend, port, plain_specs(n),
+                                   duration_s, "multireactor", 0, "");
+      multi["reactors"] = static_cast<int>(kMultiReactors);
+      config.reactors = 1;
+      fresh_frontend();
+      std::fprintf(stderr,
+                   "[ajax_fanout] multireactor: %d clients on 1 reactor "
+                   "(saturation baseline)...\n",
+                   n);
+      Json single = run_fleet_round(*frontend, port, plain_specs(n),
+                                    duration_s, "multireactor", 0, "");
+      single["reactors"] = 1;
+      fresh_frontend();
+      std::fprintf(stderr,
+                   "[ajax_fanout] multireactor: %d clients on 1 reactor "
+                   "(quarter load)...\n",
+                   quarter);
+      Json quarter_load = run_fleet_round(*frontend, port,
+                                          plain_specs(quarter), duration_s,
+                                          "multireactor", 0, "");
+      quarter_load["reactors"] = 1;
+      config.reactors = kMultiReactors;
+
+      Json cmp;
+      cmp["clients"] = n;
+      cmp["reactors"] = static_cast<int>(kMultiReactors);
+      cmp["deliveries_per_sec_multi"] = multi.at("deliveries_per_sec");
+      cmp["deliveries_per_sec_single"] = single.at("deliveries_per_sec");
+      const double dps_multi = multi.at("deliveries_per_sec").as_number();
+      const double dps_single = single.at("deliveries_per_sec").as_number();
+      // >= 1 means the reactors bought real capacity; the acceptance target
+      // at the full 8k fleet is >= 2.5x once a single reactor saturates.
+      cmp["capacity_ratio"] = dps_single > 0 ? dps_multi / dps_single : 0.0;
+      cmp["gaps_multi"] = multi.at("gaps");
+      cmp["gaps_single"] = single.at("gaps");
+      cmp["errors_multi"] = multi.at("errors");
+      cmp["errors_single"] = single.at("errors");
+      cmp["timeouts_multi"] = multi.at("timeouts");
+      cmp["timeouts_single"] = single.at("timeouts");
+      cmp["delivery_p99_ms_multi"] =
+          multi.at("delivery_latency").at("p99_ms");
+      cmp["delivery_p99_ms_single"] =
+          single.at("delivery_latency").at("p99_ms");
+      cmp["clients_single_quarter"] = quarter;
+      cmp["gaps_single_quarter"] = quarter_load.at("gaps");
+      cmp["delivery_p99_ms_single_quarter"] =
+          quarter_load.at("delivery_latency").at("p99_ms");
+      comparisons.as_array().push_back(cmp);
+      rounds.as_array().push_back(std::move(multi));
+      rounds.as_array().push_back(std::move(single));
+      rounds.as_array().push_back(std::move(quarter_load));
     } else if (scenario == "shard") {
       if (!first_round) fresh_frontend();
       const std::string slow_view = shard_views.back();
@@ -1078,15 +1163,17 @@ int main(int argc, char** argv) {
   report["scenario"] = scenario;
   report["frame_interval_s"] = frame_interval_s;
   // The server-side thread budget — constant in the client count: the
-  // reactor loop, the HTTP handler workers, the hub fan-out workers, and
+  // reactor loops, the HTTP handler workers, the hub fan-out workers, and
   // the monitor loop. Everything else in the process is bench clients.
   {
+    const std::size_t reactors = std::max<std::size_t>(1, config.reactors);
     Json threads;
-    threads["reactor"] = 1.0;
+    threads["reactors"] = static_cast<double>(reactors);
     threads["http_workers"] = static_cast<double>(config.http_workers);
     threads["hub_workers"] = static_cast<double>(config.hub_workers);
     threads["monitor_loop"] = 1.0;
-    threads["total"] = static_cast<double>(2 + config.http_workers +
+    threads["total"] = static_cast<double>(1 + reactors +
+                                           config.http_workers +
                                            config.hub_workers);
     report["server_threads"] = threads;
   }

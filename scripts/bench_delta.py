@@ -38,7 +38,8 @@ import sys
 
 BENCH_FILES = ["ajax_fanout.json", "ajax_fanout_mixed.json",
                "ajax_fanout_fanout.json", "ajax_fanout_delta.json",
-               "ajax_fanout_shard.json", "ajax_fanout_transport.json"]
+               "ajax_fanout_shard.json", "ajax_fanout_transport.json",
+               "ajax_fanout_multireactor.json"]
 HISTORY_FILE = "bench_history.json"
 MAX_HISTORY_RUNS = 50
 MIN_PREV_MS = 1.0
@@ -66,13 +67,16 @@ def round_key(round_json):
     # an all-fast round and a slow-view round of the same client count are
     # different workloads and must never be compared against each other.
     # Transport rounds carry "transport" ("long-poll" vs "sse") for the
-    # same reason. Rounds without those fields (every earlier scenario)
-    # get None for them, so existing artifacts stay comparable.
+    # same reason, and multireactor rounds carry "reactors" (the 4-reactor
+    # round and the 1-reactor baseline share a client count). Rounds
+    # without those fields (every earlier scenario) get None for them, so
+    # existing artifacts stay comparable.
     return (round_json.get("clients"), bool(round_json.get("adaptive")),
             bool(round_json.get("full_resend")),
             round_json.get("scenario"), round_json.get("view_count"),
             bool(round_json.get("slow_view")),
-            round_json.get("transport"))
+            round_json.get("transport"),
+            round_json.get("reactors"))
 
 
 def key_str(key):
@@ -87,6 +91,8 @@ def key_str(key):
         parts.append("slow-view")
     if key[6]:
         parts.append(key[6])
+    if len(key) > 7 and key[7] is not None:
+        parts.append(f"reactors={key[7]}")
     return " ".join(parts)
 
 

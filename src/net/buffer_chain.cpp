@@ -1,0 +1,98 @@
+#include "net/buffer_chain.hpp"
+
+#include <sys/uio.h>
+
+namespace ricsa::net {
+
+void BufferChain::append_copy(std::string_view data) {
+  if (data.empty()) return;
+  // Coalesce into the previous copy block when its slice still ends at the
+  // string's end (appending cannot disturb bytes a partial write already
+  // consumed, because off/len only ever reference a stable prefix).
+  if (!segs_.empty()) {
+    Segment& back = segs_.back();
+    if (back.mut && back.off + back.len == back.mut->size()) {
+      back.mut->append(data);
+      back.len += data.size();
+      size_ += data.size();
+      return;
+    }
+  }
+  Segment seg;
+  seg.mut = std::make_shared<std::string>(data);
+  seg.buf = seg.mut;
+  seg.len = seg.mut->size();
+  size_ += seg.len;
+  segs_.push_back(std::move(seg));
+}
+
+void BufferChain::append_shared(SharedBuf buf) {
+  if (!buf) return;
+  const std::size_t len = buf->size();
+  append_shared(std::move(buf), 0, len);
+}
+
+void BufferChain::append_shared(SharedBuf buf, std::size_t off,
+                                std::size_t len) {
+  if (!buf || off >= buf->size()) return;
+  if (len > buf->size() - off) len = buf->size() - off;
+  if (len == 0) return;
+  Segment seg;
+  seg.buf = std::move(buf);
+  seg.off = off;
+  seg.len = len;
+  size_ += len;
+  segs_.push_back(std::move(seg));
+}
+
+void BufferChain::append_chain(BufferChain&& other) {
+  for (Segment& seg : other.segs_) {
+    size_ += seg.len;
+    segs_.push_back(std::move(seg));
+  }
+  other.segs_.clear();
+  other.size_ = 0;
+}
+
+void BufferChain::consume(std::size_t n) {
+  if (n > size_) n = size_;
+  size_ -= n;
+  while (n > 0) {
+    Segment& front = segs_.front();
+    if (n < front.len) {
+      front.off += n;
+      front.len -= n;
+      return;
+    }
+    n -= front.len;
+    segs_.pop_front();  // releases the payload reference
+  }
+}
+
+int BufferChain::fill_iov(struct iovec* iov, int max_iov) const {
+  int count = 0;
+  for (const Segment& seg : segs_) {
+    if (count >= max_iov) break;
+    iov[count].iov_base =
+        const_cast<char*>(seg.buf->data() + seg.off);
+    iov[count].iov_len = seg.len;
+    ++count;
+  }
+  return count;
+}
+
+void BufferChain::clear() {
+  segs_.clear();
+  size_ = 0;
+}
+
+const char* BufferChain::segment_data(std::size_t i) const {
+  const Segment& seg = segs_[i];
+  return seg.buf->data() + seg.off;
+}
+
+std::size_t BufferChain::segment_size(std::size_t i) const {
+  return segs_[i].len;
+}
+
+}  // namespace ricsa::net

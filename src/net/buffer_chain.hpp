@@ -1,0 +1,75 @@
+// Refcounted scatter-gather output buffer for reactor connections.
+//
+// A connection's unsent output used to be one std::string that every
+// response was concatenated into — header + body + chunk framing all
+// copied per write. A BufferChain instead queues *segments*: small copied
+// blocks (status lines, headers, chunk-size framing) interleaved with
+// shared immutable payloads (`shared_ptr<const string>` frame bodies that
+// every subscriber of a frame references without copying). The writer
+// gathers the live segments into an iovec array for Socket::writev;
+// consume() advances through partial writes mid-segment and drops fully
+// written segments, releasing their payload references at kernel-drain
+// time — the earliest moment the bytes can no longer be needed.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+
+struct iovec;
+
+namespace ricsa::net {
+
+class BufferChain {
+ public:
+  using SharedBuf = std::shared_ptr<const std::string>;
+
+  /// Copy `data` into the chain. Consecutive copied blocks coalesce into
+  /// one segment (headers + framing lines land adjacent anyway), so the
+  /// iovec stays short even for chatty header assembly.
+  void append_copy(std::string_view data);
+
+  /// Reference `buf` (or the slice [off, off+len)) without copying. The
+  /// chain holds the refcount until the slice has fully drained. Empty or
+  /// out-of-range slices append nothing.
+  void append_shared(SharedBuf buf);
+  void append_shared(SharedBuf buf, std::size_t off, std::size_t len);
+
+  /// Splice every segment of `other` onto this chain (other is emptied).
+  void append_chain(BufferChain&& other);
+
+  /// Drop the first `n` unsent bytes (clamped): a partial writev resumes
+  /// mid-segment; fully drained segments release their buffer references.
+  void consume(std::size_t n);
+
+  /// Gather up to `max_iov` leading segments into `iov` for writev.
+  /// Returns the iovec count (0 when empty).
+  int fill_iov(struct iovec* iov, int max_iov) const;
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  void clear();
+
+  /// Live (not fully drained) segment count — mostly for tests asserting
+  /// zero-copy assembly and refcount release.
+  std::size_t segments() const noexcept { return segs_.size(); }
+  /// Pointer to the first unsent byte of segment `i` (test hook: proves a
+  /// shared body was referenced, not copied). Precondition: i < segments().
+  const char* segment_data(std::size_t i) const;
+  std::size_t segment_size(std::size_t i) const;
+
+ private:
+  struct Segment {
+    SharedBuf buf;                     // keeps the payload alive
+    std::shared_ptr<std::string> mut;  // non-null: coalescable copy block
+    std::size_t off = 0;
+    std::size_t len = 0;
+  };
+
+  std::deque<Segment> segs_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ricsa::net

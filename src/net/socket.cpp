@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -37,12 +38,18 @@ void Socket::set_nonblocking(int fd) {
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
-Socket Socket::listen_loopback(int port, int backlog) {
+Socket Socket::listen_loopback(int port, int backlog, bool reuse_port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd < 0) throw std::runtime_error("net: socket() failed");
   Socket sock(fd);
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+    // Must precede bind(): the balancing group is formed at bind time.
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+      throw std::runtime_error("net: SO_REUSEPORT failed");
+    }
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
@@ -146,6 +153,25 @@ IoStatus Socket::write_some(const char* data, std::size_t n,
     return IoStatus::kError;
   }
   return IoStatus::kOk;
+}
+
+IoStatus Socket::writev(const struct iovec* iov, int iovcnt,
+                        std::size_t& written) {
+  written = 0;
+  if (iovcnt <= 0) return IoStatus::kOk;
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  for (;;) {
+    const ssize_t w = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (w >= 0) {
+      written = static_cast<std::size_t>(w);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
 }
 
 }  // namespace ricsa::net

@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <string>
 
+struct iovec;
+
 namespace ricsa::net {
 
 /// Outcome of one non-blocking read or write attempt.
@@ -38,9 +40,13 @@ class Socket {
   /// Give up ownership without closing.
   int release() noexcept;
 
-  /// Non-blocking listener on loopback:port (0 = ephemeral).
-  /// Throws std::runtime_error on failure.
-  static Socket listen_loopback(int port, int backlog = 1024);
+  /// Non-blocking listener on loopback:port (0 = ephemeral). With
+  /// `reuse_port`, SO_REUSEPORT is set before bind so N listeners can share
+  /// one port and the kernel spreads accepted connections across them (the
+  /// multi-reactor accept strategy) — every listener on the port must set
+  /// it, including the first. Throws std::runtime_error on failure.
+  static Socket listen_loopback(int port, int backlog = 1024,
+                                bool reuse_port = false);
   int local_port() const;
 
   /// Non-blocking connect to loopback:port (TCP_NODELAY set). Returns an
@@ -63,6 +69,12 @@ class Socket {
   /// reports the byte count (may be > 0 even when the tail would block,
   /// in which case the status is still kOk — call again on writability).
   IoStatus write_some(const char* data, std::size_t n, std::size_t& written);
+
+  /// One gathered write of `iovcnt` iovecs (sendmsg, SIGPIPE suppressed).
+  /// `written` reports the bytes the kernel accepted; kOk means progress
+  /// (possibly partial — rebuild the iovec past `written` and call again
+  /// on writability), kWouldBlock means zero progress.
+  IoStatus writev(const struct iovec* iov, int iovcnt, std::size_t& written);
 
   static void set_nonblocking(int fd);
 

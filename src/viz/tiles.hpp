@@ -15,6 +15,13 @@
 
 namespace ricsa::viz {
 
+namespace detail {
+/// Byte-wise equality of two `n`-byte row segments, vectorized (SSE2 when
+/// the target has it, word-wise otherwise). Exactly equivalent to
+/// memcmp(a, b, n) == 0 — exposed for the equivalence tests.
+bool rows_equal(const std::uint8_t* a, const std::uint8_t* b, std::size_t n);
+}  // namespace detail
+
 /// One tile's pixel rectangle inside the framebuffer.
 struct TileRect {
   int x = 0, y = 0, w = 0, h = 0;

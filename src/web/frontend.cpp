@@ -311,6 +311,8 @@ HubRegistry::Config registry_config_of(const FrontEndConfig& config,
   registry.hub.reactor = reactor;
   registry.pacing = pacing_of(config);
   registry.idle_reap_s = config.view_idle_reap_s;
+  registry.idle_publish_divisor = config.idle_publish_divisor;
+  registry.idle_publish_after_s = config.idle_publish_after_s;
   return registry;
 }
 
@@ -327,6 +329,12 @@ AjaxFrontEnd::AjaxFrontEnd(FrontEndConfig config)
   server_.set_idle_read_timeout(config_.poll_timeout_s + 15.0);
   server_.set_workers(config_.http_workers);
   server_.set_max_connections(config_.max_connections);
+  // set_reactors keeps reactor(0)'s identity, so the hub sweeps the
+  // registry registered on it above stay valid.
+  server_.set_reactors(config_.reactors);
+  server_.set_accept_mode(config_.accept_hand_off
+                              ? HttpServer::AcceptMode::kHandOff
+                              : HttpServer::AcceptMode::kReusePort);
   register_routes();
 }
 
@@ -609,17 +617,23 @@ void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
         // frame remains in the retention window. Everyone else (fresh
         // clients, cursors past the window edge, tier changes, full=1
         // resyncs, stale-epoch resyncs) gets the full snapshot.
-        std::string assembled;
-        const std::string* body = nullptr;
+        // Prebuilt bodies ride as aliased frame buffers (body_shared): the
+        // HTTP layer scatter-gathers them into the response, so N watchers
+        // of one frame share one allocation. Only a cursor-anchored
+        // assembled delta — unique to this client — is a fresh string.
+        std::shared_ptr<const std::string> body;
         if (want_delta && tier_delta_ok && frame->seq == since + 1) {
-          body = &frame->body(tier, true);
+          body = body_shared(frame, tier, true);
         } else if (want_delta && tier_delta_ok && since > 0 &&
                    frame->seq > since + 1) {
-          assembled = hub->delta_body_for(frame, since, tier);
-          if (!assembled.empty()) body = &assembled;
+          std::string assembled = hub->delta_body_for(frame, since, tier);
+          if (!assembled.empty()) {
+            body = std::make_shared<const std::string>(std::move(assembled));
+          }
         }
-        if (body == nullptr || body->empty()) body = &frame->body(tier, false);
-        sink(HttpResponse::json(*body));
+        if (!body || body->empty()) body = body_shared(frame, tier, false);
+        const std::size_t bytes = body->size();
+        sink(HttpResponse::json_shared(std::move(body)));
         if (session) {
           // Record the delivery after the (possibly blocking) socket write:
           // the timestamp then reflects when the client actually drained
@@ -627,8 +641,8 @@ void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
           const std::uint64_t skipped =
               (since != 0 && frame->seq > since + 1) ? frame->seq - since - 1
                                                      : 0;
-          session->on_delivered(mono_now_s(), body->size(), skipped, tier,
-                                cadence, view);
+          session->on_delivered(mono_now_s(), bytes, skipped, tier, cadence,
+                                view);
         }
       });
 }
@@ -706,29 +720,30 @@ void sse_pump(const std::shared_ptr<SseStream>& s) {
     // Identical body selection to /api/poll's completion: sequential
     // prebuilt delta, cursor-anchored assembled delta, else the full
     // snapshot at the session's tier.
-    std::string assembled;
-    const std::string* body = nullptr;
+    std::shared_ptr<const std::string> body;
     const std::uint64_t since = s->since;
     const bool want_delta = s->want_delta && tier_delta_ok && !s->force_full;
     if (want_delta && frame->seq == since + 1) {
-      body = &frame->body(tier, true);
+      body = body_shared(frame, tier, true);
     } else if (want_delta && since > 0 && frame->seq > since + 1) {
-      assembled = s->hub->delta_body_for(frame, since, tier);
-      if (!assembled.empty()) body = &assembled;
+      std::string assembled = s->hub->delta_body_for(frame, since, tier);
+      if (!assembled.empty()) {
+        body = std::make_shared<const std::string>(std::move(assembled));
+      }
     }
-    if (body == nullptr || body->empty()) body = &frame->body(tier, false);
+    if (!body || body->empty()) body = body_shared(frame, tier, false);
     s->force_full = false;
     const std::uint64_t skipped =
         (since != 0 && frame->seq > since + 1) ? frame->seq - since - 1 : 0;
     s->since = frame->seq;
-    std::string event;
-    event.reserve(body->size() + 48);
-    event += "id: ";
-    event += std::to_string(frame->seq);
-    event += "\ndata: ";
-    event += *body;  // compact JSON: never carries a raw newline
-    event += "\n\n";
+    // The event is a chain, not a concatenation: tiny copied framing lines
+    // bracket the shared body buffer (compact JSON: never carries a raw
+    // newline), which rides to the socket without being copied per client.
     const std::size_t bytes = body->size();
+    net::BufferChain event;
+    event.append_copy("id: " + std::to_string(frame->seq) + "\ndata: ");
+    event.append_shared(std::move(body));
+    event.append_copy("\n\n");
     s->sink.chunk(std::move(event), [s, bytes, skipped, tier, cadence] {
       if (s->session) {
         s->session->on_delivered(mono_now_s(), bytes, skipped, tier, cadence,
@@ -889,12 +904,79 @@ HttpResponse AjaxFrontEnd::handle_stats(const HttpRequest& request) {
   return HttpResponse::json(out.dump());
 }
 
+namespace {
+
+enum class RangeParse { kNone, kOk, kUnsatisfiable };
+
+/// RFC 7233 single byte-range parser for `Range: bytes=a-b` / `a-` / `-N`.
+/// kNone means "serve the full 200": absent, malformed, or multi-range
+/// headers are all legally ignorable; only a parsable-but-out-of-bounds
+/// range earns the 416.
+RangeParse parse_byte_range(const std::string& header, std::size_t total,
+                            std::size_t* first, std::size_t* last) {
+  if (!util::starts_with(header, "bytes=")) return RangeParse::kNone;
+  const std::string spec = header.substr(6);
+  if (spec.empty() || spec.find(',') != std::string::npos) {
+    return RangeParse::kNone;  // multi-range: out of scope, full body
+  }
+  const std::size_t dash = spec.find('-');
+  if (dash == std::string::npos) return RangeParse::kNone;
+  const std::string a = spec.substr(0, dash);
+  const std::string b = spec.substr(dash + 1);
+  const auto digits = [](const std::string& str) {
+    return !str.empty() &&
+           str.find_first_not_of("0123456789") == std::string::npos;
+  };
+  if (a.empty()) {
+    // Suffix form `-N`: the final N bytes.
+    if (!digits(b)) return RangeParse::kNone;
+    const std::size_t n = std::stoull(b);
+    if (n == 0) return RangeParse::kUnsatisfiable;
+    *first = n >= total ? 0 : total - n;
+    *last = total - 1;
+    return RangeParse::kOk;
+  }
+  if (!digits(a) || (!b.empty() && !digits(b))) return RangeParse::kNone;
+  *first = std::stoull(a);
+  if (*first >= total) return RangeParse::kUnsatisfiable;
+  *last = b.empty() ? total - 1 : std::stoull(b);
+  if (*last < *first) return RangeParse::kNone;  // malformed, not a miss
+  if (*last >= total) *last = total - 1;
+  return RangeParse::kOk;
+}
+
+}  // namespace
+
 HttpResponse AjaxFrontEnd::handle_image(const HttpRequest& request) {
   const std::shared_ptr<FrameHub> hub = resolve_view(request, nullptr);
   if (!hub) return HttpResponse::not_found();
   const FramePtr frame = hub->latest();
   if (!frame || frame->png.empty()) return HttpResponse::not_found();
-  return HttpResponse::binary(frame->png, "image/png");
+  HttpResponse response = HttpResponse::binary(frame->png, "image/png");
+  response.headers["Accept-Ranges"] = "bytes";
+  const auto range = request.headers.find("range");
+  if (range == request.headers.end()) return response;
+  const std::size_t total = response.body.size();
+  std::size_t first = 0;
+  std::size_t last = 0;
+  switch (parse_byte_range(range->second, total, &first, &last)) {
+    case RangeParse::kNone:
+      return response;
+    case RangeParse::kUnsatisfiable: {
+      HttpResponse miss = HttpResponse::text("range not satisfiable", 416);
+      miss.headers["Content-Range"] = "bytes */" + std::to_string(total);
+      miss.headers["Accept-Ranges"] = "bytes";
+      return miss;
+    }
+    case RangeParse::kOk:
+      break;
+  }
+  response.status = 206;
+  response.headers["Content-Range"] = "bytes " + std::to_string(first) + "-" +
+                                      std::to_string(last) + "/" +
+                                      std::to_string(total);
+  response.body = response.body.substr(first, last - first + 1);
+  return response;
 }
 
 HttpResponse AjaxFrontEnd::handle_steer(const HttpRequest& request) {

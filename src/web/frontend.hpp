@@ -70,9 +70,22 @@ struct FrontEndConfig {
   /// Hub fan-out worker threads.
   std::size_t hub_workers = 4;
   /// HTTP route-handler worker threads. Together with hub_workers, the
-  /// reactor thread, and the monitor loop this bounds *every* server-side
+  /// reactor threads, and the monitor loop this bounds *every* server-side
   /// thread — client count never adds threads.
   std::size_t http_workers = 4;
+  /// Reactor (event-loop) threads; each owns its accepted connections
+  /// outright. 1 reproduces the single-loop server.
+  std::size_t reactors = 1;
+  /// Accept strategy with reactors > 1: false = SO_REUSEPORT listener per
+  /// reactor (kernel balances), true = one listener handing sockets off
+  /// round-robin (for kernels/tests where REUSEPORT balancing is unwanted).
+  bool accept_hand_off = false;
+  /// Publish decimation for views nobody is watching (see
+  /// HubRegistry::Config::idle_publish_divisor). 1 disables.
+  std::size_t idle_publish_divisor = 1;
+  /// Seconds without subscriber activity before a view counts as idle for
+  /// publish decimation.
+  double idle_publish_after_s = 10.0;
   /// Accepted-connection cap; connections beyond it get 503.
   std::size_t max_connections = 8192;
   /// Tile edge (pixels) of the hub's dirty-rect image-delta grid.

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -70,9 +71,11 @@ const char* status_text(int status) {
   switch (status) {
     case 200: return "OK";
     case 204: return "No Content";
+    case 206: return "Partial Content";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 416: return "Range Not Satisfiable";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Unknown";
@@ -156,20 +159,30 @@ ParseResult parse_request(std::string& buffer, HttpRequest& out) {
   return ParseResult::kOk;
 }
 
-/// Serialize a response onto a connection's output buffer. HEAD responses
-/// keep the Content-Length of the body they suppress.
+/// Flat-string serialization, used only for the pre-connection 503 reject
+/// (a fresh socket, one small write). Live connections serialize onto
+/// their BufferChain via detail::append_response_chain instead.
 void append_response(std::string& out, const HttpResponse& response,
                      bool keep_alive, bool suppress_body) {
   out += util::strprintf(
       "HTTP/1.1 %d %s\r\nContent-Length: %zu\r\nConnection: %s\r\n",
-      response.status, status_text(response.status), response.body.size(),
+      response.status, status_text(response.status), response.body_size(),
       keep_alive ? "keep-alive" : "close");
   for (const auto& [key, value] : response.headers) {
     out += key + ": " + value + "\r\n";
   }
   out += "\r\n";
-  if (!suppress_body) out += response.body;
+  if (suppress_body) return;
+  if (response.shared_body) {
+    out += *response.shared_body;
+  } else {
+    out += response.body;
+  }
 }
+
+/// iovec batch per sendmsg. Far above a typical response's segment count
+/// (header + body = 2); a long streaming backlog just loops.
+constexpr int kMaxWriteIov = 64;
 
 bool is_known_method(const std::string& method) {
   static const std::set<std::string> kKnown = {
@@ -178,6 +191,30 @@ bool is_known_method(const std::string& method) {
 }
 
 }  // namespace
+
+namespace detail {
+
+void append_response_chain(net::BufferChain& out, HttpResponse response,
+                           bool keep_alive, bool suppress_body) {
+  std::string head = util::strprintf(
+      "HTTP/1.1 %d %s\r\nContent-Length: %zu\r\nConnection: %s\r\n",
+      response.status, status_text(response.status), response.body_size(),
+      keep_alive ? "keep-alive" : "close");
+  for (const auto& [key, value] : response.headers) {
+    head += key + ": " + value + "\r\n";
+  }
+  head += "\r\n";
+  out.append_copy(head);
+  if (suppress_body) return;  // HEAD: zero body segments
+  if (response.shared_body) {
+    out.append_shared(std::move(response.shared_body));
+  } else if (!response.body.empty()) {
+    out.append_shared(
+        std::make_shared<const std::string>(std::move(response.body)));
+  }
+}
+
+}  // namespace detail
 
 std::string url_decode(const std::string& text) {
   std::string out;
@@ -235,6 +272,15 @@ HttpResponse HttpResponse::json(std::string body, int status) {
   return r;
 }
 
+HttpResponse HttpResponse::json_shared(std::shared_ptr<const std::string> body,
+                                       int status) {
+  HttpResponse r;
+  r.status = status;
+  r.headers["Content-Type"] = "application/json";
+  r.shared_body = std::move(body);
+  return r;
+}
+
 HttpResponse HttpResponse::html(std::string body) {
   HttpResponse r;
   r.headers["Content-Type"] = "text/html; charset=utf-8";
@@ -265,11 +311,16 @@ HttpResponse HttpResponse::bad_request(const std::string& why) {
 struct HttpServer::Connection : net::EventHandler,
                                 std::enable_shared_from_this<Connection> {
   HttpServer* server = nullptr;
+  /// Home shard: the reactor that accepted (or adopted) this connection
+  /// owns it exclusively — buffers, timers, epoll registration. Never
+  /// changes after adoption.
+  Shard* shard = nullptr;
   net::Socket sock;
   std::string peer;     // remote "ip:port", fixed at accept
   std::string in;       // received bytes not yet parsed (pipelining-safe)
-  std::string out;      // serialized responses not yet written
-  std::size_t out_off = 0;
+  /// Unsent response bytes: refcounted segments (copied header blocks,
+  /// shared frame bodies, chunk framing) gathered into writev.
+  net::BufferChain out;
   std::uint32_t events = EPOLLIN | EPOLLRDHUP;
   /// A handler or async sink is outstanding for the current request; the
   /// next pipelined request is not parsed until its response is enqueued,
@@ -304,6 +355,24 @@ struct HttpServer::Connection : net::EventHandler,
   void on_event(std::uint32_t ev) override { server->conn_event(this, ev); }
 };
 
+/// Per-reactor slice of the server: the listener (when this shard
+/// accepts), the connections this reactor owns, and the EMFILE reserve
+/// descriptor. Everything here except `reactor` itself is touched only on
+/// the shard's loop thread.
+struct HttpServer::Shard {
+  HttpServer* server = nullptr;
+  std::size_t index = 0;
+  std::shared_ptr<net::Reactor> reactor;
+  AcceptHandler accept_handler;
+  net::Socket listen;  // invalid on non-accepting shards (hand-off mode)
+  /// Reserve descriptor: on EMFILE it is closed so the offending
+  /// connection can still be accepted, told 503, and closed — instead of
+  /// the listener spinning on an un-acceptable backlog.
+  int reserve_fd = -1;
+  /// Open connections owned by this reactor, keyed by fd.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+};
+
 /// Shared state of one in-flight async response. Holds the reactor (not
 /// the server's loop thread) alive so a sink fired after stop() still has
 /// a queue to post into — the task is then simply never run.
@@ -324,9 +393,9 @@ void HttpServer::ResponseSink::operator()(const HttpResponse& response) const {
   // the actual write happen on the loop thread where the connection state
   // lives, driven by write readiness from there on.
   r.reactor->post([server = r.server, conn = r.conn, keep_alive = r.keep_alive,
-                   suppress = r.suppress_body, response] {
+                   suppress = r.suppress_body, response]() mutable {
     if (const auto c = conn.lock()) {
-      server->enqueue_response(c, response, keep_alive, suppress);
+      server->enqueue_response(c, std::move(response), keep_alive, suppress);
     }
   });
 }
@@ -350,27 +419,50 @@ void HttpServer::StreamSink::begin(std::map<std::string, std::string> headers,
   if (!reply_) return;
   StreamReply& r = *reply_;
   if (r.begun.exchange(true)) return;
-  r.reactor->post([server = r.server, reply = reply_, status,
-                   headers = std::move(headers)] {
-    const auto c = reply->conn.lock();
-    if (!c || c->closed) {
-      reply->dead.store(true);
-      return;
-    }
-    server->begin_stream(c, reply, status, headers);
-  });
+  const bool posted =
+      r.reactor->post([server = r.server, reply = reply_, status,
+                       headers = std::move(headers)] {
+        const auto c = reply->conn.lock();
+        if (!c || c->closed) {
+          reply->dead.store(true);
+          return;
+        }
+        server->begin_stream(c, reply, status, headers);
+      });
+  // Reactor already drained (mid-shutdown): there is no loop to serve this
+  // stream; mark it dead so alive()/chunk() refuse instead of the producer
+  // spinning against a silently dropped task.
+  if (!posted) r.dead.store(true);
 }
 
 bool HttpServer::StreamSink::chunk(std::string payload,
                                    std::function<void()> drained) const {
+  net::BufferChain chain;
+  if (!payload.empty()) {
+    chain.append_shared(
+        std::make_shared<const std::string>(std::move(payload)));
+  }
+  return chunk(std::move(chain), std::move(drained));
+}
+
+bool HttpServer::StreamSink::chunk(net::BufferChain payload,
+                                   std::function<void()> drained) const {
   if (!reply_) return false;
   StreamReply& r = *reply_;
   if (r.dead.load() || r.ended.load() || !r.begun.load()) return false;
-  r.reactor->post([server = r.server, reply = reply_,
-                   payload = std::move(payload),
-                   drained = std::move(drained)]() mutable {
-    server->stream_chunk(reply, std::move(payload), std::move(drained));
-  });
+  const bool posted =
+      r.reactor->post([server = r.server, reply = reply_,
+                       payload = std::move(payload),
+                       drained = std::move(drained)]() mutable {
+        server->stream_chunk(reply, std::move(payload), std::move(drained));
+      });
+  if (!posted) {
+    // The connection's home reactor exited (server stopping): the chunk
+    // can never be written. Fail cleanly — dead, false — so the producer
+    // stops instead of believing the chunk was queued.
+    r.dead.store(true);
+    return false;
+  }
   return true;
 }
 
@@ -378,8 +470,9 @@ void HttpServer::StreamSink::end() const {
   if (!reply_) return;
   StreamReply& r = *reply_;
   if (r.ended.exchange(true)) return;
-  r.reactor->post(
+  const bool posted = r.reactor->post(
       [server = r.server, reply = reply_] { server->end_stream(reply); });
+  if (!posted) r.dead.store(true);
 }
 
 bool HttpServer::StreamSink::alive() const {
@@ -390,9 +483,7 @@ bool HttpServer::StreamSink::head_only() const {
   return reply_ && reply_->head && reply_->begun.load();
 }
 
-HttpServer::HttpServer() : reactor_(std::make_shared<net::Reactor>()) {
-  accept_handler_.server = this;
-}
+HttpServer::HttpServer() = default;
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -430,51 +521,92 @@ void HttpServer::set_max_connections(std::size_t max_connections) {
   if (max_connections > 0) max_connections_ = max_connections;
 }
 
+void HttpServer::set_reactors(std::size_t n) {
+  if (!started_) reactors_.resize(n);
+}
+
+void HttpServer::set_accept_mode(AcceptMode mode) {
+  if (!started_) accept_mode_ = mode;
+}
+
 int HttpServer::start(int port) {
   if (started_) throw std::runtime_error("http: server cannot be restarted");
   started_ = true;
-  listen_ = net::Socket::listen_loopback(port, 1024);
-  port_ = listen_.local_port();
-  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  const std::size_t n = reactors_.size();
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->server = this;
+    shard->index = i;
+    shard->reactor = reactors_.reactor_ptr(i);
+    shard->accept_handler.shard = shard.get();
+    shards_.push_back(std::move(shard));
+  }
+  // Accept strategy. SO_REUSEPORT: every shard binds its own listener on
+  // the same port (the option must be set on all of them, including the
+  // first) and the kernel spreads connections across the group. Hand-off:
+  // one plain listener on shard 0, accepted sockets posted round-robin to
+  // their owners. A single reactor needs neither — one plain listener.
+  const bool reuse_port = accept_mode_ == AcceptMode::kReusePort && n > 1;
+  shards_[0]->listen = net::Socket::listen_loopback(port, 1024, reuse_port);
+  port_ = shards_[0]->listen.local_port();
+  if (reuse_port) {
+    for (std::size_t i = 1; i < n; ++i) {
+      shards_[i]->listen = net::Socket::listen_loopback(port_, 1024, true);
+    }
+  }
   pool_ = std::make_unique<util::ThreadPool>(workers_);
   running_.store(true);
-  reactor_->post([this] {
-    if (!reactor_->add(listen_.fd(), EPOLLIN, &accept_handler_)) {
-      // No watch for the listener means no server: close it so clients
-      // get connection-refused instead of an accept queue nobody drains.
-      listen_.close();
-    }
-  });
-  loop_thread_ = std::thread([this] { reactor_->run(); });
+  for (const auto& owner : shards_) {
+    Shard* shard = owner.get();
+    if (!shard->listen.valid()) continue;
+    shard->reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    shard->reactor->post([shard] {
+      if (!shard->reactor->add(shard->listen.fd(), EPOLLIN,
+                               &shard->accept_handler)) {
+        // No watch for the listener means no acceptor on this shard: close
+        // it so the REUSEPORT group stops routing connections here.
+        shard->listen.close();
+      }
+    });
+  }
+  reactors_.start();
   return port_;
 }
 
 void HttpServer::stop() {
   if (!running_.exchange(false)) return;
-  // Teardown runs where the state lives: the loop closes the listener and
-  // every connection, then stops itself (Reactor::run drains tasks posted
-  // before stop, so this one is guaranteed to execute).
-  reactor_->post([this] {
-    reactor_->remove(listen_.fd());
-    listen_.close();
-    std::vector<std::shared_ptr<Connection>> open;
-    open.reserve(conns_.size());
-    for (const auto& [fd, conn] : conns_) open.push_back(conn);
-    for (const auto& conn : open) close_conn(conn);
-    reactor_->stop();
-  });
-  if (loop_thread_.joinable()) loop_thread_.join();
-  // Joining the pool after the loop: in-flight handlers finish, and their
-  // completion posts land in the drained reactor as no-ops.
+  // Teardown runs where the state lives: each loop closes its listener and
+  // its own connections, then stops itself (Reactor::run drains tasks
+  // posted before stop, so these are guaranteed to execute).
+  for (const auto& owner : shards_) {
+    Shard* shard = owner.get();
+    shard->reactor->post([this, shard] {
+      if (shard->listen.valid()) {
+        shard->reactor->remove(shard->listen.fd());
+        shard->listen.close();
+      }
+      std::vector<std::shared_ptr<Connection>> open;
+      open.reserve(shard->conns.size());
+      for (const auto& [fd, conn] : shard->conns) open.push_back(conn);
+      for (const auto& conn : open) close_conn(conn);
+      shard->reactor->stop();
+    });
+  }
+  reactors_.stop();  // joins every loop thread
+  // Joining the pool after the loops: in-flight handlers finish, and their
+  // completion posts land in drained reactors as no-ops.
   pool_.reset();
-  if (reserve_fd_ >= 0) {
-    ::close(reserve_fd_);
-    reserve_fd_ = -1;
+  for (const auto& owner : shards_) {
+    if (owner->reserve_fd >= 0) {
+      ::close(owner->reserve_fd);
+      owner->reserve_fd = -1;
+    }
   }
 }
 
 void HttpServer::AcceptHandler::on_event(std::uint32_t) {
-  server->on_acceptable();
+  shard->server->on_acceptable(shard);
 }
 
 net::Reactor::Clock::time_point HttpServer::read_deadline_from_now() const {
@@ -483,57 +615,82 @@ net::Reactor::Clock::time_point HttpServer::read_deadline_from_now() const {
              std::chrono::duration<double>(read_timeout_s_));
 }
 
-void HttpServer::on_acceptable() {
+void HttpServer::on_acceptable(Shard* shard) {
   for (;;) {
     net::Socket sock;
     std::string peer;
     int err = 0;
-    const net::IoStatus status = listen_.accept(sock, peer, err);
+    const net::IoStatus status = shard->listen.accept(sock, peer, err);
     if (status == net::IoStatus::kWouldBlock) return;
     if (status == net::IoStatus::kError) {
       if (err == EMFILE || err == ENFILE) {
         // fd table exhausted. Release the reserve descriptor so the
         // connection can still be accepted, told 503, and closed — the
         // alternative is a backlog the listener can never drain.
-        if (reserve_fd_ >= 0) {
-          ::close(reserve_fd_);
-          reserve_fd_ = -1;
+        if (shard->reserve_fd >= 0) {
+          ::close(shard->reserve_fd);
+          shard->reserve_fd = -1;
         }
-        if (listen_.accept(sock, peer, err) == net::IoStatus::kOk) {
-          reject_with_503(std::move(sock));
-          reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        if (shard->listen.accept(sock, peer, err) == net::IoStatus::kOk) {
+          reject_with_503(shard, std::move(sock));
+          shard->reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
           continue;
         }
-        reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        shard->reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
         return;  // still exhausted; level-triggered epoll will retry
       }
       if (err == ECONNABORTED || err == EINTR) continue;
       return;
     }
-    if (conns_.size() >= max_connections_) {
-      reject_with_503(std::move(sock));
+    // The cap reads the cross-shard counter: exact with one reactor,
+    // approximate (racy by at most a few accepts) across many — an
+    // admission limit, not an invariant.
+    if (connections_open_.load() >= max_connections_) {
+      reject_with_503(shard, std::move(sock));
       continue;
     }
-    auto conn = std::make_shared<Connection>();
-    conn->server = this;
-    conn->sock = std::move(sock);
-    conn->peer = std::move(peer);
-    conn->read_deadline = read_deadline_from_now();
-    const int fd = conn->sock.fd();
-    if (!reactor_->add(fd, conn->events, conn.get())) {
-      // epoll watch exhaustion (fs.epoll.max_user_watches): the fd would
-      // never receive events, so tell the client 503 instead of tracking
-      // a connection that can only hang.
-      reject_with_503(std::move(conn->sock));
-      continue;
+    if (accept_mode_ == AcceptMode::kHandOff && shards_.size() > 1) {
+      Shard* target = shards_[reactors_.next_index()].get();
+      if (target != shard) {
+        // Reactor::Task must be copyable; a Socket is move-only, so the
+        // accepted fd rides the post inside a shared_ptr.
+        auto held = std::make_shared<net::Socket>(std::move(sock));
+        target->reactor->post(
+            [this, target, held, peer = std::move(peer)]() mutable {
+              adopt_connection(target, std::move(*held), std::move(peer));
+            });
+        continue;
+      }
     }
-    conns_[fd] = conn;
-    connections_open_.fetch_add(1);
-    arm_idle_timer(conn);
+    adopt_connection(shard, std::move(sock), std::move(peer));
   }
 }
 
-void HttpServer::reject_with_503(net::Socket sock) {
+/// Register an accepted socket with its owning shard. Runs on the shard's
+/// loop thread (directly from its acceptor, or via post in hand-off mode).
+void HttpServer::adopt_connection(Shard* shard, net::Socket sock,
+                                  std::string peer) {
+  if (!running_.load()) return;  // raced with stop(); RAII closes the fd
+  auto conn = std::make_shared<Connection>();
+  conn->server = this;
+  conn->shard = shard;
+  conn->sock = std::move(sock);
+  conn->peer = std::move(peer);
+  conn->read_deadline = read_deadline_from_now();
+  const int fd = conn->sock.fd();
+  if (!shard->reactor->add(fd, conn->events, conn.get())) {
+    // epoll watch exhaustion (fs.epoll.max_user_watches): the fd would
+    // never receive events, so tell the client 503 instead of tracking
+    // a connection that can only hang.
+    reject_with_503(shard, std::move(conn->sock));
+    return;
+  }
+  shard->conns[fd] = conn;
+  connections_open_.fetch_add(1);
+  arm_idle_timer(conn);
+}
+
+void HttpServer::reject_with_503(Shard* shard, net::Socket sock) {
   rejected_.fetch_add(1);
   std::string wire;
   append_response(wire,
@@ -551,14 +708,14 @@ void HttpServer::reject_with_503(net::Socket sock) {
   // without running them) still closes the fd via RAII.
   ::shutdown(sock.fd(), SHUT_WR);
   auto held = std::make_shared<net::Socket>(std::move(sock));
-  reactor_->run_after(1.0, [held] { held->close(); });
+  shard->reactor->run_after(1.0, [held] { held->close(); });
 }
 
 void HttpServer::arm_idle_timer(const std::shared_ptr<Connection>& conn) {
   if (conn->closed || conn->idle_timer != 0) return;
   // One timer per connection, re-armed lazily: received bytes just move
   // read_deadline; the callback chases it instead of rescheduling per byte.
-  conn->idle_timer = reactor_->run_at(
+  conn->idle_timer = conn->shard->reactor->run_at(
       conn->read_deadline, [this, weak = std::weak_ptr<Connection>(conn)] {
         const auto c = weak.lock();
         if (!c || c->closed) return;
@@ -584,11 +741,11 @@ void HttpServer::close_conn(const std::shared_ptr<Connection>& conn) {
   }
   conn->on_drain = nullptr;
   if (conn->idle_timer != 0) {
-    reactor_->cancel(conn->idle_timer);
+    conn->shard->reactor->cancel(conn->idle_timer);
     conn->idle_timer = 0;
   }
-  reactor_->remove(conn->sock.fd());
-  conns_.erase(conn->sock.fd());
+  conn->shard->reactor->remove(conn->sock.fd());
+  conn->shard->conns.erase(conn->sock.fd());
   conn->sock.close();
   connections_open_.fetch_sub(1);
 }
@@ -662,10 +819,10 @@ void HttpServer::conn_event(Connection* raw, std::uint32_t events) {
 void HttpServer::update_events(const std::shared_ptr<Connection>& conn) {
   if (conn->closed) return;
   std::uint32_t want = conn->peer_eof ? 0u : (EPOLLIN | EPOLLRDHUP);
-  if (conn->out_off < conn->out.size()) want |= EPOLLOUT;
+  if (!conn->out.empty()) want |= EPOLLOUT;
   if (want != conn->events) {
     conn->events = want;
-    reactor_->modify(conn->sock.fd(), want);
+    conn->shard->reactor->modify(conn->sock.fd(), want);
   }
 }
 
@@ -682,7 +839,7 @@ void HttpServer::finish_after_eof(const std::shared_ptr<Connection>& conn) {
     return;
   }
   if (conn->response_pending) return;
-  if (conn->out_off >= conn->out.size()) {
+  if (conn->out.empty()) {
     close_conn(conn);
   } else {
     conn->close_after_write = true;
@@ -784,13 +941,13 @@ void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
     } else {
       response = HttpResponse::not_found();
     }
-    enqueue_response(conn, response, keep_alive, suppress_body);
+    enqueue_response(conn, std::move(response), keep_alive, suppress_body);
     return;
   }
 
   if (stream_handler) {
     auto reply = std::make_shared<StreamReply>();
-    reply->reactor = reactor_;
+    reply->reactor = conn->shard->reactor;
     reply->server = this;
     reply->conn = conn;
     reply->head = is_head;
@@ -812,7 +969,7 @@ void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
 
   if (async_handler) {
     auto reply = std::make_shared<AsyncReply>();
-    reply->reactor = reactor_;
+    reply->reactor = conn->shard->reactor;
     reply->server = this;
     reply->conn = conn;
     reply->keep_alive = keep_alive;
@@ -832,10 +989,11 @@ void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
   }
 
   // Sync handlers run on the worker pool — the loop thread never blocks on
-  // application code — and complete by posting back, exactly like a sink.
+  // application code — and complete by posting back to the connection's
+  // home reactor, exactly like a sink.
   pool_->submit([this, handler = std::move(handler),
                  request = std::move(request), conn, keep_alive,
-                 suppress_body] {
+                 suppress_body, reactor = conn->shard->reactor] {
     HttpResponse response;
     try {
       response = handler(request);
@@ -843,18 +1001,19 @@ void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
       response =
           HttpResponse::text(std::string("internal error: ") + e.what(), 500);
     }
-    reactor_->post([this, conn, response = std::move(response), keep_alive,
-                    suppress_body] {
-      enqueue_response(conn, response, keep_alive, suppress_body);
+    reactor->post([this, conn, response = std::move(response), keep_alive,
+                   suppress_body]() mutable {
+      enqueue_response(conn, std::move(response), keep_alive, suppress_body);
     });
   });
 }
 
 void HttpServer::enqueue_response(const std::shared_ptr<Connection>& conn,
-                                  const HttpResponse& response,
-                                  bool keep_alive, bool suppress_body) {
+                                  HttpResponse response, bool keep_alive,
+                                  bool suppress_body) {
   if (conn->closed) return;
-  append_response(conn->out, response, keep_alive, suppress_body);
+  detail::append_response_chain(conn->out, std::move(response), keep_alive,
+                                suppress_body);
   served_.fetch_add(1);
   conn->response_pending = false;
   if (!keep_alive) conn->close_after_write = true;
@@ -875,13 +1034,14 @@ void HttpServer::begin_stream(
   // The stream head: chunked framing delimits the body, so no
   // Content-Length; Connection: close because a converted connection
   // never parses another request — keep-alive would strand the client.
-  conn->out += util::strprintf(
+  std::string head = util::strprintf(
       "HTTP/1.1 %d %s\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
       status, status_text(status));
   for (const auto& [key, value] : headers) {
-    conn->out += key + ": " + value + "\r\n";
+    head += key + ": " + value + "\r\n";
   }
-  conn->out += "\r\n";
+  head += "\r\n";
+  conn->out.append_copy(head);
   served_.fetch_add(1);
   conn->response_pending = false;
   if (reply->head) {
@@ -898,7 +1058,7 @@ void HttpServer::begin_stream(
   // parsed into a stream-mode connection (conn_event drains later ones).
   conn->in.clear();
   if (conn->idle_timer != 0) {
-    reactor_->cancel(conn->idle_timer);
+    conn->shard->reactor->cancel(conn->idle_timer);
     conn->idle_timer = 0;
   }
   continue_write(conn);
@@ -908,18 +1068,28 @@ void HttpServer::begin_stream(
 }
 
 void HttpServer::stream_chunk(const std::shared_ptr<StreamReply>& reply,
-                              std::string payload,
+                              net::BufferChain payload,
                               std::function<void()> drained) {
   const auto conn = reply->conn.lock();
   if (!conn || conn->closed || !conn->streaming) {
     reply->dead.store(true);
     return;
   }
-  if (conn->out.size() - conn->out_off + payload.size() > kMaxStreamBuffered) {
+  if (conn->out.size() + payload.size() > kMaxStreamBuffered) {
     close_conn(conn);  // producer ignoring backpressure on a dead consumer
     return;
   }
-  detail::append_chunk(conn->out, payload);
+  if (!payload.empty()) {
+    // Chunk framing brackets the payload chain in place — the body segments
+    // (often shared frame buffers) are never copied into a wire string.
+    char size_line[32];
+    const int n = std::snprintf(size_line, sizeof(size_line), "%zx\r\n",
+                                payload.size());
+    conn->out.append_copy(std::string_view(size_line,
+                                           static_cast<std::size_t>(n)));
+    conn->out.append_chain(std::move(payload));
+    conn->out.append_copy("\r\n");
+  }
   // Latest-wins: the producer re-arms one continuation per burst of
   // chunks; pacing decisions belong to it, not to a callback queue.
   if (drained) conn->on_drain = std::move(drained);
@@ -930,7 +1100,7 @@ void HttpServer::end_stream(const std::shared_ptr<StreamReply>& reply) {
   const auto conn = reply->conn.lock();
   reply->dead.store(true);
   if (!conn || conn->closed || !conn->streaming) return;
-  detail::append_last_chunk(conn->out);
+  conn->out.append_copy("0\r\n\r\n");
   conn->on_drain = nullptr;
   conn->close_after_write = true;
   continue_write(conn);
@@ -938,20 +1108,22 @@ void HttpServer::end_stream(const std::shared_ptr<StreamReply>& reply) {
 
 void HttpServer::continue_write(const std::shared_ptr<Connection>& conn) {
   if (conn->closed) return;
-  if (conn->out_off < conn->out.size()) {
+  while (!conn->out.empty()) {
+    struct iovec iov[kMaxWriteIov];
+    const int iovcnt = conn->out.fill_iov(iov, kMaxWriteIov);
     std::size_t written = 0;
-    const net::IoStatus status =
-        conn->sock.write_some(conn->out.data() + conn->out_off,
-                              conn->out.size() - conn->out_off, written);
-    conn->out_off += written;
+    const net::IoStatus status = conn->sock.writev(iov, iovcnt, written);
+    // consume() releases fully-drained segments (dropping their refcounts)
+    // and advances the offset inside a partially-written one, so a resumed
+    // write picks up mid-segment without shifting bytes.
+    conn->out.consume(written);
     if (status == net::IoStatus::kError) {
       close_conn(conn);
       return;
     }
+    if (status == net::IoStatus::kWouldBlock || written == 0) break;
   }
-  if (conn->out_off >= conn->out.size()) {
-    conn->out.clear();
-    conn->out_off = 0;
+  if (conn->out.empty()) {
     if (conn->close_after_write && !conn->response_pending) {
       close_conn(conn);
       return;
@@ -964,11 +1136,6 @@ void HttpServer::continue_write(const std::shared_ptr<Connection>& conn) {
       conn->on_drain = nullptr;
       drained();
     }
-  } else if (conn->out_off > (64u << 10)) {
-    // Tail would block: let the wall of written bytes go, park the rest
-    // on EPOLLOUT (update_events below arms it).
-    conn->out.erase(0, conn->out_off);
-    conn->out_off = 0;
   }
   update_events(conn);
 }

@@ -2,11 +2,16 @@
 //
 // The paper's front end serves the GWT-built Ajax application and answers
 // XMLHttpRequest calls (Section 5.1); this is the equivalent embedded web
-// server. Since the epoll port it is *event-driven*: one net::Reactor
-// thread multiplexes every connection — accept, request parsing, and
-// response writes are state machines advanced by readiness events — and a
-// small worker pool runs the route handlers. An idle long-poll client costs
-// one fd plus a few hundred bytes of connection state instead of a parked
+// server. Since the epoll port it is *event-driven*: N net::Reactor
+// threads (a ReactorPool, default 1) multiplex the connections — accept,
+// request parsing, and response writes are state machines advanced by
+// readiness events — and a small worker pool runs the route handlers.
+// Every connection is owned end-to-end by the reactor that accepted it
+// (SO_REUSEPORT listeners, or round-robin hand-off), so the wire path
+// needs no cross-reactor locks; responses leave through a refcounted
+// BufferChain gathered into writev, so a frame body fanned out to N
+// clients is never copied per client. An idle long-poll client costs one
+// fd plus a few hundred bytes of connection state instead of a parked
 // thread stack, which is what pushes fan-out from ~1k clients to 10k+.
 // No TLS, loopback-oriented.
 //
@@ -45,7 +50,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/buffer_chain.hpp"
 #include "net/reactor.hpp"
+#include "net/reactor_pool.hpp"
 #include "net/socket.hpp"
 #include "util/thread_pool.hpp"
 
@@ -70,9 +77,23 @@ struct HttpResponse {
   int status = 200;
   std::map<std::string, std::string> headers;
   std::string body;
+  /// Zero-copy body: when set, the response *references* this immutable
+  /// string instead of carrying bytes in `body` (which is then ignored).
+  /// The connection's buffer chain appends it as a shared segment, so a
+  /// frame body fanned out to N subscribers is serialized with N small
+  /// header blocks and zero body copies.
+  std::shared_ptr<const std::string> shared_body;
+
+  std::size_t body_size() const noexcept {
+    return shared_body ? shared_body->size() : body.size();
+  }
 
   static HttpResponse text(std::string body, int status = 200);
   static HttpResponse json(std::string body, int status = 200);
+  /// JSON response referencing `body` without copying — the fan-out path
+  /// for hub frame bodies shared across every subscriber of a frame.
+  static HttpResponse json_shared(std::shared_ptr<const std::string> body,
+                                  int status = 200);
   static HttpResponse html(std::string body);
   static HttpResponse binary(std::vector<std::uint8_t> bytes,
                              std::string content_type);
@@ -126,6 +147,12 @@ class HttpServer {
     /// should stop. Empty payloads are dropped (a zero-length chunk is the
     /// terminator on the wire — only end() may emit it).
     bool chunk(std::string payload,
+               std::function<void()> drained = nullptr) const;
+    /// Zero-copy variant: the payload arrives as a pre-assembled buffer
+    /// chain (e.g. SSE framing around a shared frame body); only the
+    /// chunked-transfer envelope is added around it. Same return/drained
+    /// semantics as the string overload.
+    bool chunk(net::BufferChain payload,
                std::function<void()> drained = nullptr) const;
     /// Terminal zero-length chunk; the connection closes once it drains.
     void end() const;
@@ -194,41 +221,65 @@ class HttpServer {
   std::size_t workers() const noexcept { return workers_; }
 
   /// Accepted-connection cap: connections beyond it receive 503 and are
-  /// closed immediately. Call before start().
+  /// closed immediately. Call before start(). With several reactors the
+  /// cap is enforced against a shared atomic count, so a simultaneous
+  /// accept burst on two reactors can overshoot it by a few connections.
   void set_max_connections(std::size_t max_connections);
 
-  /// The event loop driving this server. Valid for the server's lifetime;
-  /// the loop thread runs between start() and stop(). Exposed so co-located
-  /// subsystems (FrameHub pacing/timeout sweeps) can register timers on the
-  /// same loop instead of spawning their own timer threads.
-  net::Reactor& reactor() noexcept { return *reactor_; }
+  /// Reactor thread count (call before start()). With n > 1 the wire path
+  /// shards: each reactor *owns* the connections it accepted — their
+  /// buffers, timers, and epoll registration all live on that loop thread,
+  /// and completions from elsewhere post to the connection's home reactor.
+  /// No cross-reactor locking anywhere on the wire path.
+  void set_reactors(std::size_t n);
+  std::size_t reactor_count() const noexcept { return reactors_.size(); }
+
+  /// How a new connection finds its owning reactor when reactor_count()>1.
+  enum class AcceptMode {
+    /// One SO_REUSEPORT listener per reactor; the kernel balances accepts
+    /// across them (default — no hand-off hop, no shared accept state).
+    kReusePort,
+    /// Single listener on reactor 0; accepted sockets are handed to their
+    /// owner round-robin via task posting. Fallback for stacks without
+    /// usable SO_REUSEPORT balancing.
+    kHandOff
+  };
+  void set_accept_mode(AcceptMode mode);
+
+  /// The *primary* event loop (reactor 0). Valid for the server's
+  /// lifetime; loop threads run between start() and stop(). Exposed so
+  /// co-located subsystems (FrameHub pacing/timeout sweeps) can register
+  /// timers on a server loop instead of spawning their own timer threads.
+  net::Reactor& reactor() noexcept { return reactors_.reactor(0); }
 
  private:
   struct Connection;
+  struct Shard;
   friend struct AsyncReply;
   friend struct StreamReply;
 
   struct AcceptHandler : net::EventHandler {
-    HttpServer* server = nullptr;
+    Shard* shard = nullptr;
     void on_event(std::uint32_t events) override;
   };
 
-  // All of the following run on the reactor loop thread only.
-  void on_acceptable();
-  void reject_with_503(net::Socket socket);
+  // All of the following run on the owning shard's loop thread only.
+  void on_acceptable(Shard* shard);
+  void adopt_connection(Shard* shard, net::Socket sock, std::string peer);
+  void reject_with_503(Shard* shard, net::Socket socket);
   void conn_event(Connection* conn, std::uint32_t events);
   void finish_after_eof(const std::shared_ptr<Connection>& conn);
   net::Reactor::Clock::time_point read_deadline_from_now() const;
   void try_dispatch(const std::shared_ptr<Connection>& conn);
   void dispatch(const std::shared_ptr<Connection>& conn, HttpRequest request);
   void enqueue_response(const std::shared_ptr<Connection>& conn,
-                        const HttpResponse& response, bool keep_alive,
+                        HttpResponse response, bool keep_alive,
                         bool suppress_body);
   void begin_stream(const std::shared_ptr<Connection>& conn,
                     const std::shared_ptr<StreamReply>& reply, int status,
                     const std::map<std::string, std::string>& headers);
   void stream_chunk(const std::shared_ptr<StreamReply>& reply,
-                    std::string payload, std::function<void()> drained);
+                    net::BufferChain payload, std::function<void()> drained);
   void end_stream(const std::shared_ptr<StreamReply>& reply);
   void continue_write(const std::shared_ptr<Connection>& conn);
   void update_events(const std::shared_ptr<Connection>& conn);
@@ -241,18 +292,14 @@ class HttpServer {
   std::vector<std::tuple<std::string, std::string, Handler>> prefix_;
   std::mutex routes_mutex_;
 
-  std::shared_ptr<net::Reactor> reactor_;
+  /// The event loops. Reactor 0 exists from construction (pre-start timer
+  /// registration); set_reactors() grows the pool before start().
+  net::ReactorPool reactors_;
+  /// Per-reactor accept/connection state; built at start(), stable
+  /// addresses for the server's lifetime (Connections point into it).
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<util::ThreadPool> pool_;
-  std::thread loop_thread_;
-  AcceptHandler accept_handler_;
-  net::Socket listen_;
-  /// Reserve descriptor: on EMFILE it is closed so the offending connection
-  /// can still be accepted, told 503, and closed — instead of the listener
-  /// spinning on an un-acceptable backlog.
-  int reserve_fd_ = -1;
-
-  /// Open connections, keyed by fd. Loop-thread only.
-  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+  AcceptMode accept_mode_ = AcceptMode::kReusePort;
 
   int port_ = 0;
   double read_timeout_s_ = 30.0;
@@ -325,6 +372,14 @@ namespace detail {
 void append_chunk(std::string& out, const std::string& payload);
 /// Append the terminal zero-length chunk ("0\r\n\r\n", no trailers).
 void append_last_chunk(std::string& out);
+/// Serialize `response` onto a connection's buffer chain: one small copied
+/// header block, then the body as its own segment — shared (zero-copy)
+/// when the response carries a shared_body, moved into a refcounted
+/// segment otherwise. Header and body are never concatenated into a fresh
+/// string. HEAD (suppress_body) keeps the suppressed body's Content-Length
+/// and appends zero body segments.
+void append_response_chain(net::BufferChain& out, HttpResponse response,
+                           bool keep_alive, bool suppress_body);
 /// send() loop for *blocking* sockets (HttpClient and tests): retries EINTR
 /// (a signal is not a dead peer) and keeps writing across send-timeout
 /// expiries (EAGAIN under SO_SNDTIMEO) as long as the peer keeps accepting

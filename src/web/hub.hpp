@@ -139,6 +139,16 @@ struct Frame {
 };
 using FramePtr = std::shared_ptr<const Frame>;
 
+/// A frame body as a shareable buffer: the aliasing constructor makes a
+/// shared_ptr whose pointee is the frame's own body string and whose
+/// control block keeps the whole frame alive. Response paths hand this to
+/// the HTTP layer's buffer chains, so a body fanned out to N clients is
+/// one allocation scatter-gathered N times — never copied per client.
+inline std::shared_ptr<const std::string> body_shared(const FramePtr& frame,
+                                                      Tier tier, bool delta) {
+  return std::shared_ptr<const std::string>(frame, &frame->body(tier, delta));
+}
+
 class FrameHub {
  public:
   struct Config {

@@ -35,7 +35,9 @@ std::shared_ptr<FrameHub> HubRegistry::pin(const std::string& view) {
 }
 
 std::shared_ptr<FrameHub> HubRegistry::hub_for_publish(const std::string& view,
-                                                       double now_s) {
+                                                       double now_s,
+                                                       bool* skipped) {
+  *skipped = false;
   std::lock_guard<std::mutex> lock(mutex_);
   if (shutdown_) return nullptr;
   auto it = shards_.find(view);
@@ -45,15 +47,32 @@ std::shared_ptr<FrameHub> HubRegistry::hub_for_publish(const std::string& view,
     if (shards_.size() >= config_.max_views) return nullptr;
     it = shards_.emplace(view, Shard{}).first;
   }
-  it->second.last_publish_s = now_s;
-  return revive_locked(it->second);
+  Shard& shard = it->second;
+  // Idle decimation: with nobody consuming the view, build only every Nth
+  // frame. The first publish into a fresh/revived shard is always real
+  // (the shard needs a head frame), and last_publish_s is stamped even for
+  // skips — the publisher is alive, so the reaper must not confuse a
+  // decimated view with an abandoned one.
+  if (config_.idle_publish_divisor > 1 && shard.hub && shard.hub->seq() > 0 &&
+      now_s - shard.last_subscribe_s > config_.idle_publish_after_s) {
+    if (++shard.idle_skips < config_.idle_publish_divisor) {
+      *skipped = true;
+      shard.last_publish_s = now_s;
+      return shard.hub;
+    }
+  }
+  shard.idle_skips = 0;
+  shard.last_publish_s = now_s;
+  return revive_locked(shard);
 }
 
 std::uint64_t HubRegistry::publish(const std::string& view, util::Json state,
                                    const viz::Image& image, bool build_half) {
   const double now_s = mono_now_s();
-  const std::shared_ptr<FrameHub> hub = hub_for_publish(view, now_s);
+  bool skipped = false;
+  const std::shared_ptr<FrameHub> hub = hub_for_publish(view, now_s, &skipped);
   if (!hub) return 0;
+  if (skipped) return hub->seq();
   // Frame building happens outside the registry lock: concurrent publishes
   // into different shards encode in parallel, and subscribers of other
   // views never stall behind this one's render.
@@ -65,8 +84,10 @@ std::uint64_t HubRegistry::publish(const std::string& view, util::Json state,
 std::uint64_t HubRegistry::publish(const std::string& view, util::Json state,
                                    std::vector<std::uint8_t> png) {
   const double now_s = mono_now_s();
-  const std::shared_ptr<FrameHub> hub = hub_for_publish(view, now_s);
+  bool skipped = false;
+  const std::shared_ptr<FrameHub> hub = hub_for_publish(view, now_s, &skipped);
   if (!hub) return 0;
+  if (skipped) return hub->seq();
   const std::uint64_t seq = hub->publish(std::move(state), std::move(png));
   for (const auto& idle : sweep_locked_outside(now_s)) idle->shutdown();
   return seq;
@@ -78,6 +99,7 @@ std::shared_ptr<FrameHub> HubRegistry::subscribe(const std::string& view) {
   const auto it = shards_.find(view);
   if (it == shards_.end()) return nullptr;  // never declared: HTTP 404
   it->second.last_subscribe_s = mono_now_s();
+  it->second.idle_skips = 0;  // full publish rate resumes immediately
   // A known name whose hub was reaped revives empty: the subscriber parks
   // against seq 0 (stale cursors clamp) and resyncs on the next publish.
   return revive_locked(it->second);
@@ -95,6 +117,7 @@ void HubRegistry::touch(const std::string& view) {
   const auto it = shards_.find(view);
   if (it != shards_.end() && it->second.hub) {
     it->second.last_subscribe_s = mono_now_s();
+    it->second.idle_skips = 0;  // full publish rate resumes immediately
   }
 }
 

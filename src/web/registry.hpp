@@ -61,6 +61,15 @@ class HubRegistry {
     /// cannot create names), so this guards a buggy publisher loop, not an
     /// attacker; publishes into new views beyond it are refused.
     std::size_t max_views = 256;
+    /// Idle-view publish decimation: a view with no subscriber activity for
+    /// idle_publish_after_s accepts only every Nth publish — the frame
+    /// build/encode nobody would consume is skipped and publish() returns
+    /// the shard's unchanged seq. 1 disables (every publish is real). Full
+    /// rate resumes on the first subscribe/touch of the view.
+    std::size_t idle_publish_divisor = 1;
+    /// How long without subscriber activity before a view counts as idle
+    /// for publish decimation.
+    double idle_publish_after_s = 10.0;
   };
 
   struct Stats {
@@ -128,6 +137,9 @@ class HubRegistry {
     double last_publish_s = 0.0;
     double last_subscribe_s = 0.0;
     bool pinned = false;
+    /// Consecutive publishes decimated while the view sat idle; a real
+    /// publish or any subscriber activity resets it.
+    std::size_t idle_skips = 0;
   };
 
   /// Create/revive the shard's hub. Requires mutex_.
@@ -138,8 +150,11 @@ class HubRegistry {
   /// Throttled sweep taking mutex_ itself; the caller shuts the returned
   /// hubs down outside any lock.
   std::vector<std::shared_ptr<FrameHub>> sweep_locked_outside(double now_s);
+  /// Shard lookup/creation for a publish. Sets *skipped when the view is
+  /// idle-decimated this round (caller returns the unchanged seq instead
+  /// of building a frame).
   std::shared_ptr<FrameHub> hub_for_publish(const std::string& view,
-                                            double now_s);
+                                            double now_s, bool* skipped);
 
   Config config_;
   mutable std::mutex mutex_;

@@ -1,0 +1,262 @@
+// BufferChain: the zero-copy scatter-gather output queue under every
+// connection. The suite pins down the three properties the wire path
+// depends on: (1) shared payloads are referenced, never copied, and their
+// refcounts release exactly at kernel-drain time; (2) consume() resumes a
+// partial writev at any byte seam, including mid-segment; (3) response
+// assembly (append_response_chain) emits headers and bodies as separate
+// segments — no header+body concatenation anywhere on the write path.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <memory>
+#include <string>
+
+#include "net/buffer_chain.hpp"
+#include "net/socket.hpp"
+#include "web/http.hpp"
+
+namespace n = ricsa::net;
+namespace w = ricsa::web;
+
+namespace {
+
+/// Flatten the chain's live segments through the same fill_iov the writer
+/// uses — what the next writev would gather.
+std::string gathered(const n::BufferChain& chain) {
+  std::string out;
+  for (std::size_t i = 0; i < chain.segments(); ++i) {
+    out.append(chain.segment_data(i), chain.segment_size(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(BufferChain, StartsEmpty) {
+  n::BufferChain chain;
+  EXPECT_TRUE(chain.empty());
+  EXPECT_EQ(chain.size(), 0u);
+  EXPECT_EQ(chain.segments(), 0u);
+  struct iovec iov[4];
+  EXPECT_EQ(chain.fill_iov(iov, 4), 0);
+}
+
+TEST(BufferChain, ConsecutiveCopiesCoalesceIntoOneSegment) {
+  n::BufferChain chain;
+  chain.append_copy("HTTP/1.1 200 OK\r\n");
+  chain.append_copy("Content-Length: 2\r\n");
+  chain.append_copy("\r\n");
+  EXPECT_EQ(chain.segments(), 1u);
+  EXPECT_EQ(gathered(chain), "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n");
+}
+
+TEST(BufferChain, SharedBodyIsReferencedNotCopied) {
+  auto body = std::make_shared<const std::string>("the frame body");
+  n::BufferChain chain;
+  chain.append_copy("head:");
+  chain.append_shared(body);
+  ASSERT_EQ(chain.segments(), 2u);
+  // The segment points INTO the shared string — the zero-copy contract.
+  EXPECT_EQ(chain.segment_data(1), body->data());
+  EXPECT_EQ(chain.size(), 5u + body->size());
+}
+
+TEST(BufferChain, SharedSliceRespectsOffsetAndLength) {
+  auto buf = std::make_shared<const std::string>("0123456789");
+  n::BufferChain chain;
+  chain.append_shared(buf, 2, 5);
+  EXPECT_EQ(gathered(chain), "23456");
+  EXPECT_EQ(chain.segment_data(0), buf->data() + 2);
+
+  // Out-of-range or empty slices append nothing.
+  chain.append_shared(buf, 10, 4);
+  chain.append_shared(buf, 3, 0);
+  EXPECT_EQ(chain.size(), 5u);
+}
+
+TEST(BufferChain, AppendChainSplicesAndEmptiesSource) {
+  auto body = std::make_shared<const std::string>("payload");
+  n::BufferChain inner;
+  inner.append_shared(body);
+  n::BufferChain outer;
+  outer.append_copy("7\r\n");
+  outer.append_chain(std::move(inner));
+  outer.append_copy("\r\n");
+  EXPECT_EQ(inner.size(), 0u);
+  EXPECT_EQ(gathered(outer), "7\r\npayload\r\n");
+  // The spliced body is still the shared buffer, not a copy.
+  EXPECT_EQ(outer.segment_data(1), body->data());
+}
+
+TEST(BufferChain, ConsumeResumesAtEveryByteSeam) {
+  // Mixed copied/shared/copied chain; consuming k bytes must leave exactly
+  // the wire suffix for every k, including seams inside each segment.
+  const auto body = std::make_shared<const std::string>("0123456789");
+  const std::string wire = "HDR:0123456789TAIL";
+  for (std::size_t k = 0; k <= wire.size(); ++k) {
+    n::BufferChain chain;
+    chain.append_copy("HDR:");
+    chain.append_shared(body);
+    chain.append_copy("TAIL");
+    chain.consume(k);
+    EXPECT_EQ(chain.size(), wire.size() - k) << "seam " << k;
+    EXPECT_EQ(gathered(chain), wire.substr(k)) << "seam " << k;
+  }
+}
+
+TEST(BufferChain, ConsumePastEndClampsAndClears) {
+  n::BufferChain chain;
+  chain.append_copy("abc");
+  chain.consume(100);
+  EXPECT_TRUE(chain.empty());
+  EXPECT_EQ(chain.segments(), 0u);
+}
+
+TEST(BufferChain, DrainReleasesSharedReferenceAtLastByte) {
+  auto body = std::make_shared<const std::string>(std::string(64, 'x'));
+  n::BufferChain chain;
+  chain.append_copy("head");
+  chain.append_shared(body);
+  EXPECT_EQ(body.use_count(), 2);
+  // Everything but the body's last byte: the reference must still be held.
+  chain.consume(4 + 63);
+  EXPECT_EQ(body.use_count(), 2);
+  // The final byte drains: the chain drops its reference immediately —
+  // kernel-drain time, not chain-destruction time.
+  chain.consume(1);
+  EXPECT_EQ(body.use_count(), 1);
+  EXPECT_TRUE(chain.empty());
+}
+
+TEST(BufferChain, FillIovCapsAtMaxAndSkipsNothing) {
+  n::BufferChain chain;
+  // Shared segments never coalesce, so this builds 6 segments.
+  for (int i = 0; i < 6; ++i) {
+    chain.append_shared(
+        std::make_shared<const std::string>(std::string(1, 'a' + i)));
+  }
+  struct iovec iov[4];
+  const int count = chain.fill_iov(iov, 4);
+  ASSERT_EQ(count, 4);
+  std::string head;
+  for (int i = 0; i < count; ++i) {
+    head.append(static_cast<const char*>(iov[i].iov_base), iov[i].iov_len);
+  }
+  EXPECT_EQ(head, "abcd");
+}
+
+// The writer's actual loop against a socket whose send buffer is far
+// smaller than the payload: writev stalls partway through the shared
+// segment, consume() records the seam, and the resumed writes deliver a
+// byte-exact stream.
+TEST(BufferChain, PartialWritevResumesMidSegmentOverTinySendBuffer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds), 0);
+  n::Socket writer(fds[0]);
+  n::Socket reader(fds[1]);
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(writer.fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                         sizeof(tiny)),
+            0);
+
+  std::string pattern(512 * 1024, '\0');
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<char>('a' + (i % 26));
+  }
+  auto body = std::make_shared<const std::string>(std::move(pattern));
+  n::BufferChain chain;
+  chain.append_copy("80000\r\n");
+  chain.append_shared(body);
+  chain.append_copy("\r\n");
+  const std::string expected = "80000\r\n" + *body + "\r\n";
+
+  std::string received;
+  bool saw_partial = false;
+  while (!chain.empty()) {
+    struct iovec iov[16];
+    const int iovcnt = chain.fill_iov(iov, 16);
+    const std::size_t before = chain.size();
+    std::size_t written = 0;
+    const n::IoStatus status = writer.writev(iov, iovcnt, written);
+    ASSERT_NE(status, n::IoStatus::kError);
+    chain.consume(written);
+    if (written > 0 && written < before) saw_partial = true;
+    if (status == n::IoStatus::kWouldBlock || !chain.empty()) {
+      // Drain the reader so the next writev can make progress.
+      while (reader.read_some(received) == n::IoStatus::kOk) {
+      }
+    }
+  }
+  while (reader.read_some(received) == n::IoStatus::kOk) {
+  }
+  EXPECT_TRUE(saw_partial) << "payload never stalled; shrink SO_SNDBUF";
+  ASSERT_EQ(received.size(), expected.size());
+  EXPECT_EQ(received, expected);  // byte-exact across every resume seam
+  // Fully drained: the chain released its body reference.
+  EXPECT_EQ(body.use_count(), 1);
+}
+
+// ------------------------------------------------- response assembly ----
+
+TEST(ResponseChain, SharedBodyRidesAsItsOwnSegment) {
+  auto body = std::make_shared<const std::string>("{\"seq\":7}");
+  const char* payload = body->data();
+  n::BufferChain chain;
+  w::detail::append_response_chain(
+      chain, w::HttpResponse::json_shared(std::move(body)),
+      /*keep_alive=*/true, /*suppress_body=*/false);
+  ASSERT_EQ(chain.segments(), 2u);
+  // Acceptance check for the refactor: the body was never concatenated
+  // into a response string — segment 1 aliases the caller's buffer.
+  EXPECT_EQ(chain.segment_data(1), payload);
+  const std::string head(chain.segment_data(0), chain.segment_size(0));
+  EXPECT_NE(head.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(head.find("Content-Length: 9"), std::string::npos);
+}
+
+TEST(ResponseChain, PlainBodyIsMovedNotConcatenated) {
+  w::HttpResponse response = w::HttpResponse::text("hello world");
+  n::BufferChain chain;
+  w::detail::append_response_chain(chain, std::move(response),
+                                   /*keep_alive=*/true,
+                                   /*suppress_body=*/false);
+  // Header block and body are separate segments: assembling the response
+  // did not splice the body into a header string.
+  ASSERT_EQ(chain.segments(), 2u);
+  EXPECT_EQ(std::string(chain.segment_data(1), chain.segment_size(1)),
+            "hello world");
+}
+
+TEST(ResponseChain, HeadResponseCarriesZeroBodySegments) {
+  auto body = std::make_shared<const std::string>("{\"big\":\"body\"}");
+  n::BufferChain chain;
+  w::detail::append_response_chain(
+      chain, w::HttpResponse::json_shared(body), /*keep_alive=*/true,
+      /*suppress_body=*/true);
+  // One header segment, nothing else: HEAD promises the length without
+  // shipping a byte of body.
+  ASSERT_EQ(chain.segments(), 1u);
+  const std::string head(chain.segment_data(0), chain.segment_size(0));
+  EXPECT_NE(head.find("Content-Length: 14"), std::string::npos);
+  EXPECT_EQ(chain.size(), head.size());
+}
+
+TEST(ResponseChain, PipelinedResponsesQueueInOrder) {
+  auto a = std::make_shared<const std::string>("AAAA");
+  auto b = std::make_shared<const std::string>("BB");
+  n::BufferChain chain;
+  w::detail::append_response_chain(chain, w::HttpResponse::json_shared(a),
+                                   true, false);
+  w::detail::append_response_chain(chain, w::HttpResponse::json_shared(b),
+                                   true, false);
+  const std::string wire = gathered(chain);
+  const auto first = wire.find("AAAA");
+  const auto second = wire.find("BB");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  // Both bodies still shared, not copied.
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_EQ(b.use_count(), 2);
+}

@@ -1,0 +1,34 @@
+// Sanitizer-aware wall-clock scaling for throughput assertions.
+//
+// The TSAN CI job runs these same suites with every memory access
+// instrumented — 5-15x slower than native, more on starved runners.
+// Tests that assert "at least N deliveries within T seconds" keep their
+// assertions (gap-freedom, ordering, and tier outcomes are not timing
+// artifacts) but stretch T so the instrumented build sees the same
+// number of frames a native run does.
+#pragma once
+
+#include <chrono>
+
+#if defined(__SANITIZE_THREAD__)
+#define RICSA_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RICSA_TEST_TSAN 1
+#endif
+#endif
+#ifndef RICSA_TEST_TSAN
+#define RICSA_TEST_TSAN 0
+#endif
+
+namespace ricsa_test {
+
+inline constexpr double kTimeScale = RICSA_TEST_TSAN ? 8.0 : 1.0;
+
+/// A native wall-clock window, widened for this build's instrumentation.
+inline std::chrono::milliseconds scaled_ms(int native_ms) {
+  return std::chrono::milliseconds(
+      static_cast<long>(static_cast<double>(native_ms) * kTimeScale));
+}
+
+}  // namespace ricsa_test

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <set>
 
 #include "data/generators.hpp"
@@ -694,4 +695,63 @@ TEST(Filters, BandPassZeroesOutOfRange) {
   EXPECT_FLOAT_EQ(bp.at(0, 0, 0), 0.5f);
   EXPECT_FLOAT_EQ(bp.at(1, 0, 0), 0.0f);
   EXPECT_FLOAT_EQ(bp.at(0, 1, 0), 0.0f);
+}
+
+TEST(TileGrid, RowsEqualMatchesMemcmpAtEverySizeAndFlipPosition) {
+  // The vectorized row comparison must be bit-identical to memcmp == 0 for
+  // every length across the 16-byte block boundaries and for a difference
+  // planted at every byte position — including the scalar tail.
+  std::vector<std::uint8_t> a(67);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  for (std::size_t n = 0; n <= a.size(); ++n) {
+    std::vector<std::uint8_t> b = a;
+    EXPECT_TRUE(v::detail::rows_equal(a.data(), b.data(), n)) << "len " << n;
+    for (std::size_t flip = 0; flip < n; ++flip) {
+      b = a;
+      b[flip] ^= 0x80;
+      EXPECT_EQ(v::detail::rows_equal(a.data(), b.data(), n),
+                std::memcmp(a.data(), b.data(), n) == 0)
+          << "len " << n << " flip " << flip;
+      EXPECT_FALSE(v::detail::rows_equal(a.data(), b.data(), n));
+      // A compare that stops before the planted difference sees equality.
+      EXPECT_TRUE(v::detail::rows_equal(a.data(), b.data(), flip));
+    }
+  }
+}
+
+TEST(TileGrid, VectorizedDiffMatchesMemcmpReferenceOnRandomFrames) {
+  // Randomized end-to-end check: diff() (vectorized rows) against a
+  // straight per-row memcmp reference over odd dimensions that force
+  // partial edge tiles and non-multiple-of-16 row segments.
+  ricsa::util::Xoshiro256 rng(20260808u);
+  const int width = 53;
+  const int height = 37;
+  const v::TileGrid grid(width, height, 16);
+  for (int round = 0; round < 8; ++round) {
+    v::Image before(width, height, {10, 20, 30, 255});
+    v::Image after = before;
+    const int changes = static_cast<int>(rng.uniform(0.0, 12.0));
+    for (int c = 0; c < changes; ++c) {
+      const int x = static_cast<int>(rng.uniform(0.0, width - 1.0));
+      const int y = static_cast<int>(rng.uniform(0.0, height - 1.0));
+      after.at(x, y).r = static_cast<std::uint8_t>(rng.uniform(0.0, 255.0));
+    }
+    const v::TileSet dirty = grid.diff(before, after);
+    v::TileSet expected(grid.count(), 0);
+    const v::Rgba* a = before.pixels().data();
+    const v::Rgba* b = after.pixels().data();
+    for (std::size_t i = 0; i < grid.count(); ++i) {
+      const v::TileRect r = grid.rect(i);
+      for (int y = r.y; y < r.y + r.h; ++y) {
+        const std::size_t off = static_cast<std::size_t>(y) * width + r.x;
+        if (std::memcmp(a + off, b + off, r.w * sizeof(v::Rgba)) != 0) {
+          expected[i] = 1;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(dirty, expected) << "round " << round;
+  }
 }

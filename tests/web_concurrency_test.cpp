@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "time_scale.hpp"
 #include "util/json.hpp"
 #include "web/frontend.hpp"
 #include "web/http.hpp"
@@ -78,7 +79,7 @@ TEST(WebConcurrency, SixtyFourPollersSeeGapFreeStrictlyIncreasingStreams) {
   constexpr int kClients = 64;
   constexpr int kSlowEvery = 8;  // every 8th client is a slow consumer
   const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(2500);
+      std::chrono::steady_clock::now() + ricsa_test::scaled_ms(2500);
 
   std::vector<ClientLog> logs(kClients);
   std::vector<std::thread> clients;
@@ -343,4 +344,130 @@ TEST(HttpClient, KeepAliveConnectionSurvivesManyRequests) {
   }
   EXPECT_EQ(http.reconnects(), 0);  // one TCP connection for all 20
   frontend.stop();
+}
+
+// ------------------------------------------------- multi-reactor server ----
+
+namespace {
+
+/// Hammer a multi-reactor HttpServer with keep-alive clients and verify
+/// every response, whichever reactor owns the connection.
+void exercise_multireactor(w::HttpServer& server, int clients,
+                           int requests_each) {
+  const int port = server.start();
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      w::HttpClient http(port);
+      for (int r = 0; r < requests_each; ++r) {
+        try {
+          const auto response =
+              http.get("/echo?c=" + std::to_string(c), 10.0);
+          if (response.status == 200 &&
+              response.body == "c=" + std::to_string(c)) {
+            ++ok;
+          }
+        } catch (const std::exception&) {
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), clients * requests_each);
+  // Keep-alive held: each client should have connected exactly once, so
+  // the total served matches the request count.
+  EXPECT_EQ(server.requests_served(),
+            static_cast<std::uint64_t>(clients * requests_each));
+  server.stop();
+}
+
+w::HttpServer::Handler echo_handler() {
+  return [](const w::HttpRequest& request) {
+    return w::HttpResponse::text(request.query);
+  };
+}
+
+}  // namespace
+
+TEST(MultiReactor, ReusePortAcceptServesKeepAliveClientsAcrossReactors) {
+  w::HttpServer server;
+  server.set_reactors(4);
+  ASSERT_EQ(server.reactor_count(), 4u);
+  server.route("GET", "/echo", echo_handler());
+  exercise_multireactor(server, 16, 25);
+}
+
+TEST(MultiReactor, HandOffAcceptServesKeepAliveClientsAcrossReactors) {
+  w::HttpServer server;
+  server.set_reactors(4);
+  server.set_accept_mode(w::HttpServer::AcceptMode::kHandOff);
+  server.route("GET", "/echo", echo_handler());
+  exercise_multireactor(server, 16, 25);
+}
+
+TEST(MultiReactor, SingleReactorPathUnchanged) {
+  w::HttpServer server;  // default: one reactor, plain listener
+  ASSERT_EQ(server.reactor_count(), 1u);
+  server.route("GET", "/echo", echo_handler());
+  exercise_multireactor(server, 8, 10);
+}
+
+TEST(MultiReactor, FrontEndPollsAndStreamsAcrossFourReactors) {
+  // The full stack — hub sweeps on reactor 0, connections owned by any of
+  // the four loops, async poll completions posted to each connection's
+  // home reactor — must behave exactly like the single-loop server.
+  w::FrontEndConfig config = fast_config();
+  config.reactors = 4;
+  w::AjaxFrontEnd fe(config);
+  const int port = fe.start();
+  while (fe.frame_seq() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + ricsa_test::scaled_ms(6000);
+  constexpr int kPollers = 16;
+  std::vector<ClientLog> logs(kPollers);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kPollers; ++i) {
+    threads.emplace_back([&, i] {
+      w::HttpClient http(port);
+      std::uint64_t since = 0;
+      while (logs[i].seqs.size() < 8 &&
+             std::chrono::steady_clock::now() < deadline) {
+        Json body;
+        try {
+          body = Json::parse(http.get("/api/poll?since=" +
+                                          std::to_string(since) +
+                                          "&delta=1&timeout=1",
+                                      5.0)
+                                 .body);
+        } catch (const std::exception&) {
+          ++logs[i].errors;
+          continue;
+        }
+        if (body.contains("timeout")) continue;
+        const auto seq =
+            static_cast<std::uint64_t>(body.at("seq").as_number());
+        if (seq <= since) {
+          ++logs[i].errors;
+          continue;
+        }
+        logs[i].seqs.push_back(seq);
+        since = seq;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kPollers; ++i) {
+    EXPECT_EQ(logs[i].errors, 0) << "poller " << i;
+    ASSERT_GE(logs[i].seqs.size(), 8u) << "poller " << i;
+    for (std::size_t k = 1; k < logs[i].seqs.size(); ++k) {
+      // In-window pollers ride the gap-free contract reactor-independent.
+      ASSERT_EQ(logs[i].seqs[k], logs[i].seqs[k - 1] + 1)
+          << "poller " << i << " step " << k;
+    }
+  }
+  fe.stop();
 }

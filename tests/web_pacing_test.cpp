@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "time_scale.hpp"
 #include "util/json.hpp"
 #include "web/frontend.hpp"
 #include "web/http.hpp"
@@ -429,6 +430,17 @@ TEST(AjaxFrontEndPacing, SlowClientDowngradedFastClientKeepsFullTier) {
   std::thread fast([&] { poll_loop("fast-e2e", 0.0, 2.5, fast_tier); });
   slow.join();
   fast.join();
+
+  if (ricsa_test::kTimeScale > 1.0) {
+    // The downgrade decision keys on absolute time constants — frame
+    // cadence, goodput horizons, idle cutoffs — that an instrumented
+    // build skews non-uniformly (stretching the think time instead just
+    // makes the session look idle). Under TSAN this test is race
+    // coverage for concurrent pollers against the session table, not a
+    // pacing-outcome check.
+    fe.stop();
+    GTEST_SKIP() << "pacing outcome requires native-speed timing";
+  }
 
   // The slow poller (6x the frame interval) ends on a cheaper tier; the
   // prompt one keeps the full stream.

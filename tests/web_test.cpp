@@ -338,3 +338,61 @@ TEST(AjaxFrontEnd, ImageEndpointServesPng) {
   EXPECT_EQ(static_cast<unsigned char>(image.body[0]), 0x89);
   fe.stop();
 }
+
+TEST(AjaxFrontEnd, ImageRangeRequestsServePartialContent) {
+  w::AjaxFrontEnd fe(small_frontend());
+  const int port = fe.start();
+  while (fe.frame_seq() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto full = w::http_get(port, "/api/image");
+  ASSERT_EQ(full.status, 200);
+  EXPECT_EQ(full.headers.at("accept-ranges"), "bytes");
+  const std::size_t total = full.body.size();
+  const std::string total_str = std::to_string(total);
+  ASSERT_GT(total, 16u);
+
+  w::HttpClient client(port);
+  const auto ranged = [&](const std::string& spec) {
+    return client.exchange("GET /api/image HTTP/1.1\r\nHost: x\r\nRange: " +
+                               spec + "\r\n\r\n",
+                           10.0, true);
+  };
+
+  // An explicit a-b window.
+  const auto head4 = ranged("bytes=0-3");
+  EXPECT_EQ(head4.status, 206);
+  EXPECT_EQ(head4.body, full.body.substr(0, 4));
+  EXPECT_EQ(head4.headers.at("content-range"), "bytes 0-3/" + total_str);
+  EXPECT_EQ(static_cast<unsigned char>(head4.body[0]), 0x89);  // PNG magic
+
+  // Open-ended a- reaches the final byte.
+  const auto tail = ranged("bytes=" + std::to_string(total - 5) + "-");
+  EXPECT_EQ(tail.status, 206);
+  EXPECT_EQ(tail.body, full.body.substr(total - 5));
+  EXPECT_EQ(tail.headers.at("content-range"),
+            "bytes " + std::to_string(total - 5) + "-" +
+                std::to_string(total - 1) + "/" + total_str);
+
+  // Suffix form -N: the last N bytes.
+  const auto suffix = ranged("bytes=-6");
+  EXPECT_EQ(suffix.status, 206);
+  EXPECT_EQ(suffix.body, full.body.substr(total - 6));
+
+  // A last-byte position past the end clamps (RFC 7233: satisfiable).
+  const auto clamped = ranged("bytes=4-" + std::to_string(total + 100));
+  EXPECT_EQ(clamped.status, 206);
+  EXPECT_EQ(clamped.body, full.body.substr(4));
+
+  // First byte at/after the end: 416 with the star form.
+  const auto beyond = ranged("bytes=" + total_str + "-");
+  EXPECT_EQ(beyond.status, 416);
+  EXPECT_EQ(beyond.headers.at("content-range"), "bytes */" + total_str);
+
+  // Malformed and multi-range specs are ignored — full 200, not an error.
+  EXPECT_EQ(ranged("bytes=abc").status, 200);
+  const auto multi = ranged("bytes=0-1,4-5");
+  EXPECT_EQ(multi.status, 200);
+  EXPECT_EQ(multi.body.size(), total);
+  fe.stop();
+}
