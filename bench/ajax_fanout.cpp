@@ -54,9 +54,21 @@
 // gap, and delta-break counts. The tiered/delta body stream itself is
 // identical on both transports; only the envelope differs.
 //
+// The relay scenario (--scenario relay) is the fan-out-tree capacity
+// proof: the same prompt long-poll fleet runs twice — every client
+// directly against the origin, then spread evenly across `--relays` relay
+// nodes subscribed to the origin over SSE (a depth-2 re-publish tree).
+// Both rounds report what the origin pays (peak connections, bytes out)
+// beside the end-client numbers (gaps, delta breaks, delivery p99); the
+// comparison's headline is the origin byte/connection reduction at equal
+// client counts, with the relay hubs' encode counters proving the relays
+// forwarded every frame pre-encoded (image_encodes must stay zero).
+//
 // Usage: ajax_fanout [--clients 64,256,512] [--duration-s 4]
 //                    [--slow-fraction 0.1] [--frame-interval-s 0.05]
-//                    [--scenario plain|mixed|fanout|delta|shard|transport]
+//                    [--relays 4]
+//                    [--scenario plain|mixed|fanout|delta|shard|transport|
+//                     multireactor|relay]
 #include <dirent.h>
 #include <sys/resource.h>
 
@@ -74,6 +86,7 @@
 #include <vector>
 
 #include "epoll_client.hpp"
+#include "relay/relay.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
 #include "web/frontend.hpp"
@@ -659,6 +672,152 @@ Json run_fleet_round(ricsa::web::AjaxFrontEnd& frontend, int port,
   return out;
 }
 
+/// One relay-scenario fleet run. The specs carry per-client ports (the
+/// origin for the direct baseline, relay ports for the relayed round), so
+/// the same function measures both sides of the comparison; what changes
+/// is who the clients talk to — the origin's own counters are sampled
+/// either way, and that asymmetry is the result.
+Json run_relay_round(ricsa::web::AjaxFrontEnd& origin,
+                     const std::vector<ricsa::relay::RelayNode*>& relays,
+                     int origin_port, const std::vector<ClientSpec>& specs,
+                     double duration_s, int relay_depth, int relay_fanout) {
+  // Let the previous round's connections drain (relay upstream links stay
+  // up by design, so wait for the *fleet's* connections only: the floor is
+  // one upstream connection per relay).
+  const std::size_t floor = relays.size();
+  for (int i = 0; i < 300 && origin.server().connections_open() > floor; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const std::uint64_t origin_bytes_before = origin.server().bytes_sent();
+  const std::uint64_t origin_served_before = origin.server().requests_served();
+
+  // Origin connection peak *during* the round: the capacity headline. The
+  // direct round should peak at the client count; the relayed round at the
+  // relay fan-out.
+  std::atomic<bool> sampling{true};
+  std::size_t origin_conn_peak = 0;
+  std::thread sampler([&] {
+    while (sampling.load()) {
+      origin_conn_peak =
+          std::max(origin_conn_peak, origin.server().connections_open());
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  const double t0 = bench_now_unix_ms();
+  EpollClientFleet fleet(origin_port, specs);
+  std::vector<ClientResult> results = fleet.run(duration_s);
+  const double elapsed_s = (bench_now_unix_ms() - t0) / 1000.0;
+  sampling.store(false);
+  sampler.join();
+
+  ClientResult total;
+  std::uint64_t min_frames = results.empty() ? 0 : results.front().frames;
+  for (const ClientResult& r : results) {
+    accumulate(r, total);
+    min_frames = std::min(min_frames, r.frames);
+  }
+
+  Json out;
+  out["scenario"] = "relay";
+  out["harness"] = "epoll";
+  out["clients"] = static_cast<int>(specs.size());
+  out["relay_depth"] = relay_depth;
+  out["relay_fanout"] = relay_fanout;
+  out["duration_s"] = elapsed_s;
+  out["polls"] = static_cast<double>(total.polls);
+  out["frames_delivered"] = static_cast<double>(total.frames);
+  out["frames_delivered_min_per_client"] = static_cast<double>(min_frames);
+  out["deliveries_per_sec"] =
+      static_cast<double>(total.frames) / std::max(1e-9, elapsed_s);
+  out["gaps"] = static_cast<double>(total.gaps);
+  out["timeouts"] = static_cast<double>(total.timeouts);
+  out["errors"] = static_cast<double>(total.errors);
+  {
+    Json errs;
+    errs["http_503"] = static_cast<double>(total.errors_503);
+    errs["http_other"] = static_cast<double>(total.errors_http);
+    errs["parse"] = static_cast<double>(total.errors_parse);
+    errs["io"] = static_cast<double>(total.errors_io);
+    out["error_breakdown"] = errs;
+  }
+  out["client_reconnects"] = static_cast<double>(total.reconnects);
+  out["bytes_total"] = static_cast<double>(total.bytes);
+  out["bytes_per_frame"] =
+      total.frames > 0
+          ? static_cast<double>(total.bytes) / static_cast<double>(total.frames)
+          : 0.0;
+  {
+    Json image_delta;
+    image_delta["tile_frames"] = static_cast<double>(total.tile_frames);
+    image_delta["tiles_received"] = static_cast<double>(total.tiles_received);
+    image_delta["full_image_frames"] = static_cast<double>(total.image_frames);
+    image_delta["delta_breaks"] = static_cast<double>(total.delta_breaks);
+    out["image_delta"] = image_delta;
+  }
+  out["delivery_latency"] = latency_json(total.delivery_ms);
+  out["poll_rtt"] = latency_json(total.rtt_ms);
+
+  // What the origin paid for this round — the tree's whole point.
+  out["origin_connections_peak"] = static_cast<double>(origin_conn_peak);
+  out["origin_bytes_sent"] =
+      static_cast<double>(origin.server().bytes_sent() - origin_bytes_before);
+  out["origin_requests_served"] = static_cast<double>(
+      origin.server().requests_served() - origin_served_before);
+
+  // Relay-tier roll-up: forwarding counters plus the never-decodes proof
+  // (image_encodes must be zero; every local publish pre-encoded).
+  if (!relays.empty()) {
+    std::uint64_t image_encodes = 0;
+    std::uint64_t preencoded = 0;
+    std::uint64_t published = 0;
+    std::uint64_t resyncs = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t epoch_changes = 0;
+    std::uint64_t relay_bytes = 0;
+    for (ricsa::relay::RelayNode* relay : relays) {
+      for (const std::string& name : relay->registry().view_names()) {
+        const auto hub = relay->registry().find(name);
+        if (!hub) continue;
+        const ricsa::web::FrameHub::Stats s = hub->stats();
+        image_encodes += s.image_encodes;
+        preencoded += s.preencoded_publishes;
+        published += s.published;
+      }
+      for (const auto& [view, s] : relay->subscriber().stats()) {
+        resyncs += s.resyncs;
+        reconnects += s.reconnects;
+        epoch_changes += s.epoch_changes;
+      }
+      relay_bytes += relay->server().bytes_sent();
+    }
+    Json tier;
+    tier["nodes"] = static_cast<int>(relays.size());
+    tier["image_encodes"] = static_cast<double>(image_encodes);
+    tier["preencoded_publishes"] = static_cast<double>(preencoded);
+    tier["frames_published"] = static_cast<double>(published);
+    tier["resyncs"] = static_cast<double>(resyncs);
+    tier["upstream_reconnects"] = static_cast<double>(reconnects);
+    tier["epoch_changes"] = static_cast<double>(epoch_changes);
+    tier["bytes_sent_total"] = static_cast<double>(relay_bytes);
+    out["relay_tier"] = tier;
+  }
+  return out;
+}
+
+/// Prompt delta-accepting clients split evenly across the relay ports
+/// (empty `ports` = everyone on the fleet default, the direct baseline).
+std::vector<ClientSpec> relay_specs(int n_clients,
+                                    const std::vector<int>& ports) {
+  std::vector<ClientSpec> specs(static_cast<std::size_t>(n_clients));
+  if (!ports.empty()) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      specs[i].port = ports[i % ports.size()];
+    }
+  }
+  return specs;
+}
+
 /// Fleet population for the fanout scenario: same mix the thread-based
 /// harness used — `slow_fraction` slow consumers and `paced_fraction`
 /// adaptive sessions spread through the population.
@@ -740,6 +899,7 @@ int main(int argc, char** argv) {
   double slow_fraction = 0.0;
   double frame_interval_s = 0.05;
   bool frame_interval_set = false;
+  int relay_count = 4;
   std::string scenario = "plain";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -761,12 +921,14 @@ int main(int argc, char** argv) {
       frame_interval_set = true;
     } else if (arg == "--scenario") {
       scenario = next();
+    } else if (arg == "--relays") {
+      relay_count = std::atoi(next().c_str());
     } else {
       std::fprintf(stderr,
                    "usage: ajax_fanout [--clients 64,256,512] [--duration-s S]"
-                   " [--slow-fraction F] [--frame-interval-s S]"
+                   " [--slow-fraction F] [--frame-interval-s S] [--relays N]"
                    " [--scenario plain|mixed|fanout|delta|shard|transport|"
-                   "multireactor]\n");
+                   "multireactor|relay]\n");
       return 2;
     }
   }
@@ -806,6 +968,14 @@ int main(int argc, char** argv) {
     if (!clients_set) client_counts = {8192};
     if (!frame_interval_set) frame_interval_s = 0.25;
   }
+  if (scenario == "relay") {
+    // The fan-out-tree acceptance shape: 1024 end clients, direct vs a
+    // 4-relay tier (256 clients each), at a cadence both sides keep up
+    // with comfortably.
+    if (!clients_set) client_counts = {1024};
+    if (!frame_interval_set) frame_interval_s = 0.25;
+    relay_count = std::max(1, relay_count);
+  }
 
   ricsa::web::FrontEndConfig config;
   config.session.resolution = 16;  // small grid: the hub, not the sim, is under test
@@ -814,7 +984,7 @@ int main(int argc, char** argv) {
   config.frame_window = 256;
   config.hub_workers = 4;
   if (scenario == "fanout" || scenario == "shard" || scenario == "transport" ||
-      scenario == "multireactor") {
+      scenario == "multireactor" || scenario == "relay") {
     const int biggest =
         *std::max_element(client_counts.begin(), client_counts.end());
     config.max_connections = static_cast<std::size_t>(biggest) + 128;
@@ -1091,6 +1261,81 @@ int main(int argc, char** argv) {
       rounds.as_array().push_back(std::move(multi));
       rounds.as_array().push_back(std::move(single));
       rounds.as_array().push_back(std::move(quarter_load));
+    } else if (scenario == "relay") {
+      if (!first_round) fresh_frontend();
+      // Direct baseline: every end client on the origin.
+      std::fprintf(stderr, "[ajax_fanout] relay: %d clients direct...\n", n);
+      Json direct =
+          run_relay_round(*frontend, {}, port, relay_specs(n, {}),
+                          duration_s, /*relay_depth=*/1, /*relay_fanout=*/0);
+
+      // Relay tier: `relay_count` nodes subscribe to the origin over SSE,
+      // each serving an equal slice of the same fleet (a depth-2 tree).
+      std::vector<std::unique_ptr<ricsa::relay::RelayNode>> nodes;
+      std::vector<ricsa::relay::RelayNode*> relays;
+      std::vector<int> relay_ports;
+      const std::size_t per_relay =
+          static_cast<std::size_t>(n) / static_cast<std::size_t>(relay_count) +
+          128;
+      for (int r = 0; r < relay_count; ++r) {
+        ricsa::relay::RelayNodeConfig rc;
+        rc.subscriber.upstream_port = port;
+        rc.subscriber.views = {"main"};
+        rc.subscriber.relay_id = "bench-relay-" + std::to_string(r);
+        rc.max_connections = per_relay;
+        nodes.push_back(std::make_unique<ricsa::relay::RelayNode>(rc));
+        relay_ports.push_back(nodes.back()->start());
+        relays.push_back(nodes.back().get());
+      }
+      // Wait for every relay's first forwarded frame: clients joining an
+      // empty relay hub would measure the subscription ramp, not steady
+      // fan-out.
+      for (const auto& node : nodes) {
+        const auto hub = node->registry().find("main");
+        for (int i = 0; i < 500 && (!hub || hub->seq() < 1); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+      std::fprintf(stderr,
+                   "[ajax_fanout] relay: %d clients across %d relays...\n", n,
+                   relay_count);
+      Json relayed = run_relay_round(*frontend, relays, port,
+                                     relay_specs(n, relay_ports), duration_s,
+                                     /*relay_depth=*/2, relay_count);
+      for (const auto& node : nodes) node->stop();
+
+      Json cmp;
+      cmp["clients"] = n;
+      cmp["relay_fanout"] = relay_count;
+      cmp["origin_connections_direct"] = direct.at("origin_connections_peak");
+      cmp["origin_connections_relayed"] =
+          relayed.at("origin_connections_peak");
+      cmp["origin_bytes_direct"] = direct.at("origin_bytes_sent");
+      cmp["origin_bytes_relayed"] = relayed.at("origin_bytes_sent");
+      const double bytes_direct = direct.at("origin_bytes_sent").as_number();
+      const double bytes_relayed = relayed.at("origin_bytes_sent").as_number();
+      // The headline: how many times less the origin sends at the same
+      // end-client count (acceptance: >= 4x at 4 relays x 256 clients).
+      cmp["origin_bytes_reduction"] =
+          bytes_relayed > 0 ? bytes_direct / bytes_relayed : 0.0;
+      cmp["gaps_direct"] = direct.at("gaps");
+      cmp["gaps_relayed"] = relayed.at("gaps");
+      cmp["errors_relayed"] = relayed.at("errors");
+      cmp["delta_breaks_relayed"] =
+          relayed.at("image_delta").at("delta_breaks");
+      cmp["delivery_p99_ms_direct"] =
+          direct.at("delivery_latency").at("p99_ms");
+      cmp["delivery_p99_ms_relayed"] =
+          relayed.at("delivery_latency").at("p99_ms");
+      // Forwarding-without-decoding: the tier must not have touched an
+      // encoder.
+      cmp["relay_image_encodes"] =
+          relayed.at("relay_tier").at("image_encodes");
+      cmp["relay_preencoded_publishes"] =
+          relayed.at("relay_tier").at("preencoded_publishes");
+      comparisons.as_array().push_back(cmp);
+      rounds.as_array().push_back(std::move(direct));
+      rounds.as_array().push_back(std::move(relayed));
     } else if (scenario == "shard") {
       if (!first_round) fresh_frontend();
       const std::string slow_view = shard_views.back();

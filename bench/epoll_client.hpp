@@ -159,6 +159,9 @@ struct ClientSpec {
   /// think time becomes a read-side pause (TCP backpressure) instead of a
   /// delay between polls.
   bool sse = false;
+  /// Per-client server port override (0 = the fleet's port). The relay
+  /// scenario spreads one fleet across several relay nodes with this.
+  int port = 0;
 };
 
 /// Drives every ClientSpec against one server on a single reactor thread.
@@ -202,7 +205,10 @@ class EpollClientFleet {
    public:
     Conn(ricsa::net::Reactor& reactor, int port, const ClientSpec& spec,
          ClientResult& out)
-        : reactor_(reactor), port_(port), spec_(spec), out_(out) {}
+        : reactor_(reactor),
+          port_(spec.port > 0 ? spec.port : port),
+          spec_(spec),
+          out_(out) {}
     ~Conn() override { deregister(); }
 
     void start() {

@@ -1,0 +1,123 @@
+// Relay fan-out node: re-publishes an upstream RICSA origin (or another
+// relay) so downstream browsers and relays subscribe here instead of
+// loading the origin. Build depth-D trees by chaining relays:
+//
+//   ./web_dashboard 8000 600 &
+//   ./relay_node --upstream-port 8000 --port 8001 --relay-id edge-a &
+//   ./relay_node --upstream-port 8001 --port 8002 --relay-id leaf-a &
+//
+// Each tier multiplies capacity: the origin carries one connection per
+// relay instead of one per browser, and frame bodies are forwarded
+// pre-encoded — a relay never decodes a pixel. /api/stats shows the relay
+// identity, its upstream chain, and the forwarding counters.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "relay/relay.hpp"
+#include "util/strings.hpp"
+
+using namespace ricsa;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --upstream-port N [options]\n"
+      "  --upstream-port N   origin or upstream relay port (required)\n"
+      "  --port N            local HTTP port (default: ephemeral)\n"
+      "  --views a,b,c       views to relay (default: main)\n"
+      "  --relay-id ID       identity in X-Relay-Path hop headers\n"
+      "  --transport T       auto | sse | poll (default: auto)\n"
+      "  --max-depth N       relay chain depth cap (default: 4)\n"
+      "  --seconds S         run time; 0 = until SIGINT (default: 0)\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  relay::RelayNodeConfig config;
+  config.subscriber.relay_id = "relay";
+  double seconds = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+      return 0;
+    }
+    if (value == nullptr) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+    if (flag == "--upstream-port") {
+      config.subscriber.upstream_port = std::atoi(value);
+    } else if (flag == "--port") {
+      config.port = std::atoi(value);
+    } else if (flag == "--views") {
+      config.subscriber.views.clear();
+      for (const std::string& view : util::split(value, ',')) {
+        if (!view.empty()) config.subscriber.views.push_back(view);
+      }
+    } else if (flag == "--relay-id") {
+      config.subscriber.relay_id = value;
+    } else if (flag == "--transport") {
+      config.subscriber.transport = value;
+    } else if (flag == "--max-depth") {
+      config.subscriber.max_depth =
+          static_cast<std::size_t>(std::atoi(value));
+    } else if (flag == "--seconds") {
+      seconds = std::atof(value);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+    ++i;
+  }
+  if (config.subscriber.upstream_port <= 0) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (config.subscriber.views.empty()) {
+    config.subscriber.views.push_back("main");
+  }
+
+  relay::RelayNode node(config);
+  const int bound = node.start();
+  std::printf("ricsa relay '%s' on http://localhost:%d/ -> upstream :%d "
+              "(transport %s, depth cap %zu)\n",
+              config.subscriber.relay_id.c_str(), bound,
+              config.subscriber.upstream_port,
+              config.subscriber.transport.c_str(),
+              config.subscriber.max_depth);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  const auto start = std::chrono::steady_clock::now();
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (node.subscriber().any_failed()) {
+      std::fprintf(stderr, "relay subscription failed permanently "
+                           "(cycle/depth/rejection); exiting\n");
+      node.stop();
+      return 1;
+    }
+    if (seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count() >= seconds) {
+      break;
+    }
+  }
+  node.stop();
+  return 0;
+}

@@ -39,7 +39,7 @@ import sys
 BENCH_FILES = ["ajax_fanout.json", "ajax_fanout_mixed.json",
                "ajax_fanout_fanout.json", "ajax_fanout_delta.json",
                "ajax_fanout_shard.json", "ajax_fanout_transport.json",
-               "ajax_fanout_multireactor.json"]
+               "ajax_fanout_multireactor.json", "ajax_fanout_relay.json"]
 HISTORY_FILE = "bench_history.json"
 MAX_HISTORY_RUNS = 50
 MIN_PREV_MS = 1.0
@@ -68,15 +68,19 @@ def round_key(round_json):
     # different workloads and must never be compared against each other.
     # Transport rounds carry "transport" ("long-poll" vs "sse") for the
     # same reason, and multireactor rounds carry "reactors" (the 4-reactor
-    # round and the 1-reactor baseline share a client count). Rounds
-    # without those fields (every earlier scenario) get None for them, so
-    # existing artifacts stay comparable.
+    # round and the 1-reactor baseline share a client count). Relay rounds
+    # carry "relay_depth"/"relay_fanout": the depth-1 direct baseline and
+    # the depth-2 relayed round share a client count. Rounds without those
+    # fields (every earlier scenario) get None for them, so existing
+    # artifacts stay comparable.
     return (round_json.get("clients"), bool(round_json.get("adaptive")),
             bool(round_json.get("full_resend")),
             round_json.get("scenario"), round_json.get("view_count"),
             bool(round_json.get("slow_view")),
             round_json.get("transport"),
-            round_json.get("reactors"))
+            round_json.get("reactors"),
+            round_json.get("relay_depth"),
+            round_json.get("relay_fanout"))
 
 
 def key_str(key):
@@ -93,6 +97,10 @@ def key_str(key):
         parts.append(key[6])
     if len(key) > 7 and key[7] is not None:
         parts.append(f"reactors={key[7]}")
+    if len(key) > 8 and key[8] is not None:
+        parts.append(f"depth={key[8]}")
+    if len(key) > 9 and key[9]:
+        parts.append(f"relays={key[9]}")
     return " ".join(parts)
 
 

@@ -1,0 +1,109 @@
+// Relay node: a full re-publish tier in an HTTP fan-out tree.
+//
+// The node couples a RelaySubscriber (upstream-facing: consumes frames
+// from an origin or another relay) with its own HubRegistry + HttpServer
+// (downstream-facing: serves /api/poll, /api/stream, /api/state,
+// /api/stats with the origin's contract), so browsers and further relays
+// subscribe to a relay exactly as they would to the origin. Each tier
+// multiplies capacity: an origin serving R relays instead of N browsers
+// carries R keep-alive connections and R body copies per frame, while
+// each relay fans the same pre-encoded bodies out to its own N/R clients.
+//
+// Serving-side resync: a downstream client that needs a full snapshot the
+// relay's local window cannot provide (fresh join against a delta-only
+// head, or an explicit full=1) triggers subscriber.request_resync() —
+// latched upstream — and the client's poll re-parks on the local hub
+// until the resync's full frame lands (or its own deadline passes).
+// Control traffic (POST /api/steer, /api/view) is forwarded upstream
+// verbatim: steering always reaches the origin simulation.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "relay/subscriber.hpp"
+#include "web/http.hpp"
+#include "web/registry.hpp"
+
+namespace ricsa::relay {
+
+struct RelayNodeConfig {
+  /// Upstream half (port, views, identity, transport, depth cap).
+  SubscriberConfig subscriber;
+  /// Local HTTP port (0 = ephemeral).
+  int port = 0;
+  /// Ceiling on downstream long-poll/stream waits.
+  double poll_timeout_s = 15.0;
+  /// Local frame window (catch-up replay depth for downstream clients).
+  std::size_t frame_window = 256;
+  std::size_t hub_workers = 2;
+  std::size_t http_workers = 2;
+  std::size_t reactors = 1;
+  std::size_t max_connections = 8192;
+};
+
+class RelayNode {
+ public:
+  explicit RelayNode(RelayNodeConfig config);
+  ~RelayNode();
+  RelayNode(const RelayNode&) = delete;
+  RelayNode& operator=(const RelayNode&) = delete;
+
+  /// Start the HTTP server, then the upstream subscriber. Returns the
+  /// bound port.
+  int start();
+  void stop();
+  int port() const noexcept { return server_.port(); }
+
+  web::HttpServer& server() noexcept { return server_; }
+  web::HubRegistry& registry() noexcept { return registry_; }
+  RelaySubscriber& subscriber() noexcept { return subscriber_; }
+
+ private:
+  struct RelayStream;  // SSE pump state (relay.cpp)
+
+  void handle_poll(const web::HttpRequest& request,
+                   web::HttpServer::ResponseSink sink);
+  /// The re-parking poll wait: serves the first frame after `cursor` that
+  /// can answer the client (delta when sequential, full otherwise),
+  /// escalating one upstream resync and re-parking past delta-only frames
+  /// a full-needing client cannot use.
+  void park_poll(std::shared_ptr<web::FrameHub> hub, std::string view,
+                 std::uint64_t client_since, std::uint64_t cursor,
+                 bool want_delta,
+                 std::chrono::steady_clock::time_point deadline,
+                 web::HttpServer::ResponseSink sink);
+  void handle_stream(const web::HttpRequest& request,
+                     web::HttpServer::StreamSink sink);
+  void stream_pump(const std::shared_ptr<RelayStream>& s);
+  web::HttpResponse handle_state(const web::HttpRequest& request);
+  web::HttpResponse handle_stats(const web::HttpRequest& request);
+  web::HttpResponse forward_post(const web::HttpRequest& request,
+                                 const std::string& path);
+
+  /// This node's X-Relay-Path response value: "<own id>,<upstream chain>".
+  std::string relay_path_header() const;
+  /// True when the request's X-Relay-Path shares an id with this node's
+  /// chain — serving it would close a forwarding loop.
+  bool request_path_conflicts(const web::HttpRequest& request) const;
+
+  RelayNodeConfig config_;
+  web::HttpServer server_;
+  web::HubRegistry registry_;
+  RelaySubscriber subscriber_;
+
+  /// Upstream control-channel client (steer/view forwarding). HttpClient
+  /// is a single blocking connection, hence the mutex.
+  std::mutex forward_mutex_;
+  web::HttpClient forward_client_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace ricsa::relay

@@ -451,6 +451,10 @@ void AjaxFrontEnd::frame_loop() {
     registry_.publish(registry_.default_view_name(), std::move(state),
                       frame.image, build_half);
     for (const ViewSpec& spec : config_.views) {
+      // An idle-decimated view skips the rasterization itself, not just the
+      // hub-side snapshot/encode: wants_publish advances the same skip
+      // counter the publish path checks, keeping the 1-in-N cadence exact.
+      if (!registry_.wants_publish(spec.name)) continue;
       const auto exec = session_.render_view(spec.viz, spec.camera);
       if (!exec) continue;
       util::Json view_state;
@@ -850,6 +854,8 @@ util::Json hub_stats_json(const FrameHub& hub) {
   out["timeouts"] = static_cast<double>(s.timeouts);
   out["waiting"] = static_cast<double>(s.waiting);
   out["waiting_peak"] = static_cast<double>(s.waiting_peak);
+  out["image_encodes"] = static_cast<double>(s.image_encodes);
+  out["preencoded_publishes"] = static_cast<double>(s.preencoded_publishes);
   return out;
 }
 
@@ -878,6 +884,7 @@ HttpResponse AjaxFrontEnd::handle_stats(const HttpRequest& request) {
   out["view"] = view;
   out["live"] = hub != nullptr;
   out["connections_open"] = static_cast<double>(server_.connections_open());
+  out["bytes_sent"] = static_cast<double>(server_.bytes_sent());
   out["requests_served"] = static_cast<double>(server_.requests_served());
   out["steers"] = static_cast<double>(steers_.load());
   {

@@ -10,11 +10,14 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "util/strings.hpp"
 
@@ -1117,6 +1120,7 @@ void HttpServer::continue_write(const std::shared_ptr<Connection>& conn) {
     // and advances the offset inside a partially-written one, so a resumed
     // write picks up mid-segment without shifting bytes.
     conn->out.consume(written);
+    bytes_sent_.fetch_add(written, std::memory_order_relaxed);
     if (status == net::IoStatus::kError) {
       close_conn(conn);
       return;
@@ -1172,7 +1176,9 @@ void HttpClient::close() {
 void HttpClient::ensure_connected(double timeout_s) {
   if (fd_ >= 0) return;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw std::runtime_error("http client: socket() failed");
+  if (fd_ < 0) {
+    throw HttpError(HttpError::Kind::kConnect, "http client: socket() failed");
+  }
   set_recv_timeout(fd_, timeout_s);
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -1183,7 +1189,7 @@ void HttpClient::ensure_connected(double timeout_s) {
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     ::close(fd_);
     fd_ = -1;
-    throw std::runtime_error("http client: connect() failed");
+    throw HttpError(HttpError::Kind::kConnect, "http client: connect() failed");
   }
   ++reconnects_;
   buffer_.clear();
@@ -1198,7 +1204,7 @@ HttpClient::Response HttpClient::exchange(const std::string& request_text,
     // Server closed the idle keep-alive connection; retry on a fresh one.
     close();
     if (retry_on_stale) return exchange(request_text, timeout_s, false);
-    throw std::runtime_error("http client: send failed");
+    throw HttpError(HttpError::Kind::kIo, "http client: send failed");
   }
 
   char chunk[8192];
@@ -1213,7 +1219,7 @@ HttpClient::Response HttpClient::exchange(const std::string& request_text,
         // EOF/reset before any response bytes: stale keep-alive connection.
         return exchange(request_text, timeout_s, false);
       }
-      throw std::runtime_error("http client: no response");
+      throw HttpError(HttpError::Kind::kIo, "http client: no response");
     }
     got_bytes = true;
     buffer_.append(chunk, static_cast<std::size_t>(n));
@@ -1242,13 +1248,14 @@ HttpClient::Response HttpClient::exchange(const std::string& request_text,
       !parse_content_length(out.headers.at("content-length"),
                             content_length)) {
     close();
-    throw std::runtime_error("http client: bad content-length");
+    throw HttpError(HttpError::Kind::kProtocol,
+                    "http client: bad content-length");
   }
   while (buffer_.size() < content_length) {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n <= 0) {
       close();
-      throw std::runtime_error("http client: truncated response");
+      throw HttpError(HttpError::Kind::kIo, "http client: truncated response");
     }
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
@@ -1281,6 +1288,69 @@ HttpClient::Response HttpClient::post(const std::string& path,
           path.c_str(), content_type.c_str(), body.size()) +
       body;
   return exchange(req, timeout_s, true);
+}
+
+namespace {
+
+/// Backoff before attempt `attempt` (1-based count of failures so far):
+/// initial * 2^(attempt-1), capped. A 503's numeric Retry-After overrides
+/// the schedule but stays under the same cap — a relay must not let an
+/// overloaded origin park it for minutes.
+double retry_delay_s(const HttpClient::RetryPolicy& policy, int attempt,
+                     const HttpClient::Response* response) {
+  double delay = policy.initial_backoff_s;
+  for (int i = 1; i < attempt; ++i) delay *= 2.0;
+  if (response != nullptr) {
+    const auto it = response->headers.find("retry-after");
+    if (it != response->headers.end()) {
+      char* end = nullptr;
+      const double after = std::strtod(it->second.c_str(), &end);
+      if (end != it->second.c_str() && after >= 0.0) delay = after;
+    }
+  }
+  return std::min(delay, policy.max_backoff_s);
+}
+
+HttpClient::Response exchange_with_retry(
+    const HttpClient::RetryPolicy& policy,
+    const std::function<HttpClient::Response()>& attempt_fn) {
+  const int attempts = std::max(policy.max_attempts, 1);
+  for (int attempt = 1;; ++attempt) {
+    HttpClient::Response response;
+    try {
+      response = attempt_fn();
+    } catch (const HttpError& error) {
+      // Transport-level failures are transient (the server may be
+      // restarting); a response we cannot parse is not.
+      if (error.kind() == HttpError::Kind::kProtocol || attempt >= attempts) {
+        throw;
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          retry_delay_s(policy, attempt, nullptr)));
+      continue;
+    }
+    if (response.status != 503 || attempt >= attempts) return response;
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        retry_delay_s(policy, attempt, &response)));
+  }
+}
+
+}  // namespace
+
+HttpClient::Response HttpClient::get_with_retry(
+    const std::string& path_and_query, const RetryPolicy& policy,
+    double timeout_s) {
+  return exchange_with_retry(policy,
+                             [&] { return get(path_and_query, timeout_s); });
+}
+
+HttpClient::Response HttpClient::post_with_retry(const std::string& path,
+                                                 const std::string& body,
+                                                 const RetryPolicy& policy,
+                                                 const std::string& content_type,
+                                                 double timeout_s) {
+  return exchange_with_retry(
+      policy, [&] { return post(path, body, content_type, timeout_s); });
 }
 
 // ----------------------------------------------------- one-shot helpers --

@@ -198,6 +198,9 @@ class HttpServer {
   int port() const noexcept { return port_; }
   bool running() const noexcept { return running_.load(); }
   std::uint64_t requests_served() const noexcept { return served_.load(); }
+  /// Total bytes written to client sockets (headers + bodies, all
+  /// connections). The relay bench's origin-egress measurement.
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_.load(); }
   /// Connections accepted with a 503 (connection cap / fd exhaustion).
   std::uint64_t connections_rejected() const noexcept {
     return rejected_.load();
@@ -310,6 +313,26 @@ class HttpServer {
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::size_t> connections_open_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+/// Client-side failure with the phase it happened in: callers that retry
+/// (the relay subscriber, the bench fleet) treat a refused connect or a
+/// broken exchange as transient but a malformed response as fatal. Derives
+/// from std::runtime_error, so existing catch sites keep working.
+class HttpError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kConnect,   // could not establish the connection
+    kIo,        // send/recv failed or the peer vanished mid-response
+    kProtocol,  // response arrived but could not be parsed
+  };
+  HttpError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
 };
 
 /// Blocking HTTP/1.1 client. Keeps its connection alive across requests
@@ -329,11 +352,31 @@ class HttpClient {
     std::string body;
   };
 
-  /// Throws std::runtime_error on connect/IO failure or timeout.
+  /// Throws HttpError (an std::runtime_error) on connect/IO failure or
+  /// timeout; kind() says which phase failed.
   Response get(const std::string& path_and_query, double timeout_s = 30.0);
   Response post(const std::string& path, const std::string& body,
                 const std::string& content_type = "application/json",
                 double timeout_s = 30.0);
+
+  /// Capped-exponential retry schedule for transient failures: refused
+  /// connects, broken exchanges, and 503 responses. A 503 carrying a
+  /// numeric Retry-After is honored (capped at max_backoff_s); one without
+  /// it falls back to the schedule. Protocol errors never retry.
+  struct RetryPolicy {
+    int max_attempts = 4;  // total attempts, including the first
+    double initial_backoff_s = 0.05;
+    double max_backoff_s = 1.0;
+  };
+  /// get()/post() wrapped in the retry schedule. Returns the final
+  /// response (which may still be a 503 when attempts ran out); throws the
+  /// last HttpError when every attempt failed below HTTP.
+  Response get_with_retry(const std::string& path_and_query,
+                          const RetryPolicy& policy, double timeout_s = 30.0);
+  Response post_with_retry(const std::string& path, const std::string& body,
+                           const RetryPolicy& policy,
+                           const std::string& content_type = "application/json",
+                           double timeout_s = 30.0);
   void close();
   int reconnects() const noexcept { return reconnects_; }
 

@@ -134,6 +134,7 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
   // behind a frame build. Readers see seq_ and window_ change together below.
   std::lock_guard<std::mutex> publishing(publish_mutex_);
   FramePtr prev = latest();
+  std::uint64_t encodes = 0;
 
   auto frame = std::make_shared<Frame>();
   frame->seq = (prev ? prev->seq : 0) + 1;
@@ -197,6 +198,7 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
       if (td.dirty[i] == 0) continue;
       const viz::Image tile = viz::TileGrid::extract(*raw, grid.rect(i));
       td.tile_b64[i] = util::base64_encode(tile.encode_png());
+      ++encodes;
     }
   }
 
@@ -205,6 +207,7 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
   const std::string b64_half =
       frame->png_half.empty() ? std::string()
                               : util::base64_encode(frame->png_half);
+  encodes += (b64_full.empty() ? 0 : 1) + (b64_half.empty() ? 0 : 1);
   const std::string none;
   for (std::size_t t = 0; t < kTierCount; ++t) {
     const Tier tier = static_cast<Tier>(t);
@@ -240,6 +243,32 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
     }
   }
 
+  return commit_frame(std::move(frame), encodes, false);
+}
+
+std::uint64_t FrameHub::publish_encoded(PreEncoded pre) {
+  // The relay's forwarding path: no pixels, no PNG, no base64 — the wire
+  // bodies the caller received upstream become this frame's serve-time
+  // bodies. The frame carries no raw framebuffers, so cursor-anchored
+  // deltas decline (delta_body_for returns empty) and skipping clients
+  // fall back to the full body — or, when this frame has none, to the
+  // relay's resync-escalation path.
+  std::lock_guard<std::mutex> publishing(publish_mutex_);
+  FramePtr prev = latest();
+
+  auto frame = std::make_shared<Frame>();
+  frame->seq = (prev ? prev->seq : 0) + 1;
+  frame->state = std::move(pre.state);
+  frame->bodies[static_cast<std::size_t>(Tier::kFull)].full =
+      std::move(pre.full_body);
+  frame->bodies[static_cast<std::size_t>(Tier::kFull)].delta =
+      std::move(pre.delta_body);
+  return commit_frame(std::move(frame), 0, true);
+}
+
+std::uint64_t FrameHub::commit_frame(std::shared_ptr<Frame> frame,
+                                     std::uint64_t image_encodes,
+                                     bool preencoded) {
   bool waiters_remain = false;
   auto remain_hint = std::chrono::steady_clock::time_point::max();
   {
@@ -290,6 +319,8 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
       }
     }
     stats_.published++;
+    stats_.image_encodes += image_encodes;
+    if (preencoded) stats_.preencoded_publishes++;
     stats_.served += satisfied.size();
     stats_.waiting = waiters_.size();
 

@@ -190,6 +190,12 @@ class FrameHub {
     std::uint64_t timeouts = 0;  // waiter completions without one
     std::size_t waiting = 0;     // cursors currently parked
     std::size_t waiting_peak = 0;
+    /// Image encodes performed at publish time (full/half base64 + dirty
+    /// tiles). A relay hub fed exclusively through publish_encoded() must
+    /// hold this at zero — the forwarding-without-decoding assertion.
+    std::uint64_t image_encodes = 0;
+    /// Frames injected through publish_encoded() (the relay path).
+    std::uint64_t preencoded_publishes = 0;
   };
 
   /// Per-waiter delivery policy (the session layer's pacing decision).
@@ -222,6 +228,25 @@ class FrameHub {
   /// Pre-encoded flavour (tests, image-less publishers): no reduced image
   /// exists, so the half tier serves the full body.
   std::uint64_t publish(util::Json state, std::vector<std::uint8_t> png);
+
+  /// A frame received from an upstream hub over the wire, already rendered
+  /// into poll-body JSON (seq fields rebased into this hub's seq space by
+  /// the caller). Bodies land on the full tier; the relay serves every
+  /// downstream client at full tier, so no other tier is built.
+  struct PreEncoded {
+    util::Json state;        // optional (may be null): /api/state payload
+    std::string full_body;   // complete poll body, or empty (delta frame)
+    std::string delta_body;  // sequential delta body, or empty (full frame)
+  };
+
+  /// Inject a pre-encoded frame: the relay's forwarding-without-decoding
+  /// path. No pixels are touched, no PNG/base64/tile encoding happens —
+  /// the received body strings become the frame's serve-time bodies
+  /// verbatim. The caller must have rebased the bodies' top-level `seq`
+  /// (and `base_seq`) to seq()+1 before publishing; this hub's window and
+  /// waiter fan-out behave exactly as for a locally rendered frame.
+  /// Returns the new seq.
+  std::uint64_t publish_encoded(PreEncoded pre);
 
   FramePtr latest() const;
   /// Oldest retained frame with seq > since (the catch-up step), or null.
@@ -292,6 +317,13 @@ class FrameHub {
                              std::vector<std::uint8_t> png_half,
                              std::shared_ptr<const viz::Image> raw_full,
                              std::shared_ptr<const viz::Image> raw_half);
+  /// Shared publish tail: append `frame` to the window, age raws past the
+  /// raw window, satisfy waiters, update stats, fan out on the pool.
+  /// Requires publish_mutex_ held; takes mutex_ itself. `image_encodes` is
+  /// the number of image encodes the build performed; `preencoded` marks a
+  /// publish_encoded() frame.
+  std::uint64_t commit_frame(std::shared_ptr<Frame> frame,
+                             std::uint64_t image_encodes, bool preencoded);
   FramePtr next_after_locked(std::uint64_t since) const;  // requires mutex_
   FramePtr frame_for_locked(const Waiter& waiter) const;  // requires mutex_
   /// Earliest actionable instant over the parked waiters. Requires mutex_

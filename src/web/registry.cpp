@@ -93,6 +93,51 @@ std::uint64_t HubRegistry::publish(const std::string& view, util::Json state,
   return seq;
 }
 
+std::uint64_t HubRegistry::publish_encoded(const std::string& view,
+                                           FrameHub::PreEncoded pre) {
+  const double now_s = mono_now_s();
+  std::shared_ptr<FrameHub> hub;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return 0;
+    auto it = shards_.find(view);
+    if (it == shards_.end()) {
+      if (shards_.size() >= config_.max_views) return 0;
+      it = shards_.emplace(view, Shard{}).first;
+    }
+    // No decimation: the relayed body is already rebased against this
+    // shard's seq space, so every received frame must land.
+    it->second.idle_skips = 0;
+    it->second.last_publish_s = now_s;
+    hub = revive_locked(it->second);
+  }
+  const std::uint64_t seq = hub->publish_encoded(std::move(pre));
+  for (const auto& idle : sweep_locked_outside(now_s)) idle->shutdown();
+  return seq;
+}
+
+bool HubRegistry::wants_publish(const std::string& view) {
+  const double now_s = mono_now_s();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) return false;
+  const auto it = shards_.find(view);
+  if (it == shards_.end()) return true;  // first publish declares the view
+  Shard& shard = it->second;
+  // Mirror of hub_for_publish's decimation test, with the counter advanced
+  // only on the skip side: a declined render counts as one idle skip, and
+  // the accepted render's publish() performs the increment that crosses the
+  // divisor — so the cadence is identical whether or not the caller asks.
+  if (config_.idle_publish_divisor > 1 && shard.hub && shard.hub->seq() > 0 &&
+      now_s - shard.last_subscribe_s > config_.idle_publish_after_s &&
+      shard.idle_skips + 1 < config_.idle_publish_divisor) {
+    ++shard.idle_skips;
+    // The publisher is alive; a decimated view is not an abandoned one.
+    shard.last_publish_s = now_s;
+    return false;
+  }
+  return true;
+}
+
 std::shared_ptr<FrameHub> HubRegistry::subscribe(const std::string& view) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (shutdown_) return nullptr;

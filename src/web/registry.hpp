@@ -97,6 +97,23 @@ class HubRegistry {
                         const viz::Image& image, bool build_half = true);
   std::uint64_t publish(const std::string& view, util::Json state,
                         std::vector<std::uint8_t> png);
+  /// Inject a pre-encoded frame (FrameHub::publish_encoded): the relay's
+  /// forwarding path. Bypasses idle-publish decimation — a relay forwards
+  /// exactly what it received, and skipping a frame would desynchronize its
+  /// local seq space from the bodies it rebased against it.
+  std::uint64_t publish_encoded(const std::string& view,
+                                FrameHub::PreEncoded pre);
+
+  /// Would a publish into `view` right now be a real one? The render-side
+  /// twin of idle-publish decimation: the monitor loop asks this *before*
+  /// rasterizing a view, so a decimated idle view skips the render itself,
+  /// not just the hub snapshot/encode. Calling wants_publish() then, on
+  /// true, publish() keeps the exact 1-in-N cadence of calling publish()
+  /// alone: a false here advances the same idle_skips counter the publish
+  /// path consults, and a true leaves it one short of the divisor so the
+  /// following publish() is the real Nth. True for unknown views (the first
+  /// publish declares the name) and after shutdown returns false.
+  bool wants_publish(const std::string& view);
 
   /// Subscriber-side shard lookup: the live hub for `view`, reviving a
   /// reaped shard of a known name; null for names never published or
