@@ -64,11 +64,24 @@
 // client counts, with the relay hubs' encode counters proving the relays
 // forwarded every frame pre-encoded (image_encodes must stay zero).
 //
+// The congestion scenario (--scenario congestion) is the controller A/B:
+// real per-client ClientSession objects (the production pacing stack) are
+// driven through an emulated WAN (src/netsim/: bandwidth-limited last-mile
+// links with propagation delay and on/off cross-traffic bursts) in virtual
+// time, once per congestion-control law — the paper's Robbins-Monro Eq. 1
+// (rmsa), the delay-gradient law (gradient), and the trendline law. The
+// comparison reports tier flaps (downgrade/upgrade oscillation at the
+// capacity boundary) and fast-client delivery p99 per controller: the
+// delay-based laws must hold slow clients steady where utilization-only
+// feedback probes and collapses, without costing prompt clients latency.
+// Deterministic (virtual time, seeded PRNGs) and CI-cheap: simulated
+// seconds are free.
+//
 // Usage: ajax_fanout [--clients 64,256,512] [--duration-s 4]
 //                    [--slow-fraction 0.1] [--frame-interval-s 0.05]
-//                    [--relays 4]
+//                    [--relays 4] [--controller rmsa|gradient|trendline]
 //                    [--scenario plain|mixed|fanout|delta|shard|transport|
-//                     multireactor|relay]
+//                     multireactor|relay|congestion]
 #include <dirent.h>
 #include <sys/resource.h>
 
@@ -76,9 +89,11 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -86,11 +101,16 @@
 #include <vector>
 
 #include "epoll_client.hpp"
+#include "netsim/cross_traffic.hpp"
+#include "netsim/link.hpp"
+#include "netsim/simulator.hpp"
 #include "relay/relay.hpp"
+#include "transport/congestion_controller.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
 #include "web/frontend.hpp"
 #include "web/http.hpp"
+#include "web/session.hpp"
 
 namespace {
 
@@ -889,6 +909,207 @@ std::vector<ClientSpec> shard_specs(const std::vector<std::string>& views,
   return specs;
 }
 
+/// One emulated browser of the congestion scenario: a production
+/// ClientSession paced by the controller under test, its deliveries
+/// serialized through its own netsim last-mile link (slow clients share
+/// theirs with an on/off cross-traffic source).
+struct CongestionClient {
+  std::unique_ptr<ricsa::web::ClientSession> session;
+  ricsa::netsim::Link* link = nullptr;  // owned by the round's link pool
+  bool slow = false;
+  std::uint64_t since = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t skips = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t downgrades = 0;
+  std::uint64_t upgrades = 0;
+  ricsa::web::Tier last_tier = ricsa::web::Tier::kFull;
+  std::vector<double> delivery_ms;
+};
+
+/// One controller's virtual-time round: n_clients long-poll sessions (the
+/// slow fraction behind a congested last-mile) against an ideal publisher
+/// at `cadence_s`, for `duration_s` *simulated* seconds. The serve loop
+/// mirrors the origin server's: decide() at poll time (tier, not_before,
+/// skip_to_latest), dispatch stamped at wire handoff, on_delivered() at
+/// the link's delivery instant — so the controller sees exactly the RTT
+/// bracket production code feeds it.
+Json run_congestion_round(ricsa::transport::ControllerKind kind,
+                          int n_clients, double slow_fraction,
+                          double duration_s, double cadence_s) {
+  namespace ns = ricsa::netsim;
+  using ricsa::web::ClientSession;
+  using ricsa::web::Tier;
+
+  ns::Simulator sim;
+  ricsa::web::PacingConfig pacing;
+  pacing.frame_interval_s = cadence_s;
+  pacing.controller.kind = kind;
+
+  // Tier body sizes (bytes), mirroring the pacing test's full/half/state
+  // ratio; the wire adds a fixed envelope per response.
+  const std::size_t kTierBytes[3] = {20000, 6000, 900};
+  const double kEnvelopeBytes = 160.0;
+
+  const int n_slow = static_cast<int>(slow_fraction * n_clients);
+  // Slow clients share a congested bottleneck in groups of four — a
+  // branch-office uplink with competing cross traffic. Sharing is what
+  // makes pacing causal: send faster than the group's fair share and the
+  // standing queue (everyone's RTT) grows, which the delay laws see
+  // immediately and utilization-only feedback sees only after deliveries
+  // collapse. Fast clients get private ample links.
+  constexpr int kSlowShare = 4;
+  std::vector<std::unique_ptr<ns::Link>> links;
+  std::vector<std::unique_ptr<ns::CrossTraffic>> crosses;
+  std::vector<std::unique_ptr<CongestionClient>> clients;
+  clients.reserve(static_cast<std::size_t>(n_clients));
+  const auto make_link = [&](bool slow, int index) {
+    ns::LinkConfig lc;
+    // No random loss and a deep queue: congestion shows up as queueing
+    // delay (the delay laws' signal) and collapsed utilization (RMSA's),
+    // never as a wedged client.
+    lc.queue_capacity_bytes = 1 << 20;
+    if (slow) {
+      // 250 KB/s for four clients: full tier at cadence wants 1.6 MB/s,
+      // half tier wants 480 KB/s — the group can hold quality only by
+      // stretching its pace, and the boundary is where probing laws flap.
+      lc.bandwidth_Bps = 2.5e5;
+      lc.prop_delay_s = 0.02;
+    } else {
+      lc.bandwidth_Bps = 2.5e6;
+      lc.prop_delay_s = 0.005;
+    }
+    links.push_back(std::make_unique<ns::Link>(
+        sim, lc,
+        0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1)));
+    ns::Link* link = links.back().get();
+    if (slow) {
+      ns::CrossTrafficConfig ct;
+      ct.on_load = 0.5;
+      ct.mean_on_s = 1.0;
+      ct.mean_off_s = 1.0;
+      crosses.push_back(std::make_unique<ns::CrossTraffic>(
+          sim, *link, ct,
+          0xd1b54a32d192ed03ull * static_cast<std::uint64_t>(index + 1)));
+      crosses.back()->start();
+    }
+    return link;
+  };
+  ns::Link* shared_slow_link = nullptr;
+  for (int i = 0; i < n_clients; ++i) {
+    auto c = std::make_unique<CongestionClient>();
+    c->slow = i < n_slow;
+    if (c->slow) {
+      if (i % kSlowShare == 0) shared_slow_link = make_link(true, i);
+      c->link = shared_slow_link;
+    } else {
+      c->link = make_link(false, i);
+    }
+    c->session = std::make_unique<ClientSession>(
+        pacing, "sim-" + std::to_string(i), "netsim", 0.0);
+    clients.push_back(std::move(c));
+  }
+
+  // The ideal publisher: frame seq s exists from s * cadence onward.
+  const auto latest_at = [cadence_s](double t) {
+    return static_cast<std::uint64_t>(std::floor(t / cadence_s));
+  };
+
+  std::function<void(CongestionClient*)> poll =
+      [&](CongestionClient* c) {
+        if (sim.now() >= duration_s) return;
+        const ClientSession::Decision d =
+            c->session->decide(sim.now(), cadence_s);
+        const double avail = static_cast<double>(c->since + 1) * cadence_s;
+        const double serve_t =
+            std::max({sim.now(), d.not_before_s, avail});
+        sim.at(serve_t, [&, c, d] {
+          if (sim.now() >= duration_s) return;
+          std::uint64_t seq = c->since + 1;
+          if (d.skip_to_latest) seq = std::max(seq, latest_at(sim.now()));
+          const std::uint64_t skipped =
+              (c->since != 0 && seq > c->since + 1) ? seq - c->since - 1 : 0;
+          const std::size_t body =
+              kTierBytes[static_cast<std::size_t>(d.tier)];
+          const double published_t = static_cast<double>(seq) * cadence_s;
+          c->session->note_dispatch(sim.now());
+          ns::Packet p;
+          p.seq = seq;
+          p.wire_bytes = body + static_cast<std::size_t>(kEnvelopeBytes);
+          c->link->send(p, [&, c, seq, skipped, body, published_t,
+                            tier = d.tier](const ns::Packet&) {
+            c->since = seq;
+            ++c->frames;
+            c->skips += skipped;
+            c->bytes += body;
+            c->delivery_ms.push_back((sim.now() - published_t) * 1e3);
+            c->session->on_delivered(sim.now(), body, skipped, tier,
+                                     cadence_s);
+            const Tier now_tier = c->session->tier();
+            if (now_tier != c->last_tier) {
+              if (static_cast<int>(now_tier) > static_cast<int>(c->last_tier)) {
+                ++c->downgrades;
+              } else {
+                ++c->upgrades;
+              }
+              c->last_tier = now_tier;
+            }
+            poll(c);
+          });
+        });
+      };
+  for (auto& c : clients) poll(c.get());
+  // run_until (not run()): the cross-traffic sources schedule themselves
+  // forever; the horizon is what ends the round.
+  sim.run_until(duration_s);
+  for (auto& ct : crosses) ct->stop();
+
+  std::uint64_t flaps = 0, downgrades = 0, upgrades = 0, skips = 0;
+  std::uint64_t frames = 0, bytes = 0, slow_bytes = 0;
+  double slow_interval_sum = 0.0;
+  std::vector<double> fast_delivery_ms, slow_delivery_ms;
+  for (const auto& c : clients) {
+    downgrades += c->downgrades;
+    upgrades += c->upgrades;
+    flaps += c->downgrades + c->upgrades;
+    skips += c->skips;
+    frames += c->frames;
+    bytes += c->bytes;
+    auto& sink = c->slow ? slow_delivery_ms : fast_delivery_ms;
+    sink.insert(sink.end(), c->delivery_ms.begin(), c->delivery_ms.end());
+    if (c->slow) {
+      slow_bytes += c->bytes;
+      slow_interval_sum += c->session->interval_s();
+    }
+  }
+
+  Json out;
+  out["scenario"] = "congestion";
+  out["controller"] = ricsa::transport::controller_kind_name(kind);
+  out["harness"] = "netsim";
+  out["clients"] = n_clients;
+  out["slow_clients"] = n_slow;
+  out["paced_clients"] = n_clients;
+  out["adaptive"] = true;
+  out["full_resend"] = false;
+  out["duration_s"] = duration_s;
+  out["frames_delivered"] = static_cast<double>(frames);
+  out["pacing_skips"] = static_cast<double>(skips);
+  out["bytes_total"] = static_cast<double>(bytes);
+  // The headline pair: oscillation at the capacity boundary vs what the
+  // prompt cohort pays for the slow cohort's law.
+  out["tier_flaps"] = static_cast<double>(flaps);
+  out["tier_downgrades"] = static_cast<double>(downgrades);
+  out["tier_upgrades"] = static_cast<double>(upgrades);
+  out["delivery_latency_fast_clients"] = latency_json(fast_delivery_ms);
+  out["delivery_latency_slow_clients"] = latency_json(slow_delivery_ms);
+  out["slow_goodput_Bps"] =
+      static_cast<double>(slow_bytes) / std::max(1e-9, duration_s);
+  out["slow_interval_s_mean"] =
+      n_slow > 0 ? slow_interval_sum / n_slow : 0.0;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -896,10 +1117,13 @@ int main(int argc, char** argv) {
   std::vector<int> client_counts = {64, 256, 512};
   bool clients_set = false;
   double duration_s = 4.0;
+  bool duration_set = false;
   double slow_fraction = 0.0;
   double frame_interval_s = 0.05;
   bool frame_interval_set = false;
   int relay_count = 4;
+  ricsa::transport::ControllerKind controller_kind =
+      ricsa::transport::ControllerKind::kRmsa;
   std::string scenario = "plain";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -914,6 +1138,7 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--duration-s") {
       duration_s = std::atof(next().c_str());
+      duration_set = true;
     } else if (arg == "--slow-fraction") {
       slow_fraction = std::atof(next().c_str());
     } else if (arg == "--frame-interval-s") {
@@ -923,12 +1148,19 @@ int main(int argc, char** argv) {
       scenario = next();
     } else if (arg == "--relays") {
       relay_count = std::atoi(next().c_str());
+    } else if (arg == "--controller") {
+      const std::string name = next();
+      if (!ricsa::transport::parse_controller_kind(name, &controller_kind)) {
+        std::fprintf(stderr, "unknown --controller '%s'\n", name.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: ajax_fanout [--clients 64,256,512] [--duration-s S]"
                    " [--slow-fraction F] [--frame-interval-s S] [--relays N]"
+                   " [--controller rmsa|gradient|trendline]"
                    " [--scenario plain|mixed|fanout|delta|shard|transport|"
-                   "multireactor|relay]\n");
+                   "multireactor|relay|congestion]\n");
       return 2;
     }
   }
@@ -976,10 +1208,23 @@ int main(int argc, char** argv) {
     if (!frame_interval_set) frame_interval_s = 0.25;
     relay_count = std::max(1, relay_count);
   }
+  if (scenario == "congestion") {
+    // The controller A/B runs in virtual time: seconds are simulated, so a
+    // long round costs nothing — 60 s is enough for several RMSA probe
+    // backoff cycles at the capacity boundary. Half the fleet sits behind
+    // the congested last-mile.
+    if (!clients_set) client_counts = {32};
+    if (!frame_interval_set) frame_interval_s = 0.05;
+    if (!duration_set) duration_s = 60.0;
+    if (slow_fraction <= 0.0) slow_fraction = 0.5;
+  }
 
   ricsa::web::FrontEndConfig config;
   config.session.resolution = 16;  // small grid: the hub, not the sim, is under test
   config.session.cycles_per_frame = 1;
+  // The controller knob reaches every paced session, whatever the
+  // scenario; the congestion scenario ignores it (it runs all laws).
+  config.pacing.controller.kind = controller_kind;
   config.frame_interval_s = frame_interval_s;
   config.frame_window = 256;
   config.hub_workers = 4;
@@ -1055,9 +1300,13 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
   };
-  fresh_frontend();
-  std::fprintf(stderr, "[ajax_fanout] hub on port %d, frame interval %.0f ms\n",
-               port, frame_interval_s * 1e3);
+  // The congestion scenario is pure virtual time — no server, no sockets.
+  if (scenario != "congestion") {
+    fresh_frontend();
+    std::fprintf(stderr,
+                 "[ajax_fanout] hub on port %d, frame interval %.0f ms\n",
+                 port, frame_interval_s * 1e3);
+  }
 
   Json rounds{ricsa::util::JsonArray{}};
   Json comparisons{ricsa::util::JsonArray{}};
@@ -1393,6 +1642,48 @@ int main(int argc, char** argv) {
       comparisons.as_array().push_back(cmp);
       rounds.as_array().push_back(std::move(baseline));
       rounds.as_array().push_back(std::move(perturbed));
+    } else if (scenario == "congestion") {
+      // Same fleet and WAN, once per law. rmsa is the paper's Eq. 1
+      // baseline; gradient is the delay-based candidate under gate;
+      // trendline rides along for reference.
+      using ricsa::transport::ControllerKind;
+      const struct {
+        ControllerKind kind;
+        const char* name;
+      } laws[] = {{ControllerKind::kRmsa, "rmsa"},
+                  {ControllerKind::kDelayGradient, "gradient"},
+                  {ControllerKind::kTrendline, "trendline"}};
+      std::map<std::string, Json> by_law;
+      for (const auto& law : laws) {
+        std::fprintf(stderr,
+                     "[ajax_fanout] congestion: %d clients (%.0f%% slow), "
+                     "%s, %.0f virtual s...\n",
+                     n, slow_fraction * 100, law.name, duration_s);
+        by_law[law.name] = run_congestion_round(law.kind, n, slow_fraction,
+                                                duration_s, frame_interval_s);
+      }
+      Json cmp;
+      cmp["clients"] = n;
+      for (const auto& law : laws) {
+        const Json& r = by_law[law.name];
+        const std::string suffix = std::string("_") + law.name;
+        cmp["tier_flaps" + suffix] = r.at("tier_flaps");
+        cmp["fast_p99_ms" + suffix] =
+            r.at("delivery_latency_fast_clients").at("p99_ms");
+        cmp["slow_goodput_Bps" + suffix] = r.at("slow_goodput_Bps");
+      }
+      // The acceptance headline: the delay-gradient law holds slow clients
+      // steady (fewer flaps) at equal-or-better fast-client latency.
+      const double rmsa_flaps =
+          by_law["rmsa"].at("tier_flaps").as_number();
+      const double grad_flaps =
+          by_law["gradient"].at("tier_flaps").as_number();
+      cmp["flap_reduction_gradient_vs_rmsa"] =
+          rmsa_flaps > 0 ? (rmsa_flaps - grad_flaps) / rmsa_flaps : 0.0;
+      comparisons.as_array().push_back(cmp);
+      for (const auto& law : laws) {
+        rounds.as_array().push_back(std::move(by_law[law.name]));
+      }
     } else {
       std::fprintf(stderr, "[ajax_fanout] %d clients for %.1f s...\n", n,
                    duration_s);
@@ -1425,6 +1716,6 @@ int main(int argc, char** argv) {
   report["rounds"] = rounds;
   if (!comparisons.as_array().empty()) report["comparisons"] = comparisons;
   std::printf("%s\n", report.dump(1).c_str());
-  frontend->stop();
+  if (frontend) frontend->stop();
   return 0;
 }

@@ -39,12 +39,16 @@ import sys
 BENCH_FILES = ["ajax_fanout.json", "ajax_fanout_mixed.json",
                "ajax_fanout_fanout.json", "ajax_fanout_delta.json",
                "ajax_fanout_shard.json", "ajax_fanout_transport.json",
-               "ajax_fanout_multireactor.json", "ajax_fanout_relay.json"]
+               "ajax_fanout_multireactor.json", "ajax_fanout_relay.json",
+               "ajax_fanout_congestion.json"]
 HISTORY_FILE = "bench_history.json"
 MAX_HISTORY_RUNS = 50
 MIN_PREV_MS = 1.0
 MIN_DELTA_MS = 5.0
 MIN_PREV_BYTES = 1024.0
+# Congestion A/B gate: the delay-gradient controller may cost at most this
+# fraction of fast-client p99 relative to RMSA in the same run.
+CONGESTION_P99_TOLERANCE = 0.10
 
 
 def load(path):
@@ -70,9 +74,11 @@ def round_key(round_json):
     # same reason, and multireactor rounds carry "reactors" (the 4-reactor
     # round and the 1-reactor baseline share a client count). Relay rounds
     # carry "relay_depth"/"relay_fanout": the depth-1 direct baseline and
-    # the depth-2 relayed round share a client count. Rounds without those
-    # fields (every earlier scenario) get None for them, so existing
-    # artifacts stay comparable.
+    # the depth-2 relayed round share a client count. Congestion rounds
+    # carry "controller" (the same emulated WAN run once per pacing law) —
+    # keying on it gates each law's fast p99 against its own history.
+    # Rounds without those fields (every earlier scenario) get None for
+    # them, so existing artifacts stay comparable.
     return (round_json.get("clients"), bool(round_json.get("adaptive")),
             bool(round_json.get("full_resend")),
             round_json.get("scenario"), round_json.get("view_count"),
@@ -80,7 +86,8 @@ def round_key(round_json):
             round_json.get("transport"),
             round_json.get("reactors"),
             round_json.get("relay_depth"),
-            round_json.get("relay_fanout"))
+            round_json.get("relay_fanout"),
+            round_json.get("controller"))
 
 
 def key_str(key):
@@ -101,6 +108,8 @@ def key_str(key):
         parts.append(f"depth={key[8]}")
     if len(key) > 9 and key[9]:
         parts.append(f"relays={key[9]}")
+    if len(key) > 10 and key[10]:
+        parts.append(f"controller={key[10]}")
     return " ".join(parts)
 
 
@@ -117,6 +126,9 @@ def round_record(round_json):
     if "overhead_bytes_per_frame" in round_json:
         record["overhead_bytes_per_frame"] = \
             round_json.get("overhead_bytes_per_frame")
+    if "tier_flaps" in round_json:
+        record["tier_flaps"] = round_json.get("tier_flaps")
+        record["slow_goodput_Bps"] = round_json.get("slow_goodput_Bps")
     views = round_json.get("views")
     if views:
         record["views"] = {
@@ -207,6 +219,47 @@ def compare(name, previous, current, max_p99_regression,
     return regressions
 
 
+def congestion_gate(cur_root):
+    """Absolute A/B gate on the congestion scenario, previous artifact or
+    not: the delay-gradient controller exists to remove tier flaps, so a
+    run where it flaps at least as much as RMSA — or buys its stability
+    with a slower fast-client p99 — failed at its one job."""
+    path = cur_root / "ajax_fanout_congestion.json"
+    if not path.is_file():
+        return []
+    data = load(path)
+    if data is None:
+        return []
+    failures = []
+    for cmp_json in data.get("comparisons", []):
+        rmsa_flaps = cmp_json.get("tier_flaps_rmsa")
+        grad_flaps = cmp_json.get("tier_flaps_gradient")
+        if rmsa_flaps is None or grad_flaps is None:
+            continue
+        label = f"congestion clients={cmp_json.get('clients')}"
+        verdict = "ok"
+        if grad_flaps >= rmsa_flaps:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{label}: gradient tier flaps {grad_flaps} not below "
+                f"rmsa {rmsa_flaps}")
+        rmsa_p99 = cmp_json.get("fast_p99_ms_rmsa")
+        grad_p99 = cmp_json.get("fast_p99_ms_gradient")
+        if (rmsa_p99 is not None and grad_p99 is not None and
+                rmsa_p99 >= MIN_PREV_MS and
+                grad_p99 > rmsa_p99 * (1.0 + CONGESTION_P99_TOLERANCE)):
+            verdict = "REGRESSION"
+            failures.append(
+                f"{label}: gradient fast p99 {grad_p99:.1f} ms exceeds "
+                f"rmsa {rmsa_p99:.1f} ms by more than "
+                f"{CONGESTION_P99_TOLERANCE * 100:.0f}%")
+        print(f"[bench-delta] {label}: flaps rmsa={rmsa_flaps} "
+              f"gradient={grad_flaps} "
+              f"trendline={cmp_json.get('tier_flaps_trendline')}, "
+              f"fast p99 rmsa={rmsa_p99} gradient={grad_p99} ms [{verdict}]")
+    return failures
+
+
 def summarize_run(cur_root, label):
     """This run's compact history record, one entry per bench file/round."""
     record = {"label": label, "benches": {}}
@@ -285,12 +338,20 @@ def main():
               f"-> {args.history_out}")
     print_trends(history)
 
+    # The congestion A/B is self-contained in the current run, so its gate
+    # applies even on a first run with no previous artifact.
+    regressions = list(congestion_gate(cur_root))
+
     if not prev_root.is_dir():
         print(f"[bench-delta] no previous artifact at {prev_root}; "
               "nothing to compare (first run?)")
+        if regressions:
+            print("[bench-delta] FAILING: congestion A/B gate:")
+            for line in regressions:
+                print(f"  - {line}")
+            return 1
         return 0
 
-    regressions = []
     compared = 0
     for name in BENCH_FILES:
         cur_path = cur_root / name

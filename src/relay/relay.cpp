@@ -66,6 +66,9 @@ web::HubRegistry::Config registry_config(const RelayNodeConfig& config,
   // frame must land regardless of downstream idleness.
   out.idle_publish_divisor = 1;
   out.idle_reap_s = 0.0;
+  // Downstream clients get the same session/controller stack the origin
+  // runs — a relay tier must not turn paced clients back into unpaced ones.
+  out.pacing = config.pacing;
   return out;
 }
 
@@ -76,13 +79,16 @@ std::string timeout_body(std::uint64_t since) {
 }  // namespace
 
 /// One downstream SSE subscription on the relay. Same pump shape as the
-/// origin's (chunk → drained callback → next wait), minus pacing/session
-/// tiers: the relay serves the kFull bodies it received, verbatim.
+/// origin's (chunk → drained callback → next wait). A `client=` id binds
+/// the same pacing session the polls use; tiers stay kFull (the relay
+/// serves the bodies it received, verbatim), so the session's controller
+/// governs pacing and frame skipping only.
 struct RelayNode::RelayStream {
   RelayNode* node = nullptr;
   std::shared_ptr<web::FrameHub> hub;
   std::string view;
   web::HttpServer::StreamSink sink;
+  std::shared_ptr<web::ClientSession> session;
   std::uint64_t since = 0;
   bool want_delta = false;
   bool force_full = false;
@@ -205,21 +211,46 @@ void RelayNode::handle_poll(const web::HttpRequest& request,
   const auto deadline =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(timeout));
+  // Same pacing contract as the origin: a (sanitized) `client` id keys a
+  // session whose controller paces/skips this relay's deliveries to that
+  // client. Tier stays kFull — the relay owns no cheaper encodings — so
+  // only the decision's interval/skip axis applies here.
+  std::shared_ptr<web::ClientSession> session;
+  web::FrameHub::WaitOptions options;
+  const std::string client =
+      web::sanitize_client_id(request.query_param("client"));
+  if (!client.empty()) {
+    const double now = web::mono_now_s();
+    session = registry_.sessions().acquire(client, request.peer, now);
+    if (session) {
+      const web::ClientSession::Decision decision =
+          session->decide(now, config_.pacing.frame_interval_s, view);
+      options.latest_only = decision.skip_to_latest;
+      if (decision.not_before_s > now) {
+        options.not_before =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   decision.not_before_s - now));
+      }
+    }
+  }
   park_poll(hub, std::move(view), since, since, want_delta, deadline,
-            std::move(sink));
+            std::move(session), options, std::move(sink));
 }
 
 void RelayNode::park_poll(std::shared_ptr<web::FrameHub> hub,
                           std::string view, std::uint64_t client_since,
                           std::uint64_t cursor, bool want_delta,
                           Clock::time_point deadline,
+                          std::shared_ptr<web::ClientSession> session,
+                          web::FrameHub::WaitOptions options,
                           web::HttpServer::ResponseSink sink) {
-  web::FrameHub::WaitOptions options;
   options.timeout_s = std::max(
       0.0, std::chrono::duration<double>(deadline - Clock::now()).count());
   hub->wait_async(
       cursor, options,
       [this, hub, view = std::move(view), client_since, want_delta, deadline,
+       session = std::move(session), options,
        sink = std::move(sink)](web::FramePtr frame) mutable {
         if (!frame) {
           // Timeout contract: echo the *client's* cursor, not the parked
@@ -228,6 +259,7 @@ void RelayNode::park_poll(std::shared_ptr<web::FrameHub> hub,
               web::HttpResponse::json(timeout_body(client_since));
           response.headers["X-Relay-Path"] = relay_path_header();
           sink(response);
+          if (session) session->on_timeout(web::mono_now_s());
           return;
         }
         // Body selection against pre-encoded frames: a relay frame carries
@@ -243,7 +275,24 @@ void RelayNode::park_poll(std::shared_ptr<web::FrameHub> hub,
         if (!body->empty()) {
           web::HttpResponse response = web::HttpResponse::json_shared(body);
           response.headers["X-Relay-Path"] = relay_path_header();
-          sink(response);
+          if (!session) {
+            sink(response);
+            return;
+          }
+          // Paced client: stamp the dispatch, account the delivery at
+          // kernel drain — the controller's RTT sample brackets exactly
+          // this relay→client hop.
+          const std::uint64_t skipped =
+              (client_since != 0 && frame->seq > client_since + 1)
+                  ? frame->seq - client_since - 1
+                  : 0;
+          const std::size_t bytes = body->size();
+          const double cadence = config_.pacing.frame_interval_s;
+          session->note_dispatch(web::mono_now_s(), view);
+          sink(response, [session, bytes, skipped, cadence, view] {
+            session->on_delivered(web::mono_now_s(), bytes, skipped,
+                                  web::Tier::kFull, cadence, view);
+          });
           return;
         }
         // A delta-only frame that cannot answer this client (fresh join,
@@ -258,11 +307,12 @@ void RelayNode::park_poll(std::shared_ptr<web::FrameHub> hub,
               web::HttpResponse::json(timeout_body(client_since));
           response.headers["X-Relay-Path"] = relay_path_header();
           sink(response);
+          if (session) session->on_timeout(web::mono_now_s());
           return;
         }
         const std::uint64_t next = frame->seq;
         park_poll(hub, std::move(view), client_since, next, want_delta,
-                  deadline, std::move(sink));
+                  deadline, std::move(session), options, std::move(sink));
       });
 }
 
@@ -301,6 +351,12 @@ void RelayNode::handle_stream(const web::HttpRequest& request,
   s->hub = hub;
   s->view = std::move(view);
   s->sink = std::move(sink);
+  const std::string client =
+      web::sanitize_client_id(request.query_param("client"));
+  if (!client.empty()) {
+    s->session =
+        registry_.sessions().acquire(client, request.peer, web::mono_now_s());
+  }
   s->since = since;
   s->want_delta = request.query_param("delta", "0") == "1";
   s->force_full = request.query_param("full", "0") == "1";
@@ -312,12 +368,27 @@ void RelayNode::stream_pump(const std::shared_ptr<RelayStream>& s) {
   if (!s->sink.alive()) return;
   web::FrameHub::WaitOptions options;
   options.timeout_s = s->timeout_s;
+  if (s->session) {
+    // Re-decide per pump cycle: a client whose drains slow mid-stream is
+    // paced/skipped on the very next wait, exactly like the origin's pump.
+    const double now = web::mono_now_s();
+    const web::ClientSession::Decision decision =
+        s->session->decide(now, config_.pacing.frame_interval_s, s->view);
+    options.latest_only = decision.skip_to_latest;
+    if (decision.not_before_s > now) {
+      options.not_before =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 decision.not_before_s - now));
+    }
+  }
   s->hub->wait_async(s->since, options, [this, s](web::FramePtr frame) {
     if (!frame) {
       if (s->hub->is_shutdown()) {
         s->sink.end();
         return;
       }
+      if (s->session) s->session->on_timeout(web::mono_now_s());
       s->sink.chunk(": keepalive\n\n", [this, s] { stream_pump(s); });
       return;
     }
@@ -337,12 +408,23 @@ void RelayNode::stream_pump(const std::shared_ptr<RelayStream>& s) {
       return;
     }
     s->force_full = false;
+    const std::uint64_t skipped =
+        (s->since != 0 && frame->seq > s->since + 1)
+            ? frame->seq - s->since - 1
+            : 0;
+    const std::size_t bytes = body->size();
     s->since = frame->seq;
     net::BufferChain event;
     event.append_copy("id: " + std::to_string(frame->seq) + "\ndata: ");
     event.append_shared(std::move(body));
     event.append_copy("\n\n");
-    s->sink.chunk(std::move(event), [this, s] {
+    if (s->session) s->session->note_dispatch(web::mono_now_s(), s->view);
+    s->sink.chunk(std::move(event), [this, s, bytes, skipped] {
+      if (s->session) {
+        s->session->on_delivered(web::mono_now_s(), bytes, skipped,
+                                 web::Tier::kFull,
+                                 config_.pacing.frame_interval_s, s->view);
+      }
       registry_.touch(s->view);
       stream_pump(s);
     });
@@ -393,6 +475,7 @@ web::HttpResponse RelayNode::handle_stats(const web::HttpRequest&) {
       v["resyncs"] = static_cast<double>(s.resyncs);
       v["reconnects"] = static_cast<double>(s.reconnects);
       v["epoch_changes"] = static_cast<double>(s.epoch_changes);
+      v["restarts"] = static_cast<double>(s.restarts);
       v["last_upstream_seq"] = static_cast<double>(s.last_upstream_seq);
       v["last_local_seq"] = static_cast<double>(s.last_local_seq);
       v["sse"] = s.sse;
@@ -422,6 +505,8 @@ web::HttpResponse RelayNode::handle_stats(const web::HttpRequest&) {
     }
     out["views"] = hubs;
   }
+  // Downstream pacing sessions (same shape as the origin's stats block).
+  out["pacing"] = registry_.sessions().stats_json(web::mono_now_s());
   out["connections_open"] = static_cast<double>(server_.connections_open());
   out["requests_served"] = static_cast<double>(server_.requests_served());
   out["bytes_sent"] = static_cast<double>(server_.bytes_sent());

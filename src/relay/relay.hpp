@@ -29,6 +29,7 @@
 #include "relay/subscriber.hpp"
 #include "web/http.hpp"
 #include "web/registry.hpp"
+#include "web/session.hpp"
 
 namespace ricsa::relay {
 
@@ -45,6 +46,14 @@ struct RelayNodeConfig {
   std::size_t http_workers = 2;
   std::size_t reactors = 1;
   std::size_t max_connections = 8192;
+  /// Per-client adaptive pacing for *downstream* clients, identical to the
+  /// origin's: a `client=` id on /api/poll or /api/stream gets a session
+  /// whose congestion controller (pacing.controller) paces and skips
+  /// frames for that client. The relay serves pre-encoded kFull bodies
+  /// only — tier downgrades cannot re-encode here — so the controller
+  /// governs the interval/skip axis. frame_interval_s is the cadence
+  /// downstream promptness is judged against (the upstream publish rate).
+  web::PacingConfig pacing;
 };
 
 class RelayNode {
@@ -77,6 +86,8 @@ class RelayNode {
                  std::uint64_t client_since, std::uint64_t cursor,
                  bool want_delta,
                  std::chrono::steady_clock::time_point deadline,
+                 std::shared_ptr<web::ClientSession> session,
+                 web::FrameHub::WaitOptions options,
                  web::HttpServer::ResponseSink sink);
   void handle_stream(const web::HttpRequest& request,
                      web::HttpServer::StreamSink sink);

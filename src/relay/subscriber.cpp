@@ -58,6 +58,14 @@ double backoff_delay_s(const SubscriberConfig& config, int failures) {
   return std::min(delay, config.backoff_max_s);
 }
 
+double respawn_delay_s(const SubscriberConfig& config, int respawns) {
+  double delay = config.respawn_initial_s;
+  for (int i = 1; i < respawns && delay < config.respawn_max_s; ++i) {
+    delay *= 2.0;
+  }
+  return std::min(delay, config.respawn_max_s);
+}
+
 }  // namespace
 
 /// Upstream connection state machine; every field is owned by the
@@ -100,11 +108,12 @@ struct RelaySubscriber::Conn : net::EventHandler {
   bool use_sse = true;         // transport preference (auto-negotiated)
   bool joined = false;         // /api/state answered; since_up is valid
   bool resync_pending = true;  // next frame must be a full snapshot
-  bool failed = false;         // permanent abort (loop-thread mirror)
+  bool failed = false;         // failing now (loop-thread mirror)
   std::uint64_t since_up = 0;     // upstream cursor (last seq consumed)
   std::uint64_t last_local = 0;   // local hub seq of our last publish
 
   int failures = 0;  // consecutive connect/IO failures (backoff exponent)
+  int respawns = 0;  // consecutive supervisor respawns (backoff exponent)
   std::uint64_t retry_timer = 0;
   std::uint64_t watchdog_timer = 0;
   Clock::time_point last_activity{};
@@ -267,14 +276,44 @@ void RelaySubscriber::teardown(Conn* c) {
   c->chunk_left = 0;
 }
 
-void RelaySubscriber::fail_permanently(Conn* c, const std::string& why) {
+void RelaySubscriber::fail_subscription(Conn* c, const std::string& why) {
   teardown(c);
   c->failed = true;
   util::log_message(util::LogLevel::kError, "relay",
-                    "view '" + c->view + "' aborted: " + why);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  c->stats.failed = true;
-  c->stats.failure = why;
+                    "view '" + c->view + "' failed: " + why);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    c->stats.failed = true;
+    c->stats.failure = why;
+  }
+  schedule_respawn(c);
+}
+
+void RelaySubscriber::schedule_respawn(Conn* c) {
+  // The supervisor: instead of latching the failure forever, re-run the
+  // whole join cycle under a capped backoff of its own. The view stays
+  // *reported* failed (stats.failed / any_failed) across respawn attempts
+  // that fail again; only a successful re-join clears it — so a persistent
+  // topology error reads as a persistent outage, with a climbing restart
+  // counter, not as a flapping one.
+  if (stopped_.load() || c->retry_timer != 0) return;
+  c->respawns = std::min(c->respawns + 1, 16);
+  c->retry_timer =
+      reactor_.run_after(respawn_delay_s(config_, c->respawns), [this, c] {
+        c->retry_timer = 0;
+        if (stopped_.load()) return;
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++c->stats.restarts;
+        }
+        // Lift the loop-thread abort latch and start from scratch: fresh
+        // connect, /api/state re-join, full-frame resync.
+        c->failed = false;
+        c->failures = 0;
+        c->joined = false;
+        c->resync_pending = true;
+        start_connect(c);
+      });
 }
 
 void RelaySubscriber::begin_resync(Conn* c, bool teardown_connection) {
@@ -434,7 +473,7 @@ bool RelaySubscriber::handle_headers(Conn* c) {
   note_relay_path(c, relay_path);  // may fail the view permanently
   if (c->failed) return false;
   if (c->status == 409) {
-    fail_permanently(c, "upstream rejected the subscription (409 conflict)");
+    fail_subscription(c, "upstream rejected the subscription (409 conflict)");
     return false;
   }
   if (c->status != 200) {
@@ -495,6 +534,14 @@ bool RelaySubscriber::handle_response(Conn* c) {
     c->since_up = head > 0 ? head - 1 : 0;
     c->joined = true;
     c->resync_pending = true;
+    if (c->respawns != 0) {
+      // A supervised respawn made it through the join: the failure is
+      // over. Clear the reported state so any_failed() reflects now.
+      c->respawns = 0;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      c->stats.failed = false;
+      c->stats.failure.clear();
+    }
     send_next_request(c);
     return true;
   }
@@ -655,13 +702,13 @@ void RelaySubscriber::note_relay_path(Conn* c, const std::string& header) {
   }
   for (const std::string& id : chain) {
     if (id == config_.relay_id) {
-      fail_permanently(c, "relay cycle: own id '" + id +
-                              "' appears in the upstream path");
+      fail_subscription(c, "relay cycle: own id '" + id +
+                               "' appears in the upstream path");
       return;
     }
   }
   if (chain.size() + 1 > config_.max_depth) {
-    fail_permanently(
+    fail_subscription(
         c, util::strprintf("relay depth cap exceeded: %zu upstream hops, "
                            "max_depth %zu",
                            chain.size(), config_.max_depth));

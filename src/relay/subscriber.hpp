@@ -23,7 +23,15 @@
 // Topology guards: every request carries `X-Relay-Path: <relay id>`;
 // every response from a relay carries the server's own chain. Seeing our
 // own id in an upstream chain (a cycle) or a chain already at the depth
-// cap permanently fails the view instead of building a forwarding loop.
+// cap fails the view instead of building a forwarding loop.
+//
+// Failed views are supervised, not abandoned: a failure (cycle, depth cap,
+// 409 rejection) marks the view failed and schedules a respawn under its
+// own capped-exponential backoff — topology errors can be transient (an
+// upstream relay restarting under a different chain). The view stays
+// *reported* failed (stats/any_failed) through failing respawn attempts
+// and clears only once a re-join actually succeeds, so monitoring sees a
+// persistent outage as persistent.
 #pragma once
 
 #include <atomic>
@@ -59,6 +67,12 @@ struct SubscriberConfig {
   /// Reconnect backoff schedule: initial * 2^failures, capped.
   double backoff_initial_s = 0.05;
   double backoff_max_s = 2.0;
+  /// Supervisor respawn schedule for *failed* subscriptions (cycle /
+  /// depth cap / 409 rejection): initial * 2^(restarts-1), capped. Much
+  /// longer than the reconnect backoff — a structural failure usually
+  /// needs the upstream topology to change before a retry can succeed.
+  double respawn_initial_s = 0.5;
+  double respawn_max_s = 10.0;
 };
 
 /// Per-view forwarding counters (loop-thread owned, snapshotted for stats).
@@ -71,8 +85,9 @@ struct SubscriberViewStats {
   std::uint64_t epoch_changes = 0; // upstream seq regressions observed
   std::uint64_t last_upstream_seq = 0;
   std::uint64_t last_local_seq = 0;
+  std::uint64_t restarts = 0;  // supervisor respawns of a failed view
   bool sse = false;     // currently riding /api/stream
-  bool failed = false;  // permanently aborted (cycle / depth / 409)
+  bool failed = false;  // failing now (cycle / depth / 409); clears on rejoin
   std::string failure;
 };
 
@@ -103,7 +118,9 @@ class RelaySubscriber {
   /// Upstream relay chain learned from response X-Relay-Path headers
   /// (nearest hop first); empty when subscribed directly to an origin.
   std::vector<std::string> upstream_path() const;
-  /// True once any view failed permanently (cycle / depth / rejection).
+  /// True while any view is in the failed state (cycle / depth /
+  /// rejection). Stays true across failing supervisor respawns; clears
+  /// when the view successfully re-joins its upstream.
   bool any_failed() const;
 
  private:
@@ -114,7 +131,8 @@ class RelaySubscriber {
   void schedule_connect(Conn* conn, double delay_s);
   void start_connect(Conn* conn);
   void teardown(Conn* conn);
-  void fail_permanently(Conn* conn, const std::string& why);
+  void fail_subscription(Conn* conn, const std::string& why);
+  void schedule_respawn(Conn* conn);
   void begin_resync(Conn* conn, bool teardown_connection);
   void send_next_request(Conn* conn);
   void flush(Conn* conn);

@@ -573,7 +573,9 @@ void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
   bool tier_delta_ok = true;
   FrameHub::WaitOptions options;
   options.timeout_s = timeout;
-  const std::string client = request.query_param("client");
+  // The id is attacker-chosen input that becomes a map key: an invalid one
+  // (over-long, bad charset) is treated as absent, i.e. the unpaced path.
+  const std::string client = sanitize_client_id(request.query_param("client"));
   if (!client.empty()) {
     const double now = mono_now_s();
     // A null session (table at its cap for this flood of distinct ids)
@@ -637,17 +639,24 @@ void AjaxFrontEnd::handle_poll_async(const HttpRequest& request,
         }
         if (!body || body->empty()) body = body_shared(frame, tier, false);
         const std::size_t bytes = body->size();
-        sink(HttpResponse::json_shared(std::move(body)));
-        if (session) {
-          // Record the delivery after the (possibly blocking) socket write:
-          // the timestamp then reflects when the client actually drained
-          // the body, which is what the goodput meter must see.
-          const std::uint64_t skipped =
-              (since != 0 && frame->seq > since + 1) ? frame->seq - since - 1
-                                                     : 0;
-          session->on_delivered(mono_now_s(), bytes, skipped, tier, cadence,
-                                view);
+        if (!session) {
+          sink(HttpResponse::json_shared(std::move(body)));
+          return;
         }
+        // Stamp the dispatch instant, then account the delivery from the
+        // kernel-drain callback: the pair brackets enqueue → socket-buffer
+        // empty, the per-delivery RTT the delay-based controllers steer
+        // on. TCP backpressure from a slow reader shows up as drain
+        // latency, exactly like the SSE path's chunk callback.
+        const std::uint64_t skipped =
+            (since != 0 && frame->seq > since + 1) ? frame->seq - since - 1
+                                                   : 0;
+        session->note_dispatch(mono_now_s(), view);
+        sink(HttpResponse::json_shared(std::move(body)),
+             [session, bytes, skipped, tier, cadence, view] {
+               session->on_delivered(mono_now_s(), bytes, skipped, tier,
+                                     cadence, view);
+             });
       });
 }
 
@@ -748,6 +757,9 @@ void sse_pump(const std::shared_ptr<SseStream>& s) {
     event.append_copy("id: " + std::to_string(frame->seq) + "\ndata: ");
     event.append_shared(std::move(body));
     event.append_copy("\n\n");
+    // Dispatch stamp at chunk issue; the drained callback below completes
+    // the RTT bracket the delay-based controllers consume.
+    if (s->session) s->session->note_dispatch(mono_now_s(), s->view);
     s->sink.chunk(std::move(event), [s, bytes, skipped, tier, cadence] {
       if (s->session) {
         s->session->on_delivered(mono_now_s(), bytes, skipped, tier, cadence,
@@ -819,7 +831,7 @@ void AjaxFrontEnd::handle_stream(const HttpRequest& request,
   s->want_delta = request.query_param("delta", "0") == "1";
   s->force_full = request.query_param("full", "0") == "1";
   s->timeout_s = timeout;
-  const std::string client = request.query_param("client");
+  const std::string client = sanitize_client_id(request.query_param("client"));
   if (!client.empty()) {
     // Same table as /api/poll: a browser that switches transports keeps
     // its meters, and pacing tiers span both channels.

@@ -91,7 +91,11 @@ struct FrontEndConfig {
   /// Tile edge (pixels) of the hub's dirty-rect image-delta grid.
   int tile_size = 64;
   /// Per-client adaptive pacing knobs (frame_interval_s is overridden with
-  /// the front end's own cadence at construction).
+  /// the front end's own cadence at construction). `pacing.controller`
+  /// selects the per-session congestion-control law — the paper's
+  /// Robbins-Monro Eq. 1 by default, or a delay-gradient/trendline law
+  /// steering on measured per-delivery RTT
+  /// (transport/congestion_controller.hpp).
   PacingConfig pacing;
 };
 

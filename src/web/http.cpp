@@ -389,6 +389,11 @@ struct AsyncReply {
 };
 
 void HttpServer::ResponseSink::operator()(const HttpResponse& response) const {
+  (*this)(response, nullptr);
+}
+
+void HttpServer::ResponseSink::operator()(
+    const HttpResponse& response, std::function<void()> drained) const {
   if (!reply_) return;
   AsyncReply& r = *reply_;
   if (r.written.exchange(true)) return;
@@ -396,9 +401,11 @@ void HttpServer::ResponseSink::operator()(const HttpResponse& response) const {
   // the actual write happen on the loop thread where the connection state
   // lives, driven by write readiness from there on.
   r.reactor->post([server = r.server, conn = r.conn, keep_alive = r.keep_alive,
-                   suppress = r.suppress_body, response]() mutable {
+                   suppress = r.suppress_body, response,
+                   drained = std::move(drained)]() mutable {
     if (const auto c = conn.lock()) {
-      server->enqueue_response(c, std::move(response), keep_alive, suppress);
+      server->enqueue_response(c, std::move(response), keep_alive, suppress,
+                               std::move(drained));
     }
   });
 }
@@ -1013,12 +1020,16 @@ void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
 
 void HttpServer::enqueue_response(const std::shared_ptr<Connection>& conn,
                                   HttpResponse response, bool keep_alive,
-                                  bool suppress_body) {
+                                  bool suppress_body,
+                                  std::function<void()> drained) {
   if (conn->closed) return;
   detail::append_response_chain(conn->out, std::move(response), keep_alive,
                                 suppress_body);
   served_.fetch_add(1);
   conn->response_pending = false;
+  // Same latest-wins slot the streaming producers use; a non-stream
+  // connection has at most one response in flight, so there is no contest.
+  if (drained) conn->on_drain = std::move(drained);
   if (!keep_alive) conn->close_after_write = true;
   // The response window is over; the client gets a fresh full read timeout
   // for its next request (matches the old per-recv SO_RCVTIMEO behaviour).
@@ -1128,17 +1139,20 @@ void HttpServer::continue_write(const std::shared_ptr<Connection>& conn) {
     if (status == net::IoStatus::kWouldBlock || written == 0) break;
   }
   if (conn->out.empty()) {
-    if (conn->close_after_write && !conn->response_pending) {
-      close_conn(conn);
-      return;
-    }
     if (conn->on_drain) {
       // Everything queued reached the kernel: the streaming producer's
-      // cue for the next chunk. One-shot; any further work it wants
-      // arrives as reactor posts, so firing inline cannot recurse here.
+      // cue for the next chunk, or a response's drain accounting. Fired
+      // before any close-after-write below so the final response of a
+      // closing connection is still accounted. One-shot; any further work
+      // it wants arrives as reactor posts, so firing inline cannot
+      // recurse here.
       const auto drained = std::move(conn->on_drain);
       conn->on_drain = nullptr;
       drained();
+    }
+    if (conn->close_after_write && !conn->response_pending) {
+      close_conn(conn);
+      return;
     }
   }
   update_events(conn);

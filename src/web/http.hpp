@@ -115,6 +115,13 @@ class HttpServer {
   class ResponseSink {
    public:
     void operator()(const HttpResponse& response) const;
+    /// As operator(), plus a one-shot `drained` callback fired on the
+    /// connection's reactor thread once the response has fully drained
+    /// into the kernel socket buffer — the long-poll twin of the
+    /// StreamSink chunk callback (TCP backpressure shows up as drain
+    /// latency). Never fired when the connection died before the drain.
+    void operator()(const HttpResponse& response,
+                    std::function<void()> drained) const;
 
    private:
     friend class HttpServer;
@@ -277,7 +284,8 @@ class HttpServer {
   void dispatch(const std::shared_ptr<Connection>& conn, HttpRequest request);
   void enqueue_response(const std::shared_ptr<Connection>& conn,
                         HttpResponse response, bool keep_alive,
-                        bool suppress_body);
+                        bool suppress_body,
+                        std::function<void()> drained = nullptr);
   void begin_stream(const std::shared_ptr<Connection>& conn,
                     const std::shared_ptr<StreamReply>& reply, int status,
                     const std::map<std::string, std::string>& headers);

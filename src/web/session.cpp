@@ -17,7 +17,22 @@ namespace {
 
 std::size_t index_of(Tier tier) { return static_cast<std::size_t>(tier); }
 
+constexpr std::size_t kMaxClientIdBytes = 64;
+
+bool client_id_char_ok(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+}
+
 }  // namespace
+
+std::string sanitize_client_id(const std::string& raw) {
+  if (raw.empty() || raw.size() > kMaxClientIdBytes) return std::string();
+  for (const char c : raw) {
+    if (!client_id_char_ok(c)) return std::string();
+  }
+  return raw;
+}
 
 ClientSession::ClientSession(const PacingConfig& config, std::string id,
                              std::string peer, double now_s)
@@ -30,7 +45,7 @@ ClientSession::ClientSession(const PacingConfig& config, std::string id,
       last_touch_s_(now_s) {
   meter_.start(now_s);
   frame_meter_.start(now_s);
-  reset_rmsa_locked(config_.frame_interval_s);
+  reset_controller_locked(config_.frame_interval_s);
 }
 
 void ClientSession::reset_meters_locked(double now_s) {
@@ -43,24 +58,22 @@ void ClientSession::reset_meters_locked(double now_s) {
   frame_meter_.start(now_s);
 }
 
-void ClientSession::reset_rmsa_locked(double initial_sleep_s) {
-  // Re-initializing the controller restarts the Robbins-Monro gain schedule
-  // — the right move whenever conditions changed (new tier, upward probe):
-  // the decayed gain of the old schedule would barely track the new regime.
-  transport::RmsaConfig rmsa;
-  rmsa.gain_a = config_.rmsa_gain_a;
-  rmsa.alpha = config_.rmsa_alpha;
-  // The controller runs in the frame-rate domain (the paper's Eq. 1
-  // measures g in datagrams/s; frames/s is the web analogue), so the
-  // window payload normalization is one frame per burst.
-  rmsa.window = 1;
-  rmsa.datagram_bytes = 1;
-  rmsa.initial_sleep_s =
-      std::clamp(initial_sleep_s, config_.frame_interval_s,
-                 std::max(config_.frame_interval_s, config_.max_interval_s));
-  rmsa.min_sleep_s = config_.frame_interval_s;
-  rmsa.max_sleep_s = std::max(config_.frame_interval_s, config_.max_interval_s);
-  rmsa_ = std::make_unique<transport::RmsaController>(rmsa);
+void ClientSession::reset_controller_locked(double initial_interval_s) {
+  // Restarting the control law whenever conditions changed (new tier,
+  // upward probe) is part of every law's contract: for Robbins-Monro it
+  // restarts the decaying gain schedule, for the delay laws it discards
+  // gradient/trendline state measured under the old regime.
+  if (!controller_) {
+    transport::ControllerConfig cc = config_.controller;
+    // The pacing-level Eq. 1 gain knobs predate the pluggable interface;
+    // they keep winning so existing configs tune the default law unchanged.
+    cc.rmsa_gain_a = config_.rmsa_gain_a;
+    cc.rmsa_alpha = config_.rmsa_alpha;
+    controller_ = transport::make_controller(cc);
+  }
+  controller_->reset(
+      initial_interval_s, config_.frame_interval_s,
+      std::max(config_.frame_interval_s, config_.max_interval_s));
 }
 
 ClientSession::ViewState& ClientSession::view_state_locked(
@@ -120,12 +133,27 @@ ClientSession::Decision ClientSession::decide(double now_s, double cadence_s,
   return d;
 }
 
-void ClientSession::on_delivered(double now_s, std::size_t bytes,
-                                 std::uint64_t skipped, Tier tier,
-                                 double cadence_s, const std::string& view) {
+void ClientSession::note_dispatch(double now_s, const std::string& view) {
   std::lock_guard<std::mutex> lock(mutex_);
   last_touch_s_ = now_s;
   ViewState& vs = view_state_locked(view, now_s);
+  vs.last_dispatch_s = now_s;
+}
+
+void ClientSession::on_delivered(double now_s, std::size_t bytes,
+                                 std::uint64_t skipped, Tier tier,
+                                 double cadence_s, const std::string& view,
+                                 double rtt_s, double drain_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_touch_s_ = now_s;
+  ViewState& vs = view_state_locked(view, now_s);
+  // RTT fallback: a dispatch stamped via note_dispatch and completed here
+  // at kernel-drain time brackets the delivery even when the transport did
+  // not measure the round trip itself.
+  if (rtt_s < 0.0 && vs.last_dispatch_s >= 0.0) {
+    rtt_s = std::max(0.0, now_s - vs.last_dispatch_s);
+  }
+  vs.last_dispatch_s = -1.0;
   vs.last_delivery_s = now_s;
   vs.last_served_tier = tier;
   meter_.record(now_s, bytes);
@@ -154,14 +182,30 @@ void ClientSession::on_delivered(double now_s, std::size_t bytes,
       static_cast<double>(active_views_locked(now_s)) /
       std::max(cadence, interval_s_);
 
-  // Eq. 1 with the web-layer roles: the rate under our control is the
-  // offered frame rate and the reference it must converge to is the
-  // client's achieved frame rate — offering more than the client drains
-  // lengthens the sleep, offering less shortens it, and the fixed point is
-  // offered == achieved (serve at the client's pace).
-  rmsa_->set_target(achieved_fps);
-  const double rmsa_sleep =
-      rmsa_->update(transport::RateFeedback{offered_fps, false});
+  // Feed the control law. For the default Robbins-Monro law this is Eq. 1
+  // with the web-layer roles: the rate under our control is the offered
+  // frame rate and the reference it must converge to is the client's
+  // achieved frame rate — offering more than the client drains lengthens
+  // the sleep, offering less shortens it, and the fixed point is offered ==
+  // achieved (serve at the client's pace). The delay laws steer on the
+  // per-delivery RTT instead and react to queue growth before utilization
+  // collapses.
+  transport::CongestionSample sample;
+  sample.now_s = now_s;
+  sample.offered_fps = offered_fps;
+  sample.achieved_fps = achieved_fps;
+  sample.rtt_s = rtt_s;
+  sample.drain_s = drain_s;
+  sample.bytes = bytes;
+  const double proposed = controller_->update(sample);
+  const bool paces_all = controller_->paces_all_tiers();
+  if (paces_all) {
+    // A delay law's interval applies at every tier: stretching the pace on
+    // rising delay is exactly how it holds the tier steady instead of
+    // riding utilization down into a downgrade.
+    interval_s_ = std::clamp(proposed, cadence,
+                             std::max(cadence, config_.max_interval_s));
+  }
 
   const double util = achieved_fps / offered_fps;
   if (util >= config_.high_util) {
@@ -173,13 +217,17 @@ void ClientSession::on_delivered(double now_s, std::size_t bytes,
       probe_outstanding_ = false;
       probe_backoff_ = 1;
     }
-    if (prompt_streak_ >= config_.upgrade_streak * probe_backoff_) {
+    if (prompt_streak_ >= config_.upgrade_streak * probe_backoff_ &&
+        controller_->probe_ok()) {
+      // Delay laws veto the probe while the network still shows rising
+      // delay; prompt samples keep accruing and the probe fires the moment
+      // the gradient clears.
       prompt_streak_ = 0;
       // The client drains everything offered: probe upward. Restore the
       // frame rate first, then climb a quality tier.
-      if (interval_s_ > cadence * 1.01) {
+      if (!paces_all && interval_s_ > cadence * 1.01) {
         interval_s_ = std::max(cadence, interval_s_ * 0.5);
-        reset_rmsa_locked(interval_s_);
+        reset_controller_locked(interval_s_);
         probe_outstanding_ = true;
       } else if (tier_ != Tier::kFull) {
         tier_ = static_cast<Tier>(index_of(tier_) - 1);
@@ -187,7 +235,7 @@ void ClientSession::on_delivered(double now_s, std::size_t bytes,
         ++upgrades_;
         interval_s_ = cadence;
         reset_meters_locked(now_s);
-        reset_rmsa_locked(cadence);
+        reset_controller_locked(cadence);
         probe_outstanding_ = true;
       }
     }
@@ -208,12 +256,13 @@ void ClientSession::on_delivered(double now_s, std::size_t bytes,
         tier_snapshot_.store(tier_, std::memory_order_relaxed);
         ++downgrades_;
         reset_meters_locked(now_s);
-        reset_rmsa_locked(cadence);
-      } else {
+        reset_controller_locked(cadence);
+      } else if (!paces_all) {
         // Already on the cheapest tier: throttle the frame rate itself with
-        // the Robbins-Monro interval.
+        // the Robbins-Monro interval. (A delay law's interval was already
+        // applied above, at every tier.)
         interval_s_ = std::clamp(
-            rmsa_sleep, cadence,
+            proposed, cadence,
             std::max(cadence, config_.max_interval_s));
       }
     }
@@ -266,6 +315,12 @@ util::Json ClientSession::stats_json(double now_s) const {
   out["tier"] = tier_name(tier_);
   out["goodput_Bps"] = goodput_Bps_;
   out["interval_s"] = interval_s_;
+  out["controller"] = controller_->name();
+  {
+    const transport::ControllerTelemetry t = controller_->telemetry();
+    if (t.last_rtt_s >= 0.0) out["rtt_s"] = t.last_rtt_s;
+    out["gradient"] = t.gradient;
+  }
   out["delivered"] = static_cast<double>(delivered_frames_);
   out["bytes"] = static_cast<double>(delivered_bytes_);
   out["skipped"] = static_cast<double>(skipped_frames_);
@@ -357,6 +412,8 @@ util::Json SessionTable::stats_json(double now_s) const {
   util::Json out;
   out["sessions"] = static_cast<double>(snapshot.size());
   out["expired"] = static_cast<double>(expired);
+  out["controller"] =
+      transport::controller_kind_name(config_.controller.kind);
   std::array<std::uint64_t, kTierCount> by_tier{};
   util::JsonArray clients;
   // Cap the per-client detail: stats stay O(1)-ish for huge fan-outs while

@@ -4,8 +4,10 @@
 // each receiver's measured goodput. Applied per browser: every /api/poll
 // carrying a `client` identifier gets a session that feeds delivery
 // timestamps and body sizes into a transport::GoodputMeter and runs a
-// per-session Robbins-Monro rate controller (transport::RmsaController,
-// the paper's Eq. 1). The session maps the measured goodput to
+// per-session congestion controller (transport::CongestionController — the
+// paper's Robbins-Monro Eq. 1 by default, or a delay-gradient/trendline law
+// steering on measured per-delivery RTT). The session maps the measured
+// goodput to
 //
 //  * a quality Tier (full image / half-resolution image / state-only) —
 //    slow consumers are transparently downgraded to cheaper frame bodies
@@ -44,8 +46,8 @@
 #include <mutex>
 #include <string>
 
+#include "transport/congestion_controller.hpp"
 #include "transport/goodput_meter.hpp"
-#include "transport/rate_controller.hpp"
 #include "util/json.hpp"
 #include "web/hub.hpp"
 
@@ -53,6 +55,13 @@ namespace ricsa::web {
 
 /// Monotonic wall time in seconds (steady_clock) for pacing timestamps.
 double mono_now_s();
+
+/// Validate an attacker-chosen `client=` query parameter before it keys the
+/// session table: at most 64 bytes of [A-Za-z0-9._-]. Returns the id
+/// unchanged when valid, the empty string otherwise — the caller treats an
+/// invalid id exactly like an absent one (the unpaced legacy contract), so
+/// an unbounded or binary string never becomes a map key.
+std::string sanitize_client_id(const std::string& raw);
 
 struct PacingConfig {
   /// Nominal publisher cadence: the fastest any client can be served. The
@@ -86,8 +95,14 @@ struct PacingConfig {
   /// request must not grow the table without bound.
   std::size_t max_sessions = 4096;
   /// Robbins-Monro gain template for the per-session controllers (Eq. 1).
+  /// Mirrored into `controller` at session construction, so existing code
+  /// tuning these knobs keeps working with the default (rmsa) law.
   double rmsa_gain_a = 1.0;
   double rmsa_alpha = 0.8;
+  /// Which congestion-control law paces each session, plus its parameters
+  /// (transport/congestion_controller.hpp). The default kRmsa reproduces
+  /// the historical hard-wired RmsaController behavior bit for bit.
+  transport::ControllerConfig controller;
 };
 
 /// One client's adaptive pacing state. Thread-safe: polls arrive on
@@ -118,13 +133,25 @@ class ClientSession {
   Decision decide(double now_s, double cadence_s,
                   const std::string& view = std::string());
 
+  /// Stamp the dispatch instant of a response/chunk for `view`: the moment
+  /// the body is handed to the wire (long-poll response enqueue, SSE chunk
+  /// issue). Paired with the kernel-drain timestamp in on_delivered it
+  /// yields the per-delivery RTT sample the delay-based controllers steer
+  /// on.
+  void note_dispatch(double now_s, const std::string& view = std::string());
+
   /// Account a completed delivery: `bytes` of the `tier` body written at
   /// `now_s` for `view`, plus how many `skipped` frames the served one
   /// jumped over. `cadence_s` is the measured publish period the
-  /// utilization and Eq. 1 judgments are made against.
+  /// utilization and control-law judgments are made against. `rtt_s` is
+  /// the transport-measured dispatch-to-drain round trip and `drain_s` the
+  /// kernel-drain time of this body (< 0 = no sample; when `rtt_s` is
+  /// absent but a dispatch was stamped via note_dispatch, the session
+  /// derives it from the stamp).
   void on_delivered(double now_s, std::size_t bytes, std::uint64_t skipped,
                     Tier tier, double cadence_s,
-                    const std::string& view = std::string());
+                    const std::string& view = std::string(),
+                    double rtt_s = -1.0, double drain_s = -1.0);
 
   /// A poll that timed out without a frame still marks the session live.
   void on_timeout(double now_s);
@@ -148,10 +175,13 @@ class ClientSession {
     double last_delivery_s = -1.0;
     Tier last_served_tier = Tier::kFull;
     double last_touch_s = 0.0;
+    /// Dispatch stamp of the in-flight body (note_dispatch); -1 when no
+    /// delivery is in flight. Consumed by on_delivered as the RTT anchor.
+    double last_dispatch_s = -1.0;
   };
 
   void reset_meters_locked(double now_s);                // requires mutex_
-  void reset_rmsa_locked(double initial_sleep_s);        // requires mutex_
+  void reset_controller_locked(double initial_interval_s);  // requires mutex_
   ViewState& view_state_locked(const std::string& view, double now_s);
   std::size_t active_views_locked(double now_s) const;   // requires mutex_
 
@@ -171,7 +201,7 @@ class ClientSession {
   double interval_s_;  // current minimum inter-frame interval
   transport::GoodputMeter meter_;        // bytes/s: reported goodput
   transport::GoodputMeter frame_meter_;  // frames/s: drives tier + pacing
-  std::unique_ptr<transport::RmsaController> rmsa_;
+  std::unique_ptr<transport::CongestionController> controller_;
   int low_streak_ = 0;
   int prompt_streak_ = 0;
   /// Probe backoff state: an upward probe is "outstanding" until it either
