@@ -460,6 +460,24 @@ Json run_round(ricsa::web::AjaxFrontEnd& frontend, int port, int n_clients,
       static_cast<double>(stats_after.timeouts - stats_before.timeouts);
   out["hub"] = hub;
 
+  // Encoder-side compression accounting over this round: raw framebuffer
+  // bytes handed to the PNG encoder vs compressed bytes it produced,
+  // across every full-frame and tile-rect encode the hub performed. The
+  // wire bytes above additionally carry base64 and JSON framing, so this
+  // is the codec's own ratio, not the end-to-end one.
+  out["codec"] = "deflate";
+  {
+    const double enc_in = static_cast<double>(stats_after.image_bytes_in -
+                                              stats_before.image_bytes_in);
+    const double enc_out = static_cast<double>(stats_after.image_bytes_out -
+                                               stats_before.image_bytes_out);
+    Json compression;
+    compression["raw_bytes_in"] = enc_in;
+    compression["png_bytes_out"] = enc_out;
+    compression["compression_ratio"] = enc_out > 0 ? enc_in / enc_out : 0.0;
+    out["compression"] = compression;
+  }
+
   // Process-wide peaks during the round. Both ends of every connection are
   // in this process, so fds ~ 2x clients + constants, and threads include
   // the bench's own client threads — the *server's* thread budget is the
@@ -1378,6 +1396,9 @@ int main(int argc, char** argv) {
       cmp["delta_breaks"] = tiled.at("image_delta").at("delta_breaks");
       cmp["gaps"] = tiled.at("gaps");
       cmp["errors"] = tiled.at("errors");
+      cmp["codec"] = tiled.at("codec");
+      cmp["compression_ratio"] =
+          tiled.at("compression").at("compression_ratio");
       comparisons.as_array().push_back(cmp);
       rounds.as_array().push_back(std::move(baseline));
       rounds.as_array().push_back(std::move(tiled));

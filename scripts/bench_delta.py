@@ -49,6 +49,11 @@ MIN_PREV_BYTES = 1024.0
 # Congestion A/B gate: the delay-gradient controller may cost at most this
 # fraction of fast-client p99 relative to RMSA in the same run.
 CONGESTION_P99_TOLERANCE = 0.10
+# Compression gate: the tile-delta scenario's encoder must keep at least
+# this raw-bytes-in / png-bytes-out ratio. The orbiting-isosurface frames
+# compress far better than this in practice; the floor catches the encoder
+# silently degrading to stored blocks, not normal workload variance.
+COMPRESSION_RATIO_FLOOR = 1.5
 
 
 def load(path):
@@ -77,8 +82,11 @@ def round_key(round_json):
     # the depth-2 relayed round share a client count. Congestion rounds
     # carry "controller" (the same emulated WAN run once per pacing law) —
     # keying on it gates each law's fast p99 against its own history.
-    # Rounds without those fields (every earlier scenario) get None for
-    # them, so existing artifacts stay comparable.
+    # Rounds additionally carry "codec" once the PNG encoder does real
+    # compression: a stored-block round and a deflate round have wildly
+    # different bytes/frame and must not gate each other. Rounds without
+    # those fields (every earlier scenario, and pre-codec artifacts) get
+    # None for them, so existing artifacts stay comparable.
     return (round_json.get("clients"), bool(round_json.get("adaptive")),
             bool(round_json.get("full_resend")),
             round_json.get("scenario"), round_json.get("view_count"),
@@ -87,7 +95,8 @@ def round_key(round_json):
             round_json.get("reactors"),
             round_json.get("relay_depth"),
             round_json.get("relay_fanout"),
-            round_json.get("controller"))
+            round_json.get("controller"),
+            round_json.get("codec"))
 
 
 def key_str(key):
@@ -110,6 +119,8 @@ def key_str(key):
         parts.append(f"relays={key[9]}")
     if len(key) > 10 and key[10]:
         parts.append(f"controller={key[10]}")
+    if len(key) > 11 and key[11]:
+        parts.append(f"codec={key[11]}")
     return " ".join(parts)
 
 
@@ -129,6 +140,9 @@ def round_record(round_json):
     if "tier_flaps" in round_json:
         record["tier_flaps"] = round_json.get("tier_flaps")
         record["slow_goodput_Bps"] = round_json.get("slow_goodput_Bps")
+    compression = round_json.get("compression")
+    if compression:
+        record["compression_ratio"] = compression.get("compression_ratio")
     views = round_json.get("views")
     if views:
         record["views"] = {
@@ -260,6 +274,43 @@ def congestion_gate(cur_root):
     return failures
 
 
+def compression_gate(cur_root):
+    """Absolute gate on the tile-delta scenario, previous artifact or not:
+    every tiled round must report the deflate codec holding at least
+    COMPRESSION_RATIO_FLOOR over the raw framebuffer bytes it encoded, and
+    a clean protocol run (no gaps, errors, or delta breaks). A ratio at
+    ~1.0 means the encoder fell back to stored blocks across the board."""
+    path = cur_root / "ajax_fanout_delta.json"
+    if not path.is_file():
+        return []
+    data = load(path)
+    if data is None:
+        return []
+    failures = []
+    for cmp_json in data.get("comparisons", []):
+        ratio = cmp_json.get("compression_ratio")
+        if ratio is None:
+            continue  # pre-codec bench binary
+        label = f"delta clients={cmp_json.get('clients')}"
+        verdict = "ok"
+        if ratio < COMPRESSION_RATIO_FLOOR:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{label}: compression ratio {ratio:.2f} below floor "
+                f"{COMPRESSION_RATIO_FLOOR:.2f}")
+        for field in ("gaps", "errors", "delta_breaks"):
+            count = cmp_json.get(field)
+            if count:
+                verdict = "REGRESSION"
+                failures.append(f"{label}: {count:.0f} {field} in the tiled "
+                                "round")
+        print(f"[bench-delta] {label}: codec={cmp_json.get('codec')} "
+              f"ratio={ratio:.2f} saved="
+              f"{cmp_json.get('bytes_saved_fraction', 0.0) * 100:.0f}% "
+              f"[{verdict}]")
+    return failures
+
+
 def summarize_run(cur_root, label):
     """This run's compact history record, one entry per bench file/round."""
     record = {"label": label, "benches": {}}
@@ -338,15 +389,17 @@ def main():
               f"-> {args.history_out}")
     print_trends(history)
 
-    # The congestion A/B is self-contained in the current run, so its gate
-    # applies even on a first run with no previous artifact.
+    # The congestion A/B and the compression floor are self-contained in
+    # the current run, so those gates apply even on a first run with no
+    # previous artifact.
     regressions = list(congestion_gate(cur_root))
+    regressions += compression_gate(cur_root)
 
     if not prev_root.is_dir():
         print(f"[bench-delta] no previous artifact at {prev_root}; "
               "nothing to compare (first run?)")
         if regressions:
-            print("[bench-delta] FAILING: congestion A/B gate:")
+            print("[bench-delta] FAILING: self-contained gates:")
             for line in regressions:
                 print(f"  - {line}")
             return 1

@@ -121,6 +121,11 @@ IoStatus Socket::accept(Socket& out, std::string& peer, int& errno_out) {
   return IoStatus::kOk;
 }
 
+void Socket::set_send_buffer(int bytes) {
+  if (fd_ < 0 || bytes <= 0) return;
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+}
+
 IoStatus Socket::read_some(std::string& buffer, std::size_t max_chunk) {
   char chunk[65536];
   if (max_chunk > sizeof(chunk)) max_chunk = sizeof(chunk);

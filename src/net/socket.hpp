@@ -78,6 +78,13 @@ class Socket {
 
   static void set_nonblocking(int fd);
 
+  /// Fix the kernel send buffer (SO_SNDBUF) at `bytes`. Setting it
+  /// explicitly disables sndbuf autotuning, so a slow peer backs the
+  /// socket up after a bounded backlog instead of after megabytes of
+  /// kernel-absorbed data — the lever for making write-side backpressure
+  /// visible promptly on high-rate streams. No-op when bytes <= 0.
+  void set_send_buffer(int bytes);
+
  private:
   int fd_ = -1;
 };

@@ -1,0 +1,55 @@
+// Self-contained DEFLATE (RFC 1951) codec and zlib (RFC 1950) wrappers.
+//
+// The paper's whole premise is minimizing bytes-per-frame to the browser;
+// PNG tiles are the dominant payload, so their IDAT stream deserves real
+// compression instead of stored blocks. The compressor runs LZ77 over a
+// 32 KiB window (hash-chain match search, greedy with one-step lazy
+// evaluation) and emits fixed-Huffman blocks, falling back to a stored
+// block whenever entropy coding would expand that block — so the output is
+// never materially larger than the input. The decompressor is a full
+// inflater (stored + fixed + dynamic Huffman), enough to read any
+// conforming stream: round-trip verification in tests, tile reassembly
+// checks in the bench, and relay-side assertions all decode through it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ricsa::viz {
+
+/// Adler-32 checksum (RFC 1950) — the zlib trailer; exposed for tests.
+std::uint32_t adler32(const std::uint8_t* data, std::size_t n);
+
+/// Compress `n` bytes into a raw DEFLATE stream: LZ77 with hash-chain
+/// match search and one-step lazy evaluation, fixed-Huffman entropy
+/// coding, per-block stored fallback when coding would expand the data.
+std::vector<std::uint8_t> deflate(const std::uint8_t* data, std::size_t n);
+inline std::vector<std::uint8_t> deflate(const std::vector<std::uint8_t>& in) {
+  return deflate(in.data(), in.size());
+}
+
+/// Decompress a raw DEFLATE stream (stored, fixed- and dynamic-Huffman
+/// blocks). Throws std::runtime_error on malformed input, on more than
+/// `max_output` decoded bytes (0 = unlimited), or on trailing garbage
+/// unless `consumed` is non-null (then it receives the number of input
+/// bytes the stream actually used, trailing data left to the caller).
+std::vector<std::uint8_t> inflate(const std::uint8_t* data, std::size_t n,
+                                  std::size_t* consumed = nullptr,
+                                  std::size_t max_output = 0);
+inline std::vector<std::uint8_t> inflate(const std::vector<std::uint8_t>& in) {
+  return inflate(in.data(), in.size());
+}
+
+/// DEFLATE wrapped in a zlib stream: 2-byte header, compressed data,
+/// big-endian adler32 of the plaintext — what a PNG IDAT chunk carries.
+std::vector<std::uint8_t> zlib_compress(const std::uint8_t* data,
+                                        std::size_t n);
+/// Inverse of zlib_compress; verifies the header and the adler32 trailer.
+/// Accepts any conforming zlib stream (all three block types). Throws
+/// std::runtime_error on malformed input or a checksum mismatch.
+std::vector<std::uint8_t> zlib_decompress(const std::uint8_t* data,
+                                          std::size_t n,
+                                          std::size_t max_output = 0);
+
+}  // namespace ricsa::viz

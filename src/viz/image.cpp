@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -88,15 +90,6 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t n,
   return c ^ 0xFFFFFFFFu;
 }
 
-std::uint32_t adler32(const std::uint8_t* data, std::size_t n) {
-  std::uint32_t a = 1, b = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    a = (a + data[i]) % 65521;
-    b = (b + a) % 65521;
-  }
-  return (b << 16) | a;
-}
-
 namespace {
 void push_be32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 24));
@@ -115,43 +108,75 @@ void push_chunk(std::vector<std::uint8_t>& out, const char type[5],
   out.insert(out.end(), body.begin(), body.end());
   push_be32(out, crc32(body.data(), body.size()));
 }
+
+constexpr int kBpp = 4;  // RGBA8
+
+/// PNG Paeth predictor (spec pseudocode, exact tie-break order a/b/c).
+std::uint8_t paeth(int a, int b, int c) {
+  const int p = a + b - c;
+  const int pa = std::abs(p - a), pb = std::abs(p - b), pc = std::abs(p - c);
+  if (pa <= pb && pa <= pc) return static_cast<std::uint8_t>(a);
+  if (pb <= pc) return static_cast<std::uint8_t>(b);
+  return static_cast<std::uint8_t>(c);
+}
+
+/// Filter-selection cost: sum of absolute values with filtered bytes read
+/// as signed (v < 128 ? v : 256 - v) — the heuristic from the PNG spec.
+std::uint64_t filter_sad(const std::uint8_t* row, std::size_t n) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t v = row[i];
+    sum += v < 128 ? v : 256u - v;
+  }
+  return sum;
+}
 }  // namespace
 
 std::vector<std::uint8_t> Image::encode_png() const {
-  // Raw scanlines, each prefixed with filter type 0 (None).
+  // Filtered scanlines: per row, pick among None/Sub/Up/Paeth by minimum
+  // sum of absolute differences so the DEFLATE stage sees small residuals
+  // instead of raw pixel values.
+  const std::size_t row_bytes = kBpp * static_cast<std::size_t>(width_);
   std::vector<std::uint8_t> raw;
-  raw.reserve(static_cast<std::size_t>(height_) *
-              (1 + 4 * static_cast<std::size_t>(width_)));
+  raw.reserve(static_cast<std::size_t>(height_) * (1 + row_bytes));
+  std::vector<std::uint8_t> cur(row_bytes), prev(row_bytes, 0);
+  std::array<std::vector<std::uint8_t>, 3> trial;
+  for (auto& t : trial) t.resize(row_bytes);
   for (int y = 0; y < height_; ++y) {
-    raw.push_back(0);
-    for (int x = 0; x < width_; ++x) {
-      const Rgba& p = at(x, y);
-      raw.push_back(p.r);
-      raw.push_back(p.g);
-      raw.push_back(p.b);
-      raw.push_back(p.a);
+    std::memcpy(cur.data(),
+                pixels_.data() + static_cast<std::size_t>(y) *
+                                     static_cast<std::size_t>(width_),
+                row_bytes);
+    auto& sub = trial[0];
+    auto& up = trial[1];
+    auto& pth = trial[2];
+    for (std::size_t i = 0; i < row_bytes; ++i) {
+      const int left = i >= kBpp ? cur[i - kBpp] : 0;
+      const int above = prev[i];
+      const int upleft = i >= kBpp ? prev[i - kBpp] : 0;
+      sub[i] = static_cast<std::uint8_t>(cur[i] - left);
+      up[i] = static_cast<std::uint8_t>(cur[i] - above);
+      pth[i] = static_cast<std::uint8_t>(cur[i] - paeth(left, above, upleft));
     }
+    int best = 0;  // filter type None
+    std::uint64_t best_sad = filter_sad(cur.data(), row_bytes);
+    const int types[3] = {1, 2, 4};  // Sub, Up, Paeth
+    for (int t = 0; t < 3; ++t) {
+      const std::uint64_t sad = filter_sad(trial[t].data(), row_bytes);
+      if (sad < best_sad) {
+        best_sad = sad;
+        best = types[t];
+      }
+    }
+    raw.push_back(static_cast<std::uint8_t>(best));
+    const std::uint8_t* chosen =
+        best == 0 ? cur.data()
+                  : trial[best == 1 ? 0 : best == 2 ? 1 : 2].data();
+    raw.insert(raw.end(), chosen, chosen + row_bytes);
+    std::swap(prev, cur);
   }
 
-  // zlib stream: header + stored (BTYPE=00) deflate blocks + adler32.
-  std::vector<std::uint8_t> z;
-  z.push_back(0x78);
-  z.push_back(0x01);
-  std::size_t off = 0;
-  while (off < raw.size() || raw.empty()) {
-    const std::size_t len = std::min<std::size_t>(raw.size() - off, 65535);
-    const bool final = off + len >= raw.size();
-    z.push_back(final ? 1 : 0);
-    z.push_back(static_cast<std::uint8_t>(len & 0xFF));
-    z.push_back(static_cast<std::uint8_t>(len >> 8));
-    z.push_back(static_cast<std::uint8_t>(~len & 0xFF));
-    z.push_back(static_cast<std::uint8_t>((~len >> 8) & 0xFF));
-    z.insert(z.end(), raw.begin() + static_cast<std::ptrdiff_t>(off),
-             raw.begin() + static_cast<std::ptrdiff_t>(off + len));
-    off += len;
-    if (raw.empty()) break;
-  }
-  push_be32(z, adler32(raw.data(), raw.size()));
+  std::vector<std::uint8_t> z = zlib_compress(raw.data(), raw.size());
 
   std::vector<std::uint8_t> png = {0x89, 'P', 'N', 'G', 0x0D, 0x0A, 0x1A, 0x0A};
   std::vector<std::uint8_t> ihdr;
@@ -178,34 +203,36 @@ std::uint32_t read_be32(const std::vector<std::uint8_t>& b, std::size_t off) {
          static_cast<std::uint32_t>(b[off + 3]);
 }
 
-/// Inflate a zlib stream consisting solely of stored (BTYPE=00) deflate
-/// blocks — the only kind encode_png emits.
-std::vector<std::uint8_t> inflate_stored(const std::vector<std::uint8_t>& z) {
-  if (z.size() < 6) throw std::runtime_error("png: zlib stream too short");
-  std::vector<std::uint8_t> out;
-  std::size_t off = 2;  // past the zlib header
-  for (;;) {
-    if (off + 5 > z.size()) throw std::runtime_error("png: truncated block");
-    const std::uint8_t header = z[off];
-    if ((header & 0x06) != 0) {
-      throw std::runtime_error("png: only stored deflate blocks supported");
-    }
-    const std::size_t len = static_cast<std::size_t>(z[off + 1]) |
-                            (static_cast<std::size_t>(z[off + 2]) << 8);
-    const std::size_t nlen = static_cast<std::size_t>(z[off + 3]) |
-                             (static_cast<std::size_t>(z[off + 4]) << 8);
-    if ((len ^ nlen) != 0xFFFF) throw std::runtime_error("png: bad block length");
-    off += 5;
-    if (off + len > z.size()) throw std::runtime_error("png: truncated block");
-    out.insert(out.end(), z.begin() + static_cast<std::ptrdiff_t>(off),
-               z.begin() + static_cast<std::ptrdiff_t>(off + len));
-    off += len;
-    if ((header & 1) != 0) break;  // BFINAL
+/// Undo a scanline filter in place; `prev` is the reconstructed row above
+/// (all zeros for the first row).
+void defilter_row(std::uint8_t filter, std::uint8_t* row,
+                  const std::uint8_t* prev, std::size_t n) {
+  switch (filter) {
+    case 0:  // None
+      break;
+    case 1:  // Sub
+      for (std::size_t i = kBpp; i < n; ++i) row[i] += row[i - kBpp];
+      break;
+    case 2:  // Up
+      for (std::size_t i = 0; i < n; ++i) row[i] += prev[i];
+      break;
+    case 3:  // Average
+      for (std::size_t i = 0; i < n; ++i) {
+        const int left = i >= kBpp ? row[i - kBpp] : 0;
+        row[i] = static_cast<std::uint8_t>(row[i] + (left + prev[i]) / 2);
+      }
+      break;
+    case 4:  // Paeth
+      for (std::size_t i = 0; i < n; ++i) {
+        const int left = i >= kBpp ? row[i - kBpp] : 0;
+        const int upleft = i >= kBpp ? prev[i - kBpp] : 0;
+        row[i] = static_cast<std::uint8_t>(row[i] +
+                                           paeth(left, prev[i], upleft));
+      }
+      break;
+    default:
+      throw std::runtime_error("png: bad filter type");
   }
-  if (off + 4 > z.size() || adler32(out.data(), out.size()) != read_be32(z, off)) {
-    throw std::runtime_error("png: adler32 mismatch");
-  }
-  return out;
 }
 
 }  // namespace
@@ -246,19 +273,25 @@ Image Image::decode_png(const std::vector<std::uint8_t>& bytes) {
     off = payload + len + 4;
   }
   if (width <= 0 || height <= 0) throw std::runtime_error("png: missing IHDR");
-  const std::vector<std::uint8_t> raw = inflate_stored(idat);
-  const std::size_t stride = 1 + 4 * static_cast<std::size_t>(width);
-  if (raw.size() != stride * static_cast<std::size_t>(height)) {
+  const std::size_t stride = 1 + kBpp * static_cast<std::size_t>(width);
+  const std::size_t expect = stride * static_cast<std::size_t>(height);
+  std::vector<std::uint8_t> raw =
+      zlib_decompress(idat.data(), idat.size(), expect);
+  if (raw.size() != expect) {
     throw std::runtime_error("png: scanline size mismatch");
   }
   Image img(width, height);
+  const std::size_t row_bytes = kBpp * static_cast<std::size_t>(width);
+  std::vector<std::uint8_t> zero(row_bytes, 0);
   for (int y = 0; y < height; ++y) {
-    const std::uint8_t* row = raw.data() + static_cast<std::size_t>(y) * stride;
-    if (row[0] != 0) throw std::runtime_error("png: only filter 0 supported");
-    for (int x = 0; x < width; ++x) {
-      const std::uint8_t* p = row + 1 + 4 * static_cast<std::size_t>(x);
-      img.at(x, y) = Rgba{p[0], p[1], p[2], p[3]};
-    }
+    std::uint8_t* row = raw.data() + static_cast<std::size_t>(y) * stride;
+    const std::uint8_t* prev =
+        y == 0 ? zero.data()
+               : raw.data() + static_cast<std::size_t>(y - 1) * stride + 1;
+    defilter_row(row[0], row + 1, prev, row_bytes);
+    std::memcpy(img.pixels_.data() +
+                    static_cast<std::size_t>(y) * static_cast<std::size_t>(width),
+                row + 1, row_bytes);
   }
   return img;
 }

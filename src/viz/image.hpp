@@ -3,13 +3,16 @@
 // The Ajax front end "save[s] the received images as fixed-size files that
 // are to be delivered to the browser through the object exchange mechanism
 // of XMLHttpRequest" (Section 2). PNG encoding here is fully self-contained
-// (stored-mode deflate, no zlib dependency); RLE gives the cheap
-// framebuffer compression used when shipping images down the pipeline.
+// (real DEFLATE via viz/deflate.hpp, no external zlib dependency); RLE
+// gives the cheap framebuffer compression used when shipping images down
+// the pipeline.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "viz/deflate.hpp"
 
 namespace ricsa::viz {
 
@@ -35,14 +38,17 @@ class Image {
   /// Binary PPM (P6, alpha dropped).
   void write_ppm(const std::string& path) const;
 
-  /// Complete PNG byte stream (RGBA, stored-mode deflate).
+  /// Complete PNG byte stream: per-row scanline filter selection
+  /// (None/Sub/Up/Paeth by minimum sum of absolute differences) over a
+  /// real DEFLATE stream (LZ77 + fixed Huffman, stored fallback).
   std::vector<std::uint8_t> encode_png() const;
   void write_png(const std::string& path) const;
 
-  /// Decode a PNG produced by encode_png (RGBA8, filter type 0 scanlines,
-  /// stored-mode deflate only — the encoder's exact subset). Throws
-  /// std::runtime_error on anything else: this is the test/bench-side
-  /// reassembly verifier, not a general PNG reader.
+  /// Decode an RGBA8 non-interlaced PNG: full inflate (stored, fixed- and
+  /// dynamic-Huffman blocks) and all five scanline filters, so any
+  /// conforming RGBA8 stream round-trips — encoder outputs in particular.
+  /// Throws std::runtime_error on malformed input or unsupported formats
+  /// (non-RGBA8 color types, interlacing).
   static Image decode_png(const std::vector<std::uint8_t>& bytes);
 
  private:
@@ -61,9 +67,8 @@ std::vector<std::uint8_t> rle_encode(const Image& image);
 /// pixel count.
 Image rle_decode(const std::vector<std::uint8_t>& data, int width, int height);
 
-/// CRC-32 (IEEE) and Adler-32 — exposed for tests.
+/// CRC-32 (IEEE) — exposed for tests. (Adler-32 lives in viz/deflate.hpp.)
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n,
                     std::uint32_t seed = 0);
-std::uint32_t adler32(const std::uint8_t* data, std::size_t n);
 
 }  // namespace ricsa::viz

@@ -95,9 +95,11 @@ TileSet TileGrid::diff(const Image& before, const Image& after) const {
   return dirty;
 }
 
-std::size_t TileGrid::dirty_count(const TileSet& dirty) {
+std::size_t TileGrid::dirty_count(const TileSet& dirty) const {
   std::size_t n = 0;
-  for (const std::uint8_t d : dirty) n += d != 0 ? 1 : 0;
+  for (std::size_t i = 0; i < dirty.size() && i < count(); ++i) {
+    n += dirty[i] != 0 ? 1 : 0;
+  }
   return n;
 }
 
@@ -113,16 +115,67 @@ double TileGrid::dirty_fraction(const TileSet& dirty) const {
   return total == 0 ? 0.0 : static_cast<double>(pixels) / static_cast<double>(total);
 }
 
+std::vector<TileRect> TileGrid::coalesce(const TileSet& dirty) const {
+  std::vector<TileRect> rects;
+  std::vector<std::uint8_t> claimed(count(), 0);
+  const auto is_dirty = [&](int row, int col) {
+    const std::size_t i = static_cast<std::size_t>(row) *
+                              static_cast<std::size_t>(cols_) +
+                          static_cast<std::size_t>(col);
+    return i < dirty.size() && i < count() && dirty[i] != 0 && claimed[i] == 0;
+  };
+  for (int row = 0; row < rows_; ++row) {
+    for (int col = 0; col < cols_; ++col) {
+      if (!is_dirty(row, col)) continue;
+      // Extend right across the dirty run...
+      int span = 1;
+      while (col + span < cols_ && is_dirty(row, col + span)) ++span;
+      // ...then down while the whole span stays dirty and unclaimed.
+      int depth = 1;
+      while (row + depth < rows_) {
+        bool whole = true;
+        for (int c = col; c < col + span; ++c) {
+          if (!is_dirty(row + depth, c)) {
+            whole = false;
+            break;
+          }
+        }
+        if (!whole) break;
+        ++depth;
+      }
+      for (int r = row; r < row + depth; ++r) {
+        for (int c = col; c < col + span; ++c) {
+          claimed[static_cast<std::size_t>(r) *
+                      static_cast<std::size_t>(cols_) +
+                  static_cast<std::size_t>(c)] = 1;
+        }
+      }
+      TileRect out;
+      out.x = col * tile_;
+      out.y = row * tile_;
+      out.w = std::min((col + span) * tile_, width_) - out.x;
+      out.h = std::min((row + depth) * tile_, height_) - out.y;
+      rects.push_back(out);
+    }
+  }
+  return rects;
+}
+
 Image TileGrid::extract(const Image& src, const TileRect& r) {
   if (r.w <= 0 || r.h <= 0 || r.x < 0 || r.y < 0 || r.x + r.w > src.width() ||
       r.y + r.h > src.height()) {
     throw std::invalid_argument("TileGrid::extract: rect outside image");
   }
   Image out(r.w, r.h);
+  // Row-wise copy: each rect row is contiguous in both framebuffers. This
+  // runs per dirty rect per published frame, so no per-pixel bounds checks.
+  const Rgba* src_px = src.pixels().data();
+  const std::size_t row_bytes = static_cast<std::size_t>(r.w) * sizeof(Rgba);
   for (int y = 0; y < r.h; ++y) {
-    for (int x = 0; x < r.w; ++x) {
-      out.at(x, y) = src.at(r.x + x, r.y + y);
-    }
+    const std::size_t off =
+        static_cast<std::size_t>(r.y + y) * static_cast<std::size_t>(src.width()) +
+        static_cast<std::size_t>(r.x);
+    std::memcpy(&out.at(0, y), src_px + off, row_bytes);
   }
   return out;
 }
@@ -132,10 +185,14 @@ void TileGrid::composite(Image& dst, const Image& tile, int x, int y) {
       y + tile.height() > dst.height()) {
     throw std::invalid_argument("TileGrid::composite: tile outside image");
   }
+  const Rgba* tile_px = tile.pixels().data();
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(tile.width()) * sizeof(Rgba);
   for (int ty = 0; ty < tile.height(); ++ty) {
-    for (int tx = 0; tx < tile.width(); ++tx) {
-      dst.at(x + tx, y + ty) = tile.at(tx, ty);
-    }
+    std::memcpy(&dst.at(x, y + ty),
+                tile_px + static_cast<std::size_t>(ty) *
+                              static_cast<std::size_t>(tile.width()),
+                row_bytes);
   }
 }
 

@@ -57,11 +57,22 @@ class TileGrid {
   /// (std::invalid_argument otherwise).
   TileSet diff(const Image& before, const Image& after) const;
 
-  /// Number of set entries in a dirty set.
-  static std::size_t dirty_count(const TileSet& dirty);
+  /// Number of set entries in a dirty set. Entries beyond count() are
+  /// ignored — the same bounds clamp dirty_fraction applies, so an
+  /// oversized TileSet cannot overcount.
+  std::size_t dirty_count(const TileSet& dirty) const;
   /// Fraction of the frame's *pixels* covered by the dirty tiles — the
   /// full-frame-fallback signal (edge tiles weigh less than interior ones).
   double dirty_fraction(const TileSet& dirty) const;
+
+  /// Coalesce adjacent dirty tiles into maximal rectangles: greedy
+  /// row-major sweep extending each unclaimed dirty tile rightward, then
+  /// downward while every tile in the span is dirty and unclaimed. The
+  /// result is a set of disjoint pixel rectangles that together cover
+  /// exactly the dirty tiles (never a clean tile — callers rely on each
+  /// rectangle carrying only changed content). Fewer, larger rectangles
+  /// amortize per-tile PNG/base64/JSON overhead when encoding deltas.
+  std::vector<TileRect> coalesce(const TileSet& dirty) const;
 
   /// Copy tile `r` out of `src` as a standalone image. `src` must contain
   /// the rectangle.

@@ -329,6 +329,7 @@ AjaxFrontEnd::AjaxFrontEnd(FrontEndConfig config)
   server_.set_idle_read_timeout(config_.poll_timeout_s + 15.0);
   server_.set_workers(config_.http_workers);
   server_.set_max_connections(config_.max_connections);
+  server_.set_sndbuf(config_.sndbuf);
   // set_reactors keeps reactor(0)'s identity, so the hub sweeps the
   // registry registered on it above stay valid.
   server_.set_reactors(config_.reactors);
@@ -868,6 +869,8 @@ util::Json hub_stats_json(const FrameHub& hub) {
   out["waiting_peak"] = static_cast<double>(s.waiting_peak);
   out["image_encodes"] = static_cast<double>(s.image_encodes);
   out["preencoded_publishes"] = static_cast<double>(s.preencoded_publishes);
+  out["image_bytes_in"] = static_cast<double>(s.image_bytes_in);
+  out["image_bytes_out"] = static_cast<double>(s.image_bytes_out);
   return out;
 }
 

@@ -88,6 +88,11 @@ struct FrontEndConfig {
   double idle_publish_after_s = 10.0;
   /// Accepted-connection cap; connections beyond it get 503.
   std::size_t max_connections = 8192;
+  /// Fixed SO_SNDBUF for accepted connections (0 = kernel autotuning).
+  /// Bounding the kernel send backlog makes a slow consumer's
+  /// backpressure reach the pacing meters after this many queued bytes
+  /// instead of after megabytes of autotuned buffering.
+  int sndbuf = 0;
   /// Tile edge (pixels) of the hub's dirty-rect image-delta grid.
   int tile_size = 64;
   /// Per-client adaptive pacing knobs (frame_interval_s is overridden with

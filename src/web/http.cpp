@@ -11,6 +11,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -539,6 +540,10 @@ void HttpServer::set_accept_mode(AcceptMode mode) {
   if (!started_) accept_mode_ = mode;
 }
 
+void HttpServer::set_sndbuf(int bytes) {
+  if (!started_ && bytes >= 0) sndbuf_ = bytes;
+}
+
 int HttpServer::start(int port) {
   if (started_) throw std::runtime_error("http: server cannot be restarted");
   started_ = true;
@@ -681,6 +686,7 @@ void HttpServer::on_acceptable(Shard* shard) {
 void HttpServer::adopt_connection(Shard* shard, net::Socket sock,
                                   std::string peer) {
   if (!running_.load()) return;  // raced with stop(); RAII closes the fd
+  sock.set_send_buffer(sndbuf_);
   auto conn = std::make_shared<Connection>();
   conn->server = this;
   conn->shard = shard;
@@ -1309,7 +1315,12 @@ namespace {
 /// Backoff before attempt `attempt` (1-based count of failures so far):
 /// initial * 2^(attempt-1), capped. A 503's numeric Retry-After overrides
 /// the schedule but stays under the same cap — a relay must not let an
-/// overloaded origin park it for minutes.
+/// overloaded origin park it for minutes. Only a fully numeric value
+/// counts: the HTTP-date form ("Fri, 08 Aug 2026 …") and any other junk
+/// fall back to the exponential schedule. A lax strtod here is an actual
+/// bug, twice over — a date's leading day-of-month would parse as a
+/// seconds value, and "nan" would survive the cap (std::min(nan, cap)
+/// returns nan) and poison the sleep.
 double retry_delay_s(const HttpClient::RetryPolicy& policy, int attempt,
                      const HttpClient::Response* response) {
   double delay = policy.initial_backoff_s;
@@ -1317,9 +1328,13 @@ double retry_delay_s(const HttpClient::RetryPolicy& policy, int attempt,
   if (response != nullptr) {
     const auto it = response->headers.find("retry-after");
     if (it != response->headers.end()) {
+      const char* s = it->second.c_str();
       char* end = nullptr;
-      const double after = std::strtod(it->second.c_str(), &end);
-      if (end != it->second.c_str() && after >= 0.0) delay = after;
+      const double after = std::strtod(s, &end);
+      while (end != nullptr && (*end == ' ' || *end == '\t')) ++end;
+      const bool fully_numeric =
+          end != s && end != nullptr && *end == '\0' && std::isfinite(after);
+      if (fully_numeric && after >= 0.0) delay = after;
     }
   }
   return std::min(delay, policy.max_backoff_s);

@@ -256,6 +256,14 @@ class HttpServer {
   };
   void set_accept_mode(AcceptMode mode);
 
+  /// Fix SO_SNDBUF on every accepted connection (0 = kernel default with
+  /// autotuning). Bounding the kernel's send backlog makes write-side
+  /// backpressure from a slow consumer surface after `bytes` of queued
+  /// data instead of after megabytes of autotuned buffering — which is
+  /// what lets the per-session pacing meters react within a few frames.
+  /// Call before start().
+  void set_sndbuf(int bytes);
+
   /// The *primary* event loop (reactor 0). Valid for the server's
   /// lifetime; loop threads run between start() and stop(). Exposed so
   /// co-located subsystems (FrameHub pacing/timeout sweeps) can register
@@ -311,6 +319,7 @@ class HttpServer {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<util::ThreadPool> pool_;
   AcceptMode accept_mode_ = AcceptMode::kReusePort;
+  int sndbuf_ = 0;
 
   int port_ = 0;
   double read_timeout_s_ = 30.0;
@@ -369,8 +378,9 @@ class HttpClient {
 
   /// Capped-exponential retry schedule for transient failures: refused
   /// connects, broken exchanges, and 503 responses. A 503 carrying a
-  /// numeric Retry-After is honored (capped at max_backoff_s); one without
-  /// it falls back to the schedule. Protocol errors never retry.
+  /// fully numeric Retry-After is honored (capped at max_backoff_s); one
+  /// without it — including the HTTP-date form, which is not parsed —
+  /// falls back to the schedule. Protocol errors never retry.
   struct RetryPolicy {
     int max_attempts = 4;  // total attempts, including the first
     double initial_backoff_s = 0.05;

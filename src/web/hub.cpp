@@ -134,7 +134,7 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
   // behind a frame build. Readers see seq_ and window_ change together below.
   std::lock_guard<std::mutex> publishing(publish_mutex_);
   FramePtr prev = latest();
-  std::uint64_t encodes = 0;
+  EncodeCost cost;
 
   auto frame = std::make_shared<Frame>();
   frame->seq = (prev ? prev->seq : 0) + 1;
@@ -187,18 +187,38 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
       continue;  // most of the frame changed: full image is the delta
     }
     td.full_change = false;
-    if (viz::TileGrid::dirty_count(td.dirty) == 0) {
+    if (grid.dirty_count(td.dirty) == 0) {
       // Byte-identical pixels: share the predecessor's buffer so a
       // converged simulation retains one framebuffer, not window-many.
       td.set_raw(prev_raw);
       continue;
     }
-    td.tile_b64.resize(grid.count());
-    for (std::size_t i = 0; i < grid.count(); ++i) {
-      if (td.dirty[i] == 0) continue;
-      const viz::Image tile = viz::TileGrid::extract(*raw, grid.rect(i));
-      td.tile_b64[i] = util::base64_encode(tile.encode_png());
-      ++encodes;
+    // Coalesce adjacent dirty tiles into maximal rectangles and encode
+    // each rect once — fewer, larger PNGs amortize the per-payload
+    // PNG/base64/JSON overhead and give DEFLATE longer runs to bite on.
+    td.rects = grid.coalesce(td.dirty);
+    td.rect_b64.resize(td.rects.size());
+    td.tile_rect.assign(grid.count(), -1);
+    for (std::size_t r = 0; r < td.rects.size(); ++r) {
+      const viz::TileRect& rc = td.rects[r];
+      const viz::Image patch = viz::TileGrid::extract(*raw, rc);
+      const std::vector<std::uint8_t> png_bytes = patch.encode_png();
+      cost.bytes_in += patch.bytes();
+      cost.bytes_out += png_bytes.size();
+      td.rect_b64[r] = util::base64_encode(png_bytes);
+      ++cost.encodes;
+      const int col0 = rc.x / config_.tile_size;
+      const int col1 = (rc.x + rc.w - 1) / config_.tile_size;
+      const int row0 = rc.y / config_.tile_size;
+      const int row1 = (rc.y + rc.h - 1) / config_.tile_size;
+      for (int row = row0; row <= row1; ++row) {
+        for (int col = col0; col <= col1; ++col) {
+          td.tile_rect[static_cast<std::size_t>(row) *
+                           static_cast<std::size_t>(grid.cols()) +
+                       static_cast<std::size_t>(col)] =
+              static_cast<std::int32_t>(r);
+        }
+      }
     }
   }
 
@@ -207,7 +227,15 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
   const std::string b64_half =
       frame->png_half.empty() ? std::string()
                               : util::base64_encode(frame->png_half);
-  encodes += (b64_full.empty() ? 0 : 1) + (b64_half.empty() ? 0 : 1);
+  cost.encodes += (b64_full.empty() ? 0 : 1) + (b64_half.empty() ? 0 : 1);
+  if (raw_full && !frame->png.empty()) {
+    cost.bytes_in += raw_full->bytes();
+    cost.bytes_out += frame->png.size();
+  }
+  if (raw_half && !frame->png_half.empty()) {
+    cost.bytes_in += raw_half->bytes();
+    cost.bytes_out += frame->png_half.size();
+  }
   const std::string none;
   for (std::size_t t = 0; t < kTierCount; ++t) {
     const Tier tier = static_cast<Tier>(t);
@@ -227,11 +255,10 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
                        frame->image_changed;
     if (tiled) {
       const Frame::TileData& td = frame->tiles[t];
-      const viz::TileGrid grid(raws[t]->width(), raws[t]->height(),
-                               config_.tile_size);
       std::vector<TileRef> tiles;
-      for (std::size_t i = 0; i < td.tile_b64.size(); ++i) {
-        if (!td.tile_b64[i].empty()) tiles.push_back({grid.rect(i), &td.tile_b64[i]});
+      tiles.reserve(td.rects.size());
+      for (std::size_t i = 0; i < td.rects.size(); ++i) {
+        tiles.push_back({td.rects[i], &td.rect_b64[i]});
       }
       frame->bodies[t].delta =
           render_tiles_body(frame->seq, tier, delta_state, frame->seq - 1,
@@ -243,7 +270,7 @@ std::uint64_t FrameHub::publish_impl(util::Json state,
     }
   }
 
-  return commit_frame(std::move(frame), encodes, false);
+  return commit_frame(std::move(frame), cost, false);
 }
 
 std::uint64_t FrameHub::publish_encoded(PreEncoded pre) {
@@ -263,11 +290,11 @@ std::uint64_t FrameHub::publish_encoded(PreEncoded pre) {
       std::move(pre.full_body);
   frame->bodies[static_cast<std::size_t>(Tier::kFull)].delta =
       std::move(pre.delta_body);
-  return commit_frame(std::move(frame), 0, true);
+  return commit_frame(std::move(frame), {}, true);
 }
 
 std::uint64_t FrameHub::commit_frame(std::shared_ptr<Frame> frame,
-                                     std::uint64_t image_encodes,
+                                     const EncodeCost& cost,
                                      bool preencoded) {
   bool waiters_remain = false;
   auto remain_hint = std::chrono::steady_clock::time_point::max();
@@ -319,7 +346,9 @@ std::uint64_t FrameHub::commit_frame(std::shared_ptr<Frame> frame,
       }
     }
     stats_.published++;
-    stats_.image_encodes += image_encodes;
+    stats_.image_encodes += cost.encodes;
+    stats_.image_bytes_in += cost.bytes_in;
+    stats_.image_bytes_out += cost.bytes_out;
     if (preencoded) stats_.preencoded_publishes++;
     stats_.served += satisfied.size();
     stats_.waiting = waiters_.size();
@@ -414,23 +443,71 @@ std::string FrameHub::delta_body_for(const FramePtr& frame,
   // (a tile that changed and changed back drops out entirely).
   const viz::TileSet dirty = grid.diff(*base_raw, *cur_raw);
   if (grid.dirty_fraction(dirty) >= config_.full_tile_fraction) return {};
-  std::vector<TileRef> tiles;
+
+  // Per-tile newest changer across the skipped range: that frame's rect
+  // holds the tile's current content (nothing newer touched it) — and its
+  // publish-time encode.
+  std::vector<std::size_t> newest(grid.count(), 0);  // 0 = no changer
+  for (std::size_t j = 1; j < chain.size(); ++j) {
+    const Frame::TileData& td = chain[j]->tiles[t];
+    const std::size_t lim = std::min(td.dirty.size(), grid.count());
+    for (std::size_t i = 0; i < lim; ++i) {
+      if (td.dirty[i] != 0) newest[i] = j;
+    }
+  }
+
+  // Coalesced rects cover whole groups of tiles, so shipping the newest
+  // changer's rect for each cursor-dirty tile can drag in neighbor tiles
+  // whose content moved on in a later frame. Close over coverage: whenever
+  // an included rect covers a tile whose newest changer is a *newer*
+  // frame, that frame's rect ships too — composited afterwards (ascending
+  // frame order below), it overwrites the stale neighbor content, so every
+  // covered tile ends at its current pixels.
+  std::vector<std::vector<char>> included(chain.size());
+  std::vector<std::pair<std::size_t, std::size_t>> work;
+  const auto include = [&](std::size_t tile_idx) -> bool {
+    const std::size_t j = newest[tile_idx];
+    if (j == 0) return false;  // inconsistent bookkeeping: full fallback
+    const Frame::TileData& td = chain[j]->tiles[t];
+    if (tile_idx >= td.tile_rect.size() || td.tile_rect[tile_idx] < 0) {
+      return false;
+    }
+    const std::size_t r = static_cast<std::size_t>(td.tile_rect[tile_idx]);
+    if (r >= td.rect_b64.size() || td.rect_b64[r].empty()) return false;
+    if (included[j].empty()) included[j].assign(td.rects.size(), 0);
+    if (included[j][r] == 0) {
+      included[j][r] = 1;
+      work.emplace_back(j, r);
+    }
+    return true;
+  };
   for (std::size_t i = 0; i < grid.count(); ++i) {
-    if (dirty[i] == 0) continue;
-    // Newest frame in the range that changed tile i holds its current
-    // content (nothing newer touched it) — and its publish-time encode.
-    const std::string* b64 = nullptr;
-    for (std::size_t j = chain.size() - 1; j >= 1; --j) {
-      const Frame::TileData& td = chain[j]->tiles[t];
-      if (i < td.dirty.size() && td.dirty[i] != 0) {
-        if (i < td.tile_b64.size() && !td.tile_b64[i].empty()) {
-          b64 = &td.tile_b64[i];
-        }
-        break;
+    if (dirty[i] != 0 && !include(i)) return {};
+  }
+  while (!work.empty()) {
+    const auto [j, r] = work.back();
+    work.pop_back();
+    const viz::TileRect rc = chain[j]->tiles[t].rects[r];
+    const int col0 = rc.x / config_.tile_size;
+    const int col1 = (rc.x + rc.w - 1) / config_.tile_size;
+    const int row0 = rc.y / config_.tile_size;
+    const int row1 = (rc.y + rc.h - 1) / config_.tile_size;
+    for (int row = row0; row <= row1; ++row) {
+      for (int col = col0; col <= col1; ++col) {
+        const std::size_t k = static_cast<std::size_t>(row) *
+                                  static_cast<std::size_t>(grid.cols()) +
+                              static_cast<std::size_t>(col);
+        if (newest[k] > j && !include(k)) return {};
       }
     }
-    if (b64 == nullptr) return {};  // inconsistent bookkeeping: full fallback
-    tiles.push_back({grid.rect(i), b64});
+  }
+  std::vector<TileRef> tiles;
+  for (std::size_t j = 1; j < chain.size(); ++j) {
+    if (included[j].empty()) continue;
+    const Frame::TileData& td = chain[j]->tiles[t];
+    for (std::size_t r = 0; r < included[j].size(); ++r) {
+      if (included[j][r] != 0) tiles.push_back({td.rects[r], &td.rect_b64[r]});
+    }
   }
   // Full state, not a key delta: the client skipped the intermediate frames
   // and has nothing valid to merge into.

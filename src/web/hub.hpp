@@ -87,12 +87,19 @@ struct Frame {
   /// buffer instead of copying it.
   struct TileData {
     viz::TileSet dirty;  // dirty tiles vs the predecessor
-    /// base64(PNG) per tile index; non-empty exactly for dirty tiles. One
-    /// encode per dirty tile per frame, shared by every client whose delta
-    /// includes that tile. Kept for the frame's whole window lifetime even
-    /// after the raw buffer is dropped: the prebuilt sequential delta body
-    /// needs no raw pixels at serve time.
-    std::vector<std::string> tile_b64;
+    /// Coalesced dirty rectangles (TileGrid::coalesce over `dirty`): each
+    /// covers only dirty tiles, so a rect carries exactly this frame's
+    /// then-current content for every tile inside it — the invariant the
+    /// cursor-anchored rect closure in delta_body_for relies on.
+    std::vector<viz::TileRect> rects;
+    /// base64(PNG) per entry of `rects`. One encode per coalesced rect per
+    /// frame, shared by every client whose delta includes it. Kept for the
+    /// frame's whole window lifetime even after the raw buffer is dropped:
+    /// the prebuilt sequential delta body needs no raw pixels at serve time.
+    std::vector<std::string> rect_b64;
+    /// Tile index -> index into `rects` of the rect covering it, or -1 for
+    /// clean tiles. Sized to the grid when rects exist, empty otherwise.
+    std::vector<std::int32_t> tile_rect;
     /// No usable per-tile delta vs the predecessor exists (first frame,
     /// dimension change, dirty area above the fallback threshold, or the
     /// predecessor had no raw for this tier). Cursor-anchored deltas whose
@@ -196,6 +203,12 @@ class FrameHub {
     std::uint64_t image_encodes = 0;
     /// Frames injected through publish_encoded() (the relay path).
     std::uint64_t preencoded_publishes = 0;
+    /// Raw RGBA bytes fed into PNG encodes at publish time (full + half
+    /// frames and dirty rects) and the PNG bytes they produced — the
+    /// codec's compression ratio as actually exercised by this hub
+    /// (image_bytes_in / image_bytes_out), surfaced by the bench.
+    std::uint64_t image_bytes_in = 0;
+    std::uint64_t image_bytes_out = 0;
   };
 
   /// Per-waiter delivery policy (the session layer's pacing decision).
@@ -317,13 +330,20 @@ class FrameHub {
                              std::vector<std::uint8_t> png_half,
                              std::shared_ptr<const viz::Image> raw_full,
                              std::shared_ptr<const viz::Image> raw_half);
+  /// Stats deltas a frame build accumulates for commit_frame.
+  struct EncodeCost {
+    std::uint64_t encodes = 0;    // PNG/base64 encodes performed
+    std::uint64_t bytes_in = 0;   // raw RGBA bytes fed to those encodes
+    std::uint64_t bytes_out = 0;  // PNG bytes produced
+  };
+
   /// Shared publish tail: append `frame` to the window, age raws past the
   /// raw window, satisfy waiters, update stats, fan out on the pool.
-  /// Requires publish_mutex_ held; takes mutex_ itself. `image_encodes` is
-  /// the number of image encodes the build performed; `preencoded` marks a
+  /// Requires publish_mutex_ held; takes mutex_ itself. `cost` is the
+  /// encode work the build performed; `preencoded` marks a
   /// publish_encoded() frame.
   std::uint64_t commit_frame(std::shared_ptr<Frame> frame,
-                             std::uint64_t image_encodes, bool preencoded);
+                             const EncodeCost& cost, bool preencoded);
   FramePtr next_after_locked(std::uint64_t since) const;  // requires mutex_
   FramePtr frame_for_locked(const Waiter& waiter) const;  // requires mutex_
   /// Earliest actionable instant over the parked waiters. Requires mutex_

@@ -495,7 +495,7 @@ TEST(Image, PngDecodeRoundTrip) {
   ASSERT_EQ(back.height(), img.height());
   EXPECT_EQ(back.pixels(), img.pixels());
 
-  // A frame-sized image spans multiple stored deflate blocks (>64 KB raw).
+  // A frame-sized image spans multiple deflate blocks (>64 KB raw input).
   v::Image big(200, 120, {9, 8, 7, 255});
   big.at(199, 119) = {1, 2, 3, 4};
   EXPECT_EQ(v::Image::decode_png(big.encode_png()).pixels(), big.pixels());
@@ -555,27 +555,27 @@ TEST(TileGrid, DiffGolden) {
   v::Image b = a;
 
   // No change => zero dirty tiles.
-  EXPECT_EQ(v::TileGrid::dirty_count(grid.diff(a, b)), 0u);
+  EXPECT_EQ(grid.dirty_count(grid.diff(a, b)), 0u);
   EXPECT_EQ(grid.dirty_fraction(grid.diff(a, b)), 0.0);
 
   // A single changed pixel dirties exactly its one tile.
   b.at(40, 40) = {9, 9, 9, 255};
   auto dirty = grid.diff(a, b);
-  EXPECT_EQ(v::TileGrid::dirty_count(dirty), 1u);
+  EXPECT_EQ(grid.dirty_count(dirty), 1u);
   EXPECT_EQ(dirty[grid.cols() * 1 + 1], 1);  // tile (col 1, row 1)
 
   // A pixel in the clamped bottom-right corner tile dirties only it.
   v::Image c = a;
   c.at(99, 69) = {7, 7, 7, 255};
   dirty = grid.diff(a, c);
-  EXPECT_EQ(v::TileGrid::dirty_count(dirty), 1u);
+  EXPECT_EQ(grid.dirty_count(dirty), 1u);
   EXPECT_EQ(dirty[grid.count() - 1], 1);
 
   // Full change => every tile dirty, fraction 1 (the hub's full-frame
   // fallback trigger).
   const v::Image d(100, 70, {200, 200, 200, 255});
   dirty = grid.diff(a, d);
-  EXPECT_EQ(v::TileGrid::dirty_count(dirty), grid.count());
+  EXPECT_EQ(grid.dirty_count(dirty), grid.count());
   EXPECT_DOUBLE_EQ(grid.dirty_fraction(dirty), 1.0);
 
   // Dimension mismatch is an error, not a bogus diff.
@@ -608,6 +608,104 @@ TEST(TileGrid, ExtractCompositeRoundTrip) {
                std::invalid_argument);
   EXPECT_THROW(v::TileGrid::composite(canvas, src, 1, 0),
                std::invalid_argument);
+}
+
+TEST(TileGrid, DirtyCountClampsOversizedSet) {
+  // dirty_count must apply the same bounds clamp as dirty_fraction: set
+  // entries beyond count() (a stale or mismatched TileSet) must not
+  // overcount. Regression: the old static dirty_count summed every entry.
+  const v::TileGrid grid(64, 64, 32);  // 2x2 = 4 tiles
+  v::TileSet oversized(16, 1);         // 16 entries, all set
+  EXPECT_EQ(grid.dirty_count(oversized), 4u);
+  EXPECT_DOUBLE_EQ(grid.dirty_fraction(oversized), 1.0);
+  // Undersized sets count only what exists, identically in both.
+  v::TileSet undersized(2, 1);
+  EXPECT_EQ(grid.dirty_count(undersized), 2u);
+  EXPECT_DOUBLE_EQ(grid.dirty_fraction(undersized), 0.5);
+}
+
+TEST(TileGrid, ExtractCompositeOddSizeEdgeTiles) {
+  // 37x23 at tile 8: right column 5 px wide, bottom row 7 px tall — the
+  // memcpy row copies must handle strides that are not multiples of the
+  // tile size. Round-trip through a canvas must be bit-identical.
+  const v::TileGrid grid(37, 23, 8);
+  v::Image src(37, 23);
+  ricsa::util::Xoshiro256 rng(99);
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      src.at(x, y) = {static_cast<std::uint8_t>(rng() & 0xFF),
+                      static_cast<std::uint8_t>(rng() & 0xFF),
+                      static_cast<std::uint8_t>(rng() & 0xFF),
+                      static_cast<std::uint8_t>(rng() & 0xFF)};
+    }
+  }
+  v::Image canvas(37, 23);
+  for (std::size_t i = 0; i < grid.count(); ++i) {
+    const v::TileRect r = grid.rect(i);
+    const v::Image tile = v::TileGrid::extract(src, r);
+    // Spot-check the corner tile dimensions (5x7) really are partial.
+    if (i == grid.count() - 1) {
+      EXPECT_EQ(tile.width(), 5);
+      EXPECT_EQ(tile.height(), 7);
+    }
+    v::TileGrid::composite(canvas, tile, r.x, r.y);
+  }
+  EXPECT_EQ(canvas.pixels(), src.pixels());
+}
+
+TEST(TileGrid, CoalesceMergesAdjacentDirtyTiles) {
+  // 4x3 grid (100x70 at 32). Dirty an L-shape:
+  //   X X . .
+  //   X . . .
+  //   . . . .
+  // Greedy row-major: first rect spans tiles (0,0)-(1,0) (down-extension
+  // fails because (1,1) is clean), second covers (0,1).
+  const v::TileGrid grid(100, 70, 32);
+  v::TileSet dirty(grid.count(), 0);
+  dirty[0] = dirty[1] = 1;            // row 0, cols 0-1
+  dirty[grid.cols() * 1 + 0] = 1;     // row 1, col 0
+  const auto rects = grid.coalesce(dirty);
+  ASSERT_EQ(rects.size(), 2u);
+  EXPECT_EQ(rects[0], (v::TileRect{0, 0, 64, 32}));
+  EXPECT_EQ(rects[1], (v::TileRect{0, 32, 32, 32}));
+
+  // A full 2x2 block coalesces into one rectangle.
+  v::TileSet block(grid.count(), 0);
+  block[0] = block[1] = 1;
+  block[grid.cols() + 0] = block[grid.cols() + 1] = 1;
+  const auto merged = grid.coalesce(block);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (v::TileRect{0, 0, 64, 64}));
+
+  // Nothing dirty -> nothing emitted.
+  EXPECT_TRUE(grid.coalesce(v::TileSet(grid.count(), 0)).empty());
+}
+
+TEST(TileGrid, CoalesceCoversExactlyTheDirtyTilesClampedAtEdges) {
+  // Random dirty sets: the emitted rectangles must tile-align, stay
+  // disjoint, and cover each dirty tile exactly once and no clean tile —
+  // the invariant the hub's cursor-anchored rect closure depends on.
+  const v::TileGrid grid(100, 70, 32);
+  ricsa::util::Xoshiro256 rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    v::TileSet dirty(grid.count(), 0);
+    for (auto& d : dirty) d = (rng() & 1) != 0 ? 1 : 0;
+    std::vector<int> covered(grid.count(), 0);
+    for (const v::TileRect& r : grid.coalesce(dirty)) {
+      EXPECT_EQ(r.x % 32, 0);
+      EXPECT_EQ(r.y % 32, 0);
+      EXPECT_LE(r.x + r.w, 100);
+      EXPECT_LE(r.y + r.h, 70);
+      for (int row = r.y / 32; row <= (r.y + r.h - 1) / 32; ++row) {
+        for (int col = r.x / 32; col <= (r.x + r.w - 1) / 32; ++col) {
+          covered[static_cast<std::size_t>(row * grid.cols() + col)]++;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < grid.count(); ++i) {
+      EXPECT_EQ(covered[i], dirty[i] != 0 ? 1 : 0) << "tile " << i;
+    }
+  }
 }
 
 // --------------------------------------------------------------- Filters ----

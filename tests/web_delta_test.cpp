@@ -95,10 +95,38 @@ w::FrameHub::Config tile_hub_config() {
 
 }  // namespace
 
+namespace {
+
+/// scene() over a deterministic noise background (same noise every frame, so
+/// only the moving square's tiles are dirty). The noise keeps the full-frame
+/// PNG from compressing to almost nothing — with the real DEFLATE encoder a
+/// flat background shrinks ~100x, which would make "delta smaller than full"
+/// meaningless at this toy scale. Real monitored frames have content
+/// everywhere; this models that.
+v::Image textured_scene(int step, int width = 64, int height = 48) {
+  v::Image img = scene(step, width, height);
+  u::Xoshiro256 noise(4242);  // same seed every call: static texture
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      // Always draw from the stream so pixel (x, y) gets the same noise
+      // regardless of where the feature sits in this frame.
+      const auto r = static_cast<std::uint8_t>(noise() & 0xFF);
+      const auto g = static_cast<std::uint8_t>(noise() & 0xFF);
+      const auto b = static_cast<std::uint8_t>(noise() & 0xFF);
+      v::Rgba& p = img.at(x, y);
+      if (p.r == 250) continue;  // leave the moving feature alone
+      p = {r, g, b, 255};
+    }
+  }
+  return img;
+}
+
+}  // namespace
+
 TEST(TileDelta, SequentialDeltaBodyCarriesOnlyDirtyTiles) {
   w::FrameHub hub(tile_hub_config());
-  hub.publish(state_of(1.0), scene(0));
-  hub.publish(state_of(2.0), scene(1));
+  hub.publish(state_of(1.0), textured_scene(0));
+  hub.publish(state_of(2.0), textured_scene(1));
 
   const w::FramePtr f1 = hub.next_after(0);
   const w::FramePtr f2 = hub.next_after(1);
@@ -124,7 +152,7 @@ TEST(TileDelta, SequentialDeltaBodyCarriesOnlyDirtyTiles) {
   std::uint64_t composited = 1;
   ASSERT_TRUE(apply_body(delta, canvas, composited));
   EXPECT_EQ(composited, 2u);
-  EXPECT_EQ(canvas.pixels(), scene(1).pixels());
+  EXPECT_EQ(canvas.pixels(), textured_scene(1).pixels());
 }
 
 TEST(TileDelta, CursorAnchoredReassemblyIsByteIdenticalAfterRandomSkips) {

@@ -486,6 +486,47 @@ TEST(HttpClientRetry, RetriesBareFiveOhThreesWithCappedBackoff) {
   server.stop();
 }
 
+TEST(HttpClientRetry, HttpDateRetryAfterFallsBackToSchedule) {
+  w::HttpServer server;
+  std::atomic<int> hits{0};
+  server.route("GET", "/flaky", [&](const w::HttpRequest&) {
+    // RFC 7231 allows Retry-After to be an HTTP-date (or any junk, from a
+    // misbehaving server). Neither is a delay in seconds: a client that
+    // runs them through strtod reads 0 off the day name (a hot retry
+    // loop) and "nan" even survives std::min against the backoff cap. A
+    // non-numeric header must fall back to the capped exponential
+    // schedule as if it were absent.
+    const int hit = ++hits;
+    if (hit <= 2) {
+      auto resp = w::HttpResponse::text("busy", 503);
+      resp.headers["Retry-After"] =
+          hit == 1 ? "Fri, 08 Aug 2026 12:00:00 GMT" : "nan";
+      return resp;
+    }
+    return w::HttpResponse::text("ok");
+  });
+  const int port = server.start();
+
+  w::HttpClient client(port);
+  w::HttpClient::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_s = 0.05;
+  policy.max_backoff_s = 0.1;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto response = client.get_with_retry("/flaky", policy);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(hits.load(), 3);
+  // Both failed attempts waited out the schedule (0.05 s + 0.1 s): not the
+  // zero-delay hot loop of a mis-parsed date, and nowhere near the stall a
+  // nan backoff would produce.
+  EXPECT_GE(elapsed_s, 0.15);
+  EXPECT_LT(elapsed_s, 5.0);
+  server.stop();
+}
+
 TEST(HttpClientRetry, SurfacesConnectErrorsDistinctly) {
   // A port with nothing behind it: grab an ephemeral port and close it.
   const int dead_port = [] {

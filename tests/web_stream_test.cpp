@@ -654,13 +654,17 @@ TEST(SseStream, KeepaliveCommentsFlowDuringQuietPeriods) {
 }
 
 TEST(SseStream, SlowConsumerDowngradedMidStream) {
-  // Full frames (no delta) at 160x160 so each event is tens of kilobytes:
-  // the stream's byte backlog must outrun the kernel's socket buffering
-  // (which autotunes to megabytes of in-flight data) before the server can
-  // feel a slow consumer at all — delta bodies of a tiny sim never would.
+  // 160x160 frames so the stream moves real bytes, and a fixed 16 KiB
+  // server sndbuf so the byte backlog reaches the drain-timed goodput
+  // meter after tens of kilobytes instead of after megabytes of autotuned
+  // kernel buffering. With the PNG encoder doing real compression, bodies
+  // are a few KB (~100 KB/s of production); the slow phase reads 256 B
+  // per 10 ms (~25 KB/s) so utilization sits well under the downgrade
+  // threshold once the buffers fill.
   w::FrontEndConfig config = paced_config();
   config.session.viz.image_width = 160;
   config.session.viz.image_height = 160;
+  config.sndbuf = 16384;
   w::AjaxFrontEnd fe(config);
   const int port = fe.start();
   while (fe.frame_seq() < 2) {
@@ -682,7 +686,7 @@ TEST(SseStream, SlowConsumerDowngradedMidStream) {
         std::chrono::steady_clock::now() + std::chrono::seconds(15);
     std::size_t scanned = 0;
     while (std::chrono::steady_clock::now() < deadline) {
-      if (!c.pump(fast ? 65536 : 4096)) break;
+      if (!c.pump(fast ? 65536 : 256)) break;
       for (; scanned < c.sse.events.size(); ++scanned) {
         const Json body = Json::parse(c.sse.events[scanned].data);
         const std::string tier = body.at("tier").as_string();
