@@ -218,18 +218,27 @@ void emit_fixed_block(BitWriter& bw, const Token* tokens, std::size_t count,
   bw.put_huff(eob.code, eob.bits);
 }
 
+/// Stored LEN/NLEN is 16 bits, so spans beyond 65535 bytes (a match may
+/// carry a block past the boundary) are split into multiple stored blocks,
+/// with only the last one carrying the caller's BFINAL flag.
 void emit_stored_block(BitWriter& bw, const std::uint8_t* data,
                        std::size_t len, bool final) {
-  bw.put(final ? 1 : 0, 1);
-  bw.put(0, 2);  // BTYPE=00: stored
-  bw.align();
-  std::vector<std::uint8_t> header = {
-      static_cast<std::uint8_t>(len & 0xFF),
-      static_cast<std::uint8_t>(len >> 8),
-      static_cast<std::uint8_t>(~len & 0xFF),
-      static_cast<std::uint8_t>((~len >> 8) & 0xFF)};
-  for (const std::uint8_t b : header) bw.put(b, 8);
-  for (std::size_t i = 0; i < len; ++i) bw.put(data[i], 8);
+  constexpr std::size_t kMaxStored = 65535;
+  do {
+    const std::size_t chunk = std::min(len, kMaxStored);
+    bw.put((final && chunk == len) ? 1 : 0, 1);
+    bw.put(0, 2);  // BTYPE=00: stored
+    bw.align();
+    const std::vector<std::uint8_t> header = {
+        static_cast<std::uint8_t>(chunk & 0xFF),
+        static_cast<std::uint8_t>(chunk >> 8),
+        static_cast<std::uint8_t>(~chunk & 0xFF),
+        static_cast<std::uint8_t>((~chunk >> 8) & 0xFF)};
+    for (const std::uint8_t b : header) bw.put(b, 8);
+    for (std::size_t i = 0; i < chunk; ++i) bw.put(data[i], 8);
+    data += chunk;
+    len -= chunk;
+  } while (len > 0);
 }
 
 /// Hash-chain match finder over a 32 KiB sliding window.
@@ -310,10 +319,12 @@ class HuffmanTable {
       if (lengths[i] > 15) throw std::runtime_error("inflate: bad code length");
       counts_[lengths[i]]++;
     }
-    if (counts_[0] == static_cast<int>(n)) {
-      throw std::runtime_error("inflate: empty Huffman table");
-    }
+    // All-zero lengths are legal for the distance alphabet of a
+    // literal-only dynamic block (HDIST=1 with a single zero length):
+    // build an empty table and only fail if a code is actually decoded.
+    empty_ = counts_[0] == static_cast<int>(n);
     counts_[0] = 0;
+    if (empty_) return;
     // Over-subscribed sets of lengths cannot form a prefix code.
     int left = 1;
     for (int len = 1; len <= 15; ++len) {
@@ -333,6 +344,9 @@ class HuffmanTable {
   }
 
   int decode(BitReader& br) const {
+    if (empty_) {
+      throw std::runtime_error("inflate: symbol from empty Huffman table");
+    }
     int code = 0, first = 0, index = 0;
     for (int len = 1; len <= 15; ++len) {
       code |= br.get1();
@@ -349,6 +363,7 @@ class HuffmanTable {
  private:
   std::array<int, 16> counts_{};
   std::vector<std::uint16_t> symbols_;
+  bool empty_ = false;
 };
 
 const HuffmanTable& fixed_litlen_table() {
@@ -478,10 +493,14 @@ std::vector<std::uint8_t> deflate(const std::uint8_t* data, std::size_t n) {
     const std::size_t span = block_end - block_start;
     long long fixed_bits = 3 + 7;  // header + end-of-block
     for (const Token& t : tokens) fixed_bits += fixed_token_bits(t);
-    // Stored: header + alignment padding + LEN/NLEN + the bytes.
+    // Stored: header + alignment padding + LEN/NLEN + the bytes. A span
+    // past 65535 splits into extra chunks of 40 overhead bits each
+    // (3-bit header, 5 padding bits from the aligned position, LEN/NLEN).
+    const long long extra_chunks =
+        span > 65535 ? static_cast<long long>((span - 1) / 65535) : 0;
     const long long stored_bits =
         3 + ((8 - ((bw.pending_bits() + 3) % 8)) % 8) + 32 +
-        8 * static_cast<long long>(span);
+        extra_chunks * 40 + 8 * static_cast<long long>(span);
     if (fixed_bits < stored_bits) {
       emit_fixed_block(bw, tokens.data(), tokens.size(), final);
     } else {
@@ -520,8 +539,8 @@ std::vector<std::uint8_t> deflate(const std::uint8_t* data, std::size_t n) {
       ++pos;
     }
     // A match may overshoot the boundary by up to kMaxMatch bytes; the
-    // stored fallback handles any span <= 65535 + 258 by splitting, but
-    // keeping spans under the limit keeps the fallback a single block.
+    // stored fallback splits any oversized span, but keeping spans near
+    // the limit keeps the fallback a single block in the common case.
     if (pos - block_start >= kBlockInput) flush_block(pos, false);
   }
   flush_block(n, true);
